@@ -1,0 +1,33 @@
+"""Figure 2: power-constrained tuning on the Haswell system.
+
+Regenerates the per-application normalized-speedup series (Default, PnP
+static, PnP dynamic, BLISS, OpenTuner; oracle = 1.0) for each of the four
+Haswell power caps (40/60/70/85 W), plus the Section IV-B headline numbers.
+"""
+
+import figure_cache
+
+
+def test_fig2_power_constrained_haswell(benchmark, save_result):
+    result = benchmark.pedantic(
+        figure_cache.power_constrained, args=("haswell",), rounds=1, iterations=1
+    )
+
+    text = "\n\n".join(result.format_figure(cap) for cap in result.power_caps)
+    text += "\n\n" + result.format_summary()
+    save_result("fig2_haswell_power_constrained", text)
+
+    summary = result.summary()
+    benchmark.extra_info.update(
+        {
+            "geomean_speedup_per_cap_pnp_static": {
+                f"{cap:.0f}W": round(v, 3)
+                for cap, v in result.geomean_speedups("PnP Tuner (Static)").items()
+            },
+            "fraction_within_95_of_oracle": summary[
+                "PnP Tuner (Static) fraction >=0.95x oracle"
+            ],
+            "pnp_vs_bliss_win_rate": summary.get("PnP(static) better-or-equal vs BLISS"),
+        }
+    )
+    assert result.fraction_within_oracle("PnP Tuner (Static)", 0.80) > 0.5

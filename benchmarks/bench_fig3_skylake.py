@@ -1,0 +1,30 @@
+"""Figure 3: power-constrained tuning on the Skylake system.
+
+Same protocol as Figure 2 at the Skylake power caps (75/100/120/150 W).
+"""
+
+import figure_cache
+
+
+def test_fig3_power_constrained_skylake(benchmark, save_result):
+    result = benchmark.pedantic(
+        figure_cache.power_constrained, args=("skylake",), rounds=1, iterations=1
+    )
+
+    text = "\n\n".join(result.format_figure(cap) for cap in result.power_caps)
+    text += "\n\n" + result.format_summary()
+    save_result("fig3_skylake_power_constrained", text)
+
+    summary = result.summary()
+    benchmark.extra_info.update(
+        {
+            "geomean_speedup_per_cap_pnp_static": {
+                f"{cap:.0f}W": round(v, 3)
+                for cap, v in result.geomean_speedups("PnP Tuner (Static)").items()
+            },
+            "fraction_within_95_of_oracle": summary[
+                "PnP Tuner (Static) fraction >=0.95x oracle"
+            ],
+        }
+    )
+    assert result.fraction_within_oracle("PnP Tuner (Static)", 0.80) > 0.5

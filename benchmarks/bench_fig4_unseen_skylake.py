@@ -1,0 +1,24 @@
+"""Figure 4: tuning at unseen power constraints on Skylake.
+
+The 75 W and 150 W caps are each held out of training in turn; the PnP model
+(static + counters + normalised cap feature) tunes regions at the held-out
+cap, and the normalized speedups are compared against the default.
+"""
+
+import figure_cache
+
+
+def test_fig4_unseen_power_skylake(benchmark, save_result):
+    result = benchmark.pedantic(
+        figure_cache.unseen_power, args=("skylake",), rounds=1, iterations=1
+    )
+
+    text = "\n\n".join(result.format_figure(cap) for cap in result.held_out_caps)
+    text += "\n\n" + result.format_summary()
+    save_result("fig4_unseen_power_skylake", text)
+
+    benchmark.extra_info.update(
+        {f"geomean_speedup_{cap:.0f}W": round(result.geomean_speedup(cap), 3) for cap in result.held_out_caps}
+    )
+    benchmark.extra_info["fraction_within_80_of_oracle"] = round(result.fraction_within(0.80), 3)
+    assert result.fraction_within(0.80) > 0.4

@@ -1,0 +1,19 @@
+"""Figure 5: tuning at unseen power constraints on Haswell (40 W and 85 W held out)."""
+
+import figure_cache
+
+
+def test_fig5_unseen_power_haswell(benchmark, save_result):
+    result = benchmark.pedantic(
+        figure_cache.unseen_power, args=("haswell",), rounds=1, iterations=1
+    )
+
+    text = "\n\n".join(result.format_figure(cap) for cap in result.held_out_caps)
+    text += "\n\n" + result.format_summary()
+    save_result("fig5_unseen_power_haswell", text)
+
+    benchmark.extra_info.update(
+        {f"geomean_speedup_{cap:.0f}W": round(result.geomean_speedup(cap), 3) for cap in result.held_out_caps}
+    )
+    benchmark.extra_info["fraction_within_80_of_oracle"] = round(result.fraction_within(0.80), 3)
+    assert result.fraction_within(0.80) > 0.4

@@ -1,0 +1,29 @@
+"""Figure 6: EDP tuning — normalized EDP improvement per application.
+
+Both systems are evaluated; for each, every tuner selects a (power cap,
+configuration) pair per region and the EDP improvement over the OpenMP
+default at TDP is normalised by the oracle improvement.
+"""
+
+import figure_cache
+
+
+def _run_both_systems():
+    return {system: figure_cache.edp(system) for system in ("skylake", "haswell")}
+
+
+def test_fig6_edp_improvement(benchmark, save_result):
+    results = benchmark.pedantic(_run_both_systems, rounds=1, iterations=1)
+
+    text = "\n\n".join(results[system].format_figure6() for system in ("skylake", "haswell"))
+    text += "\n\n" + "\n\n".join(results[s].format_summary() for s in ("skylake", "haswell"))
+    save_result("fig6_edp_improvement", text)
+
+    for system, result in results.items():
+        benchmark.extra_info[f"{system}_pnp_static_geomean_edp_improvement"] = round(
+            result.geomean_edp_improvement("PnP Tuner (Static)"), 3
+        )
+        benchmark.extra_info[f"{system}_pnp_within_20pct_of_oracle"] = round(
+            result.fraction_within_oracle("PnP Tuner (Static)", 0.80), 3
+        )
+        assert result.geomean_edp_improvement("PnP Tuner (Static)") > 0.9

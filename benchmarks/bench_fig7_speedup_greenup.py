@@ -1,0 +1,32 @@
+"""Figure 7: speedups and greenups over the default at TDP when tuning for EDP.
+
+Re-uses the Figure 6 experiment results (cached) and reports, per system and
+per tuner, the per-application speedup and greenup series plus the
+slowdown/energy-increase case fractions quoted in Section IV-C.
+"""
+
+import figure_cache
+
+
+def _collect():
+    return {system: figure_cache.edp(system) for system in ("skylake", "haswell")}
+
+
+def test_fig7_speedup_greenup(benchmark, save_result):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    text = "\n\n".join(results[system].format_figure7() for system in ("skylake", "haswell"))
+    save_result("fig7_speedup_greenup", text)
+
+    for system, result in results.items():
+        for tuner in ("PnP Tuner (Static)", "BLISS", "OpenTuner"):
+            if tuner not in result.records:
+                continue
+            benchmark.extra_info[f"{system}/{tuner}/slowdown_cases"] = round(
+                result.slowdown_fraction(tuner), 3
+            )
+            benchmark.extra_info[f"{system}/{tuner}/energy_increase_cases"] = round(
+                result.energy_increase_fraction(tuner), 3
+            )
+        # Tuning for EDP should reduce energy for the clear majority of regions.
+        assert result.energy_increase_fraction("PnP Tuner (Static)") < 0.5

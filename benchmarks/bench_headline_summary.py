@@ -1,0 +1,64 @@
+"""Headline summary: Tables I/II and the prose numbers of Sections IV-B/IV-C.
+
+Re-uses the cached Figure 2/3/6 experiment results and prints, side by side,
+the search-space definition (Table I), the model hyperparameters (Table II),
+and the geometric-mean speedups / oracle-proximity fractions the paper quotes
+in the text.
+"""
+
+import figure_cache
+from repro.core.model import ModelConfig, PnPModel
+from repro.core.search_space import SearchSpace
+from repro.experiments.reporting import format_summary, format_table
+from repro.graphs.vocabulary import build_default_vocabulary
+
+
+def _table1_text() -> str:
+    rows = []
+    for system in ("skylake", "haswell"):
+        info = SearchSpace(system).describe()
+        rows.append([system, str(info["power_caps"]), str(info["thread_values"]),
+                     str(info["schedules"]), str(info["chunk_sizes"]),
+                     info["num_joint_configurations"]])
+    return format_table(
+        ["system", "power limits", "threads", "schedule", "chunk sizes", "total configs"],
+        rows,
+        title="Table I: search space (504 cross-product + 4 default = 508 configurations)",
+    )
+
+
+def _table2_text() -> str:
+    vocab = build_default_vocabulary()
+    space = SearchSpace("haswell")
+    model = PnPModel(ModelConfig(vocabulary_size=len(vocab), num_classes=space.num_omp_configurations))
+    summary = model.describe()
+    summary["optimizer"] = "AdamW (amsgrad) for power-constrained; Adam for EDP"
+    summary["learning rate"] = 1e-3
+    summary["batch size"] = 16
+    summary["loss"] = "cross entropy"
+    return format_summary(summary, title="Table II: model hyperparameters")
+
+
+def test_headline_summary(benchmark, save_result):
+    def collect():
+        sections = [_table1_text(), _table2_text()]
+        for system in ("haswell", "skylake"):
+            sections.append(figure_cache.power_constrained(system).format_summary())
+            sections.append(figure_cache.edp(system).format_summary())
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(collect, rounds=1, iterations=1)
+    save_result("headline_summary", text)
+
+    haswell = figure_cache.power_constrained("haswell")
+    skylake = figure_cache.power_constrained("skylake")
+    benchmark.extra_info["haswell_pnp_geomean_speedups"] = {
+        f"{c:.0f}W": round(v, 3) for c, v in haswell.geomean_speedups("PnP Tuner (Static)").items()
+    }
+    benchmark.extra_info["skylake_pnp_geomean_speedups"] = {
+        f"{c:.0f}W": round(v, 3) for c, v in skylake.geomean_speedups("PnP Tuner (Static)").items()
+    }
+    # The paper's qualitative claims: the PnP tuner improves on the default at
+    # every cap, and the gains on Skylake exceed those on Haswell.
+    assert all(v > 1.0 for v in haswell.geomean_speedups("PnP Tuner (Static)").values())
+    assert all(v > 1.0 for v in skylake.geomean_speedups("PnP Tuner (Static)").values())

@@ -1,0 +1,28 @@
+"""Section I motivating example: exhaustive exploration of one LULESH kernel.
+
+Paper-reported values on Haswell: best speedups of 7.54x / 2.11x / 1.80x /
+1.67x at 40/60/70/85 W, best greenup 3.89x at 60 W with a slight slowdown,
+and an EDP-optimal point with 1.64x speedup and 2.7x greenup.  The
+reproduction checks the qualitative structure: large speedups that shrink as
+the cap rises, and energy/EDP optima at low-thread-count, low-cap points.
+"""
+
+from repro.experiments import run_motivating_example
+
+
+def test_motivating_example(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_motivating_example, args=("haswell",), rounds=1, iterations=1
+    )
+    save_result("motivating_example", result.format())
+
+    speedups = {cap: s for cap, (_c, s) in result.best_speedups.items()}
+    benchmark.extra_info["best_speedup_per_cap"] = {f"{c:.0f}W": round(s, 2) for c, s in speedups.items()}
+    benchmark.extra_info["edp_optimal_cap"] = result.best_edp_cap
+    benchmark.extra_info["edp_optimal_greenup"] = round(result.best_edp_greenup, 2)
+
+    # Qualitative shape of the paper's Section I observations.
+    assert speedups[40.0] > speedups[85.0] > 1.0
+    assert speedups[40.0] > 3.0
+    assert result.best_edp_greenup > 1.5
+    assert result.best_energy_config.num_threads <= 4

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the substrate layers (true timing benchmarks).
+
+Unlike the figure benches (which run once and report tables), these exercise
+the hot paths of the reproduction — IR→graph lowering, a batched RGCN
+forward/backward pass, and the execution simulator's 127-configuration sweep
+— with pytest-benchmark's normal repeated timing, so regressions in the
+substrates are visible.
+"""
+
+import numpy as np
+
+from repro.benchsuite import full_suite, generate_application_module
+from repro.core.search_space import SearchSpace
+from repro.graphs import GraphEncoder, build_default_vocabulary, build_flow_graph
+from repro.hw import Machine
+from repro.ir.outline import extract_outlined_regions
+from repro.nn import AdamW, CrossEntropyLoss, collate_graphs
+from repro.core.model import ModelConfig, PnPModel
+from repro.openmp import ExecutionEngine
+
+
+def _lulesh_samples():
+    app = next(a for a in full_suite() if a.name == "LULESH")
+    module = generate_application_module(app.name, list(app.regions), seed=0)
+    vocab = build_default_vocabulary()
+    encoder = GraphEncoder(vocab)
+    samples = []
+    for i, (name, region_module) in enumerate(extract_outlined_regions(module).items()):
+        graph = build_flow_graph(region_module, name)
+        samples.append(encoder.encode(graph, label=i % 5, aux_features=np.array([0.5])))
+    return vocab, samples
+
+
+def test_bench_ir_to_graph_lowering(benchmark):
+    app = next(a for a in full_suite() if a.name == "LULESH")
+
+    def build():
+        module = generate_application_module(app.name, list(app.regions), seed=0)
+        outlined = extract_outlined_regions(module)
+        return sum(build_flow_graph(m, n).num_nodes for n, m in outlined.items())
+
+    total_nodes = benchmark(build)
+    assert total_nodes > 500
+
+
+def test_bench_rgcn_training_step(benchmark):
+    vocab, samples = _lulesh_samples()
+    batch = collate_graphs(samples)
+    model = PnPModel(
+        ModelConfig(vocabulary_size=len(vocab), num_classes=127, aux_dim=1, hidden_dim=32)
+    )
+    optimizer = AdamW(model.parameters(), lr=1e-3, amsgrad=True)
+    loss_fn = CrossEntropyLoss()
+
+    def step():
+        optimizer.zero_grad()
+        loss = loss_fn(model(batch), batch.labels)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_bench_execution_sweep(benchmark):
+    machine = Machine.named("haswell", seed=0)
+    engine = ExecutionEngine(machine)
+    space = SearchSpace("haswell")
+    region = next(
+        r for a in full_suite() for r in a.regions if r.region_id == "gemm/kernel_gemm"
+    )
+    configs = space.candidate_configurations()
+
+    def sweep():
+        return sum(
+            engine.run(region, config, power_cap_watts=60.0, account_rapl=False).time_s
+            for config in configs
+        )
+
+    total = benchmark(sweep)
+    assert total > 0.0

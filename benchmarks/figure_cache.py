@@ -1,0 +1,50 @@
+"""Process-wide cache of expensive experiment results shared across benches.
+
+Figure 7 re-uses the EDP experiment of Figure 6, and the headline-summary
+bench re-uses Figures 2, 3 and 6; caching the experiment results keeps the
+whole benchmark suite's runtime close to the sum of unique experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import (
+    ExperimentProfile,
+    fast_profile,
+    run_edp,
+    run_power_constrained,
+    run_unseen_power,
+)
+
+_POWER: Dict[str, object] = {}
+_EDP: Dict[str, object] = {}
+_UNSEEN: Dict[str, object] = {}
+
+
+def bench_profile(seed: int = 0) -> ExperimentProfile:
+    """The profile used by every figure bench (fast; full suite)."""
+    return fast_profile(seed=seed)
+
+
+def power_constrained(system: str):
+    """Cached Fig. 2/3 experiment result for ``system``."""
+    if system not in _POWER:
+        _POWER[system] = run_power_constrained(system, bench_profile())
+    return _POWER[system]
+
+
+def edp(system: str):
+    """Cached Fig. 6/7 experiment result for ``system``."""
+    if system not in _EDP:
+        _EDP[system] = run_edp(system, bench_profile())
+    return _EDP[system]
+
+
+def unseen_power(system: str):
+    """Cached Fig. 4/5 experiment result for ``system``."""
+    if system not in _UNSEEN:
+        # The unseen-cap experiment trains one model per held-out cap and
+        # fold; a slightly smaller epoch count keeps it tractable.
+        _UNSEEN[system] = run_unseen_power(system, bench_profile().with_overrides(epochs=10))
+    return _UNSEEN[system]

@@ -1,0 +1,16 @@
+"""Pytest root configuration.
+
+Ensures the in-tree ``src`` layout is importable even when the package has
+not been pip-installed (useful in offline environments where editable
+installs are awkward); an installed ``repro`` takes precedence.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401  (already installed — nothing to do)
+    except ImportError:
+        sys.path.insert(0, _SRC)

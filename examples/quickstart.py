@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: train the PnP tuner and tune one OpenMP region.
+
+This script trains the power-constrained PnP tuner on the benchmark suite for
+the simulated Haswell node, then asks it for the best OpenMP configuration of
+LULESH's ``ApplyAccelerationBoundaryConditionsForNodes`` kernel (the paper's
+motivating example) at a 60 W power cap — without executing that kernel — and
+compares the prediction against the OpenMP default and the exhaustive oracle.
+
+Run with::
+
+    python examples/quickstart.py [--system haswell] [--epochs 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+
+from repro.benchsuite import get_application
+from repro.core import PnPTuner, TrainingConfig
+from repro.core.measurements import get_measurement_database
+from repro.utils.logging import enable_console
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--system", default="haswell", choices=["haswell", "skylake"])
+    parser.add_argument("--power-cap", type=float, default=60.0)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    enable_console(logging.INFO)
+
+    # 1. Train the tuner on the 68-region benchmark suite (static features only:
+    #    the tuner never executes code to make a prediction).
+    tuner = PnPTuner(
+        system=args.system,
+        objective="time",
+        training_config=TrainingConfig(epochs=args.epochs, optimizer="adamw", seed=args.seed),
+        seed=args.seed,
+    )
+    print(f"Training the PnP tuner on {args.system} ({args.epochs} epochs)...")
+    tuner.fit()
+    print("Model:", tuner.model.describe())
+
+    # 2. Tune the motivating kernel at the requested power cap.
+    region = next(
+        r
+        for r in get_application("LULESH").regions
+        if "ApplyAccelerationBoundaryConditions" in r.region_id
+    )
+    result = tuner.predict(region, power_cap=args.power_cap)
+    print("\nPnP prediction:", result.describe())
+
+    # 3. Compare against the default configuration and the exhaustive oracle.
+    database = get_measurement_database(args.system, seed=args.seed)
+    predicted = database.measure(region.region_id, result.config, args.power_cap)
+    default = database.default_result(region.region_id, args.power_cap)
+    oracle_config, oracle = database.best_by_time(region.region_id, args.power_cap)
+
+    print(f"\nAt a {args.power_cap:.0f} W package power cap on {args.system}:")
+    print(f"  default ({database.search_space.default_configuration.label()}): "
+          f"{default.time_s * 1e6:8.1f} us")
+    print(f"  PnP     ({result.config.label()}): {predicted.time_s * 1e6:8.1f} us "
+          f"(speedup {default.time_s / predicted.time_s:.2f}x)")
+    print(f"  oracle  ({oracle_config.label()}): {oracle.time_s * 1e6:8.1f} us "
+          f"(speedup {default.time_s / oracle.time_s:.2f}x)")
+    print(f"  PnP reaches {oracle.time_s / predicted.time_s:.1%} of the oracle's performance "
+          f"without executing the region.")
+
+
+if __name__ == "__main__":
+    main()

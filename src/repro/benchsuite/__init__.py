@@ -1,0 +1,41 @@
+"""The evaluation benchmark suite: 30 applications, 68 OpenMP regions.
+
+The paper evaluates on 25 PolyBench kernels plus six mini/proxy applications
+(XSBench, RSBench, miniFE, miniAMR, Quicksilver, LULESH) with 68 OpenMP
+regions in total.  This package describes each of those regions as a
+:class:`~repro.openmp.region.RegionCharacteristics` object (the workload
+model the execution simulator runs) and generates matching outlined IR for
+each region (the static representation the GNN models), so the static and
+dynamic views of every region are mutually consistent.
+
+Entry points:
+
+* :func:`~repro.benchsuite.registry.full_suite` — all 30 applications;
+* :func:`~repro.benchsuite.registry.all_regions` — all 68 regions;
+* :func:`~repro.benchsuite.codegen.generate_application_module` — IR for one
+  application, with one outlined function per region.
+"""
+
+from repro.benchsuite.registry import (
+    BenchmarkApplication,
+    full_suite,
+    all_regions,
+    get_application,
+    application_names,
+    regions_by_application,
+)
+from repro.benchsuite.codegen import generate_application_module, generate_region_function
+from repro.benchsuite import polybench, proxyapps
+
+__all__ = [
+    "BenchmarkApplication",
+    "full_suite",
+    "all_regions",
+    "get_application",
+    "application_names",
+    "regions_by_application",
+    "generate_application_module",
+    "generate_region_function",
+    "polybench",
+    "proxyapps",
+]

@@ -1,0 +1,151 @@
+"""PolyBench applications (24 of the suite's kernels, 43 OpenMP regions).
+
+Each application exposes its computational kernel region(s); the larger
+kernels additionally expose their array-initialisation region (a streaming,
+bandwidth-bound loop), matching how the paper tunes every OpenMP region in
+each benchmark rather than only the hottest one.
+
+Problem sizes follow the PolyBench ``LARGE``/``EXTRALARGE`` datasets scaled
+so that kernel runtimes on the simulated machines fall in the paper's
+observable range (milliseconds to seconds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.benchsuite.characteristics import (
+    dense_linear_algebra,
+    reduction_kernel,
+    stencil,
+    streaming_blas2,
+    triangular_linear_algebra,
+)
+from repro.openmp.region import ImbalancePattern, RegionCharacteristics
+
+__all__ = ["polybench_applications", "POLYBENCH_NAMES"]
+
+_DOUBLE = 8.0
+
+#: The PolyBench kernels that appear on the paper's evaluation x-axis.
+POLYBENCH_NAMES: Tuple[str, ...] = (
+    "seidel-2d",
+    "adi",
+    "jacobi-2d",
+    "bicg",
+    "atax",
+    "gramschmidt",
+    "correlation",
+    "doitgen",
+    "covariance",
+    "gemm",
+    "syrk",
+    "cholesky",
+    "gemver",
+    "mvt",
+    "durbin",
+    "trisolv",
+    "syr2k",
+    "lu",
+    "symm",
+    "fdtd-2d",
+    "fdtd-apml",
+    "2mm",
+    "gesummv",
+    "trmm",
+)
+
+#: Applications whose initialisation region is not tuned separately — either
+#: the kernels are too small to bother (trisolv, durbin, ...) or the
+#: application already contributes several computational regions (2mm).
+_SINGLE_REGION: Tuple[str, ...] = ("trisolv", "durbin", "gesummv", "atax", "bicg", "2mm")
+
+
+def _init_region(application: str, n: int, arrays: int = 2) -> RegionCharacteristics:
+    """Array initialisation region: a pure streaming store loop."""
+    return RegionCharacteristics(
+        region_id=f"{application}/init_array",
+        application=application,
+        iterations=n * n,
+        flops_per_iteration=1.0,
+        int_ops_per_iteration=3.0,
+        memory_bytes_per_iteration=arrays * _DOUBLE,
+        working_set_bytes=arrays * n * n * _DOUBLE,
+        reuse_factor=0.05,
+        serial_fraction=0.0,
+        parallel_loop_count=1,
+        nest_depth=2,
+        iteration_cost_cv=0.0,
+        imbalance_pattern=ImbalancePattern.UNIFORM,
+        branches_per_iteration=1.0,
+        branch_misprediction_rate=0.005,
+    )
+
+
+def _kernel_regions() -> Dict[str, List[RegionCharacteristics]]:
+    """Computational region(s) of every PolyBench application."""
+    regions: Dict[str, List[RegionCharacteristics]] = {}
+
+    # --- structured-grid stencils -------------------------------------------
+    regions["seidel-2d"] = [stencil("seidel-2d", "kernel_seidel_2d", n=2800, points=9, sweeps=1)]
+    regions["jacobi-2d"] = [stencil("jacobi-2d", "kernel_jacobi_2d", n=2800, points=5, sweeps=2)]
+    regions["fdtd-2d"] = [stencil("fdtd-2d", "kernel_fdtd_2d", n=2400, points=4, sweeps=3, time_dependent=True)]
+    regions["fdtd-apml"] = [stencil("fdtd-apml", "kernel_fdtd_apml", n=1600, points=11, sweeps=3, time_dependent=True)]
+    regions["adi"] = [stencil("adi", "kernel_adi", n=2000, points=6, sweeps=4, time_dependent=True)]
+
+    # --- dense linear algebra (BLAS-3 like) ----------------------------------
+    regions["gemm"] = [dense_linear_algebra("gemm", "kernel_gemm", n=1100)]
+    regions["2mm"] = [
+        dense_linear_algebra("2mm", "kernel_2mm_first", n=900),
+        dense_linear_algebra("2mm", "kernel_2mm_second", n=900),
+    ]
+    regions["doitgen"] = [dense_linear_algebra("doitgen", "kernel_doitgen", n=512, inner=160, reuse=0.7)]
+    regions["syrk"] = [dense_linear_algebra("syrk", "kernel_syrk", n=1000, triangular=True)]
+    regions["syr2k"] = [dense_linear_algebra("syr2k", "kernel_syr2k", n=900, triangular=True)]
+    regions["trmm"] = [dense_linear_algebra("trmm", "kernel_trmm", n=1000, triangular=True)]
+    regions["symm"] = [dense_linear_algebra("symm", "kernel_symm", n=1000, triangular=True)]
+
+    # --- factorisations / solvers --------------------------------------------
+    regions["cholesky"] = [triangular_linear_algebra("cholesky", "kernel_cholesky", n=1300)]
+    regions["lu"] = [triangular_linear_algebra("lu", "kernel_lu", n=1300)]
+    regions["gramschmidt"] = [triangular_linear_algebra("gramschmidt", "kernel_gramschmidt", n=1100)]
+    regions["durbin"] = [triangular_linear_algebra("durbin", "kernel_durbin", n=3000, tiny=True,
+                                                   dependence_serial_fraction=0.12)]
+    regions["trisolv"] = [triangular_linear_algebra("trisolv", "kernel_trisolv", n=3000, tiny=True,
+                                                    dependence_serial_fraction=0.15)]
+
+    # --- BLAS-2 / streaming ---------------------------------------------------
+    regions["atax"] = [streaming_blas2("atax", "kernel_atax", n=4200, passes=2)]
+    regions["bicg"] = [streaming_blas2("bicg", "kernel_bicg", n=4200, passes=2)]
+    regions["mvt"] = [streaming_blas2("mvt", "kernel_mvt", n=4400, passes=2)]
+    regions["gemver"] = [streaming_blas2("gemver", "kernel_gemver", n=4000, passes=4)]
+    regions["gesummv"] = [streaming_blas2("gesummv", "kernel_gesummv", n=3600, passes=2)]
+
+    # --- data mining ----------------------------------------------------------
+    regions["correlation"] = [reduction_kernel("correlation", "kernel_correlation", n=1400, atomics=0.02)]
+    regions["covariance"] = [reduction_kernel("covariance", "kernel_covariance", n=1400, atomics=0.02)]
+
+    return regions
+
+
+def polybench_applications() -> Dict[str, List[RegionCharacteristics]]:
+    """All PolyBench applications mapped to their OpenMP regions.
+
+    Applications outside :data:`_SINGLE_REGION` also include their
+    initialisation region, for a total of 43 regions over 24 applications.
+    """
+    kernels = _kernel_regions()
+    init_sizes = {
+        "seidel-2d": 2800, "adi": 2000, "jacobi-2d": 2800, "gramschmidt": 1100,
+        "correlation": 1400, "doitgen": 900, "covariance": 1400, "gemm": 1100,
+        "syrk": 1000, "cholesky": 1300, "gemver": 4000, "mvt": 4400,
+        "syr2k": 900, "lu": 1300, "symm": 1000, "fdtd-2d": 2400,
+        "fdtd-apml": 1600, "2mm": 900, "trmm": 1000,
+    }
+    apps: Dict[str, List[RegionCharacteristics]] = {}
+    for name in POLYBENCH_NAMES:
+        regions = list(kernels[name])
+        if name not in _SINGLE_REGION:
+            regions.append(_init_region(name, init_sizes[name]))
+        apps[name] = regions
+    return apps

@@ -1,0 +1,292 @@
+"""Mini/proxy applications: XSBench, RSBench, miniFE, miniAMR, Quicksilver, LULESH.
+
+These six applications contribute 25 of the suite's 68 OpenMP regions and
+cover behaviours PolyBench lacks: latency-bound random table lookups with
+heavy branching (XSBench/RSBench), Monte-Carlo particle tracking with atomic
+tallies (Quicksilver), unstructured sparse solves (miniFE), block-structured
+AMR sweeps with many small parallel loops (miniAMR), and LULESH's mixture of
+large hydrodynamics kernels and tiny boundary-condition loops — including
+``ApplyAccelerationBoundaryConditionsForNodes``, the paper's motivating
+example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.benchsuite.characteristics import (
+    amr_block_kernel,
+    dense_linear_algebra,
+    monte_carlo_lookup,
+    small_boundary_kernel,
+    sparse_matvec,
+    stencil,
+    streaming_blas2,
+)
+from repro.openmp.region import ImbalancePattern, RegionCharacteristics
+
+__all__ = ["proxy_applications", "PROXY_NAMES", "LULESH_MOTIVATING_REGION"]
+
+PROXY_NAMES = ("RSBench", "XSBench", "miniFE", "Quicksilver", "miniAMR", "LULESH")
+
+#: Region id of the paper's Section-I motivating example.
+LULESH_MOTIVATING_REGION = "LULESH/ApplyAccelerationBoundaryConditionsForNodes"
+
+_DOUBLE = 8.0
+
+
+def _lulesh_regions() -> List[RegionCharacteristics]:
+    app = "LULESH"
+    elems = 90 * 90 * 90          # 45^3 elements per domain scaled up
+    nodes = 91 * 91 * 91
+    regions = [
+        # Large element-centred kernels: compute heavy, some imbalance from EOS branches.
+        RegionCharacteristics(
+            region_id=f"{app}/CalcKinematicsForElems",
+            application=app,
+            iterations=elems,
+            flops_per_iteration=450.0,
+            int_ops_per_iteration=180.0,
+            memory_bytes_per_iteration=34.0 * _DOUBLE,
+            working_set_bytes=elems * 40.0 * _DOUBLE,
+            reuse_factor=0.45,
+            serial_fraction=0.0005,
+            parallel_loop_count=1,
+            nest_depth=2,
+            iteration_cost_cv=0.05,
+            imbalance_pattern=ImbalancePattern.RANDOM,
+            branches_per_iteration=4.0,
+            branch_misprediction_rate=0.02,
+        ),
+        RegionCharacteristics(
+            region_id=f"{app}/CalcForceForNodes",
+            application=app,
+            iterations=elems,
+            flops_per_iteration=380.0,
+            int_ops_per_iteration=200.0,
+            memory_bytes_per_iteration=48.0 * _DOUBLE,
+            working_set_bytes=nodes * 25.0 * _DOUBLE,
+            reuse_factor=0.35,
+            serial_fraction=0.001,
+            parallel_loop_count=2,
+            nest_depth=2,
+            iteration_cost_cv=0.05,
+            imbalance_pattern=ImbalancePattern.RANDOM,
+            atomics_per_iteration=0.12,
+            branches_per_iteration=3.0,
+            branch_misprediction_rate=0.02,
+        ),
+        RegionCharacteristics(
+            region_id=f"{app}/CalcMonotonicQGradientsForElems",
+            application=app,
+            iterations=elems,
+            flops_per_iteration=260.0,
+            int_ops_per_iteration=120.0,
+            memory_bytes_per_iteration=40.0 * _DOUBLE,
+            working_set_bytes=elems * 30.0 * _DOUBLE,
+            reuse_factor=0.4,
+            serial_fraction=0.0005,
+            parallel_loop_count=1,
+            nest_depth=2,
+            iteration_cost_cv=0.03,
+            imbalance_pattern=ImbalancePattern.UNIFORM,
+            branches_per_iteration=5.0,
+            branch_misprediction_rate=0.03,
+        ),
+        RegionCharacteristics(
+            region_id=f"{app}/EvalEOSForElems",
+            application=app,
+            iterations=elems,
+            flops_per_iteration=180.0,
+            int_ops_per_iteration=90.0,
+            memory_bytes_per_iteration=22.0 * _DOUBLE,
+            working_set_bytes=elems * 20.0 * _DOUBLE,
+            reuse_factor=0.5,
+            serial_fraction=0.002,
+            parallel_loop_count=3,
+            nest_depth=2,
+            iteration_cost_cv=0.3,
+            imbalance_pattern=ImbalancePattern.RANDOM,
+            branches_per_iteration=8.0,
+            branch_misprediction_rate=0.07,
+            condition_density=0.3,
+            calls_external_math=True,
+        ),
+        RegionCharacteristics(
+            region_id=f"{app}/CalcEnergyForElems",
+            application=app,
+            iterations=elems,
+            flops_per_iteration=120.0,
+            int_ops_per_iteration=60.0,
+            memory_bytes_per_iteration=26.0 * _DOUBLE,
+            working_set_bytes=elems * 22.0 * _DOUBLE,
+            reuse_factor=0.45,
+            serial_fraction=0.001,
+            parallel_loop_count=4,
+            nest_depth=1,
+            iteration_cost_cv=0.1,
+            imbalance_pattern=ImbalancePattern.RANDOM,
+            branches_per_iteration=6.0,
+            branch_misprediction_rate=0.05,
+            condition_density=0.25,
+            calls_external_math=True,
+        ),
+        # Node-centred streaming updates.
+        RegionCharacteristics(
+            region_id=f"{app}/CalcVelocityForNodes",
+            application=app,
+            iterations=nodes,
+            flops_per_iteration=12.0,
+            int_ops_per_iteration=6.0,
+            memory_bytes_per_iteration=9.0 * _DOUBLE,
+            working_set_bytes=nodes * 9.0 * _DOUBLE,
+            reuse_factor=0.15,
+            serial_fraction=0.0,
+            parallel_loop_count=1,
+            nest_depth=1,
+            iteration_cost_cv=0.0,
+            imbalance_pattern=ImbalancePattern.UNIFORM,
+            branches_per_iteration=2.0,
+            branch_misprediction_rate=0.02,
+        ),
+        RegionCharacteristics(
+            region_id=f"{app}/CalcPositionForNodes",
+            application=app,
+            iterations=nodes,
+            flops_per_iteration=6.0,
+            int_ops_per_iteration=3.0,
+            memory_bytes_per_iteration=6.0 * _DOUBLE,
+            working_set_bytes=nodes * 6.0 * _DOUBLE,
+            reuse_factor=0.15,
+            serial_fraction=0.0,
+            parallel_loop_count=1,
+            nest_depth=1,
+            iteration_cost_cv=0.0,
+            imbalance_pattern=ImbalancePattern.UNIFORM,
+            branches_per_iteration=1.0,
+            branch_misprediction_rate=0.01,
+        ),
+        # The motivating example: a tiny boundary-condition loop over one face.
+        small_boundary_kernel(
+            app, "ApplyAccelerationBoundaryConditionsForNodes", elements=91 * 91, flops=3.0
+        ),
+    ]
+    return regions
+
+
+def _miniamr_regions() -> List[RegionCharacteristics]:
+    app = "miniAMR"
+    return [
+        amr_block_kernel(app, "stencil_calc_7pt", blocks=1024, block_cells=4096, loops=2),
+        amr_block_kernel(app, "stencil_calc_27pt", blocks=1024, block_cells=4096, loops=2),
+        amr_block_kernel(app, "refine_blocks", blocks=512, block_cells=2048, loops=6),
+        small_boundary_kernel(app, "comm_pack_faces", elements=16 * 16 * 1024, flops=2.0),
+        RegionCharacteristics(
+            region_id=f"{app}/checksum",
+            application=app,
+            iterations=1024 * 4096,
+            flops_per_iteration=2.0,
+            int_ops_per_iteration=2.0,
+            memory_bytes_per_iteration=_DOUBLE,
+            working_set_bytes=1024 * 4096 * _DOUBLE,
+            reuse_factor=0.05,
+            serial_fraction=0.0005,
+            parallel_loop_count=1,
+            nest_depth=2,
+            iteration_cost_cv=0.0,
+            imbalance_pattern=ImbalancePattern.UNIFORM,
+            atomics_per_iteration=0.01,
+            branches_per_iteration=1.0,
+            branch_misprediction_rate=0.005,
+        ),
+    ]
+
+
+def _quicksilver_regions() -> List[RegionCharacteristics]:
+    app = "Quicksilver"
+    return [
+        monte_carlo_lookup(app, "cycleTracking", lookups=2_000_000, table_mib=96.0,
+                           flops_per_lookup=220.0, branchy=True, atomics=0.8),
+        monte_carlo_lookup(app, "cycleInit", lookups=1_000_000, table_mib=32.0,
+                           flops_per_lookup=60.0, branchy=False, atomics=0.1),
+        RegionCharacteristics(
+            region_id=f"{app}/populationControl",
+            application=app,
+            iterations=1_000_000,
+            flops_per_iteration=14.0,
+            int_ops_per_iteration=20.0,
+            memory_bytes_per_iteration=12.0 * _DOUBLE,
+            working_set_bytes=1_000_000 * 24.0 * _DOUBLE,
+            reuse_factor=0.1,
+            serial_fraction=0.003,
+            parallel_loop_count=2,
+            nest_depth=1,
+            iteration_cost_cv=0.25,
+            imbalance_pattern=ImbalancePattern.RANDOM,
+            atomics_per_iteration=0.2,
+            branches_per_iteration=5.0,
+            branch_misprediction_rate=0.08,
+            condition_density=0.3,
+        ),
+        small_boundary_kernel(app, "tallyReduction", elements=64 * 1024, flops=4.0),
+    ]
+
+
+def _minife_regions() -> List[RegionCharacteristics]:
+    app = "miniFE"
+    rows = 1_200_000
+    return [
+        sparse_matvec(app, "matvec", rows=rows, nnz_per_row=27.0),
+        streaming_blas2(app, "waxpby", n=2200, passes=3),
+        RegionCharacteristics(
+            region_id=f"{app}/dot_product",
+            application=app,
+            iterations=rows,
+            flops_per_iteration=2.0,
+            int_ops_per_iteration=2.0,
+            memory_bytes_per_iteration=2.0 * _DOUBLE,
+            working_set_bytes=rows * 2.0 * _DOUBLE,
+            reuse_factor=0.05,
+            serial_fraction=0.001,
+            parallel_loop_count=1,
+            nest_depth=1,
+            iteration_cost_cv=0.0,
+            imbalance_pattern=ImbalancePattern.UNIFORM,
+            atomics_per_iteration=0.02,
+            branches_per_iteration=1.0,
+            branch_misprediction_rate=0.005,
+        ),
+        sparse_matvec(app, "diffuse_matrix_assembly", rows=rows // 4, nnz_per_row=64.0, atomics=0.3),
+    ]
+
+
+def _xsbench_regions() -> List[RegionCharacteristics]:
+    app = "XSBench"
+    return [
+        monte_carlo_lookup(app, "macro_xs_lookup", lookups=17_000_000, table_mib=240.0,
+                           flops_per_lookup=55.0, branchy=True),
+        monte_carlo_lookup(app, "grid_init", lookups=4_000_000, table_mib=240.0,
+                           flops_per_lookup=12.0, branchy=False),
+    ]
+
+
+def _rsbench_regions() -> List[RegionCharacteristics]:
+    app = "RSBench"
+    return [
+        monte_carlo_lookup(app, "resonance_xs_lookup", lookups=10_000_000, table_mib=40.0,
+                           flops_per_lookup=160.0, branchy=True),
+        monte_carlo_lookup(app, "pole_data_init", lookups=2_000_000, table_mib=40.0,
+                           flops_per_lookup=25.0, branchy=False),
+    ]
+
+
+def proxy_applications() -> Dict[str, List[RegionCharacteristics]]:
+    """All six mini/proxy applications mapped to their 25 OpenMP regions."""
+    return {
+        "RSBench": _rsbench_regions(),
+        "XSBench": _xsbench_regions(),
+        "miniFE": _minife_regions(),
+        "Quicksilver": _quicksilver_regions(),
+        "miniAMR": _miniamr_regions(),
+        "LULESH": _lulesh_regions(),
+    }

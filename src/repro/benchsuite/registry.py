@@ -1,0 +1,101 @@
+"""Registry of benchmark applications and their regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.benchsuite.polybench import polybench_applications
+from repro.benchsuite.proxyapps import proxy_applications
+from repro.openmp.region import RegionCharacteristics
+
+__all__ = [
+    "BenchmarkApplication",
+    "full_suite",
+    "all_regions",
+    "get_application",
+    "application_names",
+    "regions_by_application",
+    "get_region",
+]
+
+#: Expected suite shape — used by the self-check and the tests.
+EXPECTED_APPLICATIONS = 30
+EXPECTED_REGIONS = 68
+
+
+@dataclass(frozen=True)
+class BenchmarkApplication:
+    """One benchmark application and its OpenMP regions."""
+
+    name: str
+    suite: str  # "polybench" or "proxy"
+    regions: Tuple[RegionCharacteristics, ...]
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    def region_ids(self) -> List[str]:
+        return [r.region_id for r in self.regions]
+
+
+def full_suite() -> List[BenchmarkApplication]:
+    """All 30 applications, proxy apps first (matching the paper's figures)."""
+    apps: List[BenchmarkApplication] = []
+    for name, regions in proxy_applications().items():
+        apps.append(BenchmarkApplication(name=name, suite="proxy", regions=tuple(regions)))
+    for name, regions in polybench_applications().items():
+        apps.append(BenchmarkApplication(name=name, suite="polybench", regions=tuple(regions)))
+
+    _validate(apps)
+    return apps
+
+
+def _validate(apps: List[BenchmarkApplication]) -> None:
+    names = [a.name for a in apps]
+    if len(set(names)) != len(names):
+        raise RuntimeError("duplicate application names in the benchmark suite")
+    total_regions = sum(a.num_regions for a in apps)
+    region_ids = [r.region_id for a in apps for r in a.regions]
+    if len(set(region_ids)) != len(region_ids):
+        raise RuntimeError("duplicate region ids in the benchmark suite")
+    if len(apps) != EXPECTED_APPLICATIONS:
+        raise RuntimeError(
+            f"benchmark suite has {len(apps)} applications, expected {EXPECTED_APPLICATIONS}"
+        )
+    if total_regions != EXPECTED_REGIONS:
+        raise RuntimeError(
+            f"benchmark suite has {total_regions} regions, expected {EXPECTED_REGIONS}"
+        )
+
+
+def application_names() -> List[str]:
+    """Names of all applications, in figure order."""
+    return [a.name for a in full_suite()]
+
+
+def get_application(name: str) -> BenchmarkApplication:
+    """Look up an application by name."""
+    for app in full_suite():
+        if app.name == name:
+            return app
+    raise KeyError(f"unknown application {name!r}")
+
+
+def all_regions() -> List[RegionCharacteristics]:
+    """All 68 regions across the suite."""
+    return [region for app in full_suite() for region in app.regions]
+
+
+def get_region(region_id: str) -> RegionCharacteristics:
+    """Look up one region by its id (``"<app>/<kernel>"``)."""
+    for region in all_regions():
+        if region.region_id == region_id:
+            return region
+    raise KeyError(f"unknown region {region_id!r}")
+
+
+def regions_by_application() -> Dict[str, List[RegionCharacteristics]]:
+    """Mapping application name → its regions."""
+    return {app.name: list(app.regions) for app in full_suite()}

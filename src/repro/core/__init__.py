@@ -1,0 +1,58 @@
+"""The PnP tuner — the paper's primary contribution.
+
+The core package ties the substrates together into the two tuning scenarios
+the paper evaluates:
+
+* **Power-constrained performance tuning** — given a power cap, predict the
+  OpenMP runtime configuration with the fastest execution
+  (:class:`~repro.core.tuner.PnPTuner` with ``objective="time"``).
+* **EDP tuning** — predict the (power cap, OpenMP configuration) pair that
+  minimises the energy-delay product (``objective="edp"``).
+
+Main entry points:
+
+* :class:`~repro.core.search_space.SearchSpace` — Table I's 508-point space;
+* :class:`~repro.core.measurements.MeasurementDatabase` — exhaustive
+  measurements (the oracle) shared by the dataset builder and all tuners;
+* :class:`~repro.core.dataset.DatasetBuilder` — graphs + labels + auxiliary
+  features for both scenarios;
+* :class:`~repro.core.model.PnPModel` — the RGCN + dense-classifier network
+  (Table II hyperparameters);
+* :mod:`repro.core.training` — training loops and leave-one-application-out
+  cross-validation;
+* :mod:`repro.core.transfer` — cross-system transfer learning of GNN weights;
+* :class:`~repro.core.tuner.PnPTuner` — the user-facing auto-tuner API;
+* :mod:`repro.core.evaluation` — speedup/greenup/EDP metrics and aggregation.
+"""
+
+from repro.core.search_space import SearchSpace, POWER_CAPS, THREAD_VALUES, CHUNK_SIZES
+from repro.core.measurements import MeasurementDatabase, MeasurementKey
+from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
+from repro.core.model import PnPModel, ModelConfig
+from repro.core.training import TrainingConfig, train_model, predict_labels, LeaveOneApplicationOut
+from repro.core.transfer import transfer_gnn_weights, freeze_gnn_parameters
+from repro.core.tuner import PnPTuner, TuningResult
+from repro.core import evaluation
+
+__all__ = [
+    "SearchSpace",
+    "POWER_CAPS",
+    "THREAD_VALUES",
+    "CHUNK_SIZES",
+    "MeasurementDatabase",
+    "MeasurementKey",
+    "DatasetBuilder",
+    "LabeledSample",
+    "TuningScenario",
+    "PnPModel",
+    "ModelConfig",
+    "TrainingConfig",
+    "train_model",
+    "predict_labels",
+    "LeaveOneApplicationOut",
+    "transfer_gnn_weights",
+    "freeze_gnn_parameters",
+    "PnPTuner",
+    "TuningResult",
+    "evaluation",
+]

@@ -1,0 +1,292 @@
+"""Dataset construction for the PnP tuner.
+
+For every OpenMP region the builder produces a flow-aware code graph (via the
+IR code generator, the outliner and the PROGRAML-style graph builder) plus a
+class label obtained from the measurement database:
+
+* **performance scenario** — one sample per (region, power cap); the label is
+  the index of the fastest configuration at that cap and the auxiliary
+  feature vector carries the normalised power cap (plus, for the "dynamic"
+  model variant, the five PAPI counters of Section IV-B);
+* **EDP scenario** — one sample per region; the label is the joint
+  (power cap, configuration) index minimising the energy-delay product.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.benchsuite.codegen import generate_application_module, region_function_name
+from repro.benchsuite.registry import regions_by_application
+from repro.core.measurements import MeasurementDatabase
+from repro.core.search_space import SearchSpace
+from repro.graphs.encoder import GraphEncoder
+from repro.graphs.flowgraph import FlowGraph
+from repro.graphs.programl import build_flow_graph
+from repro.graphs.vocabulary import Vocabulary, build_default_vocabulary
+from repro.ir.outline import extract_outlined_regions
+from repro.nn.data import GraphSample
+from repro.openmp.region import RegionCharacteristics
+from repro.utils.logging import get_logger
+
+__all__ = ["TuningScenario", "LabeledSample", "DatasetBuilder"]
+
+_LOG = get_logger("core.dataset")
+
+
+class TuningScenario(enum.Enum):
+    """The two tuning objectives of the paper."""
+
+    PERFORMANCE = "performance"   # fastest execution at a given power cap
+    EDP = "edp"                   # minimise energy-delay product over caps × configs
+
+
+@dataclass(eq=False)
+class LabeledSample:
+    """One training/validation sample: a graph plus labelling metadata."""
+
+    sample: GraphSample
+    region_id: str
+    application: str
+    scenario: TuningScenario
+    power_cap: Optional[float] = None
+
+    @property
+    def label(self) -> int:
+        return self.sample.label
+
+
+class DatasetBuilder:
+    """Builds graph datasets for the two tuning scenarios.
+
+    Parameters
+    ----------
+    database:
+        Measurement database providing the labels (and PAPI counters).
+    vocabulary:
+        Token vocabulary; defaults to the closed default vocabulary so token
+        ids are identical across systems (a requirement for transfer
+        learning).
+    regions_by_app:
+        Mapping application → regions; defaults to the full benchmark suite.
+    seed:
+        Seed forwarded to the IR code generator.
+    """
+
+    def __init__(
+        self,
+        database: MeasurementDatabase,
+        vocabulary: Optional[Vocabulary] = None,
+        regions_by_app: Optional[Dict[str, List[RegionCharacteristics]]] = None,
+        seed: int = 0,
+        soft_target_temperature: Optional[float] = 0.05,
+    ) -> None:
+        """``soft_target_temperature`` controls the near-optimal soft labels.
+
+        The hard label is always the argmin configuration; additionally, a
+        target distribution ``p_i ∝ exp(-(m_i / m_best - 1) / τ)`` (with
+        ``m`` the measured time or EDP) is attached so training can reward
+        *every* near-optimal configuration.  Set it to ``None`` to train on
+        hard labels only (plain cross-entropy on the argmin class).
+        """
+        if soft_target_temperature is not None and soft_target_temperature <= 0:
+            raise ValueError("soft_target_temperature must be positive or None")
+        self.soft_target_temperature = soft_target_temperature
+        self.database = database
+        self.search_space: SearchSpace = database.search_space
+        self.vocabulary = vocabulary if vocabulary is not None else build_default_vocabulary()
+        self.encoder = GraphEncoder(self.vocabulary)
+        self._regions_by_app = (
+            dict(regions_by_app) if regions_by_app is not None else regions_by_application()
+        )
+        self.seed = seed
+        self._graphs: Optional[Dict[str, FlowGraph]] = None
+        self._counters: Dict[str, np.ndarray] = {}
+
+    # ---------------------------------------------------------------- graphs
+    def region_graphs(self) -> Dict[str, FlowGraph]:
+        """Flow graph of every region (built once, keyed by region id)."""
+        if self._graphs is not None:
+            return self._graphs
+        graphs: Dict[str, FlowGraph] = {}
+        for application, regions in self._regions_by_app.items():
+            module = generate_application_module(application, list(regions), seed=self.seed)
+            outlined = extract_outlined_regions(module)
+            for region in regions:
+                function_name = region_function_name(region)
+                if function_name not in outlined:
+                    raise RuntimeError(
+                        f"outlined function {function_name!r} missing for region {region.region_id!r}"
+                    )
+                graphs[region.region_id] = build_flow_graph(
+                    outlined[function_name], name=region.region_id
+                )
+        self._graphs = graphs
+        _LOG.info("built %d region graphs", len(graphs))
+        return graphs
+
+    def regions(self) -> List[RegionCharacteristics]:
+        return [r for regions in self._regions_by_app.values() for r in regions]
+
+    def applications(self) -> List[str]:
+        return list(self._regions_by_app)
+
+    # -------------------------------------------------------------- counters
+    def performance_counters(self, region_id: str) -> np.ndarray:
+        """Normalised PAPI counters of a region (profiled at the default config).
+
+        The paper's dynamic variant needs two profiling executions per region
+        at inference time; here the counters are deterministic functions of
+        the region and machine, profiled once and cached.
+        """
+        if region_id not in self._counters:
+            region = self.database.region(region_id)
+            counters = self.database.engine.profile_counters(
+                region, self.search_space.default_configuration
+            )
+            self._counters[region_id] = counters.normalized()
+        return self._counters[region_id]
+
+    # --------------------------------------------------------------- samples
+    def performance_samples(
+        self,
+        power_caps: Optional[Sequence[float]] = None,
+        include_counters: bool = False,
+    ) -> List[LabeledSample]:
+        """Samples for the power-constrained performance scenario."""
+        caps = tuple(power_caps) if power_caps is not None else self.search_space.power_caps
+        graphs = self.region_graphs()
+        samples: List[LabeledSample] = []
+        for application, regions in self._regions_by_app.items():
+            for region in regions:
+                for cap in caps:
+                    label = self.database.label_by_time(region.region_id, cap)
+                    aux = self._aux_features(region.region_id, cap, include_counters)
+                    graph_sample = self.encoder.encode(
+                        graphs[region.region_id],
+                        label=label,
+                        aux_features=aux,
+                        region_id=region.region_id,
+                    )
+                    graph_sample.target_distribution = self._performance_soft_target(
+                        region.region_id, cap
+                    )
+                    samples.append(
+                        LabeledSample(
+                            sample=graph_sample,
+                            region_id=region.region_id,
+                            application=application,
+                            scenario=TuningScenario.PERFORMANCE,
+                            power_cap=cap,
+                        )
+                    )
+        return samples
+
+    def edp_samples(self, include_counters: bool = False) -> List[LabeledSample]:
+        """Samples for the EDP scenario (one per region)."""
+        graphs = self.region_graphs()
+        samples: List[LabeledSample] = []
+        for application, regions in self._regions_by_app.items():
+            for region in regions:
+                label = self.database.label_by_edp(region.region_id)
+                aux = self._edp_aux_features(region.region_id, include_counters)
+                graph_sample = self.encoder.encode(
+                    graphs[region.region_id],
+                    label=label,
+                    aux_features=aux,
+                    region_id=region.region_id,
+                )
+                graph_sample.target_distribution = self._edp_soft_target(region.region_id)
+                samples.append(
+                    LabeledSample(
+                        sample=graph_sample,
+                        region_id=region.region_id,
+                        application=application,
+                        scenario=TuningScenario.EDP,
+                        power_cap=None,
+                    )
+                )
+        return samples
+
+    def inference_sample(
+        self,
+        region: RegionCharacteristics,
+        power_cap: Optional[float] = None,
+        include_counters: bool = False,
+        scenario: TuningScenario = TuningScenario.PERFORMANCE,
+    ) -> LabeledSample:
+        """Build an unlabeled sample for a (possibly unseen) region."""
+        if region.region_id in self.region_graphs():
+            graph = self.region_graphs()[region.region_id]
+        else:
+            module = generate_application_module(region.application, [region], seed=self.seed)
+            outlined = extract_outlined_regions(module)
+            graph = build_flow_graph(outlined[region_function_name(region)], name=region.region_id)
+        if region.region_id not in {r.region_id for r in self.regions()}:
+            self.database.add_region(region)
+        if scenario == TuningScenario.PERFORMANCE:
+            if power_cap is None:
+                raise ValueError("power_cap is required for the performance scenario")
+            aux = self._aux_features(region.region_id, power_cap, include_counters)
+        else:
+            aux = self._edp_aux_features(region.region_id, include_counters)
+        graph_sample = self.encoder.encode(
+            graph, label=-1, aux_features=aux, region_id=region.region_id
+        )
+        return LabeledSample(
+            sample=graph_sample,
+            region_id=region.region_id,
+            application=region.application,
+            scenario=scenario,
+            power_cap=power_cap,
+        )
+
+    # -------------------------------------------------------- feature vectors
+    def aux_feature_dim(self, scenario: TuningScenario, include_counters: bool) -> int:
+        """Dimensionality of the auxiliary feature vector for a scenario."""
+        if scenario == TuningScenario.PERFORMANCE:
+            return 1 + (5 if include_counters else 0)
+        return 1 + (5 if include_counters else 0)
+
+    def _soft_distribution(self, metrics: np.ndarray) -> Optional[np.ndarray]:
+        """Near-optimal target distribution over classes from measured metrics."""
+        if self.soft_target_temperature is None:
+            return None
+        metrics = np.asarray(metrics, dtype=np.float64)
+        best = metrics.min()
+        relative = metrics / best - 1.0
+        weights = np.exp(-relative / self.soft_target_temperature)
+        return weights / weights.sum()
+
+    def _performance_soft_target(self, region_id: str, cap: float) -> Optional[np.ndarray]:
+        if self.soft_target_temperature is None:
+            return None
+        times = np.array([r.time_s for r in self.database.sweep_region(region_id, cap)])
+        return self._soft_distribution(times)
+
+    def _edp_soft_target(self, region_id: str) -> Optional[np.ndarray]:
+        if self.soft_target_temperature is None:
+            return None
+        edps = []
+        for cap in self.search_space.power_caps:
+            edps.extend(r.edp for r in self.database.sweep_region(region_id, cap))
+        return self._soft_distribution(np.array(edps))
+
+    def _aux_features(self, region_id: str, cap: float, include_counters: bool) -> np.ndarray:
+        features = [self.search_space.normalized_cap(cap)]
+        if include_counters:
+            features.extend(self.performance_counters(region_id).tolist())
+        return np.asarray(features, dtype=np.float64)
+
+    def _edp_aux_features(self, region_id: str, include_counters: bool) -> np.ndarray:
+        # The EDP model chooses the cap itself; its auxiliary input carries a
+        # constant bias slot (so static and dynamic variants share the code
+        # path) plus, optionally, the counters.
+        features = [1.0]
+        if include_counters:
+            features.extend(self.performance_counters(region_id).tolist())
+        return np.asarray(features, dtype=np.float64)

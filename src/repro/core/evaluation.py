@@ -1,0 +1,218 @@
+"""Evaluation metrics: speedups, greenups, EDP improvements and aggregations.
+
+Every tuner (PnP static/dynamic, BLISS, OpenTuner, the default configuration
+and the exhaustive oracle) ultimately selects a configuration per region; the
+functions here turn those selections into the quantities the paper reports:
+
+* speedup over the OpenMP default at the same power cap (scenario 1);
+* speedup/greenup/EDP improvement over the OpenMP default at TDP (scenario 2);
+* everything normalised by the oracle, aggregated per application with
+  geometric means, plus the "within 5 % / 20 % of the oracle" case counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.measurements import MeasurementDatabase
+from repro.openmp.config import OpenMPConfig
+from repro.utils.stats import geometric_mean
+
+__all__ = [
+    "PerformanceRecord",
+    "EdpRecord",
+    "evaluate_power_constrained",
+    "evaluate_edp",
+    "geomean_by_application",
+    "overall_geomean",
+    "fraction_within_oracle",
+    "fraction_better_than",
+]
+
+
+@dataclass(frozen=True)
+class PerformanceRecord:
+    """Evaluation of one (region, power cap) selection for scenario 1."""
+
+    region_id: str
+    application: str
+    power_cap: float
+    config: OpenMPConfig
+    time_s: float
+    default_time_s: float
+    oracle_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the OpenMP default at the same power cap."""
+        return self.default_time_s / self.time_s
+
+    @property
+    def oracle_speedup(self) -> float:
+        return self.default_time_s / self.oracle_time_s
+
+    @property
+    def normalized_speedup(self) -> float:
+        """Speedup normalised by the oracle speedup (1.0 = oracle-optimal)."""
+        return self.oracle_time_s / self.time_s
+
+
+@dataclass(frozen=True)
+class EdpRecord:
+    """Evaluation of one region's (cap, configuration) selection for scenario 2."""
+
+    region_id: str
+    application: str
+    power_cap: float
+    config: OpenMPConfig
+    time_s: float
+    energy_j: float
+    default_time_s: float
+    default_energy_j: float
+    oracle_edp: float
+
+    @property
+    def edp(self) -> float:
+        return self.energy_j * self.time_s
+
+    @property
+    def default_edp(self) -> float:
+        return self.default_energy_j * self.default_time_s
+
+    @property
+    def edp_improvement(self) -> float:
+        """EDP improvement over the default configuration at TDP."""
+        return self.default_edp / self.edp
+
+    @property
+    def oracle_edp_improvement(self) -> float:
+        return self.default_edp / self.oracle_edp
+
+    @property
+    def normalized_edp_improvement(self) -> float:
+        return self.oracle_edp / self.edp
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the default configuration at TDP (may be < 1)."""
+        return self.default_time_s / self.time_s
+
+    @property
+    def greenup(self) -> float:
+        """Energy-reduction factor over the default configuration at TDP."""
+        return self.default_energy_j / self.energy_j
+
+
+# --------------------------------------------------------------- evaluation
+def _application_of(region_id: str) -> str:
+    return region_id.split("/", 1)[0]
+
+
+def evaluate_power_constrained(
+    database: MeasurementDatabase,
+    selections: Mapping[Tuple[str, float], OpenMPConfig],
+) -> List[PerformanceRecord]:
+    """Evaluate scenario-1 selections.
+
+    ``selections`` maps ``(region_id, power_cap)`` to the configuration the
+    tuner chose for that point.
+    """
+    records: List[PerformanceRecord] = []
+    for (region_id, cap), config in selections.items():
+        chosen = database.measure(region_id, config, cap)
+        default = database.default_result(region_id, cap)
+        _, oracle = database.best_by_time(region_id, cap)
+        records.append(
+            PerformanceRecord(
+                region_id=region_id,
+                application=_application_of(region_id),
+                power_cap=cap,
+                config=config,
+                time_s=chosen.time_s,
+                default_time_s=default.time_s,
+                oracle_time_s=oracle.time_s,
+            )
+        )
+    return records
+
+
+def evaluate_edp(
+    database: MeasurementDatabase,
+    selections: Mapping[str, Tuple[float, OpenMPConfig]],
+) -> List[EdpRecord]:
+    """Evaluate scenario-2 selections.
+
+    ``selections`` maps ``region_id`` to the (power cap, configuration) pair
+    the tuner chose.  The baseline is the OpenMP default at TDP (no cap).
+    """
+    tdp = database.search_space.tdp_watts
+    records: List[EdpRecord] = []
+    for region_id, (cap, config) in selections.items():
+        chosen = database.measure(region_id, config, cap)
+        default = database.default_result(region_id, tdp)
+        _, _, oracle = database.best_by_edp(region_id)
+        records.append(
+            EdpRecord(
+                region_id=region_id,
+                application=_application_of(region_id),
+                power_cap=cap,
+                config=config,
+                time_s=chosen.time_s,
+                energy_j=chosen.energy_joules,
+                default_time_s=default.time_s,
+                default_energy_j=default.energy_joules,
+                oracle_edp=oracle.edp,
+            )
+        )
+    return records
+
+
+# -------------------------------------------------------------- aggregation
+def geomean_by_application(records: Sequence, attribute: str) -> Dict[str, float]:
+    """Per-application geometric mean of ``attribute`` over its regions."""
+    grouped: Dict[str, List[float]] = {}
+    for record in records:
+        grouped.setdefault(record.application, []).append(getattr(record, attribute))
+    return {app: geometric_mean(values) for app, values in sorted(grouped.items())}
+
+
+def overall_geomean(records: Sequence, attribute: str) -> float:
+    """Geometric mean of ``attribute`` over all records."""
+    values = [getattr(record, attribute) for record in records]
+    return geometric_mean(values)
+
+
+def fraction_within_oracle(
+    records: Sequence, threshold: float = 0.95, attribute: str = "normalized_speedup"
+) -> float:
+    """Fraction of records whose normalised metric reaches ``threshold``."""
+    if not records:
+        raise ValueError("no records to aggregate")
+    hits = sum(1 for record in records if getattr(record, attribute) >= threshold)
+    return hits / len(records)
+
+
+def fraction_better_than(
+    records_a: Sequence, records_b: Sequence, attribute: str = "normalized_speedup"
+) -> float:
+    """Fraction of matching points where tuner A beats or ties tuner B.
+
+    Records are matched on ``(region_id, power_cap)``; points present in only
+    one of the two sets are ignored.
+    """
+    index_b = {(r.region_id, r.power_cap): getattr(r, attribute) for r in records_b}
+    wins = 0
+    total = 0
+    for record in records_a:
+        key = (record.region_id, record.power_cap)
+        if key not in index_b:
+            continue
+        total += 1
+        if getattr(record, attribute) >= index_b[key] - 1e-12:
+            wins += 1
+    if total == 0:
+        raise ValueError("the two record sets share no evaluation points")
+    return wins / total

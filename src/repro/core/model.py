@@ -1,0 +1,181 @@
+"""The PnP tuner's neural network (Table II of the paper).
+
+Architecture: a learned token embedding feeds a stack of RGCN layers (4 in
+the paper) whose node representations are mean-pooled per graph; the pooled
+vector, concatenated with the auxiliary features (normalised power cap and,
+for the "dynamic" variant, PAPI counters), goes through a fully connected
+classifier (3 layers) that predicts the best configuration's index.
+
+Activations are Leaky ReLU inside the GNN stack and ReLU inside the dense
+stack; the loss is cross-entropy; the optimiser is AdamW (amsgrad) or Adam at
+a learning rate of 1e-3 with batch size 16 — all per Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graphs.flowgraph import EdgeRelation, NodeKind
+from repro.nn import functional as F
+from repro.nn.data import GraphBatch
+from repro.nn.layers import Dropout, Embedding, Linear, Module, ModuleList
+from repro.nn.pooling import global_mean_pool
+from repro.nn.rgcn import RGCNConv
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import new_rng
+
+__all__ = ["ModelConfig", "PnPModel"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyperparameters of the PnP model.
+
+    Defaults follow Table II; ``hidden_dim`` and ``embedding_dim`` are not
+    listed in the paper and default to moderate values that train quickly on
+    the 68-region dataset.
+    """
+
+    vocabulary_size: int
+    num_classes: int
+    aux_dim: int = 1
+    embedding_dim: int = 32
+    hidden_dim: int = 32
+    num_rgcn_layers: int = 4
+    num_dense_layers: int = 3
+    num_relations: int = len(EdgeRelation)
+    num_node_kinds: int = len(NodeKind)
+    dense_hidden_dim: int = 64
+    dropout: float = 0.1
+    leaky_slope: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocabulary_size <= 0 or self.num_classes <= 0:
+            raise ValueError("vocabulary_size and num_classes must be positive")
+        if self.aux_dim < 0:
+            raise ValueError("aux_dim must be non-negative")
+        if self.num_rgcn_layers < 1 or self.num_dense_layers < 1:
+            raise ValueError("the model needs at least one RGCN and one dense layer")
+
+
+class _GnnEncoder(Module):
+    """Embedding + RGCN stack producing a per-graph representation.
+
+    Kept as a separate sub-module (registered under the name ``gnn``) so the
+    transfer-learning step can save/load/freeze exactly these weights.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__()
+        rng = new_rng(config.seed, "model/gnn")
+        self.config = config
+        self.token_embedding = Embedding(config.vocabulary_size, config.embedding_dim, rng=rng)
+        self.kind_embedding = Embedding(config.num_node_kinds, config.embedding_dim, rng=rng)
+        self.convs = ModuleList()
+        in_dim = config.embedding_dim
+        for _ in range(config.num_rgcn_layers):
+            self.convs.append(RGCNConv(in_dim, config.hidden_dim, config.num_relations, rng=rng))
+            in_dim = config.hidden_dim
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        x = self.token_embedding(batch.token_ids) + self.kind_embedding(batch.node_types)
+        for conv in self.convs:
+            x = F.leaky_relu(conv(x, batch.edge_index, batch.edge_type), self.config.leaky_slope)
+        return global_mean_pool(x, batch.batch, batch.num_graphs)
+
+
+class _DenseHead(Module):
+    """Fully connected classifier over pooled graph + auxiliary features."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__()
+        rng = new_rng(config.seed, "model/dense")
+        dropout_rng = new_rng(config.seed, "model/dropout")
+        self.config = config
+        dims: List[int] = [config.hidden_dim + config.aux_dim]
+        dims += [config.dense_hidden_dim] * (config.num_dense_layers - 1)
+        dims += [config.num_classes]
+        self.layers = ModuleList(
+            Linear(dims[i], dims[i + 1], rng=rng) for i in range(len(dims) - 1)
+        )
+        self.dropout = Dropout(config.dropout, rng=dropout_rng)
+
+    def forward(self, pooled: Tensor, aux: Optional[np.ndarray]) -> Tensor:
+        if self.config.aux_dim > 0:
+            if aux is None:
+                raise ValueError(
+                    f"model expects {self.config.aux_dim} auxiliary features but got none"
+                )
+            aux = np.asarray(aux, dtype=np.float64)
+            if aux.ndim != 2 or aux.shape[1] != self.config.aux_dim:
+                raise ValueError(
+                    f"auxiliary features must have shape (batch, {self.config.aux_dim}), "
+                    f"got {aux.shape}"
+                )
+            x = Tensor.concatenate([pooled, Tensor(aux)], axis=1)
+        else:
+            x = pooled
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index != last:
+                x = F.relu(x)
+                x = self.dropout(x)
+        return x
+
+
+class PnPModel(Module):
+    """The complete PnP tuner network (GNN encoder + dense classifier)."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.gnn = _GnnEncoder(config)
+        self.head = _DenseHead(config)
+
+    # ------------------------------------------------------------ inference
+    def forward(self, batch: GraphBatch) -> Tensor:
+        """Return raw class logits of shape ``(num_graphs, num_classes)``."""
+        pooled = self.gnn(batch)
+        return self.head(pooled, batch.aux_features)
+
+    def predict(self, batch: GraphBatch) -> np.ndarray:
+        """Predicted class index per graph (no gradient recorded)."""
+        self.eval()
+        with no_grad():
+            logits = self.forward(batch)
+        return np.argmax(logits.data, axis=1)
+
+    def predict_proba(self, batch: GraphBatch) -> np.ndarray:
+        """Class-probability matrix per graph."""
+        self.eval()
+        with no_grad():
+            logits = self.forward(batch)
+            probabilities = F.softmax(logits, axis=-1)
+        return probabilities.data
+
+    # ------------------------------------------------------------- weights
+    def gnn_state_dict(self) -> Dict[str, np.ndarray]:
+        """State dictionary restricted to the GNN encoder (for transfer)."""
+        return {name: value for name, value in self.state_dict().items() if name.startswith("gnn.")}
+
+    def dense_parameters(self):
+        """Parameters of the dense head only (re-trained during transfer)."""
+        return self.head.parameters()
+
+    def describe(self) -> Dict[str, object]:
+        """Hyperparameter summary mirroring Table II."""
+        return {
+            "rgcn_layers": self.config.num_rgcn_layers,
+            "dense_layers": self.config.num_dense_layers,
+            "activations": ["leaky_relu (GNN)", "relu (dense)"],
+            "hidden_dim": self.config.hidden_dim,
+            "embedding_dim": self.config.embedding_dim,
+            "num_classes": self.config.num_classes,
+            "aux_dim": self.config.aux_dim,
+            "parameters": self.num_parameters(),
+        }

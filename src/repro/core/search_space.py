@@ -1,0 +1,163 @@
+"""The tuning search space (Table I of the paper).
+
+Per system the space is the cross product of
+
+* 4 power caps (Skylake: 75/100/120/150 W; Haswell: 40/60/70/85 W),
+* 6 thread counts (Skylake: 1,4,8,16,32,64; Haswell: 1,2,4,8,16,32),
+* 3 scheduling policies (static, dynamic, guided),
+* 7 chunk sizes (1, 8, 32, 64, 128, 256, 512),
+
+giving 6·3·7 = 126 OpenMP configurations per cap, 504 in total, plus the
+default OpenMP configuration at each of the four caps — the paper's 508
+"valid configurations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.processor import get_processor
+from repro.openmp.config import OpenMPConfig, ScheduleKind, default_config
+
+__all__ = ["POWER_CAPS", "THREAD_VALUES", "CHUNK_SIZES", "SCHEDULES", "SearchSpace"]
+
+#: Table I power limits (watts) per system.
+POWER_CAPS: Dict[str, Tuple[float, ...]] = {
+    "skylake": (75.0, 100.0, 120.0, 150.0),
+    "haswell": (40.0, 60.0, 70.0, 85.0),
+}
+
+#: Table I thread counts per system.
+THREAD_VALUES: Dict[str, Tuple[int, ...]] = {
+    "skylake": (1, 4, 8, 16, 32, 64),
+    "haswell": (1, 2, 4, 8, 16, 32),
+}
+
+#: Table I scheduling policies.
+SCHEDULES: Tuple[ScheduleKind, ...] = (ScheduleKind.STATIC, ScheduleKind.DYNAMIC, ScheduleKind.GUIDED)
+
+#: Table I chunk sizes.
+CHUNK_SIZES: Tuple[int, ...] = (1, 8, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The per-system tuning space with stable configuration indexing.
+
+    Index conventions (used as model class labels):
+
+    * *OpenMP-configuration index* — 0..125 for the cross-product
+      configurations in (threads, schedule, chunk) lexicographic order,
+      followed by index 126 for the OpenMP default configuration.
+    * *Joint index* (EDP scenario) — ``cap_index * 127 + config_index``,
+      covering all 508 (power cap, configuration) combinations.
+    """
+
+    system: str
+
+    def __post_init__(self) -> None:
+        if self.system not in POWER_CAPS:
+            raise ValueError(f"unknown system {self.system!r}; expected one of {sorted(POWER_CAPS)}")
+
+    # ------------------------------------------------------------ basic sets
+    @property
+    def power_caps(self) -> Tuple[float, ...]:
+        return POWER_CAPS[self.system]
+
+    @property
+    def thread_values(self) -> Tuple[int, ...]:
+        return THREAD_VALUES[self.system]
+
+    @property
+    def tdp_watts(self) -> float:
+        return max(self.power_caps)
+
+    @property
+    def default_configuration(self) -> OpenMPConfig:
+        """The OpenMP default: all hardware threads, static, default chunk."""
+        return default_config(get_processor(self.system).hardware_threads)
+
+    def omp_configurations(self) -> List[OpenMPConfig]:
+        """The 126 cross-product OpenMP configurations (excluding the default)."""
+        configs = []
+        for threads in self.thread_values:
+            for schedule in SCHEDULES:
+                for chunk in CHUNK_SIZES:
+                    configs.append(OpenMPConfig(threads, schedule, chunk))
+        return configs
+
+    def candidate_configurations(self) -> List[OpenMPConfig]:
+        """The per-cap label space: 126 configurations + the default (127)."""
+        return self.omp_configurations() + [self.default_configuration]
+
+    # -------------------------------------------------------------- indexing
+    @property
+    def num_omp_configurations(self) -> int:
+        return len(self.thread_values) * len(SCHEDULES) * len(CHUNK_SIZES) + 1
+
+    @property
+    def num_joint_configurations(self) -> int:
+        """Size of the (power cap × configuration) space — 508 in the paper."""
+        return len(self.power_caps) * self.num_omp_configurations
+
+    def config_index(self, config: OpenMPConfig) -> int:
+        """Index of ``config`` in :meth:`candidate_configurations`."""
+        if config == self.default_configuration:
+            return self.num_omp_configurations - 1
+        try:
+            t = self.thread_values.index(config.num_threads)
+            s = SCHEDULES.index(config.schedule)
+            c = CHUNK_SIZES.index(config.chunk_size)
+        except ValueError as exc:
+            raise KeyError(f"configuration {config} is not in the search space") from exc
+        return (t * len(SCHEDULES) + s) * len(CHUNK_SIZES) + c
+
+    def config_from_index(self, index: int) -> OpenMPConfig:
+        """Inverse of :meth:`config_index`."""
+        if not 0 <= index < self.num_omp_configurations:
+            raise IndexError(f"configuration index {index} out of range")
+        if index == self.num_omp_configurations - 1:
+            return self.default_configuration
+        c = index % len(CHUNK_SIZES)
+        s = (index // len(CHUNK_SIZES)) % len(SCHEDULES)
+        t = index // (len(CHUNK_SIZES) * len(SCHEDULES))
+        return OpenMPConfig(self.thread_values[t], SCHEDULES[s], CHUNK_SIZES[c])
+
+    def cap_index(self, power_cap: float) -> int:
+        """Index of a power cap within :attr:`power_caps`."""
+        for i, cap in enumerate(self.power_caps):
+            if abs(cap - power_cap) < 1e-9:
+                return i
+        raise KeyError(f"power cap {power_cap} is not in the search space for {self.system}")
+
+    def joint_index(self, power_cap: float, config: OpenMPConfig) -> int:
+        """Index of a (cap, configuration) pair in the 508-point joint space."""
+        return self.cap_index(power_cap) * self.num_omp_configurations + self.config_index(config)
+
+    def joint_from_index(self, index: int) -> Tuple[float, OpenMPConfig]:
+        """Inverse of :meth:`joint_index`."""
+        if not 0 <= index < self.num_joint_configurations:
+            raise IndexError(f"joint index {index} out of range")
+        cap = self.power_caps[index // self.num_omp_configurations]
+        return cap, self.config_from_index(index % self.num_omp_configurations)
+
+    # ---------------------------------------------------------------- misc
+    def normalized_cap(self, power_cap: float) -> float:
+        """Power cap scaled to [0, 1] over the system's cap range."""
+        low, high = min(self.power_caps), max(self.power_caps)
+        if high == low:
+            return 1.0
+        return (float(power_cap) - low) / (high - low)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary matching Table I (used by reports and tests)."""
+        return {
+            "system": self.system,
+            "power_caps": list(self.power_caps),
+            "thread_values": list(self.thread_values),
+            "schedules": [s.value for s in SCHEDULES],
+            "chunk_sizes": list(CHUNK_SIZES),
+            "num_omp_configurations": self.num_omp_configurations,
+            "num_joint_configurations": self.num_joint_configurations,
+        }

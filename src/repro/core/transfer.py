@@ -1,0 +1,71 @@
+"""Cross-system transfer learning of the GNN encoder.
+
+Because the code graphs are generated statically, the graphs obtained on
+different systems with the same compiler are identical; the paper exploits
+this by saving the GNN weights trained on the Haswell dataset and, when
+training for Skylake, loading them and re-training only the dense layers —
+reported to make training 4.18× faster (a 76 % reduction).
+
+This module provides the two halves of that mechanism: extracting/injecting
+the GNN-encoder weights and freezing them so an optimiser only updates the
+dense head.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.model import PnPModel
+from repro.nn.serialization import filter_state_dict
+from repro.nn.tensor import Tensor
+
+__all__ = ["extract_gnn_weights", "transfer_gnn_weights", "freeze_gnn_parameters"]
+
+
+def extract_gnn_weights(model: PnPModel) -> Dict[str, np.ndarray]:
+    """The GNN-encoder portion of ``model``'s state dictionary."""
+    return filter_state_dict(model.state_dict(), include_prefixes=("gnn.",))
+
+
+def transfer_gnn_weights(source: Dict[str, np.ndarray], target: PnPModel) -> int:
+    """Load pre-trained GNN weights into ``target``.
+
+    Parameters
+    ----------
+    source:
+        A state dictionary containing ``gnn.*`` entries (typically produced
+        by :func:`extract_gnn_weights` on the source-system model, possibly
+        after a round-trip through :mod:`repro.nn.serialization`).
+    target:
+        The model being prepared for the new system.
+
+    Returns
+    -------
+    int
+        Number of parameter tensors loaded.
+
+    Raises
+    ------
+    KeyError
+        If ``source`` contains no GNN weights at all.
+    """
+    gnn_weights = {k: v for k, v in source.items() if k.startswith("gnn.")}
+    if not gnn_weights:
+        raise KeyError("source state dictionary contains no 'gnn.*' weights")
+    target.load_state_dict(gnn_weights, strict=False)
+    return len(gnn_weights)
+
+
+def freeze_gnn_parameters(model: PnPModel) -> List[Tensor]:
+    """Freeze the GNN encoder and return the parameters that remain trainable.
+
+    Freezing is done by flipping ``requires_grad`` on the encoder parameters
+    (so no gradient buffers are even allocated for them) and returning the
+    dense-head parameters for the optimiser.
+    """
+    for parameter in model.gnn.parameters():
+        parameter.requires_grad = False
+        parameter.zero_grad()
+    return list(model.dense_parameters())

@@ -1,0 +1,220 @@
+"""The user-facing PnP tuner API.
+
+:class:`PnPTuner` wraps dataset construction, model training and inference
+behind a small interface:
+
+>>> tuner = PnPTuner(system="haswell", objective="time")
+>>> tuner.fit()                                    # train on the benchmark suite
+>>> result = tuner.predict(my_region, power_cap=60.0)
+>>> result.config                                  # the OpenMP configuration to use
+
+With ``objective="edp"`` the tuner additionally chooses the power cap:
+
+>>> tuner = PnPTuner(system="skylake", objective="edp")
+>>> tuner.fit()
+>>> result = tuner.predict(my_region)
+>>> result.power_cap, result.config
+
+No code execution of the target region is required for ``predict`` when the
+tuner is configured with static features only (the paper's headline setting);
+with ``include_counters=True`` the tuner additionally profiles the region
+once to collect its PAPI counters (the paper's "dynamic" variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
+from repro.core.measurements import MeasurementDatabase, get_measurement_database
+from repro.core.model import ModelConfig, PnPModel
+from repro.core.search_space import SearchSpace
+from repro.core.training import TrainingConfig, predict_labels, train_model
+from repro.nn.data import collate_graphs
+from repro.openmp.config import OpenMPConfig
+from repro.openmp.region import RegionCharacteristics
+from repro.utils.logging import get_logger
+
+__all__ = ["TuningResult", "PnPTuner", "labels_to_performance_selections", "labels_to_edp_selections"]
+
+_LOG = get_logger("core.tuner")
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one tuning query."""
+
+    region_id: str
+    objective: str
+    config: OpenMPConfig
+    power_cap: Optional[float]
+    label: int
+
+    def describe(self) -> str:
+        cap = f" @ {self.power_cap:.0f}W" if self.power_cap is not None else ""
+        return f"{self.region_id}: {self.config.label()}{cap} (objective={self.objective})"
+
+
+class PnPTuner:
+    """Static (or static+counters) GNN-based OpenMP auto-tuner.
+
+    Parameters
+    ----------
+    system:
+        Target system name ("haswell" or "skylake").
+    objective:
+        ``"time"`` — fastest configuration at a prescribed power cap;
+        ``"edp"`` — jointly choose power cap and configuration minimising EDP.
+    include_counters:
+        Add PAPI counters to the feature set (the paper's dynamic variant).
+    model_config / training_config:
+        Optional overrides of the network and optimisation hyperparameters.
+    database:
+        Measurement database used for labels; defaults to the shared per-
+        process database over the full benchmark suite.
+    seed:
+        Controls weight initialisation, IR generation and shuffling.
+    """
+
+    def __init__(
+        self,
+        system: str,
+        objective: str = "time",
+        include_counters: bool = False,
+        model_config: Optional[ModelConfig] = None,
+        training_config: Optional[TrainingConfig] = None,
+        database: Optional[MeasurementDatabase] = None,
+        seed: int = 0,
+    ) -> None:
+        if objective not in ("time", "edp"):
+            raise ValueError("objective must be 'time' or 'edp'")
+        self.system = system
+        self.objective = objective
+        self.include_counters = include_counters
+        self.seed = seed
+        self.database = database if database is not None else get_measurement_database(system, seed=seed)
+        self.search_space: SearchSpace = self.database.search_space
+        self.builder = DatasetBuilder(self.database, seed=seed)
+        self.scenario = TuningScenario.PERFORMANCE if objective == "time" else TuningScenario.EDP
+
+        num_classes = (
+            self.search_space.num_omp_configurations
+            if objective == "time"
+            else self.search_space.num_joint_configurations
+        )
+        aux_dim = self.builder.aux_feature_dim(self.scenario, include_counters)
+        default_optimizer = "adamw" if objective == "time" else "adam"
+        self.model_config = model_config if model_config is not None else ModelConfig(
+            vocabulary_size=len(self.builder.vocabulary),
+            num_classes=num_classes,
+            aux_dim=aux_dim,
+            seed=seed,
+        )
+        self.training_config = training_config if training_config is not None else TrainingConfig(
+            optimizer=default_optimizer, seed=seed
+        )
+        self.model = PnPModel(self.model_config)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ fit
+    def build_training_samples(
+        self, power_caps: Optional[Sequence[float]] = None
+    ) -> List[LabeledSample]:
+        """The labelled training set for the configured objective."""
+        if self.objective == "time":
+            return self.builder.performance_samples(
+                power_caps=power_caps, include_counters=self.include_counters
+            )
+        return self.builder.edp_samples(include_counters=self.include_counters)
+
+    def fit(
+        self,
+        samples: Optional[Sequence[LabeledSample]] = None,
+        parameters=None,
+    ) -> "PnPTuner":
+        """Train the model (on the benchmark suite unless ``samples`` given)."""
+        samples = list(samples) if samples is not None else self.build_training_samples()
+        history = train_model(self.model, samples, self.training_config, parameters=parameters)
+        self._fitted = True
+        _LOG.info(
+            "PnP tuner fitted (%s, %s): final loss %.4f, accuracy %.3f",
+            self.system,
+            self.objective,
+            history.final_loss,
+            history.final_accuracy,
+        )
+        return self
+
+    # -------------------------------------------------------------- predict
+    def predict(
+        self, region: RegionCharacteristics, power_cap: Optional[float] = None
+    ) -> TuningResult:
+        """Tune one region (no execution of the region is required)."""
+        self._require_fitted()
+        sample = self.builder.inference_sample(
+            region,
+            power_cap=power_cap,
+            include_counters=self.include_counters,
+            scenario=self.scenario,
+        )
+        label = int(self.model.predict(collate_graphs([sample.sample]))[0])
+        return self._result_from_label(region.region_id, label, power_cap)
+
+    def predict_samples(self, samples: Sequence[LabeledSample]) -> List[TuningResult]:
+        """Batch prediction for pre-built samples (used by the experiments)."""
+        self._require_fitted()
+        labels = predict_labels(self.model, list(samples))
+        return [
+            self._result_from_label(s.region_id, int(label), s.power_cap)
+            for s, label in zip(samples, labels)
+        ]
+
+    def _result_from_label(
+        self, region_id: str, label: int, power_cap: Optional[float]
+    ) -> TuningResult:
+        if self.objective == "time":
+            if power_cap is None:
+                raise ValueError("power_cap is required for the 'time' objective")
+            config = self.search_space.config_from_index(label)
+            return TuningResult(region_id, self.objective, config, float(power_cap), label)
+        cap, config = self.search_space.joint_from_index(label)
+        return TuningResult(region_id, self.objective, config, cap, label)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("PnPTuner.predict called before fit()")
+
+    # ------------------------------------------------------------- weights
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.model.load_state_dict(state)
+        self._fitted = True
+
+
+# ------------------------------------------------------- label → selection
+def labels_to_performance_selections(
+    predictions: Mapping[Tuple[str, Optional[float]], int], search_space: SearchSpace
+) -> Dict[Tuple[str, float], OpenMPConfig]:
+    """Convert scenario-1 predicted labels into configuration selections."""
+    selections: Dict[Tuple[str, float], OpenMPConfig] = {}
+    for (region_id, cap), label in predictions.items():
+        if cap is None:
+            raise ValueError("performance predictions must carry a power cap")
+        selections[(region_id, float(cap))] = search_space.config_from_index(int(label))
+    return selections
+
+
+def labels_to_edp_selections(
+    predictions: Mapping[Tuple[str, Optional[float]], int], search_space: SearchSpace
+) -> Dict[str, Tuple[float, OpenMPConfig]]:
+    """Convert scenario-2 predicted labels into (cap, configuration) selections."""
+    selections: Dict[str, Tuple[float, OpenMPConfig]] = {}
+    for (region_id, _cap), label in predictions.items():
+        cap, config = search_space.joint_from_index(int(label))
+        selections[region_id] = (cap, config)
+    return selections

@@ -1,0 +1,48 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Every runner takes an :class:`~repro.experiments.profiles.ExperimentProfile`
+(``fast`` for the benchmark harness, ``full`` for the paper's exact
+protocol) and returns a result object that can print the same rows/series the
+paper reports:
+
+========================  =========================================================
+Paper artefact            Runner
+========================  =========================================================
+Motivating example (§I)   :func:`repro.experiments.motivating.run_motivating_example`
+Fig. 2 (Haswell)          :func:`repro.experiments.power_constrained.run_power_constrained`
+Fig. 3 (Skylake)          :func:`repro.experiments.power_constrained.run_power_constrained`
+Fig. 4 / Fig. 5           :func:`repro.experiments.unseen_power.run_unseen_power`
+Fig. 6 / Fig. 7           :func:`repro.experiments.edp.run_edp`
+Transfer learning (§IV-B) :func:`repro.experiments.transfer_study.run_transfer_study`
+Ablations (§VI)           :func:`repro.experiments.ablation.run_feature_ablation`
+========================  =========================================================
+"""
+
+from repro.experiments.profiles import ExperimentProfile, fast_profile, full_profile, smoke_profile
+from repro.experiments.power_constrained import PowerConstrainedResult, run_power_constrained
+from repro.experiments.unseen_power import UnseenPowerResult, run_unseen_power
+from repro.experiments.edp import EdpExperimentResult, run_edp
+from repro.experiments.transfer_study import TransferStudyResult, run_transfer_study
+from repro.experiments.motivating import MotivatingExampleResult, run_motivating_example
+from repro.experiments.ablation import AblationResult, run_feature_ablation
+from repro.experiments import reporting
+
+__all__ = [
+    "ExperimentProfile",
+    "fast_profile",
+    "full_profile",
+    "smoke_profile",
+    "PowerConstrainedResult",
+    "run_power_constrained",
+    "UnseenPowerResult",
+    "run_unseen_power",
+    "EdpExperimentResult",
+    "run_edp",
+    "TransferStudyResult",
+    "run_transfer_study",
+    "MotivatingExampleResult",
+    "run_motivating_example",
+    "AblationResult",
+    "run_feature_ablation",
+    "reporting",
+]

@@ -1,0 +1,174 @@
+"""Ablation: do flow-aware code graphs actually help?
+
+The paper argues that modelling OpenMP regions as flow-aware graphs captures
+semantic and structural information that flat representations miss.  This
+ablation quantifies that claim on the reproduction: it compares the PnP GNN
+model against a plain MLP classifier over the 20 hand-crafted static graph
+features of :mod:`repro.graphs.features` (the kind of feature vector earlier
+ML auto-tuners used), under the same cross-validation protocol and label
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import evaluation
+from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
+from repro.core.model import PnPModel
+from repro.core.training import predict_labels, train_model
+from repro.core.tuner import labels_to_performance_selections
+from repro.experiments.common import experiment_builder, pnp_cross_validated_selections
+from repro.experiments.profiles import ExperimentProfile, fast_profile
+from repro.experiments.reporting import format_summary
+from repro.graphs.features import STATIC_FEATURE_NAMES, static_feature_vector
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import AdamW
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+__all__ = ["AblationResult", "run_feature_ablation", "FlatFeatureModel"]
+
+_LOG = get_logger("experiments.ablation")
+
+
+class FlatFeatureModel(Module):
+    """Three-layer MLP over hand-crafted static features (the ablation baseline)."""
+
+    def __init__(self, input_dim: int, num_classes: int, hidden_dim: int = 64, seed: int = 0) -> None:
+        super().__init__()
+        rng = new_rng(seed, "ablation/mlp")
+        self.fc1 = Linear(input_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.fc3 = Linear(hidden_dim, num_classes, rng=rng)
+
+    def forward(self, features: Tensor) -> Tensor:
+        x = F.relu(self.fc1(features))
+        x = F.relu(self.fc2(x))
+        return self.fc3(x)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self.eval()
+        with no_grad():
+            logits = self.forward(Tensor(features))
+        return np.argmax(logits.data, axis=1)
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Comparison of the GNN model against the flat-feature MLP."""
+
+    system: str
+    profile_name: str
+    gnn_geomean_normalized: float
+    flat_geomean_normalized: float
+    gnn_fraction_within_95: float
+    flat_fraction_within_95: float
+
+    @property
+    def graph_advantage(self) -> float:
+        """Ratio of geomean normalised speedups (GNN / flat features)."""
+        return self.gnn_geomean_normalized / self.flat_geomean_normalized
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "profile": self.profile_name,
+            "GNN geomean normalized speedup": round(self.gnn_geomean_normalized, 3),
+            "Flat-feature MLP geomean normalized speedup": round(self.flat_geomean_normalized, 3),
+            "GNN cases >=0.95x oracle": round(self.gnn_fraction_within_95, 3),
+            "Flat-feature MLP cases >=0.95x oracle": round(self.flat_fraction_within_95, 3),
+            "graph advantage (ratio)": round(self.graph_advantage, 3),
+        }
+
+    def format_summary(self) -> str:
+        return format_summary(self.summary(), title=f"Feature ablation on {self.system}")
+
+
+def _flat_feature_matrix(builder: DatasetBuilder, samples: Sequence[LabeledSample]) -> np.ndarray:
+    graphs = builder.region_graphs()
+    rows = []
+    for sample in samples:
+        graph_features = static_feature_vector(graphs[sample.region_id])
+        aux = sample.sample.aux_features if sample.sample.aux_features is not None else np.zeros(0)
+        rows.append(np.concatenate([graph_features, aux]))
+    matrix = np.stack(rows)
+    # Log-compress the count features and normalise columns to unit scale.
+    matrix = np.log1p(np.maximum(matrix, 0.0))
+    scale = np.maximum(np.abs(matrix).max(axis=0), 1e-9)
+    return matrix / scale
+
+
+def _cross_validate_flat(
+    builder: DatasetBuilder,
+    samples: List[LabeledSample],
+    profile: ExperimentProfile,
+    num_classes: int,
+) -> Dict[Tuple[str, Optional[float]], int]:
+    features = _flat_feature_matrix(builder, samples)
+    labels = np.array([s.label for s in samples], dtype=np.int64)
+    predictions: Dict[Tuple[str, Optional[float]], int] = {}
+    loss_fn = CrossEntropyLoss()
+
+    for fold_name, train_fold, validation_fold in profile.splitter().split(samples):
+        train_ids = {id(s) for s in train_fold}
+        validation_ids = {id(s) for s in validation_fold}
+        train_idx = [i for i, s in enumerate(samples) if id(s) in train_ids]
+        val_idx = [i for i, s in enumerate(samples) if id(s) in validation_ids]
+        model = FlatFeatureModel(features.shape[1], num_classes, seed=profile.seed)
+        optimizer = AdamW(model.parameters(), lr=profile.learning_rate, amsgrad=True)
+        rng = new_rng(profile.seed, f"ablation/{fold_name}")
+        x_train, y_train = features[train_idx], labels[train_idx]
+        epochs = max(profile.epochs * 5, 20)  # the MLP is cheap; give it ample epochs
+        for _ in range(epochs):
+            order = rng.permutation(len(train_idx))
+            for start in range(0, len(order), profile.batch_size):
+                batch = order[start : start + profile.batch_size]
+                optimizer.zero_grad()
+                logits = model(Tensor(x_train[batch]))
+                loss = loss_fn(logits, y_train[batch])
+                loss.backward()
+                optimizer.step()
+        predicted = model.predict(features[val_idx])
+        for i, label in zip(val_idx, predicted):
+            predictions[(samples[i].region_id, samples[i].power_cap)] = int(label)
+    return predictions
+
+
+def run_feature_ablation(
+    system: str = "haswell", profile: Optional[ExperimentProfile] = None
+) -> AblationResult:
+    """Compare GNN-over-graphs against an MLP-over-flat-features tuner."""
+    profile = profile if profile is not None else fast_profile()
+    builder = experiment_builder(system, profile)
+    database = builder.database
+    space = builder.search_space
+
+    samples = builder.performance_samples(include_counters=False)
+
+    _LOG.info("ablation: training GNN variant")
+    gnn_selection = pnp_cross_validated_selections(
+        builder, samples, profile, TuningScenario.PERFORMANCE,
+        include_counters=False, optimizer="adamw",
+    )
+    gnn_records = evaluation.evaluate_power_constrained(database, gnn_selection)
+
+    _LOG.info("ablation: training flat-feature MLP variant")
+    flat_predictions = _cross_validate_flat(builder, samples, profile, space.num_omp_configurations)
+    flat_selection = labels_to_performance_selections(flat_predictions, space)
+    flat_records = evaluation.evaluate_power_constrained(database, flat_selection)
+
+    return AblationResult(
+        system=system,
+        profile_name=profile.name,
+        gnn_geomean_normalized=evaluation.overall_geomean(gnn_records, "normalized_speedup"),
+        flat_geomean_normalized=evaluation.overall_geomean(flat_records, "normalized_speedup"),
+        gnn_fraction_within_95=evaluation.fraction_within_oracle(gnn_records, 0.95),
+        flat_fraction_within_95=evaluation.fraction_within_oracle(flat_records, 0.95),
+    )

@@ -1,0 +1,194 @@
+"""Energy-delay-product tuning experiment (Figures 6 and 7, Section IV-C).
+
+Each tuner selects one (power cap, OpenMP configuration) pair per region with
+the goal of minimising EDP; the baseline is the OpenMP default configuration
+running at TDP (no power cap).  Reported quantities:
+
+* normalised EDP improvement per application (Fig. 6; 1.0 = oracle),
+* speedups and greenups over the default at TDP (Fig. 7),
+* the headline geometric means and slowdown/energy-increase case fractions
+  quoted in the text of Section IV-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import evaluation
+from repro.core.dataset import TuningScenario
+from repro.core.evaluation import EdpRecord
+from repro.experiments.common import (
+    baseline_edp_selections,
+    default_edp_selections,
+    experiment_builder,
+    pnp_cross_validated_selections,
+    suite_subset,
+)
+from repro.experiments.profiles import ExperimentProfile, fast_profile
+from repro.experiments.reporting import format_per_application_series, format_summary
+from repro.tuners.bliss import BlissTuner
+from repro.tuners.opentuner import OpenTunerLike
+from repro.utils.logging import get_logger
+from repro.utils.stats import geometric_mean
+
+__all__ = ["EdpExperimentResult", "run_edp"]
+
+_LOG = get_logger("experiments.edp")
+
+PNP_STATIC = "PnP Tuner (Static)"
+PNP_DYNAMIC = "PnP Tuner (Dynamic)"
+DEFAULT = "Default"
+BLISS = "BLISS"
+OPENTUNER = "OpenTuner"
+
+
+@dataclass
+class EdpExperimentResult:
+    """All records of one EDP tuning experiment."""
+
+    system: str
+    profile_name: str
+    applications: Tuple[str, ...]
+    records: Dict[str, List[EdpRecord]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ aggregates
+    def per_application_normalized_edp(self) -> Dict[str, Dict[str, float]]:
+        """Fig. 6 series: tuner → application → geomean normalised EDP improvement."""
+        return {
+            tuner: evaluation.geomean_by_application(records, "normalized_edp_improvement")
+            for tuner, records in self.records.items()
+        }
+
+    def per_application_speedups(self, tuner: str) -> Dict[str, float]:
+        """Fig. 7 (top): per-application geomean speedup over default at TDP."""
+        return evaluation.geomean_by_application(self.records[tuner], "speedup")
+
+    def per_application_greenups(self, tuner: str) -> Dict[str, float]:
+        """Fig. 7 (bottom): per-application geomean greenup over default at TDP."""
+        return evaluation.geomean_by_application(self.records[tuner], "greenup")
+
+    def geomean_edp_improvement(self, tuner: str) -> float:
+        return evaluation.overall_geomean(self.records[tuner], "edp_improvement")
+
+    def fraction_within_oracle(self, tuner: str, threshold: float) -> float:
+        return evaluation.fraction_within_oracle(
+            self.records[tuner], threshold, attribute="normalized_edp_improvement"
+        )
+
+    def slowdown_fraction(self, tuner: str) -> float:
+        """Fraction of regions whose EDP-tuned execution is slower than default."""
+        records = self.records[tuner]
+        return sum(1 for r in records if r.speedup < 1.0) / len(records)
+
+    def energy_increase_fraction(self, tuner: str) -> float:
+        """Fraction of regions whose EDP-tuned execution uses more energy."""
+        records = self.records[tuner]
+        return sum(1 for r in records if r.greenup < 1.0) / len(records)
+
+    def geomean_speedup_excluding_slowdowns(self, tuner: str) -> float:
+        values = [r.speedup for r in self.records[tuner] if r.speedup >= 1.0]
+        return geometric_mean(values) if values else float("nan")
+
+    def geomean_greenup_of_improvements(self, tuner: str) -> float:
+        values = [r.greenup for r in self.records[tuner] if r.greenup >= 1.0]
+        return geometric_mean(values) if values else float("nan")
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"system": self.system, "profile": self.profile_name}
+        for tuner, records in self.records.items():
+            if tuner == DEFAULT:
+                continue
+            out[f"{tuner} geomean EDP improvement"] = round(self.geomean_edp_improvement(tuner), 3)
+            out[f"{tuner} within 5% of oracle EDP"] = round(self.fraction_within_oracle(tuner, 0.95), 3)
+            out[f"{tuner} within 20% of oracle EDP"] = round(self.fraction_within_oracle(tuner, 0.80), 3)
+            out[f"{tuner} geomean speedup vs default@TDP"] = round(
+                evaluation.overall_geomean(records, "speedup"), 3
+            )
+            out[f"{tuner} geomean greenup vs default@TDP"] = round(
+                evaluation.overall_geomean(records, "greenup"), 3
+            )
+            out[f"{tuner} slowdown cases"] = round(self.slowdown_fraction(tuner), 3)
+            out[f"{tuner} energy-increase cases"] = round(self.energy_increase_fraction(tuner), 3)
+        return out
+
+    # -------------------------------------------------------------- display
+    def format_figure6(self) -> str:
+        return format_per_application_series(
+            self.per_application_normalized_edp(),
+            applications=list(self.applications),
+            title=f"Normalized EDP improvement on {self.system} (1.0 = oracle)",
+        )
+
+    def format_figure7(self) -> str:
+        tuners = [t for t in self.records if t != DEFAULT]
+        speedups = {t: self.per_application_speedups(t) for t in tuners}
+        greenups = {t: self.per_application_greenups(t) for t in tuners}
+        top = format_per_application_series(
+            speedups, list(self.applications),
+            title=f"Speedup over default@TDP when tuning for EDP ({self.system})",
+        )
+        bottom = format_per_application_series(
+            greenups, list(self.applications),
+            title=f"Greenup over default@TDP when tuning for EDP ({self.system})",
+        )
+        return top + "\n\n" + bottom
+
+    def format_summary(self) -> str:
+        return format_summary(self.summary(), title=f"EDP tuning on {self.system}")
+
+
+def run_edp(system: str, profile: Optional[ExperimentProfile] = None) -> EdpExperimentResult:
+    """Run the EDP tuning experiment for one system."""
+    profile = profile if profile is not None else fast_profile()
+    # The EDP dataset has one sample per region (68) instead of one per
+    # (region, cap) pair (272), so the same wall-clock budget affords more
+    # epochs; scale them up to keep the number of gradient steps comparable.
+    profile = profile.with_overrides(epochs=profile.epochs * 3)
+    builder = experiment_builder(system, profile)
+    database = builder.database
+    regions = builder.regions()
+    region_ids = [r.region_id for r in regions]
+    applications = tuple(suite_subset(profile).keys())
+
+    result = EdpExperimentResult(
+        system=system, profile_name=profile.name, applications=applications
+    )
+
+    # Default at TDP (the baseline itself: improvement 1.0 by construction).
+    result.records[DEFAULT] = evaluation.evaluate_edp(
+        database, default_edp_selections(database, region_ids)
+    )
+
+    # PnP tuner (static features).
+    _LOG.info("training PnP EDP model (static) on %s", system)
+    static_samples = builder.edp_samples(include_counters=False)
+    static_selection = pnp_cross_validated_selections(
+        builder, static_samples, profile, TuningScenario.EDP,
+        include_counters=False, optimizer="adam",
+    )
+    result.records[PNP_STATIC] = evaluation.evaluate_edp(database, static_selection)
+
+    # PnP tuner (static + counters).
+    if profile.include_dynamic_variant:
+        _LOG.info("training PnP EDP model (dynamic) on %s", system)
+        dynamic_samples = builder.edp_samples(include_counters=True)
+        dynamic_selection = pnp_cross_validated_selections(
+            builder, dynamic_samples, profile, TuningScenario.EDP,
+            include_counters=True, optimizer="adam",
+        )
+        result.records[PNP_DYNAMIC] = evaluation.evaluate_edp(database, dynamic_selection)
+
+    # Baselines.
+    if profile.include_baselines:
+        _LOG.info("running BLISS and OpenTuner EDP baselines on %s", system)
+        bliss = BlissTuner(budget=profile.bliss_budget, seed=profile.seed)
+        result.records[BLISS] = evaluation.evaluate_edp(
+            database, baseline_edp_selections(database, region_ids, bliss)
+        )
+        opentuner = OpenTunerLike(budget=profile.opentuner_budget, seed=profile.seed)
+        result.records[OPENTUNER] = evaluation.evaluate_edp(
+            database, baseline_edp_selections(database, region_ids, opentuner)
+        )
+
+    return result

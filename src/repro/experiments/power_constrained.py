@@ -1,0 +1,179 @@
+"""Power-constrained auto-tuning experiment (Figures 2 and 3, Section IV-B).
+
+For every (region, power cap) point the experiment obtains configuration
+selections from:
+
+* the OpenMP default (the figures' "Default" bars),
+* the PnP tuner with static features (leave-application-out cross-validated),
+* the PnP tuner with static + PAPI-counter features ("dynamic" variant),
+* BLISS (20-execution budget) and OpenTuner (budgeted search),
+
+and normalises each selection's speedup over the default by the oracle
+speedup, exactly as the paper's figures do (the oracle is always 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core import evaluation
+from repro.core.dataset import TuningScenario
+from repro.core.evaluation import PerformanceRecord
+from repro.core.measurements import MeasurementDatabase
+from repro.experiments.common import (
+    baseline_performance_selections,
+    default_performance_selections,
+    experiment_builder,
+    pnp_cross_validated_selections,
+    suite_subset,
+)
+from repro.experiments.profiles import ExperimentProfile, fast_profile
+from repro.experiments.reporting import format_per_application_series, format_summary
+from repro.tuners.bliss import BlissTuner
+from repro.tuners.opentuner import OpenTunerLike
+from repro.utils.logging import get_logger
+from repro.utils.stats import geometric_mean
+
+__all__ = ["PowerConstrainedResult", "run_power_constrained"]
+
+_LOG = get_logger("experiments.power_constrained")
+
+#: Display names used in figures and result tables.
+PNP_STATIC = "PnP Tuner (Static)"
+PNP_DYNAMIC = "PnP Tuner (Dynamic)"
+DEFAULT = "Default"
+BLISS = "BLISS"
+OPENTUNER = "OpenTuner"
+
+
+@dataclass
+class PowerConstrainedResult:
+    """All records of one power-constrained tuning experiment."""
+
+    system: str
+    profile_name: str
+    power_caps: Tuple[float, ...]
+    applications: Tuple[str, ...]
+    records: Dict[str, List[PerformanceRecord]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ aggregates
+    def per_application_normalized(self, power_cap: float) -> Dict[str, Dict[str, float]]:
+        """Figure-style series: tuner → application → geomean normalised speedup."""
+        series: Dict[str, Dict[str, float]] = {}
+        for tuner, records in self.records.items():
+            filtered = [r for r in records if abs(r.power_cap - power_cap) < 1e-9]
+            series[tuner] = evaluation.geomean_by_application(filtered, "normalized_speedup")
+        return series
+
+    def geomean_speedups(self, tuner: str) -> Dict[float, float]:
+        """Geometric-mean speedup over the default, per power cap."""
+        out: Dict[float, float] = {}
+        for cap in self.power_caps:
+            records = [r for r in self.records[tuner] if abs(r.power_cap - cap) < 1e-9]
+            out[cap] = geometric_mean([r.speedup for r in records])
+        return out
+
+    def fraction_within_oracle(self, tuner: str, threshold: float = 0.95) -> float:
+        return evaluation.fraction_within_oracle(self.records[tuner], threshold)
+
+    def fraction_better_than(self, tuner_a: str, tuner_b: str) -> float:
+        return evaluation.fraction_better_than(self.records[tuner_a], self.records[tuner_b])
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers corresponding to the prose of Section IV-B."""
+        out: Dict[str, object] = {
+            "system": self.system,
+            "profile": self.profile_name,
+        }
+        for tuner in self.records:
+            speedups = self.geomean_speedups(tuner)
+            for cap, value in speedups.items():
+                out[f"{tuner} geomean speedup @ {cap:.0f}W"] = round(value, 3)
+            out[f"{tuner} fraction >=0.95x oracle"] = round(self.fraction_within_oracle(tuner), 3)
+        if PNP_STATIC in self.records and BLISS in self.records:
+            out["PnP(static) better-or-equal vs BLISS"] = round(
+                self.fraction_better_than(PNP_STATIC, BLISS), 3
+            )
+        if PNP_STATIC in self.records and OPENTUNER in self.records:
+            out["PnP(static) better-or-equal vs OpenTuner"] = round(
+                self.fraction_better_than(PNP_STATIC, OPENTUNER), 3
+            )
+        return out
+
+    # -------------------------------------------------------------- display
+    def format_figure(self, power_cap: float) -> str:
+        """Text rendering of one panel of Fig. 2/3 (one power cap)."""
+        series = self.per_application_normalized(power_cap)
+        return format_per_application_series(
+            series,
+            applications=list(self.applications),
+            title=(
+                f"Normalized speedups at {power_cap:.0f}W on {self.system} "
+                "(1.0 = oracle / exhaustive search)"
+            ),
+        )
+
+    def format_summary(self) -> str:
+        return format_summary(self.summary(), title=f"Power-constrained tuning on {self.system}")
+
+
+def run_power_constrained(
+    system: str,
+    profile: Optional[ExperimentProfile] = None,
+) -> PowerConstrainedResult:
+    """Run the full power-constrained tuning experiment for one system."""
+    profile = profile if profile is not None else fast_profile()
+    builder = experiment_builder(system, profile)
+    database = builder.database
+    space = builder.search_space
+    regions = builder.regions()
+    region_ids = [r.region_id for r in regions]
+    caps = space.power_caps
+    applications = tuple(suite_subset(profile).keys())
+
+    result = PowerConstrainedResult(
+        system=system,
+        profile_name=profile.name,
+        power_caps=caps,
+        applications=applications,
+    )
+
+    # Default configuration.
+    default_selection = default_performance_selections(database, region_ids, caps)
+    result.records[DEFAULT] = evaluation.evaluate_power_constrained(database, default_selection)
+
+    # PnP tuner, static features.
+    _LOG.info("training PnP (static) on %s", system)
+    static_samples = builder.performance_samples(include_counters=False)
+    static_selection = pnp_cross_validated_selections(
+        builder, static_samples, profile, TuningScenario.PERFORMANCE,
+        include_counters=False, optimizer="adamw",
+    )
+    result.records[PNP_STATIC] = evaluation.evaluate_power_constrained(database, static_selection)
+
+    # PnP tuner, static + performance counters ("dynamic" variant).
+    if profile.include_dynamic_variant:
+        _LOG.info("training PnP (dynamic) on %s", system)
+        dynamic_samples = builder.performance_samples(include_counters=True)
+        dynamic_selection = pnp_cross_validated_selections(
+            builder, dynamic_samples, profile, TuningScenario.PERFORMANCE,
+            include_counters=True, optimizer="adamw",
+        )
+        result.records[PNP_DYNAMIC] = evaluation.evaluate_power_constrained(
+            database, dynamic_selection
+        )
+
+    # Execution-based baselines.
+    if profile.include_baselines:
+        _LOG.info("running BLISS and OpenTuner baselines on %s", system)
+        bliss = BlissTuner(budget=profile.bliss_budget, seed=profile.seed)
+        result.records[BLISS] = evaluation.evaluate_power_constrained(
+            database, baseline_performance_selections(database, region_ids, caps, bliss)
+        )
+        opentuner = OpenTunerLike(budget=profile.opentuner_budget, seed=profile.seed)
+        result.records[OPENTUNER] = evaluation.evaluate_power_constrained(
+            database, baseline_performance_selections(database, region_ids, caps, opentuner)
+        )
+
+    return result

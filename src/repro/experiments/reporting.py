@@ -1,0 +1,56 @@
+"""Plain-text reporting helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_per_application_series", "format_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_per_application_series(
+    series: Mapping[str, Mapping[str, float]],
+    applications: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render per-application series (one column per tuner), figure style.
+
+    ``series`` maps tuner name → {application: value}.
+    """
+    headers = ["application"] + list(series.keys())
+    rows = []
+    for app in applications:
+        rows.append([app] + [series[tuner].get(app, float("nan")) for tuner in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_summary(summary: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render a flat key/value summary."""
+    rows = [[key, value] for key, value in summary.items()]
+    return format_table(["metric", "value"], rows, title=title)

@@ -1,0 +1,142 @@
+"""Transfer-learning study (Section IV-B).
+
+Because the statically generated code graphs are identical across systems,
+the GNN encoder trained on the Haswell dataset can be reused on Skylake; only
+the dense classifier needs re-training.  The paper reports this makes the
+Skylake training 4.18× faster (a 76 % reduction in training time).
+
+The study trains (i) a full model from scratch on the target system and
+(ii) a model whose GNN weights are loaded from a source-system model and
+frozen, and compares wall-clock training time and resulting tuning quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core import evaluation
+from repro.core.dataset import TuningScenario
+from repro.core.model import PnPModel
+from repro.core.training import predict_labels, train_model
+from repro.core.transfer import extract_gnn_weights, freeze_gnn_parameters, transfer_gnn_weights
+from repro.core.tuner import labels_to_performance_selections
+from repro.experiments.common import experiment_builder
+from repro.experiments.profiles import ExperimentProfile, fast_profile
+from repro.experiments.reporting import format_summary
+from repro.utils.logging import get_logger
+
+__all__ = ["TransferStudyResult", "run_transfer_study"]
+
+_LOG = get_logger("experiments.transfer")
+
+
+@dataclass(frozen=True)
+class TransferStudyResult:
+    """Timing and quality comparison of scratch vs. transferred training."""
+
+    source_system: str
+    target_system: str
+    scratch_training_seconds: float
+    transfer_training_seconds: float
+    scratch_geomean_normalized: float
+    transfer_geomean_normalized: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the dense-only re-training is (paper: ~4.18×)."""
+        return self.scratch_training_seconds / self.transfer_training_seconds
+
+    @property
+    def training_time_reduction(self) -> float:
+        """Fractional reduction in training time (paper: ~0.76)."""
+        return 1.0 - self.transfer_training_seconds / self.scratch_training_seconds
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "source system": self.source_system,
+            "target system": self.target_system,
+            "scratch training time (s)": round(self.scratch_training_seconds, 2),
+            "transfer training time (s)": round(self.transfer_training_seconds, 2),
+            "training speedup": round(self.speedup, 2),
+            "training time reduction": round(self.training_time_reduction, 2),
+            "scratch geomean normalized speedup": round(self.scratch_geomean_normalized, 3),
+            "transfer geomean normalized speedup": round(self.transfer_geomean_normalized, 3),
+        }
+
+    def format_summary(self) -> str:
+        return format_summary(
+            self.summary(),
+            title=f"Transfer learning {self.source_system} → {self.target_system}",
+        )
+
+
+def run_transfer_study(
+    source_system: str = "haswell",
+    target_system: str = "skylake",
+    profile: Optional[ExperimentProfile] = None,
+) -> TransferStudyResult:
+    """Measure the training-time benefit of reusing GNN weights across systems."""
+    profile = profile if profile is not None else fast_profile()
+
+    # ----------------------------------------------------------- source model
+    source_builder = experiment_builder(source_system, profile)
+    source_space = source_builder.search_space
+    source_samples = source_builder.performance_samples(include_counters=False)
+    source_config = profile.model_config(
+        len(source_builder.vocabulary),
+        source_space.num_omp_configurations,
+        source_builder.aux_feature_dim(TuningScenario.PERFORMANCE, False),
+    )
+    source_model = PnPModel(source_config)
+    _LOG.info("training source model on %s", source_system)
+    train_model(source_model, source_samples, profile.training_config("adamw"))
+    gnn_weights = extract_gnn_weights(source_model)
+
+    # ----------------------------------------------------------- target data
+    target_builder = experiment_builder(target_system, profile)
+    target_space = target_builder.search_space
+    target_samples = target_builder.performance_samples(include_counters=False)
+    target_config = profile.model_config(
+        len(target_builder.vocabulary),
+        target_space.num_omp_configurations,
+        target_builder.aux_feature_dim(TuningScenario.PERFORMANCE, False),
+    )
+
+    # Training from scratch on the target system.
+    scratch_model = PnPModel(target_config)
+    start = time.perf_counter()
+    train_model(scratch_model, target_samples, profile.training_config("adamw"))
+    scratch_seconds = time.perf_counter() - start
+
+    # Transfer: load GNN weights, freeze them, re-train the dense head only.
+    transfer_model = PnPModel(target_config)
+    transfer_gnn_weights(gnn_weights, transfer_model)
+    dense_parameters = freeze_gnn_parameters(transfer_model)
+    start = time.perf_counter()
+    train_model(
+        transfer_model, target_samples, profile.training_config("adamw"),
+        parameters=dense_parameters,
+    )
+    transfer_seconds = time.perf_counter() - start
+
+    # Quality of both models on the training distribution (full-suite fit,
+    # matching how the paper reports the optimisation's effect).
+    def geomean_normalized(model: PnPModel) -> float:
+        labels = predict_labels(model, target_samples)
+        predictions = {
+            (s.region_id, s.power_cap): int(label) for s, label in zip(target_samples, labels)
+        }
+        selections = labels_to_performance_selections(predictions, target_space)
+        records = evaluation.evaluate_power_constrained(target_builder.database, selections)
+        return evaluation.overall_geomean(records, "normalized_speedup")
+
+    return TransferStudyResult(
+        source_system=source_system,
+        target_system=target_system,
+        scratch_training_seconds=scratch_seconds,
+        transfer_training_seconds=transfer_seconds,
+        scratch_geomean_normalized=geomean_normalized(scratch_model),
+        transfer_geomean_normalized=geomean_normalized(transfer_model),
+    )

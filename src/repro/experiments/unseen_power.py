@@ -1,0 +1,152 @@
+"""Generalisation to unseen power constraints (Figures 4 and 5, Section IV-B).
+
+For each of the lowest and highest power caps of a system, the experiment
+removes *all* measurements taken at that cap from the training set, trains
+the PnP model (static + performance-counter features, with the normalised
+power cap as an input) on the remaining three caps, and asks it to tune
+regions at the held-out cap — combined with leave-application-out splitting
+so both the code and the power constraint are unseen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import evaluation
+from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
+from repro.core.evaluation import PerformanceRecord
+from repro.core.model import PnPModel
+from repro.core.training import predict_labels, train_model
+from repro.core.tuner import labels_to_performance_selections
+from repro.experiments.common import (
+    default_performance_selections,
+    experiment_builder,
+    suite_subset,
+)
+from repro.experiments.profiles import ExperimentProfile, fast_profile
+from repro.experiments.reporting import format_per_application_series, format_summary
+from repro.utils.logging import get_logger
+from repro.utils.stats import geometric_mean
+
+__all__ = ["UnseenPowerResult", "run_unseen_power"]
+
+_LOG = get_logger("experiments.unseen_power")
+
+PNP = "PnP Tuner"
+DEFAULT = "Default"
+
+
+@dataclass
+class UnseenPowerResult:
+    """Records for the two held-out power caps of one system."""
+
+    system: str
+    profile_name: str
+    held_out_caps: Tuple[float, ...]
+    applications: Tuple[str, ...]
+    #: held-out cap → tuner name → records
+    records: Dict[float, Dict[str, List[PerformanceRecord]]] = field(default_factory=dict)
+
+    def per_application_normalized(self, cap: float) -> Dict[str, Dict[str, float]]:
+        return {
+            tuner: evaluation.geomean_by_application(records, "normalized_speedup")
+            for tuner, records in self.records[cap].items()
+        }
+
+    def geomean_speedup(self, cap: float, tuner: str = PNP) -> float:
+        return evaluation.overall_geomean(self.records[cap][tuner], "speedup")
+
+    def oracle_geomean_speedup(self, cap: float) -> float:
+        return evaluation.overall_geomean(self.records[cap][PNP], "oracle_speedup")
+
+    def fraction_within(self, threshold: float) -> float:
+        """Fraction of all (cap, region) cases within ``threshold`` of the oracle."""
+        all_records = [r for cap in self.records for r in self.records[cap][PNP]]
+        return evaluation.fraction_within_oracle(all_records, threshold)
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"system": self.system, "profile": self.profile_name}
+        for cap in self.held_out_caps:
+            out[f"PnP geomean speedup @ {cap:.0f}W (unseen)"] = round(self.geomean_speedup(cap), 3)
+            out[f"Oracle geomean speedup @ {cap:.0f}W"] = round(self.oracle_geomean_speedup(cap), 3)
+        out["fraction >=0.95x oracle"] = round(self.fraction_within(0.95), 3)
+        out["fraction >=0.80x oracle"] = round(self.fraction_within(0.80), 3)
+        return out
+
+    def format_figure(self, cap: float) -> str:
+        return format_per_application_series(
+            self.per_application_normalized(cap),
+            applications=list(self.applications),
+            title=(
+                f"Unseen power constraint {cap:.0f}W on {self.system}: "
+                "normalized speedups (1.0 = oracle)"
+            ),
+        )
+
+    def format_summary(self) -> str:
+        return format_summary(self.summary(), title=f"Unseen power constraints on {self.system}")
+
+
+def _cross_validate_unseen_cap(
+    builder: DatasetBuilder,
+    profile: ExperimentProfile,
+    held_out_cap: float,
+) -> Dict[Tuple[str, Optional[float]], int]:
+    """Leave-application-out CV where validation uses only the held-out cap."""
+    space = builder.search_space
+    train_caps = [cap for cap in space.power_caps if abs(cap - held_out_cap) > 1e-9]
+    train_pool = builder.performance_samples(power_caps=train_caps, include_counters=True)
+    validation_pool = builder.performance_samples(
+        power_caps=[held_out_cap], include_counters=True
+    )
+
+    aux_dim = builder.aux_feature_dim(TuningScenario.PERFORMANCE, include_counters=True)
+    model_config = profile.model_config(
+        len(builder.vocabulary), space.num_omp_configurations, aux_dim
+    )
+    splitter = profile.splitter()
+
+    predictions: Dict[Tuple[str, Optional[float]], int] = {}
+    for fold_name, _train_fold, validation_fold in splitter.split(validation_pool):
+        validation_apps = {s.application for s in validation_fold}
+        train_fold = [s for s in train_pool if s.application not in validation_apps]
+        model = PnPModel(model_config)
+        train_model(model, train_fold, profile.training_config(optimizer="adamw"))
+        for sample, label in zip(validation_fold, predict_labels(model, validation_fold)):
+            predictions[(sample.region_id, sample.power_cap)] = int(label)
+        _LOG.info("unseen-cap fold %s done (%d validation samples)", fold_name, len(validation_fold))
+    return predictions
+
+
+def run_unseen_power(
+    system: str,
+    profile: Optional[ExperimentProfile] = None,
+    held_out_caps: Optional[Tuple[float, ...]] = None,
+) -> UnseenPowerResult:
+    """Run the unseen-power-constraint experiment for one system."""
+    profile = profile if profile is not None else fast_profile()
+    builder = experiment_builder(system, profile)
+    database = builder.database
+    space = builder.search_space
+    region_ids = [r.region_id for r in builder.regions()]
+    applications = tuple(suite_subset(profile).keys())
+    caps = held_out_caps if held_out_caps is not None else (
+        min(space.power_caps), max(space.power_caps)
+    )
+
+    result = UnseenPowerResult(
+        system=system,
+        profile_name=profile.name,
+        held_out_caps=tuple(caps),
+        applications=applications,
+    )
+    for cap in caps:
+        predictions = _cross_validate_unseen_cap(builder, profile, cap)
+        selections = labels_to_performance_selections(predictions, space)
+        pnp_records = evaluation.evaluate_power_constrained(database, selections)
+        default_records = evaluation.evaluate_power_constrained(
+            database, default_performance_selections(database, region_ids, [cap])
+        )
+        result.records[cap] = {PNP: pnp_records, DEFAULT: default_records}
+    return result

@@ -1,0 +1,36 @@
+"""Flow-aware code graphs (PROGRAML-style) built from :mod:`repro.ir`.
+
+An IR module is lowered to a directed multigraph with three node kinds
+(instruction, variable, constant) and three edge relations (control flow,
+data flow, call flow), exactly the structure PROGRAML produces and the
+paper's RGCN consumes.  The package also provides the token vocabulary,
+the conversion to model-ready index arrays (:class:`GraphEncoder`), and
+hand-crafted static feature vectors used by the baseline tuners.
+"""
+
+from repro.graphs.flowgraph import (
+    FlowGraph,
+    GraphNode,
+    GraphEdge,
+    NodeKind,
+    EdgeRelation,
+)
+from repro.graphs.programl import build_flow_graph, build_region_graphs
+from repro.graphs.vocabulary import Vocabulary, build_default_vocabulary
+from repro.graphs.encoder import GraphEncoder
+from repro.graphs.features import static_feature_vector, STATIC_FEATURE_NAMES
+
+__all__ = [
+    "FlowGraph",
+    "GraphNode",
+    "GraphEdge",
+    "NodeKind",
+    "EdgeRelation",
+    "build_flow_graph",
+    "build_region_graphs",
+    "Vocabulary",
+    "build_default_vocabulary",
+    "GraphEncoder",
+    "static_feature_vector",
+    "STATIC_FEATURE_NAMES",
+]

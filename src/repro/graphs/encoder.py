@@ -1,0 +1,55 @@
+"""Conversion of :class:`~repro.graphs.flowgraph.FlowGraph` to model inputs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.flowgraph import FlowGraph
+from repro.graphs.vocabulary import Vocabulary
+from repro.nn.data import GraphSample
+
+__all__ = ["GraphEncoder"]
+
+
+class GraphEncoder:
+    """Encode flow graphs into :class:`~repro.nn.data.GraphSample` objects.
+
+    Parameters
+    ----------
+    vocabulary:
+        Token vocabulary shared between training and inference.
+    """
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+
+    def encode(
+        self,
+        graph: FlowGraph,
+        label: int = -1,
+        aux_features: Optional[np.ndarray] = None,
+        region_id: str = "",
+    ) -> GraphSample:
+        """Encode one graph (optionally with a label and auxiliary features)."""
+        token_ids = np.asarray(self.vocabulary.encode_many(graph.node_tokens()), dtype=np.int64)
+        node_types = graph.node_kinds()
+        edge_index, edge_type = graph.edge_arrays()
+        return GraphSample(
+            token_ids=token_ids,
+            node_types=node_types,
+            edge_index=edge_index,
+            edge_type=edge_type,
+            label=label,
+            aux_features=aux_features,
+            region_id=region_id or graph.name,
+        )
+
+    def unknown_token_fraction(self, graph: FlowGraph) -> float:
+        """Fraction of node tokens that fall back to ``<unk>`` (diagnostics)."""
+        tokens = graph.node_tokens()
+        if not tokens:
+            return 0.0
+        unknown = sum(1 for t in tokens if t not in self.vocabulary)
+        return unknown / len(tokens)

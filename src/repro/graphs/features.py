@@ -1,0 +1,103 @@
+"""Hand-crafted static features derived from flow graphs.
+
+The baseline tuners (and the BLISS learning-model pool) operate on compact
+feature vectors rather than on graphs; this module derives such vectors from
+the same flow graphs the GNN consumes, so every tuner sees information from
+the same source.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graphs.flowgraph import EdgeRelation, FlowGraph, NodeKind
+
+__all__ = ["STATIC_FEATURE_NAMES", "static_feature_vector"]
+
+#: Names (and order) of the entries returned by :func:`static_feature_vector`.
+STATIC_FEATURE_NAMES: List[str] = [
+    "num_nodes",
+    "num_edges",
+    "num_instructions",
+    "num_variables",
+    "num_constants",
+    "control_edges",
+    "data_edges",
+    "call_edges",
+    "loads",
+    "stores",
+    "float_arith",
+    "int_arith",
+    "branches",
+    "phis",
+    "calls",
+    "atomics",
+    "memory_ratio",
+    "branch_ratio",
+    "flop_ratio",
+    "avg_out_degree",
+]
+
+_FLOAT_ARITH_PREFIXES = ("fadd", "fsub", "fmul", "fdiv", "frem")
+_INT_ARITH_PREFIXES = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "lshr")
+
+
+def static_feature_vector(graph: FlowGraph) -> np.ndarray:
+    """Return the 20-entry static feature vector of ``graph``.
+
+    All ratio features are safe for empty graphs (they default to zero).
+    """
+    tokens = graph.node_tokens()
+    kinds = graph.node_kinds()
+    instructions = [t for t, k in zip(tokens, kinds) if k == int(NodeKind.INSTRUCTION)]
+
+    def count_prefix(prefixes) -> int:
+        return sum(1 for t in instructions if t.split(" ")[0] in prefixes)
+
+    loads = count_prefix(("load",))
+    stores = count_prefix(("store",))
+    float_arith = count_prefix(_FLOAT_ARITH_PREFIXES)
+    int_arith = count_prefix(_INT_ARITH_PREFIXES)
+    branches = count_prefix(("br", "condbr"))
+    phis = count_prefix(("phi",))
+    calls = count_prefix(("call",))
+    atomics = count_prefix(("atomicrmw",))
+
+    num_instructions = len(instructions)
+    memory_ops = loads + stores
+    total_arith = float_arith + int_arith
+
+    control = len(graph.edges_of_relation(EdgeRelation.CONTROL))
+    data = len(graph.edges_of_relation(EdgeRelation.DATA))
+    call_edges = len(graph.edges_of_relation(EdgeRelation.CALL))
+
+    features = np.array(
+        [
+            graph.num_nodes,
+            graph.num_edges,
+            num_instructions,
+            int(np.sum(kinds == int(NodeKind.VARIABLE))),
+            int(np.sum(kinds == int(NodeKind.CONSTANT))),
+            control,
+            data,
+            call_edges,
+            loads,
+            stores,
+            float_arith,
+            int_arith,
+            branches,
+            phis,
+            calls,
+            atomics,
+            memory_ops / max(num_instructions, 1),
+            branches / max(num_instructions, 1),
+            float_arith / max(total_arith + memory_ops, 1),
+            graph.num_edges / max(graph.num_nodes, 1),
+        ],
+        dtype=np.float64,
+    )
+    if features.shape[0] != len(STATIC_FEATURE_NAMES):
+        raise AssertionError("feature vector out of sync with STATIC_FEATURE_NAMES")
+    return features

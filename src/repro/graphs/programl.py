@@ -1,0 +1,191 @@
+"""Lowering IR modules to flow-aware graphs (the PROGRAML construction).
+
+For every function with a body:
+
+* each instruction becomes an ``INSTRUCTION`` node whose token is
+  ``"<opcode> <result-type>"``;
+* control-flow edges connect consecutive instructions within a block and the
+  block terminator to the first instruction of each successor block;
+* every SSA value (instruction result, function argument, global) gets a
+  ``VARIABLE`` node; data-flow edges run producer → variable → consumer, with
+  the operand position recorded on the consumer edge;
+* every literal gets a ``CONSTANT`` node (one per distinct literal per
+  function) with constant → consumer data edges;
+* ``call`` instructions get call-flow edges to the callee's entry instruction
+  and back from the callee's returns; calls to external declarations point at
+  a synthetic external-function node.
+
+A synthetic root node (token ``"[external]"``) is connected by call edges to
+every defined function's entry instruction, mirroring PROGRAML's program
+root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.flowgraph import EdgeRelation, FlowGraph, NodeKind
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction, Phi
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+
+__all__ = ["build_flow_graph", "build_region_graphs", "constant_token"]
+
+_ROOT_TOKEN = "[external]"
+
+
+def constant_token(constant: Constant) -> str:
+    """Vocabulary token of a literal: type, plus a magnitude bucket for ints."""
+    if constant.type.is_integer:
+        magnitude = int(abs(int(constant.value)))
+        bucket = magnitude.bit_length()  # ~log2, 0 for the value 0
+        return f"{constant.type} ~2^{bucket}"
+    return str(constant.type)
+
+
+class _FunctionLowering:
+    """Book-keeping for lowering one function into the shared graph."""
+
+    def __init__(self, graph: FlowGraph, function: Function) -> None:
+        self.graph = graph
+        self.function = function
+        self.instruction_nodes: Dict[int, int] = {}  # id(instruction) -> node index
+        self.value_nodes: Dict[int, int] = {}  # id(value) -> variable node index
+        self.constant_nodes: Dict[Tuple, int] = {}  # (type, value) -> node index
+        self.entry_node: Optional[int] = None
+        self.return_nodes: List[int] = []
+
+    # -------------------------------------------------------------- helpers
+    def _instruction_token(self, inst: Instruction) -> str:
+        type_text = "void" if inst.type.is_void else str(inst.type)
+        return f"{inst.opcode} {type_text}"
+
+    def variable_node(self, value: Value) -> int:
+        """Get or create the VARIABLE node for an SSA value."""
+        key = id(value)
+        if key not in self.value_nodes:
+            index = self.graph.add_node(NodeKind.VARIABLE, str(value.type), self.function.name)
+            self.value_nodes[key] = index
+        return self.value_nodes[key]
+
+    def constant_node(self, constant: Constant) -> int:
+        """Get or create the CONSTANT node for a literal.
+
+        Integer literals are tokenised with an order-of-magnitude bucket
+        (e.g. ``"i64 ~2^10"``) so that loop-bound constants — the statically
+        visible problem sizes of the benchmark kernels — are distinguishable
+        to the model without blowing up the vocabulary.
+        """
+        key = (str(constant.type), constant.value)
+        if key not in self.constant_nodes:
+            token = constant_token(constant)
+            index = self.graph.add_node(NodeKind.CONSTANT, token, self.function.name)
+            self.constant_nodes[key] = index
+        return self.constant_nodes[key]
+
+    # ---------------------------------------------------------------- passes
+    def create_instruction_nodes(self) -> None:
+        for inst in self.function.instructions():
+            node = self.graph.add_node(
+                NodeKind.INSTRUCTION, self._instruction_token(inst), self.function.name
+            )
+            self.instruction_nodes[id(inst)] = node
+            if self.entry_node is None:
+                self.entry_node = node
+            if inst.opcode == "ret":
+                self.return_nodes.append(node)
+
+    def add_control_flow(self) -> None:
+        block_entry: Dict[str, int] = {}
+        for block in self.function.blocks:
+            if block.instructions:
+                block_entry[block.name] = self.instruction_nodes[id(block.instructions[0])]
+        for block in self.function.blocks:
+            for prev, nxt in zip(block.instructions, block.instructions[1:]):
+                self.graph.add_edge(
+                    self.instruction_nodes[id(prev)],
+                    self.instruction_nodes[id(nxt)],
+                    EdgeRelation.CONTROL,
+                )
+            terminator = block.terminator
+            if terminator is None:
+                continue
+            for successor in block.successors():
+                target = block_entry.get(successor.name)
+                if target is not None:
+                    self.graph.add_edge(
+                        self.instruction_nodes[id(terminator)], target, EdgeRelation.CONTROL
+                    )
+
+    def add_data_flow(self) -> None:
+        # Producer edges: instruction result -> variable node.
+        for inst in self.function.instructions():
+            if inst.has_result:
+                var = self.variable_node(inst)
+                self.graph.add_edge(self.instruction_nodes[id(inst)], var, EdgeRelation.DATA)
+        # Consumer edges: operand (variable/constant node) -> instruction.
+        for inst in self.function.instructions():
+            consumer = self.instruction_nodes[id(inst)]
+            for position, operand in enumerate(inst.operands()):
+                if isinstance(operand, Constant):
+                    source = self.constant_node(operand)
+                elif isinstance(operand, (Instruction, Argument, GlobalVariable)):
+                    source = self.variable_node(operand)
+                else:
+                    source = self.variable_node(operand)
+                self.graph.add_edge(source, consumer, EdgeRelation.DATA, position=position)
+
+
+def build_flow_graph(module: Module, name: str = "") -> FlowGraph:
+    """Build the flow-aware graph of an entire module."""
+    graph = FlowGraph(name or module.name)
+    root = graph.add_node(NodeKind.INSTRUCTION, _ROOT_TOKEN, "")
+
+    lowerings: Dict[str, _FunctionLowering] = {}
+    external_nodes: Dict[str, int] = {}
+
+    defined = [f for f in module if not f.is_declaration]
+    for function in defined:
+        lowering = _FunctionLowering(graph, function)
+        lowering.create_instruction_nodes()
+        lowerings[function.name] = lowering
+
+    for function in defined:
+        lowering = lowerings[function.name]
+        lowering.add_control_flow()
+        lowering.add_data_flow()
+        if lowering.entry_node is not None:
+            graph.add_edge(root, lowering.entry_node, EdgeRelation.CALL)
+
+    # Call-flow edges.
+    for function in defined:
+        lowering = lowerings[function.name]
+        for inst in function.instructions():
+            if not isinstance(inst, Call):
+                continue
+            call_node = lowering.instruction_nodes[id(inst)]
+            callee = lowerings.get(inst.callee)
+            if callee is not None and callee.entry_node is not None:
+                graph.add_edge(call_node, callee.entry_node, EdgeRelation.CALL)
+                for return_node in callee.return_nodes:
+                    graph.add_edge(return_node, call_node, EdgeRelation.CALL)
+            else:
+                # External callee: one synthetic node per distinct callee name.
+                if inst.callee not in external_nodes:
+                    external_nodes[inst.callee] = graph.add_node(
+                        NodeKind.INSTRUCTION, f"call external {inst.callee.split('.')[0]}", ""
+                    )
+                graph.add_edge(call_node, external_nodes[inst.callee], EdgeRelation.CALL)
+                graph.add_edge(external_nodes[inst.callee], call_node, EdgeRelation.CALL)
+
+    return graph
+
+
+def build_region_graphs(region_modules: Dict[str, Module]) -> Dict[str, FlowGraph]:
+    """Build one flow graph per outlined-region module.
+
+    ``region_modules`` is the mapping produced by
+    :func:`repro.ir.outline.extract_outlined_regions`.
+    """
+    return {name: build_flow_graph(mod, name=name) for name, mod in region_modules.items()}

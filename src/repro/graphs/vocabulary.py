@@ -1,0 +1,113 @@
+"""Token vocabulary for graph nodes.
+
+Instruction nodes are tokenised as ``"<opcode> <type>"`` and variable /
+constant nodes as their type string; the vocabulary maps each token to a
+dense integer id consumed by the model's embedding layer.  Unknown tokens map
+to a reserved ``<unk>`` id so that inference on unseen code never fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.graphs.flowgraph import FlowGraph
+from repro.ir.instructions import OPCODES
+
+__all__ = ["Vocabulary", "build_default_vocabulary"]
+
+UNKNOWN_TOKEN = "<unk>"
+
+#: Type spellings that occur in the benchmark suite's generated IR.
+_COMMON_TYPES = (
+    "void",
+    "i1",
+    "i32",
+    "i64",
+    "float",
+    "double",
+    "i32*",
+    "i64*",
+    "float*",
+    "double*",
+    "double**",
+    "i1*",
+)
+
+
+class Vocabulary:
+    """Bidirectional token ↔ id mapping with an unknown-token fallback."""
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._token_to_id: Dict[str, int] = {UNKNOWN_TOKEN: 0}
+        self._id_to_token: List[str] = [UNKNOWN_TOKEN]
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Add ``token`` (idempotent) and return its id."""
+        if not token:
+            raise ValueError("cannot add an empty token")
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def encode(self, token: str) -> int:
+        """Return the id of ``token``; unknown tokens map to the ``<unk>`` id."""
+        return self._token_to_id.get(token, 0)
+
+    def encode_many(self, tokens: Iterable[str]) -> List[int]:
+        return [self.encode(t) for t in tokens]
+
+    def decode(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def tokens(self) -> List[str]:
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def from_graphs(cls, graphs: Iterable[FlowGraph]) -> "Vocabulary":
+        """Build a vocabulary from the tokens occurring in ``graphs``."""
+        vocab = cls()
+        for graph in graphs:
+            for token in graph.node_tokens():
+                vocab.add(token)
+        return vocab
+
+    def extend_from_graphs(self, graphs: Iterable[FlowGraph]) -> None:
+        """Add any unseen tokens found in ``graphs``."""
+        for graph in graphs:
+            for token in graph.node_tokens():
+                self.add(token)
+
+
+def build_default_vocabulary(extra_tokens: Optional[Iterable[str]] = None) -> Vocabulary:
+    """Vocabulary covering every opcode × common type combination.
+
+    Using a closed default vocabulary (rather than one fitted to the training
+    graphs) keeps the token ids stable across systems, which is what makes the
+    paper's transfer-learning step (reusing GNN weights across machines)
+    possible.
+    """
+    vocab = Vocabulary()
+    vocab.add("[external]")
+    for type_name in _COMMON_TYPES:
+        vocab.add(type_name)
+    for opcode in OPCODES:
+        for type_name in _COMMON_TYPES:
+            vocab.add(f"{opcode} {type_name}")
+    # Magnitude-bucketed integer literals (loop bounds, strides, shifts).
+    for int_type in ("i32", "i64"):
+        for bucket in range(0, 49):
+            vocab.add(f"{int_type} ~2^{bucket}")
+    for token in extra_tokens or ():
+        vocab.add(token)
+    return vocab

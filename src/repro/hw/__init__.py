@@ -1,0 +1,45 @@
+"""Hardware substrate: processors, DVFS/power modelling, RAPL, PAPI.
+
+The paper runs on a dual-socket Skylake (32 cores, 75–150 W package power)
+and a dual-socket Haswell (16 cores, 40–85 W), capping power with
+Variorum/RAPL and profiling energy and performance counters with PAPI.  This
+package provides analytically modelled equivalents:
+
+* :class:`~repro.hw.processor.ProcessorSpec` — calibrated descriptions of the
+  two machines (cores, frequencies, power coefficients, memory hierarchy);
+* :mod:`repro.hw.dvfs` — the power↔frequency model used to find the highest
+  sustainable clock under a package power cap;
+* :mod:`repro.hw.power` — a RAPL-style interface (power limits, wrapping
+  energy counters);
+* :mod:`repro.hw.variorum` — the thin Variorum-like convenience wrapper the
+  tuners use to apply caps;
+* :mod:`repro.hw.papi` — PAPI-style performance-counter estimation (cache
+  misses, instructions, branch mispredictions);
+* :class:`~repro.hw.machine.Machine` — one object bundling all of the above,
+  which the OpenMP execution simulator runs against.
+"""
+
+from repro.hw.processor import ProcessorSpec, SKYLAKE, HASWELL, get_processor, available_processors
+from repro.hw.dvfs import DvfsModel, FrequencySolution
+from repro.hw.power import RaplDomain, RaplInterface, PowerSample
+from repro.hw.variorum import Variorum
+from repro.hw.papi import PapiCounters, PapiInterface, COUNTER_NAMES
+from repro.hw.machine import Machine
+
+__all__ = [
+    "ProcessorSpec",
+    "SKYLAKE",
+    "HASWELL",
+    "get_processor",
+    "available_processors",
+    "DvfsModel",
+    "FrequencySolution",
+    "RaplDomain",
+    "RaplInterface",
+    "PowerSample",
+    "Variorum",
+    "PapiCounters",
+    "PapiInterface",
+    "COUNTER_NAMES",
+    "Machine",
+]

@@ -1,0 +1,103 @@
+"""DVFS model: the frequency sustainable under a package power cap.
+
+RAPL enforces power caps primarily by lowering the processor clock (and, in
+extreme cases, by duty-cycling).  Given the processor's power model
+
+``P(f) = idle + n·static + n·c_dyn·u·f³``
+
+the highest sustainable frequency under a cap ``P_cap`` is the cube root of
+the remaining dynamic budget.  When even the minimum frequency exceeds the
+cap, the model falls back to duty-cycling: the clock stays at ``min_freq``
+but only a fraction of cycles do useful work, which the execution simulator
+translates into a proportional slowdown (``throttle_factor < 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.processor import ProcessorSpec
+
+__all__ = ["FrequencySolution", "DvfsModel"]
+
+
+@dataclass(frozen=True)
+class FrequencySolution:
+    """Result of solving the power model for a given operating point.
+
+    Attributes
+    ----------
+    frequency_ghz:
+        Sustainable clock (already clamped to the DVFS range).
+    throttle_factor:
+        Fraction of cycles doing useful work (1.0 unless duty-cycling).
+    package_power_watts:
+        Package power drawn at this operating point (≤ the cap, up to
+        rounding).
+    """
+
+    frequency_ghz: float
+    throttle_factor: float
+    package_power_watts: float
+
+    @property
+    def effective_frequency_ghz(self) -> float:
+        """Frequency × throttle factor — what computation actually sees."""
+        return self.frequency_ghz * self.throttle_factor
+
+
+class DvfsModel:
+    """Solves the processor power model for frequency under a power cap."""
+
+    def __init__(self, processor: ProcessorSpec) -> None:
+        self.processor = processor
+
+    def solve(self, power_cap_watts: float, active_cores: int, utilisation: float = 1.0) -> FrequencySolution:
+        """Highest sustainable frequency for ``active_cores`` under the cap.
+
+        Parameters
+        ----------
+        power_cap_watts:
+            Package power limit (both sockets).  Values above TDP behave like
+            TDP (the firmware will not exceed thermal limits anyway).
+        active_cores:
+            Number of physical cores with at least one busy thread.
+        utilisation:
+            Average fraction of cycles the active cores spend executing (not
+            stalled on memory); stalled cores draw less dynamic power, which
+            lets memory-bound codes clock higher under the same cap.
+        """
+        spec = self.processor
+        if power_cap_watts <= 0:
+            raise ValueError("power cap must be positive")
+        utilisation = min(max(utilisation, 0.05), 1.0)
+        active_cores = max(1, min(int(active_cores), spec.cores))
+        cap = min(power_cap_watts, spec.tdp_watts)
+
+        static = spec.idle_power_watts + active_cores * spec.core_static_watts
+        dynamic_budget = cap - static
+        per_core = spec.dynamic_coefficient * utilisation
+
+        if dynamic_budget <= 0:
+            # Even leakage exceeds the cap: duty-cycle at minimum frequency.
+            frequency = spec.min_freq_ghz
+            throttle = max(0.1, cap / static)
+            power = cap
+            return FrequencySolution(frequency, throttle, power)
+
+        frequency = (dynamic_budget / (active_cores * per_core)) ** (1.0 / 3.0)
+        throttle = 1.0
+        if frequency > spec.max_freq_ghz:
+            frequency = spec.max_freq_ghz
+        elif frequency < spec.min_freq_ghz:
+            # The clock cannot go lower; emulate RAPL duty-cycling.
+            throttle = max(0.1, (frequency / spec.min_freq_ghz) ** 3)
+            frequency = spec.min_freq_ghz
+
+        power = spec.max_power(active_cores, frequency, utilisation * throttle)
+        power = min(power, cap)
+        return FrequencySolution(frequency, throttle, power)
+
+    def frequency_at_tdp(self, active_cores: int, utilisation: float = 1.0) -> float:
+        """Convenience: sustainable frequency with no cap beyond TDP."""
+        return self.solve(self.processor.tdp_watts, active_cores, utilisation).frequency_ghz

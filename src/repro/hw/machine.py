@@ -1,0 +1,90 @@
+"""The :class:`Machine` — one node of the evaluation testbed.
+
+A machine bundles the processor spec, the DVFS model, the RAPL interface, its
+Variorum facade and the PAPI estimator.  The OpenMP execution simulator
+(:mod:`repro.openmp.execution`) runs *against* a machine: it asks the DVFS
+model for the sustainable frequency under the currently programmed power cap
+and accounts the consumed energy back into the RAPL counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.dvfs import DvfsModel
+from repro.hw.papi import PapiInterface
+from repro.hw.power import RaplDomain, RaplInterface
+from repro.hw.processor import ProcessorSpec, get_processor
+from repro.hw.variorum import Variorum
+
+__all__ = ["Machine"]
+
+
+@dataclass
+class Machine:
+    """A dual-socket node with power capping and profiling facilities.
+
+    Parameters
+    ----------
+    processor:
+        The node's processor specification.
+    seed:
+        Seed for the node's measurement-noise streams (PAPI and execution
+        noise); two machines built with the same seed produce identical
+        measurements for identical requests.
+    noise_fraction:
+        Relative run-to-run variation of simulated measurements.
+    """
+
+    processor: ProcessorSpec
+    seed: int = 0
+    noise_fraction: float = 0.015
+    rapl: RaplInterface = field(init=False)
+    variorum: Variorum = field(init=False)
+    dvfs: DvfsModel = field(init=False)
+    papi: PapiInterface = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rapl = RaplInterface(self.processor)
+        self.variorum = Variorum(self.rapl)
+        self.dvfs = DvfsModel(self.processor)
+        self.papi = PapiInterface(self.processor, noise_fraction=self.noise_fraction, seed=self.seed)
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def named(cls, name: str, seed: int = 0, noise_fraction: float = 0.015) -> "Machine":
+        """Build a machine from a registered processor name ("skylake", ...)."""
+        return cls(processor=get_processor(name), seed=seed, noise_fraction=noise_fraction)
+
+    # ------------------------------------------------------------ power cap
+    @property
+    def power_cap_watts(self) -> float:
+        """The currently programmed package power cap."""
+        return self.rapl.get_power_limit(RaplDomain.PACKAGE)
+
+    def set_power_cap(self, watts: Optional[float]) -> float:
+        """Program a package power cap (``None`` resets to TDP); returns it."""
+        if watts is None:
+            return self.variorum.uncap_node_power_limit()
+        return self.variorum.cap_best_effort_node_power_limit(watts)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def name(self) -> str:
+        return self.processor.name
+
+    @property
+    def tdp_watts(self) -> float:
+        return self.processor.tdp_watts
+
+    @property
+    def default_threads(self) -> int:
+        """The OpenMP default thread count: every hardware thread."""
+        return self.processor.hardware_threads
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine({self.processor.name}, cap={self.power_cap_watts:.0f}W, "
+            f"seed={self.seed})"
+        )

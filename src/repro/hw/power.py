@@ -1,0 +1,122 @@
+"""RAPL-style power capping and energy accounting.
+
+Intel's Running Average Power Limit exposes, per power domain, a settable
+power limit and a monotonically increasing energy counter stored in a
+fixed-width MSR (so it wraps around).  :class:`RaplInterface` emulates both:
+the tuning stack sets package power limits through it, and the execution
+simulator accounts consumed energy into it, including the 32-bit wrap
+behaviour real RAPL clients must handle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hw.processor import ProcessorSpec
+
+__all__ = ["RaplDomain", "RaplInterface", "PowerSample"]
+
+#: Energy counter resolution — RAPL reports energy in units of 61 µJ on these
+#: parts; we keep the same granularity so wrap arithmetic is realistic.
+ENERGY_UNIT_JOULES = 6.103515625e-05
+#: Counter width in bits (wraps like the hardware MSR).
+ENERGY_COUNTER_BITS = 32
+
+
+class RaplDomain(enum.Enum):
+    """Power domains exposed by RAPL on server parts."""
+
+    PACKAGE = "package"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One (timestamp, power) observation recorded by the interface."""
+
+    timestamp_s: float
+    power_watts: float
+    domain: RaplDomain
+
+
+class RaplInterface:
+    """Emulated RAPL interface for one node (both sockets aggregated).
+
+    Parameters
+    ----------
+    processor:
+        The node's processor spec (bounds the settable power range).
+    """
+
+    def __init__(self, processor: ProcessorSpec) -> None:
+        self.processor = processor
+        self._limits: Dict[RaplDomain, float] = {
+            RaplDomain.PACKAGE: processor.tdp_watts,
+            RaplDomain.DRAM: processor.tdp_watts * 0.4,
+        }
+        self._energy_units: Dict[RaplDomain, int] = {d: 0 for d in RaplDomain}
+        self._time_s: float = 0.0
+        self._samples: List[PowerSample] = []
+
+    # ------------------------------------------------------------- capping
+    def set_power_limit(self, watts: float, domain: RaplDomain = RaplDomain.PACKAGE) -> None:
+        """Set the power limit of ``domain``.
+
+        The package limit is clamped to the supported range
+        ``[min_power_watts, tdp_watts]`` the way the MSR write would be.
+        """
+        if watts <= 0:
+            raise ValueError("power limit must be positive")
+        if domain == RaplDomain.PACKAGE:
+            watts = min(max(watts, self.processor.min_power_watts), self.processor.tdp_watts)
+        self._limits[domain] = float(watts)
+
+    def get_power_limit(self, domain: RaplDomain = RaplDomain.PACKAGE) -> float:
+        """Current power limit of ``domain`` in watts."""
+        return self._limits[domain]
+
+    def reset_power_limit(self, domain: RaplDomain = RaplDomain.PACKAGE) -> None:
+        """Restore the default limit (TDP for package)."""
+        default = self.processor.tdp_watts if domain == RaplDomain.PACKAGE else self.processor.tdp_watts * 0.4
+        self._limits[domain] = default
+
+    # ------------------------------------------------------------ accounting
+    def account_energy(self, joules: float, duration_s: float, domain: RaplDomain = RaplDomain.PACKAGE) -> None:
+        """Record ``joules`` consumed over ``duration_s`` (simulator hook)."""
+        if joules < 0 or duration_s < 0:
+            raise ValueError("energy and duration must be non-negative")
+        units = int(round(joules / ENERGY_UNIT_JOULES))
+        self._energy_units[domain] = (self._energy_units[domain] + units) % (1 << ENERGY_COUNTER_BITS)
+        self._time_s += duration_s
+        if duration_s > 0:
+            self._samples.append(PowerSample(self._time_s, joules / duration_s, domain))
+
+    def read_energy_counter(self, domain: RaplDomain = RaplDomain.PACKAGE) -> int:
+        """Raw (wrapping) energy counter value in RAPL energy units."""
+        return self._energy_units[domain]
+
+    def read_energy_joules(self, domain: RaplDomain = RaplDomain.PACKAGE) -> float:
+        """Energy counter converted to joules (still wraps like the MSR)."""
+        return self._energy_units[domain] * ENERGY_UNIT_JOULES
+
+    @staticmethod
+    def energy_delta_joules(counter_before: int, counter_after: int) -> float:
+        """Difference of two raw counter reads, handling a single wrap."""
+        if counter_after >= counter_before:
+            delta = counter_after - counter_before
+        else:
+            delta = counter_after + (1 << ENERGY_COUNTER_BITS) - counter_before
+        return delta * ENERGY_UNIT_JOULES
+
+    # ------------------------------------------------------------- sampling
+    @property
+    def elapsed_time_s(self) -> float:
+        return self._time_s
+
+    def power_samples(self, domain: Optional[RaplDomain] = None) -> List[PowerSample]:
+        """All recorded (timestamp, average power) samples."""
+        if domain is None:
+            return list(self._samples)
+        return [s for s in self._samples if s.domain == domain]

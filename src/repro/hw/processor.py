@@ -1,0 +1,202 @@
+"""Processor specifications for the two evaluation systems.
+
+The constants are calibrated so that (i) running all cores at the maximum
+frequency draws approximately the TDP package power, and (ii) the minimum
+RAPL-settable power (Table I's lowest cap) still allows all cores to run at a
+reduced frequency — matching the behaviour of the Intel Xeon Gold 6142
+("Skylake") and Xeon E5-2630 v3 ("Haswell") nodes used in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ProcessorSpec", "SKYLAKE", "HASWELL", "get_processor", "available_processors"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Analytical description of a dual-socket node.
+
+    Power model: package power (both sockets combined) is
+
+    ``P = idle_power + active_cores * core_static_power
+         + active_cores * dynamic_coefficient * utilisation * f^3``
+
+    with ``f`` in GHz.  Memory bandwidth saturates with the number of active
+    cores following a simple Michaelis–Menten curve parameterised by
+    ``bandwidth_saturation_cores``.
+
+    Attributes
+    ----------
+    name / microarchitecture:
+        Identification strings ("skylake", "haswell").
+    sockets, cores, threads_per_core:
+        Topology; ``cores`` is the total physical core count across sockets.
+    min_freq_ghz, base_freq_ghz, max_freq_ghz:
+        DVFS range.
+    tdp_watts, min_power_watts:
+        Package TDP and the lowest supported RAPL cap (Table I bounds).
+    idle_power_watts:
+        Uncore + package static power drawn regardless of activity.
+    core_static_watts:
+        Static/leakage power added per active core.
+    dynamic_coefficient:
+        Dynamic power per active core per GHz³ at full utilisation.
+    peak_bandwidth_gbs:
+        Saturated DRAM bandwidth (GB/s, both sockets).
+    bandwidth_saturation_cores:
+        Number of active cores at which bandwidth reaches half of peak·2
+        (the Michaelis constant of the saturation curve).
+    l1_kib, l2_kib, l3_mib:
+        Cache capacities (per core for L1/L2, total for L3).
+    ipc_peak:
+        Peak double-precision operations per cycle per core achieved by the
+        benchmark kernels (captures SIMD width coarsely).
+    smt_speedup:
+        Throughput multiplier gained by running two hyper-threads per core.
+    fork_join_base_us, fork_join_per_thread_us:
+        OpenMP parallel-region fork/join overhead model (microseconds) at the
+        base frequency.
+    """
+
+    name: str
+    microarchitecture: str
+    sockets: int
+    cores: int
+    threads_per_core: int
+    min_freq_ghz: float
+    base_freq_ghz: float
+    max_freq_ghz: float
+    tdp_watts: float
+    min_power_watts: float
+    idle_power_watts: float
+    core_static_watts: float
+    dynamic_coefficient: float
+    peak_bandwidth_gbs: float
+    bandwidth_saturation_cores: float
+    l1_kib: float
+    l2_kib: float
+    l3_mib: float
+    ipc_peak: float
+    smt_speedup: float
+    fork_join_base_us: float
+    fork_join_per_thread_us: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.sockets <= 0 or self.threads_per_core <= 0:
+            raise ValueError("topology fields must be positive")
+        if not (0 < self.min_freq_ghz <= self.base_freq_ghz <= self.max_freq_ghz):
+            raise ValueError("frequency range must satisfy min <= base <= max")
+        if self.min_power_watts >= self.tdp_watts:
+            raise ValueError("min_power_watts must be below tdp_watts")
+        if self.idle_power_watts + self.cores * self.core_static_watts >= self.tdp_watts:
+            raise ValueError("static power alone must not exceed TDP")
+
+    # ------------------------------------------------------------ derived
+    @property
+    def hardware_threads(self) -> int:
+        """Total hardware threads (cores × SMT)."""
+        return self.cores * self.threads_per_core
+
+    def max_power(self, active_cores: int, frequency_ghz: float, utilisation: float = 1.0) -> float:
+        """Package power at the given operating point."""
+        active_cores = min(max(active_cores, 0), self.cores)
+        dynamic = active_cores * self.dynamic_coefficient * utilisation * frequency_ghz**3
+        return self.idle_power_watts + active_cores * self.core_static_watts + dynamic
+
+    def bandwidth_gbs(self, active_cores: int, frequency_ghz: float) -> float:
+        """Sustained DRAM bandwidth with ``active_cores`` requesters.
+
+        Bandwidth saturates with core count and degrades mildly at very low
+        core frequency (uncore slows down with deep power caps).
+        """
+        active_cores = max(1, min(active_cores, self.cores))
+        saturation = active_cores / (active_cores + self.bandwidth_saturation_cores)
+        # Normalise so that all cores active reaches ~peak.
+        full = self.cores / (self.cores + self.bandwidth_saturation_cores)
+        freq_factor = 0.75 + 0.25 * min(frequency_ghz / self.base_freq_ghz, 1.25)
+        return self.peak_bandwidth_gbs * (saturation / full) * freq_factor
+
+    def describe(self) -> Dict[str, float]:
+        """Human-readable summary used by the reporting code."""
+        return {
+            "cores": self.cores,
+            "hardware_threads": self.hardware_threads,
+            "tdp_watts": self.tdp_watts,
+            "min_power_watts": self.min_power_watts,
+            "max_freq_ghz": self.max_freq_ghz,
+            "peak_bandwidth_gbs": self.peak_bandwidth_gbs,
+        }
+
+
+#: Intel Xeon Gold 6142 — 2 sockets × 16 cores, 2 threads/core ("Skylake").
+SKYLAKE = ProcessorSpec(
+    name="skylake",
+    microarchitecture="Skylake-SP",
+    sockets=2,
+    cores=32,
+    threads_per_core=2,
+    min_freq_ghz=1.0,
+    base_freq_ghz=2.6,
+    max_freq_ghz=3.7,
+    tdp_watts=150.0,
+    min_power_watts=75.0,
+    idle_power_watts=20.0,
+    core_static_watts=1.0,
+    dynamic_coefficient=0.0605,
+    peak_bandwidth_gbs=190.0,
+    bandwidth_saturation_cores=7.0,
+    l1_kib=32.0,
+    l2_kib=1024.0,
+    l3_mib=44.0,
+    ipc_peak=6.0,
+    smt_speedup=1.18,
+    fork_join_base_us=4.0,
+    fork_join_per_thread_us=0.55,
+)
+
+#: Intel Xeon E5-2630 v3 — 2 sockets × 8 cores, 2 threads/core ("Haswell").
+HASWELL = ProcessorSpec(
+    name="haswell",
+    microarchitecture="Haswell-EP",
+    sockets=2,
+    cores=16,
+    threads_per_core=2,
+    min_freq_ghz=1.2,
+    base_freq_ghz=2.4,
+    max_freq_ghz=3.2,
+    tdp_watts=85.0,
+    min_power_watts=40.0,
+    idle_power_watts=14.0,
+    core_static_watts=1.0,
+    dynamic_coefficient=0.105,
+    peak_bandwidth_gbs=118.0,
+    bandwidth_saturation_cores=5.0,
+    l1_kib=32.0,
+    l2_kib=256.0,
+    l3_mib=20.0,
+    ipc_peak=4.0,
+    smt_speedup=1.15,
+    fork_join_base_us=3.0,
+    fork_join_per_thread_us=0.6,
+)
+
+_REGISTRY: Dict[str, ProcessorSpec] = {
+    SKYLAKE.name: SKYLAKE,
+    HASWELL.name: HASWELL,
+}
+
+
+def get_processor(name: str) -> ProcessorSpec:
+    """Look up a processor spec by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown processor {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]
+
+
+def available_processors() -> Tuple[str, ...]:
+    """Names of all registered processor specs."""
+    return tuple(sorted(_REGISTRY))

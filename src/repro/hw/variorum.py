@@ -1,0 +1,50 @@
+"""Variorum-like convenience layer over the RAPL interface.
+
+The paper uses LLNL's Variorum library to apply power caps (it programs the
+RAPL MSRs underneath).  The tuning stack only needs three calls — cap the
+package power, query it, and print a human-readable summary — so that is the
+surface reproduced here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.power import RaplDomain, RaplInterface
+
+__all__ = ["Variorum"]
+
+
+class Variorum:
+    """Minimal Variorum facade: ``cap_best_effort_node_power_limit`` et al."""
+
+    def __init__(self, rapl: RaplInterface) -> None:
+        self._rapl = rapl
+
+    def cap_best_effort_node_power_limit(self, watts: float) -> float:
+        """Apply a node (package) power cap; returns the cap actually set.
+
+        Like the real library, the requested value is clamped to the range
+        the hardware supports, and the clamped value is returned so callers
+        can detect the adjustment.
+        """
+        self._rapl.set_power_limit(watts, RaplDomain.PACKAGE)
+        return self._rapl.get_power_limit(RaplDomain.PACKAGE)
+
+    def get_node_power_limit(self) -> float:
+        """Current package power cap in watts."""
+        return self._rapl.get_power_limit(RaplDomain.PACKAGE)
+
+    def uncap_node_power_limit(self) -> float:
+        """Remove the cap (reset to TDP) and return the resulting limit."""
+        self._rapl.reset_power_limit(RaplDomain.PACKAGE)
+        return self._rapl.get_power_limit(RaplDomain.PACKAGE)
+
+    def print_power(self) -> Dict[str, float]:
+        """Summary of the node's power state (mirrors ``variorum_print_power``)."""
+        return {
+            "package_limit_watts": self._rapl.get_power_limit(RaplDomain.PACKAGE),
+            "dram_limit_watts": self._rapl.get_power_limit(RaplDomain.DRAM),
+            "package_energy_joules": self._rapl.read_energy_joules(RaplDomain.PACKAGE),
+            "elapsed_time_s": self._rapl.elapsed_time_s,
+        }

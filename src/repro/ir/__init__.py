@@ -1,0 +1,104 @@
+"""A small SSA intermediate representation (IR) in the spirit of LLVM IR.
+
+The paper compiles OpenMP applications with Clang, outlines each parallel
+region with ``llvm-extract``, and feeds the outlined IR to PROGRAML.  This
+package provides the equivalent substrate: typed values, instructions with
+operands, basic blocks with explicit terminators, functions, modules, a
+builder API for generating IR programmatically, a structural verifier, and an
+``llvm-extract``-style outliner that pulls one outlined OpenMP region (plus
+its callees) into a standalone module.
+
+The IR is deliberately small — enough opcodes to express the loop nests,
+memory accesses, reductions and calls that occur in the benchmark suite — but
+it is a real IR: every instruction has typed operands, control flow is
+explicit, and the verifier rejects malformed functions.
+"""
+
+from repro.ir.types import (
+    IRType,
+    VoidType,
+    IntType,
+    FloatType,
+    PointerType,
+    ArrayType,
+    LabelType,
+    void,
+    i1,
+    i32,
+    i64,
+    f32,
+    f64,
+    ptr,
+)
+from repro.ir.values import Value, Constant, Argument, GlobalVariable, UndefValue
+from repro.ir.instructions import (
+    Instruction,
+    BinaryOp,
+    CompareOp,
+    Load,
+    Store,
+    GetElementPtr,
+    Alloca,
+    Branch,
+    CondBranch,
+    Phi,
+    Call,
+    Return,
+    Cast,
+    Select,
+    AtomicRMW,
+    OPCODES,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+from repro.ir.outline import extract_outlined_regions, outlined_function_names
+
+__all__ = [
+    "IRType",
+    "VoidType",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "ArrayType",
+    "LabelType",
+    "void",
+    "i1",
+    "i32",
+    "i64",
+    "f32",
+    "f64",
+    "ptr",
+    "Value",
+    "Constant",
+    "Argument",
+    "GlobalVariable",
+    "UndefValue",
+    "Instruction",
+    "BinaryOp",
+    "CompareOp",
+    "Load",
+    "Store",
+    "GetElementPtr",
+    "Alloca",
+    "Branch",
+    "CondBranch",
+    "Phi",
+    "Call",
+    "Return",
+    "Cast",
+    "Select",
+    "AtomicRMW",
+    "OPCODES",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "VerificationError",
+    "verify_function",
+    "verify_module",
+    "extract_outlined_regions",
+    "outlined_function_names",
+]

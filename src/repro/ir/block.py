@@ -1,0 +1,68 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import Instruction
+
+__all__ = ["BasicBlock"]
+
+
+class BasicBlock:
+    """A labelled sequence of instructions within a function.
+
+    Control flow may only enter at the top and leaves through the final
+    (terminator) instruction.  Successors are derived from the terminator;
+    predecessors are computed by the owning :class:`~repro.ir.function.Function`.
+    """
+
+    def __init__(self, name: str, parent=None) -> None:
+        if not name:
+            raise ValueError("basic block requires a name")
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------- mutation
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append ``instruction``; rejects instructions after a terminator."""
+        if self.is_terminated:
+            raise ValueError(
+                f"block '{self.name}' is already terminated; cannot append {instruction.opcode}"
+            )
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    # -------------------------------------------------------------- queries
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final instruction if it is a terminator, else ``None``."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        """Blocks reachable directly from this block."""
+        term = self.terminator
+        return list(term.successors()) if term is not None else []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def render(self) -> str:
+        """Textual form: label followed by indented instructions."""
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {inst.render()}" for inst in self.instructions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BasicBlock({self.name}, {len(self.instructions)} instructions)"

@@ -1,0 +1,188 @@
+"""IRBuilder: convenience API for constructing IR functions.
+
+The builder keeps an insertion point (a basic block), auto-names result
+temporaries, and offers a structured ``counted_loop`` helper that emits the
+canonical pre-header / header / body / latch / exit shape used by every loop
+nest in the benchmark suite's code generators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.ir import instructions as instr
+from repro.ir import types as irt
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.values import Constant, Value
+
+__all__ = ["IRBuilder"]
+
+Number = Union[int, float]
+
+
+class IRBuilder:
+    """Builds instructions into a function, one basic block at a time."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._block: Optional[BasicBlock] = None
+        self._counter = 0
+        self._block_counter = 0
+
+    # ----------------------------------------------------------- positioning
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise ValueError("builder has no insertion point; call position_at()")
+        return self._block
+
+    def position_at(self, block: BasicBlock) -> None:
+        """Set the insertion point to ``block``."""
+        self._block = block
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a fresh, uniquely named block in the current function."""
+        self._block_counter += 1
+        return self.function.add_block(f"{hint}{self._block_counter}")
+
+    def _name(self, hint: str = "t") -> str:
+        self._counter += 1
+        return f"{hint}{self._counter}"
+
+    def _emit(self, instruction: instr.Instruction) -> instr.Instruction:
+        return self.block.append(instruction)
+
+    # -------------------------------------------------------------- literals
+    def const_int(self, value: int, bits: int = 64) -> Constant:
+        """Integer literal."""
+        return Constant(irt.IntType(bits) if bits not in (32, 64) else (irt.i32() if bits == 32 else irt.i64()), value)
+
+    def const_float(self, value: float, bits: int = 64) -> Constant:
+        """Floating-point literal."""
+        return Constant(irt.f32() if bits == 32 else irt.f64(), value)
+
+    # ------------------------------------------------------------ arithmetic
+    def binop(self, opcode: str, lhs: Value, rhs: Value, hint: str = "t") -> instr.BinaryOp:
+        return self._emit(instr.BinaryOp(opcode, lhs, rhs, self._name(hint)))
+
+    def add(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("add", lhs, rhs)
+
+    def sub(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("sub", lhs, rhs)
+
+    def mul(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("mul", lhs, rhs)
+
+    def sdiv(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("sdiv", lhs, rhs)
+
+    def fadd(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("fadd", lhs, rhs)
+
+    def fsub(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("fsub", lhs, rhs)
+
+    def fmul(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("fmul", lhs, rhs)
+
+    def fdiv(self, lhs: Value, rhs: Value) -> instr.BinaryOp:
+        return self.binop("fdiv", lhs, rhs)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value) -> instr.CompareOp:
+        return self._emit(instr.CompareOp("icmp", predicate, lhs, rhs, self._name("cmp")))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value) -> instr.CompareOp:
+        return self._emit(instr.CompareOp("fcmp", predicate, lhs, rhs, self._name("fcmp")))
+
+    # ---------------------------------------------------------------- memory
+    def alloca(self, allocated_type: irt.IRType, hint: str = "slot") -> instr.Alloca:
+        return self._emit(instr.Alloca(allocated_type, self._name(hint)))
+
+    def load(self, pointer: Value, hint: str = "val") -> instr.Load:
+        return self._emit(instr.Load(pointer, self._name(hint)))
+
+    def store(self, value: Value, pointer: Value) -> instr.Store:
+        return self._emit(instr.Store(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Value], hint: str = "addr") -> instr.GetElementPtr:
+        return self._emit(instr.GetElementPtr(pointer, indices, self._name(hint)))
+
+    def atomic_rmw(self, operation: str, pointer: Value, value: Value) -> instr.AtomicRMW:
+        return self._emit(instr.AtomicRMW(operation, pointer, value, self._name("old")))
+
+    # --------------------------------------------------------------- control
+    def branch(self, target: BasicBlock) -> instr.Branch:
+        return self._emit(instr.Branch(target))
+
+    def cond_branch(self, condition: Value, if_true: BasicBlock, if_false: BasicBlock) -> instr.CondBranch:
+        return self._emit(instr.CondBranch(condition, if_true, if_false))
+
+    def phi(self, type_: irt.IRType, hint: str = "phi") -> instr.Phi:
+        return self._emit(instr.Phi(type_, self._name(hint)))
+
+    def call(
+        self, callee: str, return_type: irt.IRType, args: Sequence[Value] = (), hint: str = "ret"
+    ) -> instr.Call:
+        name = "" if return_type.is_void else self._name(hint)
+        return self._emit(instr.Call(callee, return_type, args, name))
+
+    def ret(self, value: Optional[Value] = None) -> instr.Return:
+        return self._emit(instr.Return(value))
+
+    def cast(self, opcode: str, value: Value, target_type: irt.IRType) -> instr.Cast:
+        return self._emit(instr.Cast(opcode, value, target_type, self._name("cast")))
+
+    def select(self, condition: Value, if_true: Value, if_false: Value) -> instr.Select:
+        return self._emit(instr.Select(condition, if_true, if_false, self._name("sel")))
+
+    # ------------------------------------------------------- structured loops
+    def counted_loop(
+        self,
+        trip_count: Value,
+        body: Callable[["IRBuilder", Value], None],
+        hint: str = "loop",
+    ) -> BasicBlock:
+        """Emit a canonical counted loop ``for (i = 0; i < trip_count; ++i)``.
+
+        ``body(builder, induction_variable)`` is invoked with the builder
+        positioned inside the loop body; it may itself emit nested loops.
+        Returns the exit block, with the builder positioned there.
+
+        The emitted shape is::
+
+            preheader -> header { i = phi [0, preheader], [i+1, latch]
+                                  cmp = icmp slt i, trip_count
+                                  condbr cmp, body, exit }
+            body      -> ... user instructions ... -> latch
+            latch     -> header
+            exit
+        """
+        preheader = self.block
+        header = self.new_block(f"{hint}.header")
+        body_block = self.new_block(f"{hint}.body")
+        latch = self.new_block(f"{hint}.latch")
+        exit_block = self.new_block(f"{hint}.exit")
+
+        self.branch(header)
+
+        self.position_at(header)
+        induction = self.phi(irt.i64(), hint="iv")
+        induction.add_incoming(self.const_int(0), preheader)
+        condition = self.icmp("slt", induction, trip_count)
+        self.cond_branch(condition, body_block, exit_block)
+
+        self.position_at(body_block)
+        body(self, induction)
+        # The user body may have moved the insertion point (nested loops); the
+        # block we are left in falls through to the latch.
+        self.branch(latch)
+
+        self.position_at(latch)
+        next_value = self.add(induction, self.const_int(1))
+        induction.add_incoming(next_value, latch)
+        self.branch(header)
+
+        self.position_at(exit_block)
+        return exit_block

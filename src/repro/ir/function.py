@@ -1,0 +1,123 @@
+"""IR functions: argument lists, basic blocks, and OpenMP-outlining metadata."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Call, Instruction
+from repro.ir.types import IRType, void
+from repro.ir.values import Argument
+
+__all__ = ["Function"]
+
+#: Attribute marking a function as the compiler-outlined body of an OpenMP
+#: parallel region (what ``llvm-extract`` pulls out in the paper's pipeline).
+OMP_OUTLINED_ATTR = "omp_outlined"
+
+
+class Function:
+    """A function: named, typed arguments and a list of basic blocks.
+
+    Parameters
+    ----------
+    name:
+        Function symbol name.  Outlined OpenMP regions follow the Clang
+        convention ``<original>.omp_outlined[.N]``.
+    arg_types / arg_names:
+        Formal parameter types and names.
+    return_type:
+        Return type (``void`` for outlined regions).
+    attributes:
+        Free-form string attributes; ``"omp_outlined"`` marks outlined
+        parallel-region bodies.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arg_types: Sequence[IRType] = (),
+        arg_names: Optional[Sequence[str]] = None,
+        return_type: IRType = None,
+        attributes: Optional[Set[str]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("function requires a name")
+        self.name = name
+        self.return_type = return_type if return_type is not None else void()
+        arg_names = list(arg_names) if arg_names is not None else [f"arg{i}" for i in range(len(arg_types))]
+        if len(arg_names) != len(arg_types):
+            raise ValueError("arg_names and arg_types must have the same length")
+        self.arguments: List[Argument] = [
+            Argument(t, n, index=i) for i, (t, n) in enumerate(zip(arg_types, arg_names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self.attributes: Set[str] = set(attributes or ())
+        self.parent = None  # owning Module
+
+    # ------------------------------------------------------------- structure
+    def add_block(self, name: str) -> BasicBlock:
+        """Create, register and return a new basic block."""
+        if any(b.name == name for b in self.blocks):
+            raise ValueError(f"duplicate block name {name!r} in function {self.name!r}")
+        block = BasicBlock(name, parent=self)
+        self.blocks.append(block)
+        return block
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block (first block added)."""
+        if not self.blocks:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def is_declaration(self) -> bool:
+        """True for body-less functions (external declarations)."""
+        return not self.blocks
+
+    @property
+    def is_omp_outlined(self) -> bool:
+        """True if this function is an outlined OpenMP parallel region."""
+        return OMP_OUTLINED_ATTR in self.attributes or ".omp_outlined" in self.name
+
+    # --------------------------------------------------------------- queries
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def num_instructions(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def predecessors(self) -> Dict[str, List[BasicBlock]]:
+        """Map block name → list of predecessor blocks."""
+        preds: Dict[str, List[BasicBlock]] = {b.name: [] for b in self.blocks}
+        for block in self.blocks:
+            for successor in block.successors():
+                preds[successor.name].append(block)
+        return preds
+
+    def callees(self) -> Set[str]:
+        """Names of all functions called (directly) from this function."""
+        return {inst.callee for inst in self.instructions() if isinstance(inst, Call)}
+
+    def get_block(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no block named {name!r} in function {self.name!r}")
+
+    # ------------------------------------------------------------- rendering
+    def render(self) -> str:
+        """LLVM-flavoured textual form of the whole function."""
+        args = ", ".join(f"{a.type} %{a.name}" for a in self.arguments)
+        attrs = (" " + " ".join(sorted(self.attributes))) if self.attributes else ""
+        if self.is_declaration:
+            return f"declare {self.return_type} @{self.name}({args}){attrs}"
+        header = f"define {self.return_type} @{self.name}({args}){attrs} {{"
+        body = "\n".join(block.render() for block in self.blocks)
+        return f"{header}\n{body}\n}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Function({self.name}, blocks={len(self.blocks)})"

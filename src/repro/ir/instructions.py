@@ -1,0 +1,399 @@
+"""IR instructions.
+
+Each instruction is itself a :class:`~repro.ir.values.Value` (its result can
+be used as an operand), carries an opcode string, and exposes its operands via
+``operands()`` so the graph builder can attach data-flow edges uniformly.
+Rendering (``render()``) produces LLVM-flavoured text, which doubles as the
+token stream for the vocabulary/embedding stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.ir.types import FloatType, IRType, IntType, PointerType, i1, void
+from repro.ir.values import Constant, Value
+
+__all__ = [
+    "Instruction",
+    "BinaryOp",
+    "CompareOp",
+    "Load",
+    "Store",
+    "GetElementPtr",
+    "Alloca",
+    "Branch",
+    "CondBranch",
+    "Phi",
+    "Call",
+    "Return",
+    "Cast",
+    "Select",
+    "AtomicRMW",
+    "OPCODES",
+]
+
+#: All opcodes the verifier and the graph vocabulary recognise.
+OPCODES: Tuple[str, ...] = (
+    "add",
+    "sub",
+    "mul",
+    "sdiv",
+    "srem",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "lshr",
+    "fadd",
+    "fsub",
+    "fmul",
+    "fdiv",
+    "frem",
+    "icmp",
+    "fcmp",
+    "load",
+    "store",
+    "getelementptr",
+    "alloca",
+    "br",
+    "condbr",
+    "phi",
+    "call",
+    "ret",
+    "trunc",
+    "zext",
+    "sext",
+    "fptrunc",
+    "fpext",
+    "sitofp",
+    "fptosi",
+    "bitcast",
+    "select",
+    "atomicrmw",
+)
+
+_INT_BINOPS = {"add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "lshr"}
+_FLOAT_BINOPS = {"fadd", "fsub", "fmul", "fdiv", "frem"}
+_CAST_OPS = {"trunc", "zext", "sext", "fptrunc", "fpext", "sitofp", "fptosi", "bitcast"}
+_CMP_PREDICATES = {"eq", "ne", "slt", "sle", "sgt", "sge", "olt", "ole", "ogt", "oge", "oeq", "one"}
+_ATOMIC_OPS = {"add", "fadd", "max", "min", "xchg"}
+
+
+class Instruction(Value):
+    """Base class for all instructions."""
+
+    #: Whether this instruction ends a basic block.
+    is_terminator: bool = False
+
+    def __init__(self, opcode: str, type_: IRType, name: str = "") -> None:
+        if opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {opcode!r}")
+        super().__init__(type_, name)
+        self.opcode = opcode
+        self.parent = None  # set by BasicBlock.append
+
+    # Every subclass overrides these two.
+    def operands(self) -> List[Value]:
+        """Values read by this instruction (data-flow in-edges)."""
+        return []
+
+    def render(self) -> str:
+        """LLVM-flavoured textual form."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ misc
+    def successors(self) -> List["object"]:
+        """Basic blocks this instruction may transfer control to."""
+        return []
+
+    @property
+    def has_result(self) -> bool:
+        return not self.type.is_void
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class BinaryOp(Instruction):
+    """Integer or floating-point binary arithmetic/logic."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if opcode not in _INT_BINOPS and opcode not in _FLOAT_BINOPS:
+            raise ValueError(f"{opcode!r} is not a binary opcode")
+        if lhs.type != rhs.type:
+            raise TypeError(f"operand type mismatch: {lhs.type} vs {rhs.type}")
+        if opcode in _FLOAT_BINOPS and not isinstance(lhs.type, FloatType):
+            raise TypeError(f"{opcode} requires float operands")
+        if opcode in _INT_BINOPS and not isinstance(lhs.type, IntType):
+            raise TypeError(f"{opcode} requires integer operands")
+        super().__init__(opcode, lhs.type, name)
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def render(self) -> str:
+        return f"%{self.name} = {self.opcode} {self.type} {self.lhs.ref()}, {self.rhs.ref()}"
+
+
+class CompareOp(Instruction):
+    """Integer (``icmp``) or floating-point (``fcmp``) comparison."""
+
+    def __init__(self, opcode: str, predicate: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if opcode not in ("icmp", "fcmp"):
+            raise ValueError("CompareOp opcode must be icmp or fcmp")
+        if predicate not in _CMP_PREDICATES:
+            raise ValueError(f"unknown comparison predicate {predicate!r}")
+        if lhs.type != rhs.type:
+            raise TypeError("comparison operands must have the same type")
+        super().__init__(opcode, i1(), name)
+        self.predicate = predicate
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def render(self) -> str:
+        return (
+            f"%{self.name} = {self.opcode} {self.predicate} {self.lhs.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+class Load(Instruction):
+    """Load a value through a pointer."""
+
+    def __init__(self, pointer: Value, name: str = "") -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("load requires a pointer operand")
+        super().__init__("load", pointer.type.pointee, name)
+        self.pointer = pointer
+
+    def operands(self) -> List[Value]:
+        return [self.pointer]
+
+    def render(self) -> str:
+        return f"%{self.name} = load {self.type}, {self.pointer.type} {self.pointer.ref()}"
+
+
+class Store(Instruction):
+    """Store a value through a pointer (no result)."""
+
+    def __init__(self, value: Value, pointer: Value) -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("store requires a pointer destination")
+        if pointer.type.pointee != value.type:
+            raise TypeError(
+                f"store type mismatch: {value.type} into {pointer.type}"
+            )
+        super().__init__("store", void())
+        self.value = value
+        self.pointer = pointer
+
+    def operands(self) -> List[Value]:
+        return [self.value, self.pointer]
+
+    def render(self) -> str:
+        return f"store {self.value.type} {self.value.ref()}, {self.pointer.type} {self.pointer.ref()}"
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic: compute the address of an element."""
+
+    def __init__(self, pointer: Value, indices: Sequence[Value], name: str = "") -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("getelementptr requires a pointer base")
+        super().__init__("getelementptr", pointer.type, name)
+        self.pointer = pointer
+        self.indices = list(indices)
+        if not self.indices:
+            raise ValueError("getelementptr requires at least one index")
+
+    def operands(self) -> List[Value]:
+        return [self.pointer] + self.indices
+
+    def render(self) -> str:
+        idx = ", ".join(f"{i.type} {i.ref()}" for i in self.indices)
+        return (
+            f"%{self.name} = getelementptr {self.pointer.type.pointee}, "
+            f"{self.pointer.type} {self.pointer.ref()}, {idx}"
+        )
+
+
+class Alloca(Instruction):
+    """Stack allocation; result is a pointer to the allocated type."""
+
+    def __init__(self, allocated_type: IRType, name: str = "") -> None:
+        super().__init__("alloca", PointerType(allocated_type), name)
+        self.allocated_type = allocated_type
+
+    def render(self) -> str:
+        return f"%{self.name} = alloca {self.allocated_type}"
+
+
+class Branch(Instruction):
+    """Unconditional branch."""
+
+    is_terminator = True
+
+    def __init__(self, target) -> None:
+        super().__init__("br", void())
+        self.target = target
+
+    def successors(self) -> List[object]:
+        return [self.target]
+
+    def render(self) -> str:
+        return f"br label %{self.target.name}"
+
+
+class CondBranch(Instruction):
+    """Conditional branch on an ``i1`` condition."""
+
+    is_terminator = True
+
+    def __init__(self, condition: Value, if_true, if_false) -> None:
+        if condition.type != i1():
+            raise TypeError("conditional branch requires an i1 condition")
+        super().__init__("condbr", void())
+        self.condition = condition
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def operands(self) -> List[Value]:
+        return [self.condition]
+
+    def successors(self) -> List[object]:
+        return [self.if_true, self.if_false]
+
+    def render(self) -> str:
+        return (
+            f"br i1 {self.condition.ref()}, label %{self.if_true.name}, "
+            f"label %{self.if_false.name}"
+        )
+
+
+class Phi(Instruction):
+    """SSA phi node merging values from predecessor blocks."""
+
+    def __init__(self, type_: IRType, name: str = "") -> None:
+        super().__init__("phi", type_, name)
+        self.incoming: List[Tuple[Value, object]] = []
+
+    def add_incoming(self, value: Value, block) -> None:
+        """Register that control arriving from ``block`` carries ``value``."""
+        if value.type != self.type:
+            raise TypeError(f"phi incoming type {value.type} != {self.type}")
+        self.incoming.append((value, block))
+
+    def operands(self) -> List[Value]:
+        return [value for value, _ in self.incoming]
+
+    def render(self) -> str:
+        pairs = ", ".join(f"[ {v.ref()}, %{b.name} ]" for v, b in self.incoming)
+        return f"%{self.name} = phi {self.type} {pairs}"
+
+
+class Call(Instruction):
+    """Direct call to a named callee."""
+
+    def __init__(self, callee: str, return_type: IRType, args: Sequence[Value], name: str = "") -> None:
+        super().__init__("call", return_type, name)
+        if not callee:
+            raise ValueError("callee name must be non-empty")
+        self.callee = callee
+        self.args = list(args)
+
+    def operands(self) -> List[Value]:
+        return list(self.args)
+
+    def render(self) -> str:
+        arg_text = ", ".join(f"{a.type} {a.ref()}" for a in self.args)
+        if self.type.is_void:
+            return f"call void @{self.callee}({arg_text})"
+        return f"%{self.name} = call {self.type} @{self.callee}({arg_text})"
+
+
+class Return(Instruction):
+    """Return from the enclosing function."""
+
+    is_terminator = True
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__("ret", void())
+        self.value = value
+
+    def operands(self) -> List[Value]:
+        return [self.value] if self.value is not None else []
+
+    def render(self) -> str:
+        if self.value is None:
+            return "ret void"
+        return f"ret {self.value.type} {self.value.ref()}"
+
+
+class Cast(Instruction):
+    """Type conversion (zext/sext/trunc/sitofp/...)."""
+
+    def __init__(self, opcode: str, value: Value, target_type: IRType, name: str = "") -> None:
+        if opcode not in _CAST_OPS:
+            raise ValueError(f"{opcode!r} is not a cast opcode")
+        super().__init__(opcode, target_type, name)
+        self.value = value
+
+    def operands(self) -> List[Value]:
+        return [self.value]
+
+    def render(self) -> str:
+        return f"%{self.name} = {self.opcode} {self.value.type} {self.value.ref()} to {self.type}"
+
+
+class Select(Instruction):
+    """Ternary select: ``cond ? a : b``."""
+
+    def __init__(self, condition: Value, if_true: Value, if_false: Value, name: str = "") -> None:
+        if condition.type != i1():
+            raise TypeError("select requires an i1 condition")
+        if if_true.type != if_false.type:
+            raise TypeError("select arms must have the same type")
+        super().__init__("select", if_true.type, name)
+        self.condition = condition
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def operands(self) -> List[Value]:
+        return [self.condition, self.if_true, self.if_false]
+
+    def render(self) -> str:
+        return (
+            f"%{self.name} = select i1 {self.condition.ref()}, {self.if_true.type} "
+            f"{self.if_true.ref()}, {self.if_false.type} {self.if_false.ref()}"
+        )
+
+
+class AtomicRMW(Instruction):
+    """Atomic read-modify-write (models OpenMP atomic/reduction updates)."""
+
+    def __init__(self, operation: str, pointer: Value, value: Value, name: str = "") -> None:
+        if operation not in _ATOMIC_OPS:
+            raise ValueError(f"unsupported atomic operation {operation!r}")
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("atomicrmw requires a pointer operand")
+        if pointer.type.pointee != value.type:
+            raise TypeError("atomicrmw value type must match the pointee type")
+        super().__init__("atomicrmw", value.type, name)
+        self.operation = operation
+        self.pointer = pointer
+        self.value = value
+
+    def operands(self) -> List[Value]:
+        return [self.pointer, self.value]
+
+    def render(self) -> str:
+        return (
+            f"%{self.name} = atomicrmw {self.operation} {self.pointer.type} "
+            f"{self.pointer.ref()}, {self.value.type} {self.value.ref()} seq_cst"
+        )

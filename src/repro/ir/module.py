@@ -1,0 +1,81 @@
+"""IR modules: named collections of functions and global variables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.types import IRType
+from repro.ir.values import GlobalVariable
+
+__all__ = ["Module"]
+
+
+class Module:
+    """A translation unit: globals plus functions, addressable by name."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("module requires a name")
+        self.name = name
+        self._functions: Dict[str, Function] = {}
+        self._globals: Dict[str, GlobalVariable] = {}
+
+    # ------------------------------------------------------------ functions
+    def add_function(self, function: Function) -> Function:
+        """Register ``function``; duplicate names are rejected."""
+        if function.name in self._functions:
+            raise ValueError(f"duplicate function {function.name!r} in module {self.name!r}")
+        function.parent = self
+        self._functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Function:
+        if name not in self._functions:
+            raise KeyError(f"no function named {name!r} in module {self.name!r}")
+        return self._functions[name]
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    @property
+    def functions(self) -> List[Function]:
+        return list(self._functions.values())
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self._functions.values())
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    # -------------------------------------------------------------- globals
+    def add_global(self, element_type: IRType, name: str) -> GlobalVariable:
+        """Declare a module-level variable and return it."""
+        if name in self._globals:
+            raise ValueError(f"duplicate global {name!r}")
+        var = GlobalVariable(element_type, name)
+        self._globals[name] = var
+        return var
+
+    def get_global(self, name: str) -> GlobalVariable:
+        if name not in self._globals:
+            raise KeyError(f"no global named {name!r}")
+        return self._globals[name]
+
+    @property
+    def globals(self) -> List[GlobalVariable]:
+        return list(self._globals.values())
+
+    # ------------------------------------------------------------ rendering
+    def render(self) -> str:
+        """Textual form of the entire module."""
+        lines = [f"; ModuleID = '{self.name}'"]
+        for var in self._globals.values():
+            lines.append(f"@{var.name} = global {var.element_type}")
+        for function in self._functions.values():
+            lines.append("")
+            lines.append(function.render())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Module({self.name!r}, functions={len(self._functions)})"

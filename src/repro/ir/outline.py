@@ -1,0 +1,84 @@
+"""Extraction of outlined OpenMP regions (the ``llvm-extract`` step).
+
+When Clang compiles an OpenMP parallel region it outlines the region body
+into a separate function (``foo.omp_outlined``); the paper extracts those
+functions with ``llvm-extract`` and feeds each one to PROGRAML individually.
+:func:`extract_outlined_regions` performs the same operation on
+:class:`~repro.ir.module.Module` objects: it returns one standalone module per
+outlined region, containing the region function plus declarations (or bodies,
+when available) of its callees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+__all__ = ["outlined_function_names", "extract_outlined_regions", "extract_function"]
+
+
+def outlined_function_names(module: Module) -> List[str]:
+    """Names of all outlined OpenMP region functions in ``module``."""
+    return [f.name for f in module if f.is_omp_outlined]
+
+
+def extract_function(module: Module, name: str, include_callee_bodies: bool = True) -> Module:
+    """Extract ``name`` (and transitively its callees) into a new module.
+
+    Parameters
+    ----------
+    module:
+        Source module.
+    name:
+        Function to extract.
+    include_callee_bodies:
+        When True, callee functions defined in the source module are copied
+        with their bodies; otherwise they become declarations.
+    """
+    root = module.get_function(name)
+    extracted = Module(f"{module.name}::{name}")
+
+    worklist = [root]
+    visited: Set[str] = set()
+    while worklist:
+        function = worklist.pop()
+        if function.name in visited:
+            continue
+        visited.add(function.name)
+        extracted.add_function(function)
+        for callee_name in sorted(function.callees()):
+            if callee_name in visited or extracted.has_function(callee_name):
+                continue
+            if module.has_function(callee_name):
+                callee = module.get_function(callee_name)
+                if include_callee_bodies and not callee.is_declaration:
+                    worklist.append(callee)
+                else:
+                    extracted.add_function(_as_declaration(callee))
+                    visited.add(callee_name)
+            else:
+                # Unknown runtime call (e.g. __kmpc_*, libm): declare it.
+                extracted.add_function(Function(callee_name))
+                visited.add(callee_name)
+    return extracted
+
+
+def extract_outlined_regions(module: Module, include_callee_bodies: bool = True) -> Dict[str, Module]:
+    """Return ``{region_function_name: standalone_module}`` for every region."""
+    return {
+        name: extract_function(module, name, include_callee_bodies)
+        for name in outlined_function_names(module)
+    }
+
+
+def _as_declaration(function: Function) -> Function:
+    declaration = Function(
+        function.name,
+        arg_types=[a.type for a in function.arguments],
+        arg_names=[a.name for a in function.arguments],
+        return_type=function.return_type,
+        attributes=set(function.attributes),
+    )
+    return declaration

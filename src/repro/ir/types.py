@@ -1,0 +1,185 @@
+"""IR type system.
+
+Types are immutable value objects compared structurally; convenience
+constructors (``i32()``, ``f64()``, ``ptr(t)``) return canonical instances so
+identity comparisons also work for the common cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "IRType",
+    "VoidType",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "ArrayType",
+    "LabelType",
+    "void",
+    "i1",
+    "i32",
+    "i64",
+    "f32",
+    "f64",
+    "ptr",
+]
+
+
+class IRType:
+    """Base class for all IR types."""
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return str(self)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+class VoidType(IRType):
+    """The ``void`` type (functions with no return value)."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class LabelType(IRType):
+    """Type of basic-block labels (branch targets)."""
+
+    def __str__(self) -> str:
+        return "label"
+
+
+class IntType(IRType):
+    """Fixed-width integer type (``i1``, ``i32``, ``i64``...)."""
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0:
+            raise ValueError("integer width must be positive")
+        self.bits = bits
+
+    def _key(self) -> Tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(IRType):
+    """IEEE floating-point type (``float`` = 32 bits, ``double`` = 64 bits)."""
+
+    def __init__(self, bits: int) -> None:
+        if bits not in (32, 64):
+            raise ValueError("only 32- and 64-bit floats are supported")
+        self.bits = bits
+
+    def _key(self) -> Tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(IRType):
+    """Pointer to another type."""
+
+    def __init__(self, pointee: IRType) -> None:
+        self.pointee = pointee
+
+    def _key(self) -> Tuple:
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(IRType):
+    """Fixed-length array type ``[count x element]``."""
+
+    def __init__(self, element: IRType, count: int) -> None:
+        if count < 0:
+            raise ValueError("array length must be non-negative")
+        self.element = element
+        self.count = count
+
+    def _key(self) -> Tuple:
+        return (self.element, self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+_VOID = VoidType()
+_LABEL = LabelType()
+_INTS: Dict[int, IntType] = {}
+_FLOATS: Dict[int, FloatType] = {}
+
+
+def void() -> VoidType:
+    """Canonical void type."""
+    return _VOID
+
+
+def i1() -> IntType:
+    """Canonical 1-bit integer (boolean) type."""
+    return _int(1)
+
+
+def i32() -> IntType:
+    """Canonical 32-bit integer type."""
+    return _int(32)
+
+
+def i64() -> IntType:
+    """Canonical 64-bit integer type."""
+    return _int(64)
+
+
+def f32() -> FloatType:
+    """Canonical 32-bit float type."""
+    return _float(32)
+
+
+def f64() -> FloatType:
+    """Canonical 64-bit float (double) type."""
+    return _float(64)
+
+
+def ptr(pointee: IRType) -> PointerType:
+    """Pointer to ``pointee``."""
+    return PointerType(pointee)
+
+
+def _int(bits: int) -> IntType:
+    if bits not in _INTS:
+        _INTS[bits] = IntType(bits)
+    return _INTS[bits]
+
+
+def _float(bits: int) -> FloatType:
+    if bits not in _FLOATS:
+        _FLOATS[bits] = FloatType(bits)
+    return _FLOATS[bits]

@@ -1,0 +1,84 @@
+"""IR values: the operands instructions consume and the results they produce.
+
+Every :class:`Value` has a type and a textual name used when rendering IR and
+when building PROGRAML-style data-flow graphs (constants and variables become
+their own graph nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.types import IRType, FloatType, IntType, PointerType
+
+__all__ = ["Value", "Constant", "Argument", "GlobalVariable", "UndefValue"]
+
+
+class Value:
+    """Base class of everything that can appear as an operand."""
+
+    def __init__(self, type_: IRType, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+
+    def ref(self) -> str:
+        """Textual reference used when this value appears as an operand."""
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.type} {self.ref()})"
+
+
+class Constant(Value):
+    """A literal integer or floating-point constant."""
+
+    def __init__(self, type_: IRType, value: Union[int, float]) -> None:
+        if not isinstance(type_, (IntType, FloatType)):
+            raise TypeError("constants must have integer or float type")
+        super().__init__(type_, name="")
+        if isinstance(type_, IntType):
+            self.value: Union[int, float] = int(value)
+        else:
+            self.value = float(value)
+
+    def ref(self) -> str:
+        if isinstance(self.type, FloatType):
+            return f"{self.value:.6e}"
+        return str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constant) and other.type == self.type and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class Argument(Value):
+    """A formal function argument."""
+
+    def __init__(self, type_: IRType, name: str, index: int = 0) -> None:
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable; its type is a pointer to the element type."""
+
+    def __init__(self, element_type: IRType, name: str) -> None:
+        super().__init__(PointerType(element_type), name)
+        self.element_type = element_type
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+class UndefValue(Value):
+    """An undefined value of a given type (rarely needed; keeps phis total)."""
+
+    def __init__(self, type_: IRType) -> None:
+        super().__init__(type_, name="undef")
+
+    def ref(self) -> str:
+        return "undef"

@@ -1,0 +1,107 @@
+"""Structural verification of IR functions and modules.
+
+The verifier enforces the invariants the graph builder relies on: every block
+is terminated, terminators only appear at block ends, branch targets belong to
+the same function, result names are unique within a function, and phi nodes
+reference existing predecessor blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import CondBranch, Branch, Instruction, Phi
+from repro.ir.module import Module
+
+__all__ = ["VerificationError", "verify_function", "verify_module"]
+
+
+class VerificationError(Exception):
+    """Raised when an IR object violates a structural invariant."""
+
+
+def verify_function(function: Function) -> None:
+    """Verify a single function; raises :class:`VerificationError` on failure."""
+    if function.is_declaration:
+        return
+
+    block_names = {block.name for block in function.blocks}
+    if len(block_names) != len(function.blocks):
+        raise VerificationError(f"{function.name}: duplicate basic-block names")
+
+    seen_names: Set[str] = set()
+    for block in function.blocks:
+        if not block.instructions:
+            raise VerificationError(f"{function.name}/{block.name}: empty basic block")
+        if block.terminator is None:
+            raise VerificationError(f"{function.name}/{block.name}: missing terminator")
+        for position, inst in enumerate(block.instructions):
+            is_last = position == len(block.instructions) - 1
+            if inst.is_terminator and not is_last:
+                raise VerificationError(
+                    f"{function.name}/{block.name}: terminator {inst.opcode!r} not at block end"
+                )
+            if inst.has_result:
+                if not inst.name:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: unnamed instruction with a result"
+                    )
+                if inst.name in seen_names:
+                    raise VerificationError(
+                        f"{function.name}: duplicate SSA name %{inst.name}"
+                    )
+                seen_names.add(inst.name)
+            _check_targets(function, block.name, inst, block_names)
+
+    preds = function.predecessors()
+    for block in function.blocks:
+        pred_names = {p.name for p in preds[block.name]}
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if not inst.incoming:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: phi %{inst.name} has no incoming values"
+                    )
+                for _value, source in inst.incoming:
+                    if source.name not in block_names:
+                        raise VerificationError(
+                            f"{function.name}/{block.name}: phi %{inst.name} references "
+                            f"unknown block {source.name!r}"
+                        )
+                    if source.name not in pred_names:
+                        raise VerificationError(
+                            f"{function.name}/{block.name}: phi %{inst.name} lists "
+                            f"{source.name!r} which is not a predecessor"
+                        )
+
+
+def _check_targets(function: Function, block_name: str, inst: Instruction, block_names: Set[str]) -> None:
+    if isinstance(inst, Branch):
+        targets = [inst.target]
+    elif isinstance(inst, CondBranch):
+        targets = [inst.if_true, inst.if_false]
+    else:
+        return
+    for target in targets:
+        if target.name not in block_names:
+            raise VerificationError(
+                f"{function.name}/{block_name}: branch to unknown block {target.name!r}"
+            )
+        if target.parent is not function:
+            raise VerificationError(
+                f"{function.name}/{block_name}: branch target {target.name!r} "
+                "belongs to a different function"
+            )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``."""
+    errors: List[str] = []
+    for function in module:
+        try:
+            verify_function(function)
+        except VerificationError as exc:
+            errors.append(str(exc))
+    if errors:
+        raise VerificationError("; ".join(errors))

@@ -1,0 +1,63 @@
+"""A small NumPy-based deep-learning framework.
+
+This package stands in for PyTorch / PyTorch-Geometric in the reproduction:
+it provides reverse-mode automatic differentiation over NumPy arrays
+(:mod:`repro.nn.tensor`), the layers needed by the PnP tuner's architecture
+(:class:`~repro.nn.layers.Linear`, :class:`~repro.nn.layers.Embedding`,
+:class:`~repro.nn.rgcn.RGCNConv`), graph batching
+(:mod:`repro.nn.data`), losses, and the Adam/AdamW optimisers listed in
+Table II of the paper.
+
+The engine is deliberately small but complete for this model family; it is
+not a general tensor library.  All arrays are ``float64`` unless stated
+otherwise, which keeps gradient checks tight at the cost of some speed.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.layers import (
+    Module,
+    Linear,
+    Embedding,
+    Dropout,
+    ReLU,
+    LeakyReLU,
+    Sequential,
+    ModuleList,
+)
+from repro.nn.rgcn import RGCNConv
+from repro.nn.pooling import global_mean_pool, global_sum_pool, global_max_pool
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer
+from repro.nn.data import GraphSample, GraphBatch, GraphDataLoader, collate_graphs
+from repro.nn.serialization import save_state_dict, load_state_dict
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sequential",
+    "ModuleList",
+    "RGCNConv",
+    "global_mean_pool",
+    "global_sum_pool",
+    "global_max_pool",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "GraphSample",
+    "GraphBatch",
+    "GraphDataLoader",
+    "collate_graphs",
+    "save_state_dict",
+    "load_state_dict",
+]

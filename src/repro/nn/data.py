@@ -1,0 +1,196 @@
+"""Graph datasets, block-diagonal batching and the data loader.
+
+A :class:`GraphSample` holds one flow graph in index form (token ids, node
+types, relation-typed edges) plus a label and optional auxiliary feature
+vector (normalised power cap, PAPI counters for the "dynamic" model variant).
+:func:`collate_graphs` merges several samples into one large disconnected
+graph (the PyTorch-Geometric batching trick), which lets the RGCN process a
+minibatch with a single set of matrix operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GraphSample", "GraphBatch", "collate_graphs", "GraphDataLoader"]
+
+
+@dataclass(eq=False)
+class GraphSample:
+    """One code-region graph prepared for the model.
+
+    Attributes
+    ----------
+    token_ids:
+        Vocabulary index of each node's IR token, shape ``(num_nodes,)``.
+    node_types:
+        Node kind index (instruction / variable / constant), shape
+        ``(num_nodes,)``.
+    edge_index:
+        ``(2, num_edges)`` source/destination node indices.
+    edge_type:
+        ``(num_edges,)`` relation index (control / data / call).
+    label:
+        Integer class label (index into the configuration space), or -1 when
+        unknown (pure inference).
+    aux_features:
+        Optional per-graph auxiliary features appended to the pooled graph
+        vector before the dense classifier (e.g. normalised power cap and
+        performance counters).
+    target_distribution:
+        Optional soft label: a probability distribution over the classes in
+        which every near-optimal configuration receives mass.  When present
+        (and enabled in the training configuration) it replaces the hard
+        ``label`` in the loss; ``label`` stays the argmin class for accuracy
+        reporting.
+    region_id:
+        Identifier of the OpenMP region this graph was built from.
+    """
+
+    token_ids: np.ndarray
+    node_types: np.ndarray
+    edge_index: np.ndarray
+    edge_type: np.ndarray
+    label: int = -1
+    aux_features: Optional[np.ndarray] = None
+    target_distribution: Optional[np.ndarray] = None
+    region_id: str = ""
+
+    def __post_init__(self) -> None:
+        self.token_ids = np.asarray(self.token_ids, dtype=np.int64)
+        self.node_types = np.asarray(self.node_types, dtype=np.int64)
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
+        self.edge_type = np.asarray(self.edge_type, dtype=np.int64)
+        if self.aux_features is not None:
+            self.aux_features = np.asarray(self.aux_features, dtype=np.float64)
+        if self.target_distribution is not None:
+            self.target_distribution = np.asarray(self.target_distribution, dtype=np.float64)
+            total = self.target_distribution.sum()
+            if total <= 0:
+                raise ValueError("target_distribution must have positive mass")
+            self.target_distribution = self.target_distribution / total
+        if self.token_ids.shape != self.node_types.shape:
+            raise ValueError("token_ids and node_types must have the same length")
+        if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, num_edges)")
+        if self.edge_type.shape[0] != self.edge_index.shape[1]:
+            raise ValueError("edge_type must have one entry per edge")
+        if self.num_nodes == 0:
+            raise ValueError("graph must have at least one node")
+        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
+            raise ValueError("edge references a non-existent node")
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.token_ids.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+
+@dataclass(eq=False)
+class GraphBatch:
+    """Several graphs merged into one disconnected graph."""
+
+    token_ids: np.ndarray
+    node_types: np.ndarray
+    edge_index: np.ndarray
+    edge_type: np.ndarray
+    batch: np.ndarray
+    labels: np.ndarray
+    aux_features: Optional[np.ndarray]
+    num_graphs: int
+    region_ids: List[str] = field(default_factory=list)
+    target_distributions: Optional[np.ndarray] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.token_ids.shape[0])
+
+
+def collate_graphs(samples: Sequence[GraphSample]) -> GraphBatch:
+    """Merge samples into a :class:`GraphBatch` with shifted node indices."""
+    if not samples:
+        raise ValueError("cannot collate an empty list of graphs")
+    token_ids, node_types, edge_indices, edge_types, batch_vec = [], [], [], [], []
+    labels, aux, region_ids, targets = [], [], [], []
+    offset = 0
+    has_aux = samples[0].aux_features is not None
+    has_targets = samples[0].target_distribution is not None
+    for graph_idx, sample in enumerate(samples):
+        if (sample.aux_features is not None) != has_aux:
+            raise ValueError("all samples must consistently have or lack aux_features")
+        if (sample.target_distribution is not None) != has_targets:
+            raise ValueError("all samples must consistently have or lack target_distribution")
+        token_ids.append(sample.token_ids)
+        node_types.append(sample.node_types)
+        edge_indices.append(sample.edge_index + offset)
+        edge_types.append(sample.edge_type)
+        batch_vec.append(np.full(sample.num_nodes, graph_idx, dtype=np.int64))
+        labels.append(sample.label)
+        region_ids.append(sample.region_id)
+        if has_aux:
+            aux.append(sample.aux_features)
+        if has_targets:
+            targets.append(sample.target_distribution)
+        offset += sample.num_nodes
+
+    return GraphBatch(
+        token_ids=np.concatenate(token_ids),
+        node_types=np.concatenate(node_types),
+        edge_index=np.concatenate(edge_indices, axis=1)
+        if edge_indices
+        else np.zeros((2, 0), dtype=np.int64),
+        edge_type=np.concatenate(edge_types),
+        batch=np.concatenate(batch_vec),
+        labels=np.asarray(labels, dtype=np.int64),
+        aux_features=np.stack(aux) if has_aux else None,
+        num_graphs=len(samples),
+        region_ids=region_ids,
+        target_distributions=np.stack(targets) if has_targets else None,
+    )
+
+
+class GraphDataLoader:
+    """Minibatch iterator over :class:`GraphSample` lists.
+
+    Parameters
+    ----------
+    samples:
+        The dataset.
+    batch_size:
+        Number of graphs per batch (Table II: 16).
+    shuffle:
+        Whether to reshuffle sample order every epoch.
+    rng:
+        Generator used for shuffling (keeps epochs reproducible).
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[GraphSample],
+        batch_size: int = 16,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.samples = list(samples)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        return (len(self.samples) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[GraphBatch]:
+        order = np.arange(len(self.samples))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = [self.samples[i] for i in order[start : start + self.batch_size]]
+            yield collate_graphs(chunk)

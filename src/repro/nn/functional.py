@@ -1,0 +1,120 @@
+"""Functional (stateless) neural-network operations.
+
+These mirror the subset of ``torch.nn.functional`` used by the PnP tuner's
+architecture: activations, numerically stable softmax/log-softmax, dropout,
+cross-entropy, and one-hot encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "cross_entropy",
+    "nll_loss",
+    "soft_cross_entropy",
+    "mse_loss",
+    "one_hot",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit (paper uses this inside the RGCN stack)."""
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p`` during training."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood given log-probabilities and integer targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Cross-entropy between raw logits and integer class targets.
+
+    Equivalent to ``nll_loss(log_softmax(logits), targets)``; this is the
+    training loss listed in Table II of the paper.
+    """
+    return nll_loss(log_softmax(logits, axis=-1), targets)
+
+
+def soft_cross_entropy(logits: Tensor, target_distribution: np.ndarray) -> Tensor:
+    """Cross-entropy against a full target distribution per sample.
+
+    Used when training with "near-optimal" soft labels: the target places
+    probability mass on every configuration whose measured metric is close to
+    the optimum, not only on the single argmin class.
+    """
+    target = np.asarray(target_distribution, dtype=np.float64)
+    if target.shape != tuple(logits.shape):
+        raise ValueError(f"target distribution shape {target.shape} != logits shape {logits.shape}")
+    log_probs = log_softmax(logits, axis=-1)
+    return -(log_probs * Tensor(target)).sum(axis=1).mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer array (plain NumPy; no gradient needed)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError("index out of range for one_hot")
+    out = np.zeros((indices.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return out

@@ -1,0 +1,46 @@
+"""Weight initialisation schemes.
+
+The RGCN and dense layers use Glorot/Xavier initialisation (the PyTorch
+Geometric default for ``RGCNConv``) and Kaiming initialisation for layers
+followed by ReLU-family activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "zeros", "uniform"]
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight of ``shape``."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited to (leaky-)ReLU activations."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0 / (1.0 + negative_slope**2))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, bound: float) -> np.ndarray:
+    """Uniform initialisation in ``[-bound, bound]``."""
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fans(shape: tuple) -> tuple:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,40 @@
+"""Loss modules.
+
+Table II lists cross-entropy as the training loss for both tuning scenarios;
+an MSE loss is also provided for the auxiliary regressors used by the BLISS
+baseline's learning-model pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy over raw logits with integer class targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        targets = np.asarray(targets, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError("logits must be 2-D (batch, classes)")
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ValueError("targets must be 1-D and match the batch size")
+        if targets.size and (targets.min() < 0 or targets.max() >= logits.shape[1]):
+            raise ValueError("target class out of range")
+        return F.cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error between a prediction tensor and a target."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        if prediction.shape != target.shape:
+            raise ValueError("prediction and target shapes must match")
+        return F.mse_loss(prediction, target)

@@ -1,0 +1,161 @@
+"""First-order optimisers: SGD, Adam, and AdamW (with optional AMSGrad).
+
+Table II of the paper specifies AdamW with ``amsgrad`` for the power-
+constrained tuning experiments and plain Adam for the EDP experiments, both
+at a learning rate of 1e-3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW"]
+
+
+class Optimizer:
+    """Base class holding a parameter list and providing ``zero_grad``."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear the gradient of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.momentum > 0.0:
+                vel = self._velocity.get(id(param))
+                vel = self.momentum * vel + update if vel is not None else update.copy()
+                self._velocity[id(param)] = vel
+                update = vel
+            param.data = param.data - self.lr * update
+
+
+class _AdamBase(Optimizer):
+    """Shared machinery of Adam/AdamW."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        amsgrad: bool = False,
+        decoupled_weight_decay: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if eps <= 0.0:
+            raise ValueError("eps must be positive")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.amsgrad = amsgrad
+        self.decoupled = decoupled_weight_decay
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._vmax: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias_correction1 = 1.0 - self.beta1**t
+        bias_correction2 = 1.0 - self.beta2**t
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0 and not self.decoupled:
+                grad = grad + self.weight_decay * param.data
+
+            key = id(param)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            m = self.beta1 * m + (1 - self.beta1) * grad if m is not None else (1 - self.beta1) * grad
+            v = (
+                self.beta2 * v + (1 - self.beta2) * grad * grad
+                if v is not None
+                else (1 - self.beta2) * grad * grad
+            )
+            self._m[key], self._v[key] = m, v
+
+            if self.amsgrad:
+                vmax = self._vmax.get(key)
+                vmax = np.maximum(vmax, v) if vmax is not None else v.copy()
+                self._vmax[key] = vmax
+                denom = np.sqrt(vmax / bias_correction2) + self.eps
+            else:
+                denom = np.sqrt(v / bias_correction2) + self.eps
+
+            step_size = self.lr / bias_correction1
+            if self.weight_decay > 0.0 and self.decoupled:
+                param.data = param.data - self.lr * self.weight_decay * param.data
+            param.data = param.data - step_size * (m / denom)
+
+
+class Adam(_AdamBase):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        amsgrad: bool = False,
+    ) -> None:
+        super().__init__(
+            parameters, lr, betas, eps, weight_decay, amsgrad, decoupled_weight_decay=False
+        )
+
+
+class AdamW(_AdamBase):
+    """AdamW: Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-2,
+        amsgrad: bool = False,
+    ) -> None:
+        super().__init__(
+            parameters, lr, betas, eps, weight_decay, amsgrad, decoupled_weight_decay=True
+        )

@@ -1,0 +1,62 @@
+"""Graph read-out (pooling) operations.
+
+After the RGCN layers produce per-node representations, a whole-graph vector
+is obtained by pooling node features per graph in the batch.  The batch
+assignment vector follows the PyTorch-Geometric convention: ``batch[i]`` is
+the index of the graph that node ``i`` belongs to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool"]
+
+
+def _check_batch(x: Tensor, batch: np.ndarray) -> np.ndarray:
+    batch = np.asarray(batch, dtype=np.int64)
+    if batch.shape[0] != x.shape[0]:
+        raise ValueError("batch vector length must equal the number of nodes")
+    if batch.size and batch.min() < 0:
+        raise ValueError("batch indices must be non-negative")
+    return batch
+
+
+def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Sum node features per graph → ``(num_graphs, channels)``."""
+    batch = _check_batch(x, batch)
+    return x.scatter_sum(batch, num_graphs)
+
+
+def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Average node features per graph → ``(num_graphs, channels)``."""
+    batch = _check_batch(x, batch)
+    sums = x.scatter_sum(batch, num_graphs)
+    counts = np.zeros(num_graphs, dtype=np.float64)
+    np.add.at(counts, batch, 1.0)
+    counts = np.maximum(counts, 1.0)
+    return sums * Tensor(1.0 / counts[:, None])
+
+
+def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-graph element-wise maximum of node features.
+
+    Implemented as a gather/compare without gradient flow through the argmax
+    choice (standard max-pool subgradient): the gradient is routed to the
+    node that attained the maximum in each (graph, channel) slot.
+    """
+    batch = _check_batch(x, batch)
+    num_nodes, channels = x.shape
+    # Compute argmax per (graph, channel) with plain NumPy.
+    maxima = np.full((num_graphs, channels), -np.inf)
+    argmax = np.zeros((num_graphs, channels), dtype=np.int64)
+    for node in range(num_nodes):
+        graph = batch[node]
+        better = x.data[node] > maxima[graph]
+        maxima[graph][better] = x.data[node][better]
+        argmax[graph][better] = node
+    # Gather the winning rows channel-by-channel via advanced indexing.
+    cols = np.tile(np.arange(channels), (num_graphs, 1))
+    return x[argmax, cols]

@@ -1,0 +1,55 @@
+"""Saving and loading model weights.
+
+State dictionaries (flat name → array mappings produced by
+:meth:`repro.nn.layers.Module.state_dict`) are stored as ``.npz`` archives.
+The transfer-learning experiment (Section IV-B of the paper) saves the GNN
+weights trained on the Haswell dataset and reloads only those weights before
+re-training the dense layers on Skylake data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict", "filter_state_dict"]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dictionary to ``path`` (``.npz`` appended if missing)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dictionary previously written by :func:`save_state_dict`."""
+    resolved = path if path.endswith(".npz") else path + ".npz"
+    if not os.path.exists(resolved):
+        raise FileNotFoundError(resolved)
+    with np.load(resolved) as archive:
+        return {key: np.array(archive[key]) for key in archive.files}
+
+
+def filter_state_dict(
+    state: Dict[str, np.ndarray],
+    include_prefixes: Optional[Iterable[str]] = None,
+    exclude_prefixes: Optional[Iterable[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Select a subset of a state dictionary by parameter-name prefix.
+
+    Used to extract only the GNN-layer weights ("gnn.") for transfer learning
+    while discarding the dense-classifier head.
+    """
+    include = tuple(include_prefixes) if include_prefixes else None
+    exclude = tuple(exclude_prefixes) if exclude_prefixes else ()
+    out = {}
+    for name, value in state.items():
+        if include is not None and not name.startswith(include):
+            continue
+        if exclude and name.startswith(exclude):
+            continue
+        out[name] = value
+    return out

@@ -1,0 +1,32 @@
+"""OpenMP runtime configuration and execution simulation.
+
+This package models what happens when an OpenMP parallel region runs with a
+given runtime configuration (thread count, scheduling policy, chunk size) on
+a power-capped machine:
+
+* :mod:`repro.openmp.config` — the tunable runtime configuration (the
+  parameters of Table I) and the OpenMP defaults;
+* :mod:`repro.openmp.region` — the characteristics of a parallel region
+  (work, memory footprint, imbalance, synchronisation) from which both the
+  execution simulator and the PAPI estimator derive their numbers;
+* :mod:`repro.openmp.scheduling` — discrete simulation of static/dynamic/
+  guided loop scheduling, producing per-thread load and dispatch overhead;
+* :mod:`repro.openmp.execution` — the roofline + DVFS execution model that
+  turns (region, configuration, power cap) into time, energy and power.
+"""
+
+from repro.openmp.config import OpenMPConfig, ScheduleKind, default_config
+from repro.openmp.region import RegionCharacteristics
+from repro.openmp.scheduling import ScheduleOutcome, simulate_schedule
+from repro.openmp.execution import ExecutionEngine, ExecutionResult
+
+__all__ = [
+    "OpenMPConfig",
+    "ScheduleKind",
+    "default_config",
+    "RegionCharacteristics",
+    "ScheduleOutcome",
+    "simulate_schedule",
+    "ExecutionEngine",
+    "ExecutionResult",
+]

@@ -1,0 +1,84 @@
+"""OpenMP runtime configurations (the tunable parameters of Table I)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ScheduleKind", "OpenMPConfig", "default_config"]
+
+
+class ScheduleKind(enum.Enum):
+    """OpenMP loop scheduling policies considered by the search space."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+    @classmethod
+    def from_string(cls, text: str) -> "ScheduleKind":
+        try:
+            return cls(text.strip().lower())
+        except ValueError as exc:
+            raise ValueError(f"unknown schedule {text!r}") from exc
+
+
+@dataclass(frozen=True, order=True)
+class OpenMPConfig:
+    """One OpenMP runtime configuration.
+
+    Attributes
+    ----------
+    num_threads:
+        Value of ``OMP_NUM_THREADS``.
+    schedule:
+        Loop scheduling policy (``OMP_SCHEDULE`` kind).
+    chunk_size:
+        Scheduling chunk size; ``None`` means the compiler/runtime default
+        (static: iterations split evenly; dynamic/guided: 1).
+    """
+
+    num_threads: int
+    schedule: ScheduleKind
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive (or None for default)")
+
+    # ------------------------------------------------------------- helpers
+    def effective_chunk(self, iterations: int) -> int:
+        """The chunk size actually used for ``iterations`` loop iterations."""
+        if self.chunk_size is not None:
+            return min(self.chunk_size, max(iterations, 1))
+        if self.schedule == ScheduleKind.STATIC:
+            return max(1, (iterations + self.num_threads - 1) // self.num_threads)
+        return 1
+
+    def as_tuple(self) -> Tuple[int, str, Optional[int]]:
+        """Hashable plain-value form (threads, schedule, chunk)."""
+        return (self.num_threads, self.schedule.value, self.chunk_size)
+
+    def label(self) -> str:
+        """Short human-readable identifier, e.g. ``"t32-dynamic-c64"``."""
+        chunk = "cdef" if self.chunk_size is None else f"c{self.chunk_size}"
+        return f"t{self.num_threads}-{self.schedule.value}-{chunk}"
+
+    @classmethod
+    def from_tuple(cls, value: Tuple[int, str, Optional[int]]) -> "OpenMPConfig":
+        threads, schedule, chunk = value
+        return cls(int(threads), ScheduleKind.from_string(schedule), chunk if chunk is None else int(chunk))
+
+
+def default_config(hardware_threads: int) -> OpenMPConfig:
+    """The OpenMP default the paper compares against.
+
+    "All threads, static scheduling, and compiler-defined chunk sizes": every
+    hardware thread, static schedule, default (``None``) chunk.
+    """
+    if hardware_threads <= 0:
+        raise ValueError("hardware_threads must be positive")
+    return OpenMPConfig(num_threads=hardware_threads, schedule=ScheduleKind.STATIC, chunk_size=None)

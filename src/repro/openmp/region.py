@@ -1,0 +1,189 @@
+"""Characteristics of an OpenMP parallel region.
+
+A :class:`RegionCharacteristics` object is the single source of truth about a
+parallel region's runtime behaviour: the execution simulator, the PAPI
+estimator and the IR code generator all derive their outputs from it, which
+keeps the static code structure (what the GNN sees) consistent with the
+dynamic behaviour (what determines the best configuration).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+__all__ = ["ImbalancePattern", "RegionCharacteristics"]
+
+
+class ImbalancePattern(enum.Enum):
+    """How per-iteration cost varies across the iteration space."""
+
+    #: All iterations cost the same (dense rectangular loop nests).
+    UNIFORM = "uniform"
+    #: Cost varies randomly per iteration (e.g. Monte-Carlo lookups).
+    RANDOM = "random"
+    #: Cost grows (or shrinks) linearly across the space (triangular loops).
+    LINEAR = "linear"
+
+
+@dataclass(frozen=True)
+class RegionCharacteristics:
+    """Workload description of one OpenMP parallel region.
+
+    Attributes
+    ----------
+    region_id:
+        Globally unique identifier, conventionally ``"<app>/<kernel>[.k]"``.
+    application:
+        Application (benchmark) the region belongs to.
+    iterations:
+        Trip count of the parallel loop (the work-sharing dimension).
+    flops_per_iteration / int_ops_per_iteration:
+        Floating-point and integer operations per iteration.
+    memory_bytes_per_iteration:
+        Bytes of array data touched per iteration (before cache filtering).
+    working_set_bytes:
+        Total data footprint of the region.
+    reuse_factor:
+        Temporal locality in (0, 1]: 1 means the footprint is re-used heavily
+        (blocked dense kernels), values near 0 mean streaming access.
+    serial_fraction:
+        Fraction of the region's single-thread work that cannot be
+        parallelised (sequential preamble, reductions folded serially, ...).
+    parallel_loop_count:
+        Number of work-shared loops inside the region (each incurs one
+        fork/join + barrier in the simulator).
+    nest_depth:
+        Loop-nest depth of the hottest loop (drives IR generation).
+    iteration_cost_cv:
+        Coefficient of variation of per-iteration cost.
+    imbalance_pattern:
+        Shape of the per-iteration cost variation.
+    atomics_per_iteration:
+        Atomic updates (OpenMP ``atomic``/reduction traffic) per iteration.
+    branches_per_iteration:
+        Conditional branches per iteration (drives the IR and PAPI model).
+    branch_misprediction_rate:
+        Fraction of those branches that mispredict.
+    condition_density:
+        Fraction of the per-iteration work guarded by data-dependent
+        conditionals (appears as extra control flow in the generated IR).
+    calls_external_math:
+        Whether the loop body calls libm-style functions (``exp``, ``sqrt``).
+    """
+
+    region_id: str
+    application: str
+    iterations: int
+    flops_per_iteration: float
+    int_ops_per_iteration: float
+    memory_bytes_per_iteration: float
+    working_set_bytes: float
+    reuse_factor: float
+    serial_fraction: float = 0.0
+    parallel_loop_count: int = 1
+    nest_depth: int = 1
+    iteration_cost_cv: float = 0.0
+    imbalance_pattern: ImbalancePattern = ImbalancePattern.UNIFORM
+    atomics_per_iteration: float = 0.0
+    branches_per_iteration: float = 1.0
+    branch_misprediction_rate: float = 0.02
+    condition_density: float = 0.0
+    calls_external_math: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.region_id or not self.application:
+            raise ValueError("region_id and application must be non-empty")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.flops_per_iteration < 0 or self.int_ops_per_iteration < 0:
+            raise ValueError("operation counts must be non-negative")
+        if self.flops_per_iteration + self.int_ops_per_iteration <= 0:
+            raise ValueError("a region must perform some work per iteration")
+        if self.memory_bytes_per_iteration < 0 or self.working_set_bytes <= 0:
+            raise ValueError("memory characteristics must be positive")
+        if not 0.0 < self.reuse_factor <= 1.0:
+            raise ValueError("reuse_factor must be in (0, 1]")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError("serial_fraction must be in [0, 1)")
+        if self.parallel_loop_count <= 0 or self.nest_depth <= 0:
+            raise ValueError("parallel_loop_count and nest_depth must be positive")
+        if self.iteration_cost_cv < 0:
+            raise ValueError("iteration_cost_cv must be non-negative")
+        if self.atomics_per_iteration < 0 or self.branches_per_iteration < 0:
+            raise ValueError("atomics/branches per iteration must be non-negative")
+        if not 0.0 <= self.branch_misprediction_rate <= 1.0:
+            raise ValueError("branch_misprediction_rate must be in [0, 1]")
+        if not 0.0 <= self.condition_density <= 1.0:
+            raise ValueError("condition_density must be in [0, 1]")
+
+    # ------------------------------------------------------------- derived
+    def ops_per_iteration(self) -> float:
+        """Equivalent double-precision operations per iteration.
+
+        Integer/address arithmetic is cheaper than floating point on these
+        cores; weight it at half a floating-point op.
+        """
+        return self.flops_per_iteration + 0.5 * self.int_ops_per_iteration
+
+    def parallel_ops(self) -> float:
+        """Total parallelisable work (equivalent flops)."""
+        return self.ops_per_iteration() * self.iterations
+
+    def serial_ops(self) -> float:
+        """Work executed serially before/after the work-shared loops."""
+        if self.serial_fraction == 0.0:
+            return 0.0
+        return self.parallel_ops() * self.serial_fraction / (1.0 - self.serial_fraction)
+
+    def total_ops(self) -> float:
+        return self.parallel_ops() + self.serial_ops()
+
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of (uncached) memory traffic."""
+        bytes_per_iter = max(self.memory_bytes_per_iteration, 1e-9)
+        return self.flops_per_iteration / bytes_per_iter
+
+    def instruction_count(self) -> float:
+        """Estimated dynamic instruction count (for PAPI_TOT_INS)."""
+        per_iter = (
+            self.flops_per_iteration
+            + self.int_ops_per_iteration
+            + self.memory_bytes_per_iteration / 8.0
+            + self.branches_per_iteration
+            + self.atomics_per_iteration
+        )
+        return (per_iter * self.iterations + self.serial_ops()) * 1.15
+
+    def memory_access_count(self) -> float:
+        """Estimated dynamic loads+stores (8-byte granularity)."""
+        return self.memory_bytes_per_iteration / 8.0 * self.iterations
+
+    def branch_count(self) -> float:
+        """Estimated dynamic branch count."""
+        return (self.branches_per_iteration + 1.0) * self.iterations
+
+    def dram_traffic_fraction(self, l3_capacity_bytes: float) -> float:
+        """Fraction of memory traffic that misses the last-level cache."""
+        pressure = self.working_set_bytes / max(l3_capacity_bytes, 1.0)
+        capacity_misses = pressure / (1.0 + pressure)
+        streaming = (1.0 - self.reuse_factor) * min(1.0, pressure * 4.0)
+        return float(min(1.0, max(capacity_misses, streaming, 0.02)))
+
+    # -------------------------------------------------------------- utility
+    def with_iterations(self, iterations: int) -> "RegionCharacteristics":
+        """Copy of this region with a different trip count (input scaling)."""
+        return replace(self, iterations=iterations)
+
+    def summary(self) -> Dict[str, float]:
+        """Key derived quantities (used in reports and examples)."""
+        return {
+            "iterations": float(self.iterations),
+            "parallel_ops": self.parallel_ops(),
+            "arithmetic_intensity": self.arithmetic_intensity(),
+            "working_set_mib": self.working_set_bytes / (1024.0 * 1024.0),
+            "serial_fraction": self.serial_fraction,
+            "iteration_cost_cv": self.iteration_cost_cv,
+            "atomics_per_iteration": self.atomics_per_iteration,
+        }

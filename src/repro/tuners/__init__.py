@@ -1,0 +1,33 @@
+"""Baseline auto-tuners the paper compares against.
+
+* :class:`~repro.tuners.exhaustive.OracleTuner` — exhaustive search; defines
+  the normalisation (1.0) of every figure.
+* :class:`~repro.tuners.bliss.BlissTuner` — re-implementation of BLISS (Roy
+  et al., PLDI 2021): a pool of lightweight learning models driving a small
+  sampling budget (20 executions per region in the paper's comparison).
+* :class:`~repro.tuners.opentuner.OpenTunerLike` — re-implementation of the
+  OpenTuner ensemble (Ansel et al., PACT 2014): an AUC-bandit meta-technique
+  over several search techniques with a "stop-after" execution budget.
+* :class:`~repro.tuners.random_search.RandomSearchTuner` — uniform random
+  sampling, a sanity baseline.
+
+All baselines are *execution-based*: they consume measurements from the same
+:class:`~repro.core.measurements.MeasurementDatabase` the oracle uses, and
+report how many executions they performed — in contrast to the PnP tuner,
+which selects configurations statically.
+"""
+
+from repro.tuners.base import BaselineTuner, ConfigurationPoint
+from repro.tuners.exhaustive import OracleTuner
+from repro.tuners.random_search import RandomSearchTuner
+from repro.tuners.bliss import BlissTuner
+from repro.tuners.opentuner import OpenTunerLike
+
+__all__ = [
+    "BaselineTuner",
+    "ConfigurationPoint",
+    "OracleTuner",
+    "RandomSearchTuner",
+    "BlissTuner",
+    "OpenTunerLike",
+]

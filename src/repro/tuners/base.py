@@ -1,0 +1,125 @@
+"""Common infrastructure for execution-based baseline tuners."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.measurements import MeasurementDatabase
+from repro.core.search_space import SCHEDULES, SearchSpace
+from repro.openmp.config import OpenMPConfig, ScheduleKind
+
+__all__ = ["ConfigurationPoint", "BaselineTuner", "config_feature_vector"]
+
+
+@dataclass(frozen=True)
+class ConfigurationPoint:
+    """One candidate point in a tuner's search: configuration (+ optional cap)."""
+
+    config: OpenMPConfig
+    power_cap: Optional[float] = None
+
+    def key(self) -> Tuple:
+        return (self.power_cap, self.config.as_tuple())
+
+
+def config_feature_vector(point: ConfigurationPoint, space: SearchSpace) -> np.ndarray:
+    """Numeric feature encoding of a configuration point for surrogate models.
+
+    Features: log2(threads), threads / max_threads, one-hot schedule (3),
+    log2(chunk), chunk / 512, and — when the point carries a power cap — the
+    normalised cap.  The encoding is intentionally low-dimensional; BLISS's
+    lightweight models are meant to be cheap to fit.
+    """
+    config = point.config
+    max_threads = max(space.thread_values)
+    # The default configuration has no explicit chunk; represent it by a
+    # mid-range value so the surrogate models treat it as an ordinary point.
+    chunk = config.chunk_size if config.chunk_size is not None else 64
+    features = [
+        np.log2(config.num_threads),
+        config.num_threads / max_threads,
+        1.0 if config.schedule == ScheduleKind.STATIC else 0.0,
+        1.0 if config.schedule == ScheduleKind.DYNAMIC else 0.0,
+        1.0 if config.schedule == ScheduleKind.GUIDED else 0.0,
+        np.log2(chunk),
+        chunk / 512.0,
+    ]
+    if point.power_cap is not None:
+        features.append(space.normalized_cap(point.power_cap))
+    return np.asarray(features, dtype=np.float64)
+
+
+class BaselineTuner(abc.ABC):
+    """Base class: an execution-budgeted tuner over the Table I space.
+
+    Subclasses implement :meth:`_search`, which receives the candidate points
+    and an objective callable and returns the chosen point; the base class
+    handles candidate enumeration for the two scenarios and execution
+    counting.
+    """
+
+    def __init__(self, name: str, budget: int, seed: int = 0) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.name = name
+        self.budget = budget
+        self.seed = seed
+        self.executions_used = 0
+
+    # ------------------------------------------------------------ scenarios
+    def tune_performance(
+        self, database: MeasurementDatabase, region_id: str, power_cap: float
+    ) -> OpenMPConfig:
+        """Choose the configuration minimising time at ``power_cap``."""
+        space = database.search_space
+        candidates = [
+            ConfigurationPoint(config, power_cap) for config in space.candidate_configurations()
+        ]
+
+        def objective(point: ConfigurationPoint) -> float:
+            self.executions_used += 1
+            return database.measure(region_id, point.config, power_cap).time_s
+
+        chosen = self._search(candidates, objective, space, region_id)
+        return chosen.config
+
+    def tune_edp(self, database: MeasurementDatabase, region_id: str) -> Tuple[float, OpenMPConfig]:
+        """Choose the (cap, configuration) pair minimising EDP."""
+        space = database.search_space
+        candidates = [
+            ConfigurationPoint(config, cap)
+            for cap in space.power_caps
+            for config in space.candidate_configurations()
+        ]
+
+        def objective(point: ConfigurationPoint) -> float:
+            self.executions_used += 1
+            assert point.power_cap is not None
+            return database.measure(region_id, point.config, point.power_cap).edp
+
+        chosen = self._search(candidates, objective, space, region_id)
+        assert chosen.power_cap is not None
+        return chosen.power_cap, chosen.config
+
+    # --------------------------------------------------------------- search
+    @abc.abstractmethod
+    def _search(
+        self,
+        candidates: Sequence[ConfigurationPoint],
+        objective,
+        space: SearchSpace,
+        region_id: str,
+    ) -> ConfigurationPoint:
+        """Return the candidate the tuner selects (measuring via ``objective``)."""
+
+    # ---------------------------------------------------------------- misc
+    def reset(self) -> None:
+        """Clear the execution counter (e.g. between regions in reports)."""
+        self.executions_used = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(budget={self.budget})"

@@ -1,0 +1,39 @@
+"""Exhaustive (oracle) tuner.
+
+Measures every candidate point and returns the true optimum; the paper uses
+this exhaustive exploration as the normaliser (1.0) for every other tuner.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.search_space import SearchSpace
+from repro.tuners.base import BaselineTuner, ConfigurationPoint
+
+__all__ = ["OracleTuner"]
+
+
+class OracleTuner(BaselineTuner):
+    """Brute-force search over the full candidate set."""
+
+    def __init__(self, seed: int = 0) -> None:
+        # The budget equals the full joint space; it is never a constraint.
+        super().__init__(name="oracle", budget=10_000, seed=seed)
+
+    def _search(
+        self,
+        candidates: Sequence[ConfigurationPoint],
+        objective,
+        space: SearchSpace,
+        region_id: str,
+    ) -> ConfigurationPoint:
+        best_point = None
+        best_value = float("inf")
+        for point in candidates:
+            value = objective(point)
+            if value < best_value:
+                best_value = value
+                best_point = point
+        assert best_point is not None
+        return best_point

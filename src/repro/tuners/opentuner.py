@@ -1,0 +1,196 @@
+"""OpenTuner-style ensemble search (Ansel et al., PACT 2014).
+
+OpenTuner combines several search techniques — random sampling, greedy
+mutation hill climbers, and a pattern-search/Nelder-Mead style technique —
+under an AUC-bandit meta-technique that allocates trials to whichever
+technique has recently produced improvements.  The search runs until a
+"stop-after" budget is exhausted (the paper manipulates OpenTuner's
+``stop-after`` flag; here the budget is expressed directly in executions) and
+the best configuration observed is returned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.search_space import CHUNK_SIZES, SCHEDULES, SearchSpace
+from repro.openmp.config import OpenMPConfig
+from repro.tuners.base import BaselineTuner, ConfigurationPoint
+from repro.utils.rng import new_rng
+
+__all__ = ["OpenTunerLike"]
+
+
+class _Technique:
+    """A search technique proposing the next point to evaluate."""
+
+    name = "technique"
+
+    def propose(self, state: "._SearchState", rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+
+class _RandomTechnique(_Technique):
+    name = "random"
+
+    def propose(self, state: "_SearchState", rng: np.random.Generator) -> int:
+        unobserved = state.unobserved()
+        return int(rng.choice(unobserved)) if unobserved else int(rng.integers(state.size))
+
+
+class _MutationHillClimber(_Technique):
+    """Mutate one coordinate of the best-known configuration."""
+
+    name = "hillclimb"
+
+    def propose(self, state: "_SearchState", rng: np.random.Generator) -> int:
+        base = state.best_index if state.best_index is not None else int(rng.integers(state.size))
+        coords = list(state.coordinates[base])
+        axis = int(rng.integers(len(coords)))
+        width = state.dimension_sizes[axis]
+        step = int(rng.choice([-2, -1, 1, 2]))
+        coords[axis] = int(np.clip(coords[axis] + step, 0, width - 1))
+        return state.index_of(tuple(coords))
+
+
+class _PatternSearch(_Technique):
+    """Axis-aligned pattern search around the incumbent (Hooke–Jeeves style)."""
+
+    name = "pattern"
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, ...]] = []
+
+    def propose(self, state: "_SearchState", rng: np.random.Generator) -> int:
+        if not self._queue:
+            base = state.best_index if state.best_index is not None else int(rng.integers(state.size))
+            coords = state.coordinates[base]
+            for axis in range(len(coords)):
+                for step in (-1, 1):
+                    candidate = list(coords)
+                    candidate[axis] = int(
+                        np.clip(candidate[axis] + step, 0, state.dimension_sizes[axis] - 1)
+                    )
+                    self._queue.append(tuple(candidate))
+            rng.shuffle(self._queue)
+        return state.index_of(self._queue.pop())
+
+
+class _SearchState:
+    """Shared bookkeeping: the candidate grid and observations so far."""
+
+    def __init__(self, candidates: Sequence[ConfigurationPoint], space: SearchSpace) -> None:
+        self.candidates = list(candidates)
+        self.size = len(self.candidates)
+        caps = sorted({p.power_cap for p in self.candidates})
+        self._has_cap_dimension = len(caps) > 1
+        threads = list(space.thread_values)
+        chunks = list(CHUNK_SIZES)
+
+        self.coordinates: List[Tuple[int, ...]] = []
+        self._index: Dict[Tuple[int, ...], int] = {}
+        for i, point in enumerate(self.candidates):
+            config = point.config
+            thread_coord = threads.index(config.num_threads) if config.num_threads in threads else len(threads) - 1
+            schedule_coord = list(SCHEDULES).index(config.schedule)
+            chunk_coord = chunks.index(config.chunk_size) if config.chunk_size in chunks else len(chunks) // 2
+            coord = [thread_coord, schedule_coord, chunk_coord]
+            if self._has_cap_dimension:
+                coord.append(caps.index(point.power_cap))
+            coord_tuple = tuple(coord)
+            self.coordinates.append(coord_tuple)
+            # Default-config duplicates map to the first candidate seen.
+            self._index.setdefault(coord_tuple, i)
+
+        self.dimension_sizes = [len(threads), len(SCHEDULES), len(chunks)]
+        if self._has_cap_dimension:
+            self.dimension_sizes.append(len(caps))
+
+        self.results: Dict[int, float] = {}
+        self.best_index: Optional[int] = None
+        self.best_value = float("inf")
+
+    def index_of(self, coords: Tuple[int, ...]) -> int:
+        if coords in self._index:
+            return self._index[coords]
+        # Coordinates that only correspond to the default configuration slot:
+        # fall back to the nearest existing grid point.
+        distances = [
+            (sum(abs(a - b) for a, b in zip(coords, existing)), index)
+            for existing, index in self._index.items()
+        ]
+        return min(distances)[1]
+
+    def unobserved(self) -> List[int]:
+        return [i for i in range(self.size) if i not in self.results]
+
+    def record(self, index: int, value: float) -> bool:
+        self.results[index] = value
+        if value < self.best_value:
+            self.best_value = value
+            self.best_index = index
+            return True
+        return False
+
+
+class OpenTunerLike(BaselineTuner):
+    """AUC-bandit ensemble of search techniques with an execution budget."""
+
+    def __init__(self, budget: int = 30, seed: int = 0, bandit_window: int = 10) -> None:
+        super().__init__(name="opentuner", budget=budget, seed=seed)
+        if bandit_window <= 0:
+            raise ValueError("bandit_window must be positive")
+        self.bandit_window = bandit_window
+
+    def _search(
+        self,
+        candidates: Sequence[ConfigurationPoint],
+        objective,
+        space: SearchSpace,
+        region_id: str,
+    ) -> ConfigurationPoint:
+        rng = new_rng(self.seed, f"opentuner/{region_id}")
+        state = _SearchState(candidates, space)
+        techniques: List[_Technique] = [_RandomTechnique(), _MutationHillClimber(), _PatternSearch()]
+        history: Dict[str, List[int]] = {t.name: [] for t in techniques}
+        uses: Dict[str, int] = {t.name: 0 for t in techniques}
+
+        budget = min(self.budget, state.size)
+        trials = 0
+        while trials < budget:
+            technique = self._pick_technique(techniques, history, uses, rng)
+            index = technique.propose(state, rng)
+            if index in state.results:
+                # Re-proposing an observed point costs nothing; try a random
+                # unobserved one instead so the budget is spent on new points.
+                unobserved = state.unobserved()
+                if not unobserved:
+                    break
+                index = int(rng.choice(unobserved))
+            value = objective(state.candidates[index])
+            improved = state.record(index, value)
+            history[technique.name].append(1 if improved else 0)
+            uses[technique.name] += 1
+            trials += 1
+
+        assert state.best_index is not None
+        return state.candidates[state.best_index]
+
+    def _pick_technique(
+        self,
+        techniques: List[_Technique],
+        history: Dict[str, List[int]],
+        uses: Dict[str, int],
+        rng: np.random.Generator,
+    ) -> _Technique:
+        """AUC-bandit selection: exploitation of recent improvement + UCB bonus."""
+        total_uses = sum(uses.values()) + 1
+        scores = []
+        for technique in techniques:
+            recent = history[technique.name][-self.bandit_window :]
+            auc = np.mean(recent) if recent else 1.0  # optimism for unused techniques
+            exploration = np.sqrt(2.0 * np.log(total_uses) / (uses[technique.name] + 1))
+            scores.append(auc + 0.3 * exploration + 1e-6 * rng.random())
+        return techniques[int(np.argmax(scores))]

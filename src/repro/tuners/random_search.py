@@ -1,0 +1,39 @@
+"""Uniform random-search baseline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.search_space import SearchSpace
+from repro.tuners.base import BaselineTuner, ConfigurationPoint
+from repro.utils.rng import new_rng
+
+__all__ = ["RandomSearchTuner"]
+
+
+class RandomSearchTuner(BaselineTuner):
+    """Sample ``budget`` random points and keep the best one observed."""
+
+    def __init__(self, budget: int = 20, seed: int = 0) -> None:
+        super().__init__(name="random", budget=budget, seed=seed)
+
+    def _search(
+        self,
+        candidates: Sequence[ConfigurationPoint],
+        objective,
+        space: SearchSpace,
+        region_id: str,
+    ) -> ConfigurationPoint:
+        rng = new_rng(self.seed, f"random-search/{region_id}")
+        count = min(self.budget, len(candidates))
+        indices = rng.choice(len(candidates), size=count, replace=False)
+        best_point = None
+        best_value = float("inf")
+        for index in indices:
+            point = candidates[int(index)]
+            value = objective(point)
+            if value < best_value:
+                best_value = value
+                best_point = point
+        assert best_point is not None
+        return best_point

@@ -1,0 +1,31 @@
+"""Shared utilities: deterministic RNG handling, statistics, logging and caching.
+
+Every stochastic component in the reproduction takes an explicit seed and
+derives child seeds through :func:`repro.utils.rng.spawn_seed`, which keeps
+experiments reproducible bit-for-bit while still decorrelating independent
+components (simulator noise, weight initialisation, samplers).
+"""
+
+from repro.utils.rng import RngFactory, new_rng, spawn_seed
+from repro.utils.stats import (
+    geometric_mean,
+    harmonic_mean,
+    normalize_by,
+    summarize,
+    Welford,
+)
+from repro.utils.logging import get_logger
+from repro.utils.caching import memoize_method
+
+__all__ = [
+    "RngFactory",
+    "new_rng",
+    "spawn_seed",
+    "geometric_mean",
+    "harmonic_mean",
+    "normalize_by",
+    "summarize",
+    "Welford",
+    "get_logger",
+    "memoize_method",
+]

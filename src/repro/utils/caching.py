@@ -1,0 +1,41 @@
+"""Small caching helpers.
+
+The exhaustive measurement sweep over the 508-point search space is by far the
+most expensive part of dataset construction; tuners, the oracle and the label
+builder all reuse the same measurements through per-instance memoisation.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, TypeVar
+
+__all__ = ["memoize_method"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def memoize_method(func: F) -> F:
+    """Memoise a method per instance, keyed on positional/keyword arguments.
+
+    Unlike :func:`functools.lru_cache` applied directly to a method, the cache
+    lives on the instance (``self.__dict__``) so instances remain independent
+    and can be garbage collected normally.
+    All arguments must be hashable.
+    """
+
+    cache_attr = f"_memo_{func.__name__}"
+
+    @functools.wraps(func)
+    def wrapper(self, *args, **kwargs):
+        cache = self.__dict__.setdefault(cache_attr, {})
+        key = (args, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            cache[key] = func(self, *args, **kwargs)
+        return cache[key]
+
+    def cache_clear(self) -> None:  # pragma: no cover - trivial
+        self.__dict__.pop(cache_attr, None)
+
+    wrapper.cache_clear = cache_clear  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]

@@ -1,0 +1,38 @@
+"""Thin wrapper over :mod:`logging` with a library-wide namespace.
+
+The library never configures the root logger; applications (the examples and
+the benchmark harness) opt in to console output via :func:`enable_console`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "enable_console"]
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("core.training")`` returns the ``repro.core.training`` logger.
+    """
+    full = _ROOT_NAME if not name else f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(full)
+
+
+def enable_console(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the library root logger (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler):
+            handler.setLevel(level)
+            return
+    handler = logging.StreamHandler(stream=sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)

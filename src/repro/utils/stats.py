@@ -1,0 +1,138 @@
+"""Statistics helpers used throughout the evaluation.
+
+The paper reports geometric means of speedups/greenups and normalises the
+speedup obtained by each tuner by the oracle (exhaustive-search) speedup; the
+helpers here implement those aggregations with explicit handling of empty and
+degenerate inputs so the experiment code never has to special-case them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["geometric_mean", "harmonic_mean", "normalize_by", "summarize", "Welford"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Raises
+    ------
+    ValueError
+        If the input is empty or contains non-positive values — speedups,
+        greenups and EDP ratios are positive by construction, so a
+        non-positive value indicates a bug upstream.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0.0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of strictly positive values."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("harmonic_mean of empty sequence")
+    if np.any(arr <= 0.0):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def normalize_by(values: Mapping[str, float], reference: Mapping[str, float]) -> dict:
+    """Normalise ``values[k]`` by ``reference[k]`` for every shared key.
+
+    Used to express each tuner's speedup as a fraction of the oracle speedup
+    (the paper's "normalized speedup", which is 1.0 for the oracle itself).
+    Keys missing from either mapping are skipped.
+    """
+    out = {}
+    for key, val in values.items():
+        ref = reference.get(key)
+        if ref is None or ref == 0.0:
+            continue
+        out[key] = float(val) / float(ref)
+    return out
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    geomean: float
+    minimum: float
+    maximum: float
+    p50: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "geomean": self.geomean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return a :class:`Summary` of a positive sample (speedups, ratios)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=int(arr.size),
+        mean=float(np.mean(arr)),
+        geomean=geometric_mean(arr) if np.all(arr > 0) else float("nan"),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        p50=float(np.median(arr)),
+    )
+
+
+class Welford:
+    """Streaming mean/variance accumulator (Welford's algorithm).
+
+    Used by the measurement database to accumulate repeated-trial statistics
+    without storing every sample.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); zero for fewer than two observations."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))

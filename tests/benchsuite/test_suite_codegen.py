@@ -1,0 +1,133 @@
+"""Tests for the benchmark-suite registry and the IR code generator."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.codegen import generate_application_module, generate_region_function, region_function_name
+from repro.benchsuite.polybench import POLYBENCH_NAMES, polybench_applications
+from repro.benchsuite.proxyapps import LULESH_MOTIVATING_REGION, PROXY_NAMES, proxy_applications
+from repro.benchsuite.registry import (
+    all_regions,
+    application_names,
+    full_suite,
+    get_application,
+    get_region,
+    regions_by_application,
+)
+from repro.graphs.programl import build_flow_graph
+from repro.ir.module import Module
+from repro.ir.outline import extract_outlined_regions, outlined_function_names
+from repro.ir.verifier import verify_module
+from repro.openmp.region import ImbalancePattern
+
+
+class TestSuiteShape:
+    def test_paper_cardinality(self):
+        suite = full_suite()
+        assert len(suite) == 30
+        assert sum(app.num_regions for app in suite) == 68
+
+    def test_polybench_and_proxy_split(self):
+        suite = full_suite()
+        assert sum(1 for a in suite if a.suite == "polybench") == 24
+        assert sum(1 for a in suite if a.suite == "proxy") == 6
+        assert set(PROXY_NAMES) <= set(application_names())
+        assert set(POLYBENCH_NAMES) <= set(application_names())
+
+    def test_region_ids_unique_and_well_formed(self):
+        regions = all_regions()
+        ids = [r.region_id for r in regions]
+        assert len(set(ids)) == len(ids)
+        for region in regions:
+            assert region.region_id.startswith(region.application + "/")
+
+    def test_lookup_functions(self):
+        app = get_application("LULESH")
+        assert app.num_regions == 8
+        assert LULESH_MOTIVATING_REGION in app.region_ids()
+        region = get_region(LULESH_MOTIVATING_REGION)
+        assert region.application == "LULESH"
+        with pytest.raises(KeyError):
+            get_application("nonexistent")
+        with pytest.raises(KeyError):
+            get_region("nonexistent/kernel")
+
+    def test_regions_by_application_consistent(self):
+        mapping = regions_by_application()
+        assert len(mapping) == 30
+        assert sum(len(v) for v in mapping.values()) == 68
+
+    def test_workload_diversity(self):
+        regions = all_regions()
+        # The suite must contain compute-bound, bandwidth-bound, imbalanced,
+        # atomic-heavy and tiny regions — the diversity the tuner learns from.
+        assert any(r.arithmetic_intensity() > 10 for r in regions)
+        assert any(r.arithmetic_intensity() < 0.5 for r in regions)
+        assert any(r.imbalance_pattern == ImbalancePattern.LINEAR for r in regions)
+        assert any(r.atomics_per_iteration > 0 for r in regions)
+        assert any(r.parallel_ops() < 1e6 for r in regions)
+        assert any(r.parallel_ops() > 1e9 for r in regions)
+
+    def test_expected_multi_region_apps(self):
+        mapping = regions_by_application()
+        assert len(mapping["LULESH"]) == 8
+        assert len(mapping["miniAMR"]) == 5
+        assert len(mapping["XSBench"]) == 2
+        assert len(mapping["2mm"]) == 2
+
+
+class TestCodegen:
+    def test_region_function_name_convention(self):
+        region = get_region("gemm/kernel_gemm")
+        assert region_function_name(region) == "gemm.kernel_gemm.omp_outlined"
+
+    def test_generated_module_verifies_and_outlines(self):
+        app = get_application("Quicksilver")
+        module = generate_application_module(app.name, list(app.regions), seed=0)
+        verify_module(module)
+        outlined = outlined_function_names(module)
+        assert len(outlined) == app.num_regions
+        regions = extract_outlined_regions(module)
+        for name, region_module in regions.items():
+            assert region_module.get_function(name).is_omp_outlined
+
+    def test_codegen_reflects_region_characteristics(self):
+        app = get_application("LULESH")
+        module = generate_application_module(app.name, list(app.regions), seed=0)
+        atomic_region = next(r for r in app.regions if r.atomics_per_iteration > 0)
+        plain_region = next(r for r in app.regions if r.atomics_per_iteration == 0)
+        atomic_fn = module.get_function(region_function_name(atomic_region))
+        plain_fn = module.get_function(region_function_name(plain_region))
+        assert any(i.opcode == "atomicrmw" for i in atomic_fn.instructions())
+        assert not any(i.opcode == "atomicrmw" for i in plain_fn.instructions())
+
+    def test_nest_depth_appears_as_phi_count(self):
+        deep = get_region("gemm/kernel_gemm")        # nest depth 3
+        shallow = get_region("LULESH/CalcPositionForNodes")  # nest depth 1
+        module = Module("scratch")
+        deep_fn = generate_region_function(module, deep, seed=0)
+        module2 = Module("scratch2")
+        shallow_fn = generate_region_function(module2, shallow, seed=0)
+        deep_phis = sum(1 for i in deep_fn.instructions() if i.opcode == "phi")
+        shallow_phis = sum(1 for i in shallow_fn.instructions() if i.opcode == "phi")
+        assert deep_phis > shallow_phis
+
+    def test_determinism(self):
+        app = get_application("miniFE")
+        a = generate_application_module(app.name, list(app.regions), seed=3)
+        b = generate_application_module(app.name, list(app.regions), seed=3)
+        assert a.render() == b.render()
+
+    def test_rejects_foreign_regions(self):
+        region = get_region("gemm/kernel_gemm")
+        with pytest.raises(ValueError):
+            generate_application_module("atax", [region], seed=0)
+
+    def test_graphs_differ_between_kernel_families(self):
+        gemm = get_region("gemm/kernel_gemm")
+        boundary = get_region(LULESH_MOTIVATING_REGION)
+        module = Module("mix1")
+        gemm_fn = generate_region_function(module, gemm, seed=0)
+        module2 = Module("mix2")
+        boundary_fn = generate_region_function(module2, boundary, seed=0)
+        assert gemm_fn.num_instructions() > 2 * boundary_fn.num_instructions()

@@ -1,0 +1,35 @@
+"""Shared fixtures for core-package tests.
+
+Core tests run against a *small* measurement database (4 applications, 9
+regions) so the exhaustive labelling sweeps stay cheap; the full 68-region
+suite is exercised by the benchmark harness instead.
+"""
+
+import pytest
+
+from repro.benchsuite.registry import regions_by_application
+from repro.core.dataset import DatasetBuilder
+from repro.core.measurements import MeasurementDatabase
+from repro.core.search_space import SearchSpace
+from repro.hw.machine import Machine
+
+#: Applications giving a diverse but small test workload.
+TEST_APPLICATIONS = ("gemm", "trisolv", "atax", "XSBench")
+
+
+@pytest.fixture(scope="session")
+def small_regions_by_app():
+    everything = regions_by_application()
+    return {name: everything[name] for name in TEST_APPLICATIONS}
+
+
+@pytest.fixture(scope="session")
+def small_database(small_regions_by_app):
+    regions = [r for rs in small_regions_by_app.values() for r in rs]
+    machine = Machine.named("haswell", seed=0)
+    return MeasurementDatabase(machine, SearchSpace("haswell"), regions)
+
+
+@pytest.fixture(scope="session")
+def small_builder(small_database, small_regions_by_app):
+    return DatasetBuilder(small_database, regions_by_app=small_regions_by_app, seed=0)

@@ -1,0 +1,184 @@
+"""Tests for the evaluation metrics and the PnPTuner public API."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluation
+from repro.core.dataset import TuningScenario
+from repro.core.evaluation import EdpRecord, PerformanceRecord
+from repro.core.model import ModelConfig
+from repro.core.training import TrainingConfig
+from repro.core.tuner import (
+    PnPTuner,
+    labels_to_edp_selections,
+    labels_to_performance_selections,
+)
+from repro.openmp.config import OpenMPConfig, ScheduleKind
+
+
+def perf_record(region="app/k", cap=40.0, time=1.0, default=2.0, oracle=0.8):
+    return PerformanceRecord(
+        region_id=region,
+        application=region.split("/")[0],
+        power_cap=cap,
+        config=OpenMPConfig(8, ScheduleKind.STATIC, 64),
+        time_s=time,
+        default_time_s=default,
+        oracle_time_s=oracle,
+    )
+
+
+class TestPerformanceRecord:
+    def test_derived_metrics(self):
+        record = perf_record()
+        assert record.speedup == pytest.approx(2.0)
+        assert record.oracle_speedup == pytest.approx(2.5)
+        assert record.normalized_speedup == pytest.approx(0.8)
+
+    def test_aggregations(self):
+        records = [perf_record(time=1.0), perf_record(region="b/k", time=0.8, oracle=0.8)]
+        by_app = evaluation.geomean_by_application(records, "normalized_speedup")
+        assert set(by_app) == {"app", "b"}
+        assert by_app["b"] == pytest.approx(1.0)
+        assert evaluation.overall_geomean(records, "speedup") == pytest.approx(
+            np.sqrt(2.0 * 2.5)
+        )
+        assert evaluation.fraction_within_oracle(records, 0.95) == pytest.approx(0.5)
+
+    def test_fraction_better_than(self):
+        a = [perf_record(time=0.8, oracle=0.8), perf_record(region="b/k", time=1.0, oracle=0.5)]
+        b = [perf_record(time=1.0, oracle=0.8), perf_record(region="b/k", time=0.5, oracle=0.5)]
+        assert evaluation.fraction_better_than(a, b) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            evaluation.fraction_better_than(a, [perf_record(region="zzz/k")])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            evaluation.fraction_within_oracle([])
+
+
+class TestEdpRecord:
+    def test_derived_metrics(self):
+        record = EdpRecord(
+            region_id="app/k",
+            application="app",
+            power_cap=60.0,
+            config=OpenMPConfig(8, ScheduleKind.STATIC, 64),
+            time_s=1.0,
+            energy_j=10.0,
+            default_time_s=1.5,
+            default_energy_j=30.0,
+            oracle_edp=8.0,
+        )
+        assert record.edp == pytest.approx(10.0)
+        assert record.default_edp == pytest.approx(45.0)
+        assert record.edp_improvement == pytest.approx(4.5)
+        assert record.normalized_edp_improvement == pytest.approx(0.8)
+        assert record.speedup == pytest.approx(1.5)
+        assert record.greenup == pytest.approx(3.0)
+
+
+class TestEvaluationAgainstDatabase:
+    def test_oracle_selection_evaluates_to_one(self, small_database):
+        space = small_database.search_space
+        selections = {}
+        for region_id in small_database.region_ids:
+            config, _ = small_database.best_by_time(region_id, 40.0)
+            selections[(region_id, 40.0)] = config
+        records = evaluation.evaluate_power_constrained(small_database, selections)
+        for record in records:
+            assert record.normalized_speedup == pytest.approx(1.0, abs=1e-9)
+
+    def test_default_selection_normalized_below_one(self, small_database):
+        space = small_database.search_space
+        selections = {
+            (rid, 40.0): space.default_configuration for rid in small_database.region_ids
+        }
+        records = evaluation.evaluate_power_constrained(small_database, selections)
+        assert all(r.speedup == pytest.approx(1.0) for r in records)
+        assert all(r.normalized_speedup <= 1.0 + 1e-9 for r in records)
+
+    def test_edp_oracle_selection_evaluates_to_one(self, small_database):
+        selections = {}
+        for region_id in small_database.region_ids:
+            cap, config, _ = small_database.best_by_edp(region_id)
+            selections[region_id] = (cap, config)
+        records = evaluation.evaluate_edp(small_database, selections)
+        for record in records:
+            assert record.normalized_edp_improvement == pytest.approx(1.0, abs=1e-9)
+            assert record.edp_improvement >= 1.0 - 1e-9
+
+
+class TestLabelConversion:
+    def test_performance_labels_to_selections(self, small_database):
+        space = small_database.search_space
+        predictions = {("gemm/kernel_gemm", 40.0): 0, ("atax/kernel_atax", 85.0): 126}
+        selections = labels_to_performance_selections(predictions, space)
+        assert selections[("gemm/kernel_gemm", 40.0)] == space.config_from_index(0)
+        assert selections[("atax/kernel_atax", 85.0)] == space.default_configuration
+        with pytest.raises(ValueError):
+            labels_to_performance_selections({("x", None): 0}, space)
+
+    def test_edp_labels_to_selections(self, small_database):
+        space = small_database.search_space
+        selections = labels_to_edp_selections({("gemm/kernel_gemm", None): 200}, space)
+        cap, config = selections["gemm/kernel_gemm"]
+        assert space.joint_index(cap, config) == 200
+
+
+class TestPnPTunerApi:
+    @pytest.fixture(scope="class")
+    def fitted_tuner(self, small_database, small_regions_by_app):
+        from repro.core.dataset import DatasetBuilder
+
+        tuner = PnPTuner(
+            system="haswell",
+            objective="time",
+            database=small_database,
+            model_config=None,
+            training_config=TrainingConfig(epochs=2, learning_rate=3e-3, seed=0),
+            seed=0,
+        )
+        # Restrict the builder to the small test suite to keep labelling cheap.
+        tuner.builder = DatasetBuilder(small_database, regions_by_app=small_regions_by_app, seed=0)
+        tuner.fit()
+        return tuner
+
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError):
+            PnPTuner(system="haswell", objective="throughput")
+
+    def test_predict_requires_fit(self, small_database, small_regions_by_app):
+        tuner = PnPTuner(system="haswell", objective="time", database=small_database)
+        region = small_regions_by_app["gemm"][0]
+        with pytest.raises(RuntimeError):
+            tuner.predict(region, power_cap=40.0)
+
+    def test_predict_returns_valid_configuration(self, fitted_tuner, small_regions_by_app):
+        region = small_regions_by_app["trisolv"][0]
+        result = fitted_tuner.predict(region, power_cap=60.0)
+        assert result.power_cap == 60.0
+        assert result.config in fitted_tuner.search_space.candidate_configurations()
+        assert "trisolv" in result.describe()
+
+    def test_predict_requires_power_cap_for_time_objective(self, fitted_tuner, small_regions_by_app):
+        with pytest.raises(ValueError):
+            fitted_tuner.predict(small_regions_by_app["gemm"][0], power_cap=None)
+
+    def test_state_dict_roundtrip(self, fitted_tuner, small_database, small_regions_by_app):
+        from repro.core.dataset import DatasetBuilder
+
+        clone = PnPTuner(
+            system="haswell",
+            objective="time",
+            database=small_database,
+            training_config=TrainingConfig(epochs=1, seed=0),
+            seed=0,
+        )
+        clone.builder = DatasetBuilder(small_database, regions_by_app=small_regions_by_app, seed=0)
+        clone.load_state_dict(fitted_tuner.state_dict())
+        region = small_regions_by_app["atax"][0]
+        assert (
+            clone.predict(region, power_cap=40.0).label
+            == fitted_tuner.predict(region, power_cap=40.0).label
+        )

@@ -1,0 +1,84 @@
+"""Tests for the Table I search space and its index conventions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.search_space import CHUNK_SIZES, POWER_CAPS, SCHEDULES, THREAD_VALUES, SearchSpace
+from repro.openmp.config import OpenMPConfig, ScheduleKind
+
+
+class TestTableI:
+    def test_power_caps_match_paper(self):
+        assert POWER_CAPS["skylake"] == (75.0, 100.0, 120.0, 150.0)
+        assert POWER_CAPS["haswell"] == (40.0, 60.0, 70.0, 85.0)
+
+    def test_thread_values_match_paper(self):
+        assert THREAD_VALUES["skylake"] == (1, 4, 8, 16, 32, 64)
+        assert THREAD_VALUES["haswell"] == (1, 2, 4, 8, 16, 32)
+
+    def test_schedules_and_chunks(self):
+        assert [s.value for s in SCHEDULES] == ["static", "dynamic", "guided"]
+        assert CHUNK_SIZES == (1, 8, 32, 64, 128, 256, 512)
+
+    @pytest.mark.parametrize("system", ["haswell", "skylake"])
+    def test_configuration_counts(self, system):
+        space = SearchSpace(system)
+        assert len(space.omp_configurations()) == 126
+        assert space.num_omp_configurations == 127          # + default
+        assert space.num_joint_configurations == 508         # paper's 504 + 4 defaults
+        assert len(space.candidate_configurations()) == 127
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            SearchSpace("epyc")
+
+    def test_default_configuration_uses_all_hardware_threads(self):
+        assert SearchSpace("haswell").default_configuration.num_threads == 32
+        assert SearchSpace("skylake").default_configuration.num_threads == 64
+        assert SearchSpace("haswell").default_configuration.schedule == ScheduleKind.STATIC
+
+
+class TestIndexing:
+    @pytest.mark.parametrize("system", ["haswell", "skylake"])
+    def test_config_index_roundtrip_all(self, system):
+        space = SearchSpace(system)
+        for index, config in enumerate(space.candidate_configurations()):
+            assert space.config_index(config) == index
+            assert space.config_from_index(index) == config
+
+    def test_joint_index_roundtrip_all(self):
+        space = SearchSpace("haswell")
+        for cap in space.power_caps:
+            for config in space.candidate_configurations():
+                joint = space.joint_index(cap, config)
+                back_cap, back_config = space.joint_from_index(joint)
+                assert back_cap == cap and back_config == config
+
+    def test_out_of_range_indices(self):
+        space = SearchSpace("haswell")
+        with pytest.raises(IndexError):
+            space.config_from_index(127)
+        with pytest.raises(IndexError):
+            space.joint_from_index(508)
+        with pytest.raises(KeyError):
+            space.cap_index(55.0)
+        with pytest.raises(KeyError):
+            space.config_index(OpenMPConfig(3, ScheduleKind.STATIC, 8))
+
+    def test_normalized_cap(self):
+        space = SearchSpace("haswell")
+        assert space.normalized_cap(40.0) == 0.0
+        assert space.normalized_cap(85.0) == 1.0
+        assert 0.0 < space.normalized_cap(60.0) < 1.0
+
+    def test_describe_contents(self):
+        info = SearchSpace("skylake").describe()
+        assert info["num_joint_configurations"] == 508
+        assert info["power_caps"] == [75.0, 100.0, 120.0, 150.0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=507))
+    def test_joint_roundtrip_property(self, index):
+        space = SearchSpace("skylake")
+        cap, config = space.joint_from_index(index)
+        assert space.joint_index(cap, config) == index

@@ -1,0 +1,113 @@
+"""Tests for the vocabulary, the graph encoder and static features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.encoder import GraphEncoder
+from repro.graphs.features import STATIC_FEATURE_NAMES, static_feature_vector
+from repro.graphs.flowgraph import EdgeRelation, FlowGraph, NodeKind
+from repro.graphs.vocabulary import UNKNOWN_TOKEN, Vocabulary, build_default_vocabulary
+
+
+def _toy_graph():
+    g = FlowGraph("toy")
+    load = g.add_node(NodeKind.INSTRUCTION, "load double")
+    fmul = g.add_node(NodeKind.INSTRUCTION, "fmul double")
+    store = g.add_node(NodeKind.INSTRUCTION, "store void")
+    var = g.add_node(NodeKind.VARIABLE, "double")
+    const = g.add_node(NodeKind.CONSTANT, "i64 ~2^7")
+    g.add_edge(load, fmul, EdgeRelation.CONTROL)
+    g.add_edge(fmul, store, EdgeRelation.CONTROL)
+    g.add_edge(load, var, EdgeRelation.DATA)
+    g.add_edge(var, fmul, EdgeRelation.DATA)
+    g.add_edge(const, fmul, EdgeRelation.DATA)
+    return g
+
+
+class TestVocabulary:
+    def test_unknown_token_is_zero(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.encode(UNKNOWN_TOKEN) == 0
+        assert vocab.encode("missing") == 0
+        assert vocab.encode("a") != 0
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("x")
+        assert vocab.add("x") == first
+        assert len(vocab) == 2  # <unk> + x
+
+    def test_roundtrip(self):
+        vocab = Vocabulary(["load double", "store void"])
+        for token in vocab.tokens:
+            assert vocab.decode(vocab.encode(token)) == token
+
+    def test_from_graphs(self):
+        vocab = Vocabulary.from_graphs([_toy_graph()])
+        assert "fmul double" in vocab
+        assert "i64 ~2^7" in vocab
+
+    def test_default_vocabulary_covers_generated_tokens(self):
+        vocab = build_default_vocabulary()
+        for token in ("load double", "store void", "phi i64", "atomicrmw double",
+                      "i64 ~2^20", "[external]", "double*"):
+            assert token in vocab, token
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary().add("")
+
+
+class TestGraphEncoder:
+    def test_encode_shapes(self):
+        vocab = build_default_vocabulary()
+        sample = GraphEncoder(vocab).encode(_toy_graph(), label=3, aux_features=np.array([0.5]))
+        assert sample.num_nodes == 5
+        assert sample.num_edges == 5
+        assert sample.label == 3
+        assert sample.token_ids.shape == (5,)
+        assert sample.edge_index.shape == (2, 5)
+        assert sample.region_id == "toy"
+
+    def test_unknown_token_fraction(self):
+        vocab = Vocabulary(["load double"])
+        encoder = GraphEncoder(vocab)
+        fraction = encoder.unknown_token_fraction(_toy_graph())
+        assert fraction == pytest.approx(4 / 5)
+
+    def test_token_ids_consistent_with_vocabulary(self):
+        vocab = build_default_vocabulary()
+        sample = GraphEncoder(vocab).encode(_toy_graph())
+        assert sample.token_ids[0] == vocab.encode("load double")
+
+
+class TestStaticFeatures:
+    def test_names_match_length(self):
+        features = static_feature_vector(_toy_graph())
+        assert features.shape == (len(STATIC_FEATURE_NAMES),)
+
+    def test_counts(self):
+        features = dict(zip(STATIC_FEATURE_NAMES, static_feature_vector(_toy_graph())))
+        assert features["loads"] == 1
+        assert features["stores"] == 1
+        assert features["float_arith"] == 1
+        assert features["num_constants"] == 1
+        assert features["control_edges"] == 2
+        assert features["data_edges"] == 3
+
+    def test_ratios_are_bounded(self):
+        features = dict(zip(STATIC_FEATURE_NAMES, static_feature_vector(_toy_graph())))
+        assert 0.0 <= features["memory_ratio"] <= 2.0
+        assert 0.0 <= features["flop_ratio"] <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=3))
+    def test_never_nan_on_random_graphs(self, n_instructions, extra_kind):
+        g = FlowGraph()
+        for i in range(n_instructions):
+            g.add_node(NodeKind.INSTRUCTION, "fadd double")
+        if extra_kind:
+            g.add_node(NodeKind(extra_kind % 3), "double")
+        features = static_feature_vector(g)
+        assert np.all(np.isfinite(features))

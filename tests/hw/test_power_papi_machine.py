@@ -1,0 +1,118 @@
+"""Tests for the RAPL emulation, Variorum facade, PAPI estimator and Machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite.registry import get_region
+from repro.hw.machine import Machine
+from repro.hw.papi import COUNTER_NAMES, PapiInterface
+from repro.hw.power import ENERGY_UNIT_JOULES, RaplDomain, RaplInterface
+from repro.hw.processor import HASWELL
+from repro.hw.variorum import Variorum
+
+
+class TestRapl:
+    def test_default_limit_is_tdp(self):
+        rapl = RaplInterface(HASWELL)
+        assert rapl.get_power_limit() == HASWELL.tdp_watts
+
+    def test_limit_clamped_to_supported_range(self):
+        rapl = RaplInterface(HASWELL)
+        rapl.set_power_limit(10.0)
+        assert rapl.get_power_limit() == HASWELL.min_power_watts
+        rapl.set_power_limit(500.0)
+        assert rapl.get_power_limit() == HASWELL.tdp_watts
+        with pytest.raises(ValueError):
+            rapl.set_power_limit(-5.0)
+
+    def test_energy_accounting_and_reset(self):
+        rapl = RaplInterface(HASWELL)
+        rapl.account_energy(12.0, 0.5)
+        assert rapl.read_energy_joules() == pytest.approx(12.0, rel=1e-4)
+        assert rapl.elapsed_time_s == pytest.approx(0.5)
+        assert len(rapl.power_samples()) == 1
+        assert rapl.power_samples()[0].power_watts == pytest.approx(24.0, rel=1e-4)
+        rapl.reset_power_limit()
+        assert rapl.get_power_limit() == HASWELL.tdp_watts
+
+    def test_counter_wraps_like_hardware(self):
+        before = (1 << 32) - 100
+        after = 50
+        delta = RaplInterface.energy_delta_joules(before, after)
+        assert delta == pytest.approx(150 * ENERGY_UNIT_JOULES)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=2**20))
+    def test_delta_non_negative_across_wrap(self, start, increment):
+        end = (start + increment) % (1 << 32)
+        delta_units = RaplInterface.energy_delta_joules(start, end) / ENERGY_UNIT_JOULES
+        assert round(delta_units) == increment
+
+
+class TestVariorum:
+    def test_cap_and_uncap(self):
+        rapl = RaplInterface(HASWELL)
+        variorum = Variorum(rapl)
+        assert variorum.cap_best_effort_node_power_limit(60.0) == 60.0
+        assert variorum.get_node_power_limit() == 60.0
+        assert variorum.cap_best_effort_node_power_limit(10.0) == HASWELL.min_power_watts
+        assert variorum.uncap_node_power_limit() == HASWELL.tdp_watts
+
+    def test_print_power_reports_state(self):
+        rapl = RaplInterface(HASWELL)
+        rapl.account_energy(5.0, 0.1)
+        report = Variorum(rapl).print_power()
+        assert report["package_limit_watts"] == HASWELL.tdp_watts
+        assert report["package_energy_joules"] == pytest.approx(5.0, rel=1e-3)
+
+
+class TestPapi:
+    def test_counter_ordering_and_positivity(self):
+        papi = PapiInterface(HASWELL, noise_fraction=0.0, seed=0)
+        region = get_region("gemm/kernel_gemm")
+        counters = papi.profile(region)
+        vector = counters.as_array()
+        assert vector.shape == (len(COUNTER_NAMES),)
+        assert np.all(vector >= 0)
+        assert counters.instructions > counters.l1_misses >= counters.l2_misses >= counters.l3_misses
+
+    def test_deterministic_given_seed(self):
+        papi = PapiInterface(HASWELL, noise_fraction=0.02, seed=7)
+        region = get_region("atax/kernel_atax")
+        a = papi.profile(region).as_array()
+        b = PapiInterface(HASWELL, noise_fraction=0.02, seed=7).profile(region).as_array()
+        np.testing.assert_array_equal(a, b)
+
+    def test_streaming_kernel_misses_more_than_blocked(self):
+        papi = PapiInterface(HASWELL, noise_fraction=0.0)
+        streaming = get_region("atax/kernel_atax")      # reuse ~0.1
+        blocked = get_region("gemm/kernel_gemm")        # reuse ~0.85
+        s = papi.profile(streaming)
+        b = papi.profile(blocked)
+        assert s.l3_misses / s.instructions > b.l3_misses / b.instructions
+
+    def test_normalized_features_are_scale_free(self):
+        papi = PapiInterface(HASWELL, noise_fraction=0.0)
+        region = get_region("gemm/kernel_gemm")
+        normalized = papi.profile(region).normalized()
+        assert normalized.shape == (5,)
+        assert np.all(normalized[1:] <= 1.5)
+
+
+class TestMachine:
+    def test_named_factory_and_defaults(self):
+        machine = Machine.named("skylake", seed=3)
+        assert machine.name == "skylake"
+        assert machine.default_threads == 64
+        assert machine.power_cap_watts == machine.tdp_watts
+
+    def test_set_power_cap_round_trip(self):
+        machine = Machine.named("haswell")
+        assert machine.set_power_cap(60.0) == 60.0
+        assert machine.power_cap_watts == 60.0
+        assert machine.set_power_cap(None) == machine.tdp_watts
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            Machine.named("powerpc")

@@ -1,0 +1,104 @@
+"""Tests for processor specs and the DVFS/power model."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.dvfs import DvfsModel
+from repro.hw.processor import HASWELL, SKYLAKE, ProcessorSpec, available_processors, get_processor
+
+
+class TestProcessorSpecs:
+    def test_registry(self):
+        assert set(available_processors()) == {"haswell", "skylake"}
+        assert get_processor("Skylake") is SKYLAKE
+        with pytest.raises(KeyError):
+            get_processor("epyc")
+
+    def test_paper_topologies(self):
+        assert SKYLAKE.cores == 32 and SKYLAKE.hardware_threads == 64
+        assert HASWELL.cores == 16 and HASWELL.hardware_threads == 32
+        assert SKYLAKE.tdp_watts == 150.0 and SKYLAKE.min_power_watts == 75.0
+        assert HASWELL.tdp_watts == 85.0 and HASWELL.min_power_watts == 40.0
+
+    def test_full_load_power_close_to_tdp(self):
+        for spec in (SKYLAKE, HASWELL):
+            power = spec.max_power(spec.cores, spec.max_freq_ghz, 1.0)
+            assert 0.85 * spec.tdp_watts <= power <= 1.25 * spec.tdp_watts
+
+    def test_bandwidth_saturates_with_cores(self):
+        bw_1 = HASWELL.bandwidth_gbs(1, HASWELL.base_freq_ghz)
+        bw_8 = HASWELL.bandwidth_gbs(8, HASWELL.base_freq_ghz)
+        bw_16 = HASWELL.bandwidth_gbs(16, HASWELL.base_freq_ghz)
+        assert bw_1 < bw_8 < bw_16
+        # Diminishing returns: the second 8 cores add less than the first 8.
+        assert (bw_16 - bw_8) < (bw_8 - bw_1)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(HASWELL, min_freq_ghz=5.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(HASWELL, min_power_watts=100.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(HASWELL, cores=0)
+
+
+class TestDvfsModel:
+    def test_uncapped_runs_at_max_frequency_few_cores(self):
+        model = DvfsModel(HASWELL)
+        solution = model.solve(HASWELL.tdp_watts, active_cores=2, utilisation=1.0)
+        assert solution.frequency_ghz == pytest.approx(HASWELL.max_freq_ghz)
+        assert solution.throttle_factor == 1.0
+
+    def test_lower_cap_lower_frequency(self):
+        model = DvfsModel(HASWELL)
+        frequencies = [
+            model.solve(cap, active_cores=16, utilisation=1.0).frequency_ghz
+            for cap in (40.0, 60.0, 70.0, 85.0)
+        ]
+        assert frequencies == sorted(frequencies)
+        assert frequencies[0] < frequencies[-1]
+
+    def test_more_cores_lower_frequency_under_same_cap(self):
+        model = DvfsModel(SKYLAKE)
+        f_few = model.solve(75.0, active_cores=4).frequency_ghz
+        f_many = model.solve(75.0, active_cores=32).frequency_ghz
+        assert f_many < f_few
+
+    def test_memory_bound_clocks_higher(self):
+        model = DvfsModel(HASWELL)
+        busy = model.solve(40.0, active_cores=16, utilisation=1.0).frequency_ghz
+        stalled = model.solve(40.0, active_cores=16, utilisation=0.3).frequency_ghz
+        assert stalled >= busy
+
+    def test_power_never_exceeds_cap(self):
+        model = DvfsModel(SKYLAKE)
+        for cap in (75.0, 100.0, 120.0, 150.0):
+            for cores in (1, 8, 16, 32):
+                solution = model.solve(cap, cores)
+                assert solution.package_power_watts <= cap + 1e-9
+
+    def test_duty_cycling_below_minimum_frequency(self):
+        tiny_cap_spec = DvfsModel(HASWELL)
+        # A cap below idle+static power forces duty cycling.
+        solution = tiny_cap_spec.solve(20.0, active_cores=16)
+        assert solution.frequency_ghz == HASWELL.min_freq_ghz
+        assert solution.throttle_factor < 1.0
+        assert solution.effective_frequency_ghz < HASWELL.min_freq_ghz
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            DvfsModel(HASWELL).solve(0.0, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=30.0, max_value=85.0),
+        st.integers(min_value=1, max_value=16),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_solution_always_within_dvfs_range(self, cap, cores, utilisation):
+        solution = DvfsModel(HASWELL).solve(cap, cores, utilisation)
+        assert HASWELL.min_freq_ghz <= solution.frequency_ghz <= HASWELL.max_freq_ghz
+        assert 0.0 < solution.throttle_factor <= 1.0
+        assert solution.package_power_watts <= min(cap, HASWELL.tdp_watts) + 1e-9

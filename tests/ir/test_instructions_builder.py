@@ -1,0 +1,177 @@
+"""Tests for instructions, the builder, blocks and functions."""
+
+import pytest
+
+from repro.ir import types as irt
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AtomicRMW,
+    BinaryOp,
+    Branch,
+    Call,
+    CompareOp,
+    CondBranch,
+    Load,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant
+from repro.ir.verifier import VerificationError, verify_function
+
+
+def make_function():
+    return Function(
+        "kernel",
+        arg_types=[irt.ptr(irt.f64()), irt.i64()],
+        arg_names=["data", "n"],
+        return_type=irt.void(),
+    )
+
+
+class TestInstructionTypeChecking:
+    def test_binary_op_type_mismatch(self):
+        a = Constant(irt.i64(), 1)
+        b = Constant(irt.i32(), 1)
+        with pytest.raises(TypeError):
+            BinaryOp("add", a, b)
+
+    def test_float_op_requires_floats(self):
+        with pytest.raises(TypeError):
+            BinaryOp("fadd", Constant(irt.i64(), 1), Constant(irt.i64(), 2))
+
+    def test_compare_produces_i1(self):
+        cmp = CompareOp("icmp", "slt", Constant(irt.i64(), 1), Constant(irt.i64(), 2), "c")
+        assert cmp.type == irt.i1()
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(Constant(irt.i64(), 0), "v")
+
+    def test_store_type_check(self):
+        ptr_arg = Argument(irt.ptr(irt.f64()), "p")
+        with pytest.raises(TypeError):
+            Store(Constant(irt.i64(), 1), ptr_arg)
+
+    def test_atomicrmw_checks(self):
+        ptr_arg = Argument(irt.ptr(irt.f64()), "p")
+        AtomicRMW("fadd", ptr_arg, Constant(irt.f64(), 1.0), "old")
+        with pytest.raises(ValueError):
+            AtomicRMW("bogus", ptr_arg, Constant(irt.f64(), 1.0), "old")
+        with pytest.raises(TypeError):
+            AtomicRMW("fadd", ptr_arg, Constant(irt.i64(), 1), "old")
+
+    def test_phi_incoming_type_check(self):
+        phi = Phi(irt.f64(), "p")
+        block = Function("f").add_block("entry")
+        with pytest.raises(TypeError):
+            phi.add_incoming(Constant(irt.i64(), 0), block)
+
+    def test_call_renders_void_and_value(self):
+        call = Call("foo", irt.void(), [Constant(irt.i64(), 1)])
+        assert call.render().startswith("call void @foo")
+        call2 = Call("bar", irt.f64(), [], "r")
+        assert call2.render().startswith("%r = call double @bar")
+
+
+class TestBlocksAndFunctions:
+    def test_block_rejects_instructions_after_terminator(self):
+        fn = make_function()
+        entry = fn.add_block("entry")
+        entry.append(Return())
+        with pytest.raises(ValueError):
+            entry.append(Return())
+
+    def test_duplicate_block_names_rejected(self):
+        fn = make_function()
+        fn.add_block("entry")
+        with pytest.raises(ValueError):
+            fn.add_block("entry")
+
+    def test_predecessors_and_callees(self):
+        fn = make_function()
+        builder = IRBuilder(fn)
+        entry = fn.add_block("entry")
+        exit_block = fn.add_block("exit")
+        builder.position_at(entry)
+        builder.call("helper", irt.void(), [])
+        builder.branch(exit_block)
+        builder.position_at(exit_block)
+        builder.ret()
+        preds = fn.predecessors()
+        assert [b.name for b in preds["exit"]] == ["entry"]
+        assert preds["entry"] == []
+        assert fn.callees() == {"helper"}
+        assert fn.num_instructions() == 3
+
+    def test_outlined_attribute_detection(self):
+        assert Function("foo.omp_outlined").is_omp_outlined
+        assert Function("foo", attributes={"omp_outlined"}).is_omp_outlined
+        assert not Function("foo").is_omp_outlined
+
+    def test_declaration_rendering(self):
+        decl = Function("exp", arg_types=[irt.f64()], return_type=irt.f64())
+        assert decl.is_declaration
+        assert decl.render().startswith("declare double @exp")
+
+
+class TestBuilderLoops:
+    def test_counted_loop_structure_verifies(self):
+        fn = make_function()
+        builder = IRBuilder(fn)
+        builder.position_at(fn.add_block("entry"))
+
+        def body(b, iv):
+            addr = b.gep(fn.arguments[0], [iv])
+            value = b.load(addr)
+            b.store(b.fadd(value, b.const_float(1.0)), addr)
+
+        builder.counted_loop(fn.arguments[1], body)
+        builder.ret()
+        verify_function(fn)
+        # One phi, one compare, one conditional branch in the loop header.
+        opcodes = [i.opcode for i in fn.instructions()]
+        assert opcodes.count("phi") == 1
+        assert opcodes.count("condbr") == 1
+        assert opcodes.count("ret") == 1
+
+    def test_nested_loops_verify(self):
+        fn = make_function()
+        builder = IRBuilder(fn)
+        builder.position_at(fn.add_block("entry"))
+
+        def inner(b, iv):
+            b.fadd(b.const_float(1.0), b.const_float(2.0))
+
+        def outer(b, iv):
+            b.counted_loop(b.const_int(8), inner, hint="inner")
+
+        builder.counted_loop(builder.const_int(4), outer, hint="outer")
+        builder.ret()
+        verify_function(fn)
+        assert sum(1 for i in fn.instructions() if i.opcode == "phi") == 2
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f"))
+
+    def test_globals_and_lookup(self):
+        module = Module("m")
+        g = module.add_global(irt.f64(), "table")
+        assert module.get_global("table") is g
+        with pytest.raises(ValueError):
+            module.add_global(irt.f64(), "table")
+        with pytest.raises(KeyError):
+            module.get_function("missing")
+
+    def test_render_contains_functions(self):
+        module = Module("m")
+        module.add_function(Function("f", return_type=irt.void()))
+        text = module.render()
+        assert "ModuleID" in text and "@f" in text

@@ -1,0 +1,67 @@
+"""Tests for the IR type system and values."""
+
+import pytest
+
+from repro.ir import types as irt
+from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue
+
+
+class TestTypes:
+    def test_canonical_instances(self):
+        assert irt.i32() is irt.i32()
+        assert irt.f64() is irt.f64()
+
+    def test_structural_equality(self):
+        assert irt.IntType(32) == irt.i32()
+        assert irt.ptr(irt.f64()) == irt.ptr(irt.f64())
+        assert irt.ptr(irt.f64()) != irt.ptr(irt.f32())
+        assert irt.ArrayType(irt.i32(), 4) == irt.ArrayType(irt.i32(), 4)
+        assert irt.ArrayType(irt.i32(), 4) != irt.ArrayType(irt.i32(), 5)
+
+    def test_hashable(self):
+        assert len({irt.i32(), irt.IntType(32), irt.i64()}) == 2
+
+    def test_predicates(self):
+        assert irt.ptr(irt.f64()).is_pointer
+        assert irt.i64().is_integer
+        assert irt.f32().is_float
+        assert irt.void().is_void
+
+    def test_rendering(self):
+        assert str(irt.i1()) == "i1"
+        assert str(irt.f32()) == "float"
+        assert str(irt.f64()) == "double"
+        assert str(irt.ptr(irt.f64())) == "double*"
+        assert str(irt.ArrayType(irt.i32(), 8)) == "[8 x i32]"
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            irt.IntType(0)
+        with pytest.raises(ValueError):
+            irt.FloatType(16)
+
+
+class TestValues:
+    def test_constant_coerces_value(self):
+        c = Constant(irt.i64(), 3.7)
+        assert c.value == 3
+        f = Constant(irt.f64(), 2)
+        assert isinstance(f.value, float)
+
+    def test_constant_requires_scalar_type(self):
+        with pytest.raises(TypeError):
+            Constant(irt.ptr(irt.i32()), 0)
+
+    def test_constant_equality(self):
+        assert Constant(irt.i64(), 5) == Constant(irt.i64(), 5)
+        assert Constant(irt.i64(), 5) != Constant(irt.i32(), 5)
+
+    def test_refs(self):
+        assert Constant(irt.i64(), 5).ref() == "5"
+        assert Argument(irt.f64(), "x").ref() == "%x"
+        assert GlobalVariable(irt.f64(), "table").ref() == "@table"
+        assert UndefValue(irt.i32()).ref() == "undef"
+
+    def test_global_variable_is_pointer(self):
+        g = GlobalVariable(irt.f64(), "data")
+        assert g.type == irt.ptr(irt.f64())

@@ -1,0 +1,135 @@
+"""Tests for the IR verifier and the llvm-extract-style outliner."""
+
+import pytest
+
+from repro.ir import types as irt
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Return
+from repro.ir.module import Module
+from repro.ir.outline import extract_function, extract_outlined_regions, outlined_function_names
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+
+def _terminated_function(name="f"):
+    fn = Function(name)
+    builder = IRBuilder(fn)
+    builder.position_at(fn.add_block("entry"))
+    builder.ret()
+    return fn
+
+
+class TestVerifier:
+    def test_accepts_declarations(self):
+        verify_function(Function("decl"))
+
+    def test_missing_terminator(self):
+        fn = Function("f")
+        block = fn.add_block("entry")
+        builder = IRBuilder(fn)
+        builder.position_at(block)
+        builder.fadd(builder.const_float(1.0), builder.const_float(2.0))
+        with pytest.raises(VerificationError, match="missing terminator"):
+            verify_function(fn)
+
+    def test_empty_block(self):
+        fn = Function("f")
+        fn.add_block("entry")
+        with pytest.raises(VerificationError, match="empty basic block"):
+            verify_function(fn)
+
+    def test_duplicate_ssa_names(self):
+        fn = Function("f")
+        builder = IRBuilder(fn)
+        builder.position_at(fn.add_block("entry"))
+        a = builder.fadd(builder.const_float(1.0), builder.const_float(1.0))
+        b = builder.fadd(builder.const_float(1.0), builder.const_float(1.0))
+        b.name = a.name
+        builder.ret()
+        with pytest.raises(VerificationError, match="duplicate SSA name"):
+            verify_function(fn)
+
+    def test_branch_to_foreign_block(self):
+        fn_a = _terminated_function("a")
+        fn_b = Function("b")
+        block = fn_b.add_block("entry")
+        block.append(Branch(fn_a.entry))
+        with pytest.raises(VerificationError):
+            verify_function(fn_b)
+
+    def test_phi_predecessor_check(self):
+        fn = Function("f")
+        builder = IRBuilder(fn)
+        entry = fn.add_block("entry")
+        other = fn.add_block("other")
+        builder.position_at(entry)
+        phi = builder.phi(irt.f64())
+        phi.add_incoming(builder.const_float(0.0), other)  # not a predecessor
+        builder.ret()
+        builder.position_at(other)
+        builder.ret()
+        with pytest.raises(VerificationError, match="not a predecessor"):
+            verify_function(fn)
+
+    def test_verify_module_aggregates_errors(self):
+        module = Module("m")
+        bad = Function("bad")
+        bad.add_block("entry")
+        module.add_function(bad)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+
+class TestOutliner:
+    def _module_with_regions(self):
+        module = Module("app")
+        outlined = Function("app.kernel.omp_outlined", attributes={"omp_outlined"})
+        builder = IRBuilder(outlined)
+        builder.position_at(outlined.add_block("entry"))
+        builder.call("exp", irt.f64(), [builder.const_float(1.0)])
+        builder.call("app.helper", irt.void(), [])
+        builder.ret()
+        module.add_function(outlined)
+
+        helper = _terminated_function("app.helper")
+        module.add_function(helper)
+
+        host = Function("app.kernel")
+        builder = IRBuilder(host)
+        builder.position_at(host.add_block("entry"))
+        builder.call("__kmpc_fork_call", irt.void(), [])
+        builder.call("app.kernel.omp_outlined", irt.void(), [])
+        builder.ret()
+        module.add_function(host)
+        return module
+
+    def test_outlined_function_names(self):
+        module = self._module_with_regions()
+        assert outlined_function_names(module) == ["app.kernel.omp_outlined"]
+
+    def test_extract_includes_callees_and_declares_unknowns(self):
+        module = self._module_with_regions()
+        extracted = extract_function(module, "app.kernel.omp_outlined")
+        assert extracted.has_function("app.kernel.omp_outlined")
+        assert extracted.has_function("app.helper")
+        assert not extracted.get_function("app.helper").is_declaration
+        # Unknown runtime/libm callees become declarations.
+        assert extracted.has_function("exp")
+        assert extracted.get_function("exp").is_declaration
+        # The host wrapper is not dragged in.
+        assert not extracted.has_function("app.kernel")
+
+    def test_extract_without_callee_bodies(self):
+        module = self._module_with_regions()
+        extracted = extract_function(module, "app.kernel.omp_outlined", include_callee_bodies=False)
+        assert extracted.get_function("app.helper").is_declaration
+
+    def test_extract_outlined_regions_mapping(self):
+        module = self._module_with_regions()
+        regions = extract_outlined_regions(module)
+        assert set(regions) == {"app.kernel.omp_outlined"}
+        verify_module(regions["app.kernel.omp_outlined"])
+
+    def test_extract_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            extract_function(Module("m"), "missing")

@@ -1,0 +1,134 @@
+"""Tests for graph batching, the data loader and weight serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.data import GraphDataLoader, GraphSample, collate_graphs
+from repro.nn.layers import Linear
+from repro.nn.serialization import filter_state_dict, load_state_dict, save_state_dict
+
+
+def make_sample(num_nodes=4, label=0, aux=None, targets=None, region="r"):
+    edge_index = np.array([[i for i in range(num_nodes - 1)], [i + 1 for i in range(num_nodes - 1)]])
+    return GraphSample(
+        token_ids=np.arange(num_nodes),
+        node_types=np.zeros(num_nodes, dtype=np.int64),
+        edge_index=edge_index,
+        edge_type=np.zeros(num_nodes - 1, dtype=np.int64),
+        label=label,
+        aux_features=aux,
+        target_distribution=targets,
+        region_id=region,
+    )
+
+
+class TestGraphSampleValidation:
+    def test_rejects_mismatched_token_and_types(self):
+        with pytest.raises(ValueError):
+            GraphSample(
+                token_ids=np.arange(3),
+                node_types=np.zeros(2, dtype=np.int64),
+                edge_index=np.zeros((2, 0), dtype=np.int64),
+                edge_type=np.zeros(0, dtype=np.int64),
+            )
+
+    def test_rejects_edge_to_missing_node(self):
+        with pytest.raises(ValueError):
+            GraphSample(
+                token_ids=np.arange(2),
+                node_types=np.zeros(2, dtype=np.int64),
+                edge_index=np.array([[0], [5]]),
+                edge_type=np.zeros(1, dtype=np.int64),
+            )
+
+    def test_normalises_target_distribution(self):
+        sample = make_sample(targets=np.array([1.0, 1.0, 2.0]))
+        assert sample.target_distribution.sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_mass_targets(self):
+        with pytest.raises(ValueError):
+            make_sample(targets=np.zeros(3))
+
+
+class TestCollate:
+    def test_offsets_node_indices(self):
+        batch = collate_graphs([make_sample(3, label=1), make_sample(4, label=2)])
+        assert batch.num_graphs == 2
+        assert batch.num_nodes == 7
+        np.testing.assert_array_equal(batch.labels, [1, 2])
+        # Edges of the second graph reference nodes >= 3.
+        assert batch.edge_index[:, 2:].min() >= 3
+        np.testing.assert_array_equal(batch.batch, [0, 0, 0, 1, 1, 1, 1])
+
+    def test_aux_features_stacked(self):
+        batch = collate_graphs(
+            [make_sample(aux=np.array([0.1, 0.2])), make_sample(aux=np.array([0.3, 0.4]))]
+        )
+        assert batch.aux_features.shape == (2, 2)
+
+    def test_inconsistent_aux_rejected(self):
+        with pytest.raises(ValueError):
+            collate_graphs([make_sample(aux=np.array([1.0])), make_sample()])
+
+    def test_target_distributions_stacked(self):
+        batch = collate_graphs(
+            [make_sample(targets=np.array([0.5, 0.5])), make_sample(targets=np.array([1.0, 0.0]))]
+        )
+        assert batch.target_distributions.shape == (2, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collate_graphs([])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=2, max_value=8), min_size=1, max_size=6))
+    def test_node_and_edge_counts_preserved(self, sizes):
+        samples = [make_sample(n) for n in sizes]
+        batch = collate_graphs(samples)
+        assert batch.num_nodes == sum(sizes)
+        assert batch.edge_index.shape[1] == sum(n - 1 for n in sizes)
+        # Batch vector is sorted and covers every graph index.
+        assert set(batch.batch.tolist()) == set(range(len(sizes)))
+
+
+class TestDataLoader:
+    def test_batches_cover_all_samples(self):
+        samples = [make_sample(3, label=i) for i in range(10)]
+        loader = GraphDataLoader(samples, batch_size=4, shuffle=False)
+        assert len(loader) == 3
+        seen = [label for batch in loader for label in batch.labels.tolist()]
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_is_deterministic_given_rng(self):
+        samples = [make_sample(3, label=i) for i in range(10)]
+        loader_a = GraphDataLoader(samples, batch_size=3, shuffle=True, rng=np.random.default_rng(5))
+        loader_b = GraphDataLoader(samples, batch_size=3, shuffle=True, rng=np.random.default_rng(5))
+        order_a = [l for b in loader_a for l in b.labels.tolist()]
+        order_b = [l for b in loader_b for l in b.labels.tolist()]
+        assert order_a == order_b
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            GraphDataLoader([make_sample()], batch_size=0)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        path = str(tmp_path / "weights")
+        save_state_dict(layer.state_dict(), path)
+        loaded = load_state_dict(path)
+        np.testing.assert_allclose(loaded["weight"], layer.weight.data)
+        np.testing.assert_allclose(loaded["bias"], layer.bias.data)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(str(tmp_path / "missing"))
+
+    def test_filter_state_dict(self):
+        state = {"gnn.a": np.zeros(1), "gnn.b": np.ones(1), "head.c": np.ones(1)}
+        only_gnn = filter_state_dict(state, include_prefixes=("gnn.",))
+        assert set(only_gnn) == {"gnn.a", "gnn.b"}
+        no_gnn = filter_state_dict(state, exclude_prefixes=("gnn.",))
+        assert set(no_gnn) == {"head.c"}

@@ -1,0 +1,115 @@
+"""Tests for functional ops: softmax, losses, dropout, one-hot."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+        assert np.all(probs >= 0)
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10
+        )
+
+    def test_handles_extreme_logits(self):
+        x = Tensor(np.array([[1000.0, -1000.0, 0.0]]))
+        probs = F.softmax(x).data
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 0.0, -1.0], [0.0, 3.0, 0.5]])
+        targets = np.array([0, 1])
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -np.mean(log_probs[np.arange(2), targets])
+        assert loss == pytest.approx(expected)
+
+    def test_gradient_is_probs_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 0.5]]), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        probs = F.softmax(Tensor(logits.data)).data
+        expected = probs.copy()
+        expected[0, 1] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+    def test_perfect_prediction_small_loss(self):
+        logits = Tensor(np.array([[20.0, 0.0], [0.0, 20.0]]))
+        assert F.cross_entropy(logits, np.array([0, 1])).item() < 1e-6
+
+
+class TestSoftCrossEntropy:
+    def test_equals_hard_when_target_is_onehot(self):
+        logits = Tensor(np.random.default_rng(3).normal(size=(4, 6)))
+        targets = np.array([1, 0, 5, 2])
+        onehot = F.one_hot(targets, 6)
+        soft = F.soft_cross_entropy(logits, onehot).item()
+        hard = F.cross_entropy(logits, targets).item()
+        assert soft == pytest.approx(hard)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            F.soft_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_training_zeroes_and_rescales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 50)))
+        out = F.dropout(x, 0.25, training=True, rng=rng).data
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.15 < zero_fraction < 0.35
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 1.0 / 0.75)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=20))
+    def test_rows_have_single_one(self, indices):
+        out = F.one_hot(np.array(indices), 10)
+        np.testing.assert_array_equal(out.sum(axis=1), np.ones(len(indices)))
+
+
+class TestMseLoss:
+    def test_value_and_gradient(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, Tensor(np.array([0.0, 0.0])))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])

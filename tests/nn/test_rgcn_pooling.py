@@ -1,0 +1,106 @@
+"""Tests for the RGCN convolution and graph pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.pooling import global_max_pool, global_mean_pool, global_sum_pool
+from repro.nn.rgcn import RGCNConv
+from repro.nn.tensor import Tensor
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+def _simple_graph():
+    # 4 nodes, two relations: 0 -> 1 -> 2 (relation 0), 3 -> 1 (relation 1).
+    edge_index = np.array([[0, 1, 3], [1, 2, 1]])
+    edge_type = np.array([0, 0, 1])
+    return edge_index, edge_type
+
+
+class TestRGCNConv:
+    def test_output_shape(self):
+        conv = RGCNConv(5, 7, num_relations=3, rng=_rng())
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 5)))
+        edge_index, edge_type = _simple_graph()
+        out = conv(x, edge_index, edge_type)
+        assert out.shape == (4, 7)
+
+    def test_matches_manual_computation(self):
+        conv = RGCNConv(3, 2, num_relations=2, bias=False, rng=_rng())
+        x_data = np.random.default_rng(2).normal(size=(4, 3))
+        edge_index, edge_type = _simple_graph()
+        out = conv(Tensor(x_data), edge_index, edge_type).data
+
+        w0, w1 = conv.weight.data[0], conv.weight.data[1]
+        root = conv.root.data
+        expected = x_data @ root
+        # Node 1 receives from node 0 via relation 0 (degree 1) and node 3 via relation 1.
+        expected[1] += (x_data[0] @ w0) / 1.0 + (x_data[3] @ w1) / 1.0
+        # Node 2 receives from node 1 via relation 0.
+        expected[2] += (x_data[1] @ w0) / 1.0
+        np.testing.assert_allclose(out, expected)
+
+    def test_normalisation_averages_same_relation_neighbours(self):
+        # Two relation-0 edges into node 0: messages must be averaged, not summed.
+        conv = RGCNConv(2, 2, num_relations=1, bias=False, rng=_rng())
+        x = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, 3.0]])
+        edge_index = np.array([[1, 2], [0, 0]])
+        edge_type = np.array([0, 0])
+        out = conv(Tensor(x), edge_index, edge_type).data
+        expected_message = (x[1] + x[2]) / 2.0 @ conv.weight.data[0]
+        np.testing.assert_allclose(out[0], x[0] @ conv.root.data + expected_message)
+
+    def test_isolated_nodes_only_get_self_loop(self):
+        conv = RGCNConv(2, 2, num_relations=1, bias=False, rng=_rng())
+        x = np.random.default_rng(3).normal(size=(3, 2))
+        out = conv(Tensor(x), np.zeros((2, 0), dtype=np.int64), np.zeros(0, dtype=np.int64)).data
+        np.testing.assert_allclose(out, x @ conv.root.data)
+
+    def test_gradients_reach_all_parameters(self):
+        conv = RGCNConv(3, 3, num_relations=2, rng=_rng())
+        x = Tensor(np.random.default_rng(4).normal(size=(4, 3)), requires_grad=True)
+        edge_index, edge_type = _simple_graph()
+        conv(x, edge_index, edge_type).sum().backward()
+        assert x.grad is not None
+        assert conv.root.grad is not None
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+        # Relation 0 and 1 weights both received gradient (both appear in the graph).
+        assert np.abs(conv.weight.grad[0]).sum() > 0
+        assert np.abs(conv.weight.grad[1]).sum() > 0
+
+    def test_rejects_bad_edge_arrays(self):
+        conv = RGCNConv(2, 2, num_relations=1, rng=_rng())
+        x = Tensor(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            conv(x, np.zeros((3, 2), dtype=np.int64), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            conv(x, np.zeros((2, 2), dtype=np.int64), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            conv(x, np.zeros((2, 1), dtype=np.int64), np.array([5]))
+
+
+class TestPooling:
+    def test_sum_and_mean_pool(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0], [5.0]]))
+        batch = np.array([0, 0, 1, 1])
+        np.testing.assert_allclose(global_sum_pool(x, batch, 2).data, [[3.0], [8.0]])
+        np.testing.assert_allclose(global_mean_pool(x, batch, 2).data, [[1.5], [4.0]])
+
+    def test_max_pool(self):
+        x = Tensor(np.array([[1.0, 9.0], [2.0, 0.0], [3.0, 4.0]]))
+        batch = np.array([0, 0, 1])
+        np.testing.assert_allclose(global_max_pool(x, batch, 2).data, [[2.0, 9.0], [3.0, 4.0]])
+
+    def test_mean_pool_gradient_is_uniform(self):
+        x = Tensor(np.ones((4, 2)), requires_grad=True)
+        batch = np.array([0, 0, 0, 1])
+        global_mean_pool(x, batch, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[:3], np.full((3, 2), 1.0 / 3.0))
+        np.testing.assert_allclose(x.grad[3], np.ones(2))
+
+    def test_batch_length_mismatch(self):
+        with pytest.raises(ValueError):
+            global_mean_pool(Tensor(np.ones((3, 2))), np.array([0, 1]), 2)

@@ -1,0 +1,198 @@
+"""Autograd engine tests, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, shape, seed=0, rtol=1e-4, atol=1e-6):
+    """Compare autograd gradient against central differences."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+
+    def value(arr):
+        return build(Tensor(arr)).data.sum()
+
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build(tensor)
+    out.sum().backward()
+    numeric = numerical_gradient(value, x.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, rtol=rtol, atol=atol)
+
+
+class TestBasicOps:
+    def test_add_backward_broadcast(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((3, 4)))
+        np.testing.assert_array_equal(b.grad, np.full(4, 3.0))
+
+    def test_mul_backward(self):
+        check_gradient(lambda t: t * Tensor(np.arange(6).reshape(2, 3) + 1.0), (2, 3))
+
+    def test_div_backward(self):
+        check_gradient(lambda t: Tensor(np.ones((2, 3))) / (t + 5.0), (2, 3))
+
+    def test_matmul_backward(self):
+        w = np.random.default_rng(1).normal(size=(4, 5))
+        check_gradient(lambda t: t @ Tensor(w), (3, 4))
+
+    def test_matmul_right_operand_gradient(self):
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(3, 4)))
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        expected = a.data.T @ np.ones((3, 2))
+        np.testing.assert_allclose(b.grad, expected)
+
+    def test_pow_backward(self):
+        check_gradient(lambda t: (t + 3.0) ** 2.0, (5,))
+
+    def test_neg_sub(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (5.0 - a).sum().backward()
+        np.testing.assert_array_equal(a.grad, [-1.0, -1.0])
+
+    def test_scalar_lift(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = 2.0 * a + 1.0
+        np.testing.assert_array_equal(out.data, [3.0, 5.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_backward(self):
+        check_gradient(lambda t: t.sum(axis=1), (3, 4))
+
+    def test_sum_keepdims_backward(self):
+        check_gradient(lambda t: t.sum(axis=0, keepdims=True) * 2.0, (3, 4))
+
+    def test_mean_backward(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 1.0 / 6.0))
+
+    def test_max_backward_routes_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_array_equal(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape_transpose_backward(self):
+        check_gradient(lambda t: t.reshape(6, 2).transpose(), (3, 4))
+
+    def test_getitem_backward(self):
+        a = Tensor(np.arange(10, dtype=float), requires_grad=True)
+        a[np.array([1, 1, 3])].sum().backward()
+        expected = np.zeros(10)
+        expected[1] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_array_equal(a.grad, expected)
+
+    def test_concatenate_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        Tensor.concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 2)))
+        np.testing.assert_array_equal(b.grad, np.ones((2, 3)))
+
+    def test_stack_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (Tensor.stack([a, b]) * Tensor(np.array([[1.0], [2.0]]))).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones(3))
+        np.testing.assert_array_equal(b.grad, np.full(3, 2.0))
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "leaky_relu"])
+    def test_elementwise_gradients(self, op):
+        check_gradient(lambda t: getattr(t, op)(), (4, 3), seed=3)
+
+    def test_log_backward(self):
+        check_gradient(lambda t: (t * t + 1.0).log(), (5,))
+
+    def test_clip_gradient_masks_out_of_range(self):
+        a = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphKernels:
+    def test_gather_scatter_roundtrip_gradient(self):
+        index = np.array([0, 2, 2, 1])
+
+        def build(t):
+            return t.gather_rows(index).scatter_sum(index, 3)
+
+        check_gradient(build, (3, 4))
+
+    def test_scatter_sum_values(self):
+        x = Tensor(np.arange(8, dtype=float).reshape(4, 2))
+        out = x.scatter_sum(np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_array_equal(out.data, [[2.0, 4.0], [10.0, 12.0]])
+
+    def test_scatter_sum_rejects_bad_index_length(self):
+        x = Tensor(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            x.scatter_sum(np.array([0, 1]), 2)
+
+
+class TestAutogradMechanics:
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a).sum().backward()  # d/da a^2 = 2a = 4
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_no_grad_disables_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        assert not a.detach().requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 3).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    def test_chain_gradcheck_random_shapes(self, rows, cols):
+        w = np.random.default_rng(rows * 7 + cols).normal(size=(cols, 3))
+
+        def build(t):
+            return ((t @ Tensor(w)).tanh() * 2.0).sum(axis=0)
+
+        check_gradient(build, (rows, cols), seed=rows + cols)

@@ -1,0 +1,161 @@
+"""Tests for the execution (time/energy) model under power caps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite.registry import get_region
+from repro.hw.machine import Machine
+from repro.openmp.config import OpenMPConfig, ScheduleKind, default_config
+from repro.openmp.execution import ExecutionEngine
+from repro.openmp.region import ImbalancePattern, RegionCharacteristics
+
+
+def quiet_engine(system="haswell", seed=0):
+    """Engine with measurement noise disabled (for monotonicity checks)."""
+    return ExecutionEngine(Machine.named(system, seed=seed, noise_fraction=0.0))
+
+
+def make_region(**overrides):
+    base = dict(
+        region_id="synthetic/kernel",
+        application="synthetic",
+        iterations=500_000,
+        flops_per_iteration=60.0,
+        int_ops_per_iteration=20.0,
+        memory_bytes_per_iteration=8.0,
+        working_set_bytes=8 << 20,
+        reuse_factor=0.8,
+    )
+    base.update(overrides)
+    return RegionCharacteristics(**base)
+
+
+class TestExecutionBasics:
+    def test_result_fields_positive(self):
+        engine = quiet_engine()
+        result = engine.run(make_region(), OpenMPConfig(8, ScheduleKind.STATIC, 64), 60.0)
+        assert result.time_s > 0
+        assert result.energy_joules > 0
+        assert result.avg_power_watts > 0
+        assert result.edp == pytest.approx(result.time_s * result.energy_joules)
+        assert result.imbalance_factor >= 1.0
+
+    def test_power_respects_cap(self):
+        engine = quiet_engine()
+        for cap in (40.0, 60.0, 70.0, 85.0):
+            result = engine.run(make_region(), default_config(32), cap)
+            assert result.avg_power_watts <= cap * 1.02
+
+    def test_deeper_cap_slows_compute_bound_kernel(self):
+        engine = quiet_engine()
+        region = make_region()
+        config = default_config(32)
+        t_low = engine.run(region, config, 40.0).time_s
+        t_high = engine.run(region, config, 85.0).time_s
+        assert t_low > t_high
+
+    def test_threads_help_compute_bound_kernel_at_tdp(self):
+        engine = quiet_engine()
+        region = make_region()
+        t1 = engine.run(region, OpenMPConfig(1, ScheduleKind.STATIC, 64), 85.0).time_s
+        t16 = engine.run(region, OpenMPConfig(16, ScheduleKind.STATIC, 64), 85.0).time_s
+        assert t16 < t1 / 4.0
+
+    def test_memory_bound_kernel_saturates_with_threads(self):
+        engine = quiet_engine()
+        region = make_region(
+            flops_per_iteration=2.0,
+            memory_bytes_per_iteration=64.0,
+            working_set_bytes=1 << 30,
+            reuse_factor=0.05,
+        )
+        t4 = engine.run(region, OpenMPConfig(4, ScheduleKind.STATIC, 64), 85.0).time_s
+        t16 = engine.run(region, OpenMPConfig(16, ScheduleKind.STATIC, 64), 85.0).time_s
+        # Far from the 4x scaling a compute-bound kernel would show.
+        assert t16 > t4 * 0.55
+
+    def test_tiny_kernel_prefers_few_threads_under_deep_cap(self):
+        engine = quiet_engine()
+        region = get_region("LULESH/ApplyAccelerationBoundaryConditionsForNodes")
+        many = engine.run(region, default_config(32), 40.0).time_s
+        few = engine.run(region, OpenMPConfig(2, ScheduleKind.STATIC, 64), 40.0).time_s
+        assert few < many
+
+    def test_dynamic_scheduling_overhead_with_tiny_chunks(self):
+        engine = quiet_engine()
+        region = make_region(iterations=2_000_000, flops_per_iteration=4.0)
+        coarse = engine.run(region, OpenMPConfig(16, ScheduleKind.DYNAMIC, 512), 85.0).time_s
+        fine = engine.run(region, OpenMPConfig(16, ScheduleKind.DYNAMIC, 1), 85.0).time_s
+        assert fine > coarse
+
+    def test_dynamic_fixes_linear_imbalance(self):
+        # Coarse-grained iterations (so dispatch overhead is negligible) with a
+        # strong linear cost ramp: block-static suffers the ramp, dynamic does not.
+        engine = quiet_engine()
+        region = make_region(
+            flops_per_iteration=600.0,
+            iteration_cost_cv=0.55,
+            imbalance_pattern=ImbalancePattern.LINEAR,
+        )
+        static = engine.run(region, OpenMPConfig(16, ScheduleKind.STATIC, None), 85.0)
+        dynamic = engine.run(region, OpenMPConfig(16, ScheduleKind.DYNAMIC, 256), 85.0)
+        assert static.imbalance_factor > dynamic.imbalance_factor
+        assert dynamic.time_s < static.time_s
+
+    def test_serial_fraction_limits_scaling(self):
+        engine = quiet_engine()
+        amdahl = make_region(serial_fraction=0.3)
+        t1 = engine.run(amdahl, OpenMPConfig(1, ScheduleKind.STATIC, 64), 85.0).time_s
+        t16 = engine.run(amdahl, OpenMPConfig(16, ScheduleKind.STATIC, 64), 85.0).time_s
+        assert t1 / t16 < 3.5  # Amdahl bound for 30% serial is ~3.1x
+
+
+class TestNoiseAndDeterminism:
+    def test_trial_zero_is_deterministic(self):
+        engine = ExecutionEngine(Machine.named("haswell", seed=5))
+        region = make_region()
+        config = OpenMPConfig(8, ScheduleKind.GUIDED, 32)
+        a = engine.run(region, config, 60.0)
+        b = ExecutionEngine(Machine.named("haswell", seed=5)).run(region, config, 60.0)
+        assert a.time_s == b.time_s and a.energy_joules == b.energy_joules
+
+    def test_trials_scatter_but_stay_close(self):
+        engine = ExecutionEngine(Machine.named("haswell", seed=5, noise_fraction=0.02))
+        region = make_region()
+        config = OpenMPConfig(8, ScheduleKind.STATIC, 64)
+        times = [engine.run(region, config, 60.0, trial=t).time_s for t in range(5)]
+        assert len(set(times)) > 1
+        assert max(times) / min(times) < 1.2
+
+    def test_rapl_accounting_hook(self):
+        machine = Machine.named("haswell", seed=1)
+        engine = ExecutionEngine(machine)
+        before = machine.rapl.read_energy_joules()
+        result = engine.run(make_region(), default_config(32), 60.0, account_rapl=True)
+        after = machine.rapl.read_energy_joules()
+        assert after - before == pytest.approx(result.energy_joules, rel=1e-3)
+
+    def test_speedup_and_greenup_helpers(self):
+        engine = quiet_engine()
+        region = make_region()
+        fast = engine.run(region, OpenMPConfig(16, ScheduleKind.STATIC, 64), 85.0)
+        slow = engine.run(region, OpenMPConfig(1, ScheduleKind.STATIC, 64), 85.0)
+        assert fast.speedup_over(slow) > 1.0
+        assert slow.speedup_over(fast) < 1.0
+        assert fast.greenup_over(slow) > 1.0
+
+
+class TestExecutionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        threads=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        schedule=st.sampled_from(list(ScheduleKind)),
+        chunk=st.sampled_from([1, 32, 256]),
+        cap=st.sampled_from([40.0, 60.0, 70.0, 85.0]),
+    )
+    def test_results_always_finite_and_capped(self, threads, schedule, chunk, cap):
+        engine = quiet_engine()
+        result = engine.run(make_region(), OpenMPConfig(threads, schedule, chunk), cap)
+        assert result.time_s > 0 and result.energy_joules > 0
+        assert result.avg_power_watts <= cap * 1.02
+        assert result.frequency_ghz <= engine.machine.processor.max_freq_ghz

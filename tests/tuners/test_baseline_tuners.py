@@ -1,0 +1,98 @@
+"""Tests for the execution-based baseline tuners (oracle, random, BLISS, OpenTuner)."""
+
+import pytest
+
+from repro.core.search_space import SearchSpace
+from repro.tuners import BlissTuner, OpenTunerLike, OracleTuner, RandomSearchTuner
+from repro.tuners.base import ConfigurationPoint, config_feature_vector
+from repro.openmp.config import OpenMPConfig, ScheduleKind
+
+
+class TestConfigFeatureVector:
+    def test_dimensions_with_and_without_cap(self):
+        space = SearchSpace("haswell")
+        config = OpenMPConfig(8, ScheduleKind.DYNAMIC, 64)
+        without_cap = config_feature_vector(ConfigurationPoint(config), space)
+        with_cap = config_feature_vector(ConfigurationPoint(config, 60.0), space)
+        assert with_cap.shape[0] == without_cap.shape[0] + 1
+
+    def test_one_hot_schedule(self):
+        space = SearchSpace("haswell")
+        vec = config_feature_vector(
+            ConfigurationPoint(OpenMPConfig(8, ScheduleKind.GUIDED, 64)), space
+        )
+        assert vec[2:5].tolist() == [0.0, 0.0, 1.0]
+
+    def test_default_config_handled(self):
+        space = SearchSpace("haswell")
+        vec = config_feature_vector(ConfigurationPoint(space.default_configuration), space)
+        assert vec.shape[0] == 7
+
+
+class TestOracleTuner:
+    def test_matches_database_best(self, small_database):
+        oracle = OracleTuner()
+        config = oracle.tune_performance(small_database, "gemm/kernel_gemm", 40.0)
+        best_config, _ = small_database.best_by_time("gemm/kernel_gemm", 40.0)
+        assert config == best_config
+
+    def test_edp_matches_database_best(self, small_database):
+        oracle = OracleTuner()
+        cap, config = oracle.tune_edp(small_database, "trisolv/kernel_trisolv")
+        best_cap, best_config, _ = small_database.best_by_edp("trisolv/kernel_trisolv")
+        assert (cap, config) == (best_cap, best_config)
+
+
+class TestBudgetedTuners:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RandomSearchTuner(budget=15, seed=0),
+            lambda: BlissTuner(budget=15, initial_samples=5, seed=0),
+            lambda: OpenTunerLike(budget=15, seed=0),
+        ],
+    )
+    def test_budget_respected_and_config_valid(self, small_database, factory):
+        tuner = factory()
+        tuner.reset()
+        config = tuner.tune_performance(small_database, "XSBench/macro_xs_lookup", 60.0)
+        assert tuner.executions_used <= tuner.budget
+        assert config in small_database.search_space.candidate_configurations()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: BlissTuner(budget=20, seed=3),
+            lambda: OpenTunerLike(budget=20, seed=3),
+        ],
+    )
+    def test_determinism_given_seed(self, small_database, factory):
+        a = factory().tune_performance(small_database, "atax/kernel_atax", 85.0)
+        b = factory().tune_performance(small_database, "atax/kernel_atax", 85.0)
+        assert a == b
+
+    def test_sampling_tuners_beat_or_match_default_usually(self, small_database):
+        """With 20 samples out of 127 the tuners should find a decent config."""
+        space = small_database.search_space
+        improvements = []
+        for region_id in small_database.region_ids:
+            default = small_database.default_result(region_id, 40.0)
+            tuner = BlissTuner(budget=20, seed=1)
+            config = tuner.tune_performance(small_database, region_id, 40.0)
+            chosen = small_database.measure(region_id, config, 40.0)
+            improvements.append(default.time_s / chosen.time_s)
+        assert sum(1 for s in improvements if s >= 0.95) >= len(improvements) - 1
+
+    def test_edp_tuning_returns_cap_from_search_space(self, small_database):
+        tuner = OpenTunerLike(budget=25, seed=0)
+        cap, config = tuner.tune_edp(small_database, "gemm/kernel_gemm")
+        assert cap in small_database.search_space.power_caps
+        assert config in small_database.search_space.candidate_configurations()
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            RandomSearchTuner(budget=0)
+        with pytest.raises(ValueError):
+            BlissTuner(budget=5, initial_samples=5)
+        with pytest.raises(ValueError):
+            OpenTunerLike(budget=10, bandit_window=0)

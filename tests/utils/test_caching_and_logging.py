@@ -1,0 +1,47 @@
+"""Tests for caching and logging helpers."""
+
+import logging
+
+from repro.utils.caching import memoize_method
+from repro.utils.logging import enable_console, get_logger
+
+
+class Counter:
+    def __init__(self):
+        self.calls = 0
+
+    @memoize_method
+    def compute(self, x, y=1):
+        self.calls += 1
+        return x * y
+
+
+class TestMemoizeMethod:
+    def test_caches_per_arguments(self):
+        c = Counter()
+        assert c.compute(2, y=3) == 6
+        assert c.compute(2, y=3) == 6
+        assert c.calls == 1
+        assert c.compute(2, y=4) == 8
+        assert c.calls == 2
+
+    def test_instances_are_independent(self):
+        a, b = Counter(), Counter()
+        a.compute(1)
+        b.compute(1)
+        assert a.calls == 1 and b.calls == 1
+
+
+class TestLogging:
+    def test_namespace(self):
+        assert get_logger("core.training").name == "repro.core.training"
+        assert get_logger().name == "repro"
+
+    def test_enable_console_is_idempotent(self):
+        enable_console(logging.WARNING)
+        enable_console(logging.WARNING)
+        root = logging.getLogger("repro")
+        stream_handlers = [
+            h for h in root.handlers if isinstance(h, logging.StreamHandler)
+        ]
+        assert len(stream_handlers) == 1

@@ -1,0 +1,54 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import RngFactory, new_rng, spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(42, "a/b") == spawn_seed(42, "a/b")
+
+    def test_distinct_tags_decorrelate(self):
+        assert spawn_seed(42, "noise") != spawn_seed(42, "init")
+
+    def test_distinct_seeds_decorrelate(self):
+        assert spawn_seed(1, "x") != spawn_seed(2, "x")
+
+    def test_fits_in_32_bits(self):
+        assert 0 <= spawn_seed(2**62, "huge") < 2**32
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1), st.text(min_size=0, max_size=40))
+    def test_always_in_range(self, seed, tag):
+        child = spawn_seed(seed, tag)
+        assert 0 <= child < 2**32
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        a = new_rng(7, "x").random(5)
+        b = new_rng(7, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tags_different_stream(self):
+        a = new_rng(7, "x").random(5)
+        b = new_rng(7, "y").random(5)
+        assert not np.allclose(a, b)
+
+
+class TestRngFactory:
+    def test_caches_generators(self):
+        factory = RngFactory(seed=3)
+        assert factory.get("a") is factory.get("a")
+
+    def test_child_factory_decorrelated(self):
+        parent = RngFactory(seed=3)
+        child = parent.child("stage1")
+        assert child.seed != parent.seed
+        assert child.seed == spawn_seed(3, "stage1")
+
+    def test_seed_for_matches_spawn(self):
+        factory = RngFactory(seed=11)
+        assert factory.seed_for("foo") == spawn_seed(11, "foo")

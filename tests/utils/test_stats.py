@@ -1,0 +1,94 @@
+"""Tests for statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import Welford, geometric_mean, harmonic_mean, normalize_by, summarize
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30), positive_floats)
+    def test_scale_equivariant(self, values, scale):
+        scaled = geometric_mean([v * scale for v in values])
+        assert scaled == pytest.approx(geometric_mean(values) * scale, rel=1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= np.mean(values) + 1e-9
+
+
+class TestHarmonicMean:
+    def test_simple(self):
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    def test_never_exceeds_geometric_mean(self, values):
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-9
+
+
+class TestNormalizeBy:
+    def test_basic(self):
+        out = normalize_by({"a": 2.0, "b": 3.0}, {"a": 4.0, "b": 3.0})
+        assert out == {"a": 0.5, "b": 1.0}
+
+    def test_skips_missing_and_zero_reference(self):
+        out = normalize_by({"a": 2.0, "b": 3.0, "c": 1.0}, {"a": 0.0, "b": 3.0})
+        assert out == {"b": 1.0}
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.mean == pytest.approx(2.5)
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestWelford:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 2.0, size=200)
+        acc = Welford()
+        for x in data:
+            acc.add(float(x))
+        assert acc.count == 200
+        assert acc.mean == pytest.approx(np.mean(data))
+        assert acc.variance == pytest.approx(np.var(data, ddof=1))
+        assert acc.std == pytest.approx(np.std(data, ddof=1))
+
+    def test_single_observation_has_zero_variance(self):
+        acc = Welford()
+        acc.add(3.0)
+        assert acc.variance == 0.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Welford().mean
