@@ -1,0 +1,22 @@
+# Convenience entry points for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench-smoke bench-engine bench
+
+# Tier-1 verification: the full unit test suite.
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Fast (<30 s) perf-regression check for the message-passing engine; fails
+# when an engine path stops beating the retained seed reference paths.
+bench-smoke:
+	$(PYTHON) -m benchmarks.bench_engine --smoke
+
+# Full engine microbenchmarks with the headline before/after numbers.
+bench-engine:
+	$(PYTHON) -m benchmarks.bench_engine
+
+# The paper-figure benchmark suite (pytest-benchmark harness).
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q

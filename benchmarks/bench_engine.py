@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Microbenchmarks for the compiled message-passing engine.
+
+Three before/after comparisons against the seed implementation (retained
+in-tree as reference paths and re-enabled via
+``repro.nn._scatter.reference_kernels()``):
+
+* ``forward`` — one batched GNN forward pass: naive per-layer relation
+  masking vs. the precompiled per-batch :class:`~repro.nn.data.EdgePlan`.
+* ``train_epoch`` — a full ``train_model`` run (per-epoch time): per-epoch
+  Python collation + naive kernels vs. collate-once re-indexing + plan-driven
+  layers + flat-bincount scatter kernels.
+* ``cap_sweep`` — the power-cap candidate sweep underlying EDP-style
+  tuning: predicting the best configuration for every cap of a dense grid
+  on each region (objective='time', where the cap is an auxiliary input): per-candidate full GNN forwards vs.
+  ``PnPTuner.predict_sweep`` (one cached graph encoding, all candidates
+  batched through the dense head).
+
+Run ``python -m benchmarks.bench_engine`` for the full measurement or with
+``--smoke`` for a <30 s regression check that fails (non-zero exit) when the
+engine stops beating the reference paths.  Results are printed as a table
+and written to ``benchmarks/results/bench_engine.json`` following the
+:mod:`figure_cache` conventions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+if __package__ in (None, ""):  # direct script execution
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    import benchmarks  # noqa: F401  (bootstraps sys.path)
+
+import figure_cache
+from repro.benchsuite.registry import regions_by_application
+from repro.core.dataset import DatasetBuilder
+from repro.core.measurements import get_measurement_database
+from repro.core.model import ModelConfig, PnPModel, _GnnEncoder
+from repro.core.training import TrainingConfig, train_model
+from repro.core.tuner import PnPTuner
+from repro.nn import _scatter
+from repro.nn.data import GraphDataLoader, collate_graphs
+
+# Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
+# than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
+# idle machine) so the check flags regressions, not scheduler noise.
+SMOKE_FLOORS = {"forward": 1.1, "train_epoch": 1.2, "cap_sweep": 2.0}
+
+
+def _best_of_interleaved(
+    first: Callable[[], None], second: Callable[[], None], rounds: int
+) -> tuple:
+    """Alternate the two timed functions so load drift hits both equally."""
+    best_first = best_second = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        first()
+        best_first = min(best_first, time.perf_counter() - start)
+        start = time.perf_counter()
+        second()
+        best_second = min(best_second, time.perf_counter() - start)
+    return best_first, best_second
+
+
+class _ReferenceMode:
+    """Run a block exactly like the seed: naive kernels, no plans/caching."""
+
+    def __enter__(self) -> "_ReferenceMode":
+        self._kernels = _scatter.reference_kernels()
+        self._kernels.__enter__()
+        self._use_plan = _GnnEncoder.use_edge_plan
+        _GnnEncoder.use_edge_plan = False
+        self._loader_init = GraphDataLoader.__init__
+
+        def per_epoch_collate_init(loader, samples, **kwargs):
+            kwargs["cache_collate"] = False
+            self._loader_init(loader, samples, **kwargs)
+
+        GraphDataLoader.__init__ = per_epoch_collate_init
+        return self
+
+    def __exit__(self, *exc) -> None:
+        GraphDataLoader.__init__ = self._loader_init
+        _GnnEncoder.use_edge_plan = self._use_plan
+        self._kernels.__exit__(*exc)
+
+
+def _workload(num_apps: int, seed: int = 0):
+    apps = dict(list(regions_by_application().items())[:num_apps])
+    regions = [r for rs in apps.values() for r in rs]
+    database = get_measurement_database("haswell", regions=regions, seed=seed)
+    builder = DatasetBuilder(database, regions_by_app=apps, seed=seed)
+    samples = builder.performance_samples()
+    config = ModelConfig(
+        vocabulary_size=len(builder.vocabulary),
+        num_classes=database.search_space.num_omp_configurations,
+        aux_dim=1,
+        seed=seed,
+    )
+    return database, builder, samples, config
+
+
+def bench_forward(samples, config, rounds: int) -> Dict[str, float]:
+    """One batched forward pass: naive relation masking vs. a warm EdgePlan.
+
+    The plan stays cached on the batch across rounds — the regime every
+    repeated-batch consumer hits (the 4-layer stack within one pass, memoised
+    evaluation loaders across epochs, repeated predict_labels batches).
+    """
+    batch = collate_graphs([s.sample for s in samples[:64]])
+    model = PnPModel(config)
+    model.eval()
+
+    def engine() -> None:
+        model.encode_pooled(batch)
+
+    def reference() -> None:
+        with _ReferenceMode():
+            model.encode_pooled(batch)
+
+    engine()  # warm allocator/BLAS and build the plan before timing
+    reference()
+    engine_s, reference_s = _best_of_interleaved(engine, reference, max(rounds, 4))
+    return {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+
+
+def bench_train_epoch(samples, config, epochs: int, rounds: int) -> Dict[str, float]:
+    """Full training runs, reported per epoch; histories are bit-identical."""
+    training = TrainingConfig(epochs=epochs, seed=0)
+
+    def engine() -> None:
+        train_model(PnPModel(config), samples, training)
+
+    def reference() -> None:
+        with _ReferenceMode():
+            train_model(PnPModel(config), samples, training)
+
+    engine_s, reference_s = _best_of_interleaved(engine, reference, rounds)
+    engine_s /= epochs
+    reference_s /= epochs
+    return {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+
+
+def bench_cap_sweep(database, builder, config, epochs: int, rounds: int, num_caps: int) -> Dict[str, float]:
+    """Power-cap sweep per region: per-candidate forwards vs. predict_sweep."""
+    tuner = PnPTuner(
+        system="haswell",
+        objective="time",
+        model_config=config,
+        training_config=TrainingConfig(epochs=epochs, seed=0),
+        database=database,
+        seed=0,
+    )
+    tuner.builder = builder
+    tuner.fit(tuner.build_training_samples())
+    regions = builder.regions()[:8]
+    space = database.search_space
+    caps = [float(c) for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)]
+
+    def engine() -> None:
+        tuner._embedding_cache.clear()
+        for region in regions:
+            tuner.predict_sweep(region, caps)
+
+    def reference() -> None:
+        with _ReferenceMode():
+            tuner._embedding_cache.clear()
+            for region in regions:
+                for cap in caps:
+                    tuner._embedding_cache.clear()  # seed re-encoded per candidate
+                    tuner.predict(region, power_cap=cap)
+
+    # Sanity: both paths must select identical configurations.
+    engine_labels = [
+        [r.label for r in tuner.predict_sweep(region, caps)] for region in regions
+    ]
+    tuner._embedding_cache.clear()
+    with _ReferenceMode():
+        reference_labels = [
+            [tuner.predict(region, power_cap=cap).label for cap in caps] for region in regions
+        ]
+        tuner._embedding_cache.clear()
+    if engine_labels != reference_labels:
+        raise AssertionError("predict_sweep disagrees with the reference sweep")
+
+    engine_s, reference_s = _best_of_interleaved(engine, reference, rounds)
+    return {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+
+
+def run(smoke: bool) -> int:
+    mode = "smoke" if smoke else "full"
+    num_apps = 4 if smoke else 8
+    epochs = 3 if smoke else 8
+    rounds = 2 if smoke else 3
+    num_caps = 12 if smoke else 16
+
+    print(f"bench_engine [{mode}]: building workload ({num_apps} applications)...")
+    database, builder, samples, config = _workload(num_apps)
+    print(f"  {len(samples)} training samples")
+
+    results: Dict[str, Dict[str, float]] = {}
+    results["train_epoch"] = bench_train_epoch(samples, config, epochs, rounds)
+    print("  train_epoch done")
+    results["forward"] = bench_forward(samples, config, rounds)
+    print("  forward done")
+    results["cap_sweep"] = bench_cap_sweep(database, builder, config, epochs, rounds, num_caps)
+    print("  cap_sweep done")
+
+    header = f"{'benchmark':<14}{'reference':>12}{'engine':>12}{'speedup':>10}"
+    lines: List[str] = [header, "-" * len(header)]
+    for name, row in results.items():
+        lines.append(
+            f"{name:<14}{row['reference_s'] * 1e3:>10.1f}ms{row['engine_s'] * 1e3:>10.1f}ms"
+            f"{row['speedup']:>9.2f}x"
+        )
+    table = "\n".join(lines)
+    print()
+    print(table)
+
+    payload = {"mode": mode, "results": results, "smoke_floors": SMOKE_FLOORS}
+    path = figure_cache.save_json("bench_engine", payload)
+    print(f"\nJSON written to {path}")
+
+    if smoke:
+        failures = [
+            f"{name}: {results[name]['speedup']:.2f}x < {floor:.2f}x"
+            for name, floor in SMOKE_FLOORS.items()
+            if results[name]["speedup"] < floor
+        ]
+        if failures:
+            print("SMOKE FAILURE — engine slower than its regression floor:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("smoke ok — all engine paths beat their regression floors")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run (<30 s) asserting the engine beats the reference paths",
+    )
+    args = parser.parse_args()
+    return run(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,9 @@ for path in (_SRC, _THIS_DIR):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-RESULTS_DIR = os.path.join(_THIS_DIR, "results")
+import figure_cache  # noqa: E402  (owns the results-directory conventions)
+
+RESULTS_DIR = figure_cache.RESULTS_DIR
 
 
 @pytest.fixture(scope="session")
@@ -36,7 +38,7 @@ def save_result(results_dir):
     """Write a figure/table rendering to ``benchmarks/results/<name>.txt``."""
 
     def _save(name: str, text: str) -> str:
-        path = os.path.join(results_dir, f"{name}.txt")
+        path = figure_cache.results_path(name, "txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"\n[{name}] written to {path}\n")

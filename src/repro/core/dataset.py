@@ -246,6 +246,21 @@ class DatasetBuilder:
         )
 
     # -------------------------------------------------------- feature vectors
+    def aux_feature_matrix(
+        self,
+        region_id: str,
+        power_caps: Sequence[float],
+        include_counters: bool = False,
+    ) -> np.ndarray:
+        """Auxiliary feature rows for sweeping many power caps on one region.
+
+        Used by :meth:`repro.core.tuner.PnPTuner.predict_sweep` to batch all
+        cap candidates through the dense head after a single graph encoding.
+        """
+        return np.stack(
+            [self._aux_features(region_id, cap, include_counters) for cap in power_caps]
+        )
+
     def aux_feature_dim(self, scenario: TuningScenario, include_counters: bool) -> int:
         """Dimensionality of the auxiliary feature vector for a scenario."""
         if scenario == TuningScenario.PERFORMANCE:

@@ -9,6 +9,21 @@ classifier (3 layers) that predicts the best configuration's index.
 Activations are Leaky ReLU inside the GNN stack and ReLU inside the dense
 stack; the loss is cross-entropy; the optimiser is AdamW (amsgrad) or Adam at
 a learning rate of 1e-3 with batch size 16 — all per Table II.
+
+Inference is split into two public stages so callers can amortise the
+expensive graph encoding across many auxiliary-feature candidates:
+
+* :meth:`PnPModel.encode` runs the GNN encoder once per batch and returns the
+  pooled per-graph embedding (independent of auxiliary features);
+* :meth:`PnPModel.head` (the dense classifier sub-module) maps
+  ``(pooled, aux)`` to logits; :meth:`PnPModel.predict_from_pooled` wraps it
+  for label prediction from cached embeddings.
+
+The encoder consumes the batch's precompiled
+:class:`~repro.nn.data.EdgePlan`, so the per-relation edge grouping and
+normalisations are computed once per batch and shared by all RGCN layers
+(set ``model.gnn.use_edge_plan = False`` to fall back to the naive
+per-layer path, retained as a bit-identical reference).
 """
 
 from __future__ import annotations
@@ -69,6 +84,10 @@ class _GnnEncoder(Module):
     transfer-learning step can save/load/freeze exactly these weights.
     """
 
+    #: Consume the batch's precompiled EdgePlan (bit-identical to the naive
+    #: path; disable only for benchmarking/equivalence checks).
+    use_edge_plan: bool = True
+
     def __init__(self, config: ModelConfig) -> None:
         super().__init__()
         rng = new_rng(config.seed, "model/gnn")
@@ -82,10 +101,21 @@ class _GnnEncoder(Module):
             in_dim = config.hidden_dim
 
     def forward(self, batch: GraphBatch) -> Tensor:
+        plan = batch.edge_plan(self.config.num_relations) if self.use_edge_plan else None
         x = self.token_embedding(batch.token_ids) + self.kind_embedding(batch.node_types)
         for conv in self.convs:
-            x = F.leaky_relu(conv(x, batch.edge_index, batch.edge_type), self.config.leaky_slope)
-        return global_mean_pool(x, batch.batch, batch.num_graphs)
+            x = F.leaky_relu(
+                conv(x, batch.edge_index, batch.edge_type, plan=plan), self.config.leaky_slope
+            )
+        if plan is None:
+            return global_mean_pool(x, batch.batch, batch.num_graphs)
+        return global_mean_pool(
+            x,
+            batch.batch,
+            batch.num_graphs,
+            node_counts=plan.graph_node_counts,
+            flat_index=plan.pool_flat(x.shape[1]),
+        )
 
 
 class _DenseHead(Module):
@@ -138,9 +168,24 @@ class PnPModel(Module):
         self.head = _DenseHead(config)
 
     # ------------------------------------------------------------ inference
+    def encode(self, batch: GraphBatch) -> Tensor:
+        """Pooled per-graph embedding of shape ``(num_graphs, hidden_dim)``.
+
+        The embedding is independent of the auxiliary features, so one
+        encoding can be reused across any number of aux candidates via
+        :meth:`head` / :meth:`predict_from_pooled`.
+        """
+        return self.gnn(batch)
+
+    def encode_pooled(self, batch: GraphBatch) -> np.ndarray:
+        """:meth:`encode` under eval/no-grad, returned as a plain array."""
+        self.eval()
+        with no_grad():
+            return self.encode(batch).data
+
     def forward(self, batch: GraphBatch) -> Tensor:
         """Return raw class logits of shape ``(num_graphs, num_classes)``."""
-        pooled = self.gnn(batch)
+        pooled = self.encode(batch)
         return self.head(pooled, batch.aux_features)
 
     def predict(self, batch: GraphBatch) -> np.ndarray:
@@ -148,6 +193,20 @@ class PnPModel(Module):
         self.eval()
         with no_grad():
             logits = self.forward(batch)
+        return np.argmax(logits.data, axis=1)
+
+    def predict_from_pooled(
+        self, pooled: np.ndarray, aux: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Predicted class index per row of a precomputed pooled embedding.
+
+        ``pooled`` has shape ``(rows, hidden_dim)`` (e.g. one graph embedding
+        repeated per aux candidate) and ``aux`` the matching auxiliary
+        feature rows; only the dense head is executed.
+        """
+        self.eval()
+        with no_grad():
+            logits = self.head(Tensor(pooled), aux)
         return np.argmax(logits.data, axis=1)
 
     def predict_proba(self, batch: GraphBatch) -> np.ndarray:

@@ -158,13 +158,60 @@ def train_model(
 
 
 def predict_labels(model: PnPModel, samples: Sequence[LabeledSample], batch_size: int = 32) -> np.ndarray:
-    """Predicted class index for every sample (in input order)."""
-    predictions = np.empty(len(samples), dtype=np.int64)
-    for start in range(0, len(samples), batch_size):
-        chunk = samples[start : start + batch_size]
+    """Predicted class index for every sample (in input order).
+
+    Inference is split into the two model stages: each *unique* graph
+    (deduplicated by region id) is encoded once by the GNN, then every sample
+    — one per (graph, auxiliary-feature) candidate — goes through the dense
+    head only.  The performance scenario has one sample per (region, power
+    cap), so this avoids re-encoding each region's graph once per cap.
+    """
+    samples = list(samples)
+    if not samples:
+        return np.empty(0, dtype=np.int64)
+
+    # Group samples by graph identity (region id; anonymous graphs are kept
+    # distinct), preserving first-appearance order.  Samples sharing a region
+    # id must wrap the same graph — true for any DatasetBuilder output, and
+    # checked here so mixed-origin sample lists fail loudly instead of
+    # silently reusing the wrong embedding.
+    row_of_key: Dict[object, int] = {}
+    unique_samples: List[LabeledSample] = []
+    sample_rows = np.empty(len(samples), dtype=np.int64)
+    for position, labeled in enumerate(samples):
+        key: object = labeled.sample.region_id or ("__anonymous__", position)
+        row = row_of_key.get(key)
+        if row is None:
+            row = len(unique_samples)
+            row_of_key[key] = row
+            unique_samples.append(labeled)
+        else:
+            first = unique_samples[row].sample
+            if not (
+                np.array_equal(first.token_ids, labeled.sample.token_ids)
+                and np.array_equal(first.node_types, labeled.sample.node_types)
+                and np.array_equal(first.edge_index, labeled.sample.edge_index)
+                and np.array_equal(first.edge_type, labeled.sample.edge_type)
+            ):
+                raise ValueError(
+                    f"samples with region id {labeled.sample.region_id!r} wrap "
+                    "different graphs; predict_labels deduplicates encodings by "
+                    "region id and cannot mix graph variants under one id"
+                )
+        sample_rows[position] = row
+
+    pooled_rows: List[np.ndarray] = []
+    for start in range(0, len(unique_samples), batch_size):
+        chunk = unique_samples[start : start + batch_size]
         batch = collate_graphs([s.sample for s in chunk])
-        predictions[start : start + len(chunk)] = model.predict(batch)
-    return predictions
+        pooled_rows.append(model.encode_pooled(batch))
+    pooled = np.concatenate(pooled_rows, axis=0)[sample_rows]
+
+    has_aux = samples[0].sample.aux_features is not None
+    if any((s.sample.aux_features is not None) != has_aux for s in samples):
+        raise ValueError("all samples must consistently have or lack aux_features")
+    aux = np.stack([s.sample.aux_features for s in samples]) if has_aux else None
+    return model.predict_from_pooled(pooled, aux)
 
 
 # --------------------------------------------------------------------- folds

@@ -19,6 +19,14 @@ No code execution of the target region is required for ``predict`` when the
 tuner is configured with static features only (the paper's headline setting);
 with ``include_counters=True`` the tuner additionally profiles the region
 once to collect its PAPI counters (the paper's "dynamic" variant).
+
+Inference uses the split encoder/head engine: the pooled graph embedding of
+each region (independent of the power cap and other auxiliary features) is
+computed once and held in an LRU cache, so repeated queries on a region —
+and in particular :meth:`PnPTuner.predict_sweep`, which scores many power
+caps in one dense-head batch — skip the GNN entirely after the first call.
+The cache is invalidated whenever the model weights change (``fit`` /
+``load_state_dict``).
 """
 
 from __future__ import annotations
@@ -33,9 +41,10 @@ from repro.core.measurements import MeasurementDatabase, get_measurement_databas
 from repro.core.model import ModelConfig, PnPModel
 from repro.core.search_space import SearchSpace
 from repro.core.training import TrainingConfig, predict_labels, train_model
-from repro.nn.data import collate_graphs
+from repro.nn.data import GraphSample, collate_graphs
 from repro.openmp.config import OpenMPConfig
 from repro.openmp.region import RegionCharacteristics
+from repro.utils.caching import LRUCache
 from repro.utils.logging import get_logger
 
 __all__ = ["TuningResult", "PnPTuner", "labels_to_performance_selections", "labels_to_edp_selections"]
@@ -79,6 +88,9 @@ class PnPTuner:
         Controls weight initialisation, IR generation and shuffling.
     """
 
+    #: Capacity of the per-tuner pooled-embedding LRU cache (regions).
+    EMBEDDING_CACHE_SIZE = 512
+
     def __init__(
         self,
         system: str,
@@ -118,6 +130,10 @@ class PnPTuner:
         )
         self.model = PnPModel(self.model_config)
         self._fitted = False
+        # Pooled graph embeddings are independent of the auxiliary features,
+        # so repeated queries (and power-cap sweeps) on the same region reuse
+        # one GNN encoding.  Invalidated whenever the weights change.
+        self._embedding_cache: LRUCache = LRUCache(maxsize=self.EMBEDDING_CACHE_SIZE)
 
     # ------------------------------------------------------------------ fit
     def build_training_samples(
@@ -139,6 +155,7 @@ class PnPTuner:
         samples = list(samples) if samples is not None else self.build_training_samples()
         history = train_model(self.model, samples, self.training_config, parameters=parameters)
         self._fitted = True
+        self._embedding_cache.clear()
         _LOG.info(
             "PnP tuner fitted (%s, %s): final loss %.4f, accuracy %.3f",
             self.system,
@@ -149,19 +166,82 @@ class PnPTuner:
         return self
 
     # -------------------------------------------------------------- predict
+    def _pooled_embedding(self, sample: GraphSample) -> np.ndarray:
+        """The region's pooled graph embedding, via the LRU cache."""
+        key = sample.region_id or None
+        if key is not None:
+            cached = self._embedding_cache.get(key)
+            if cached is not None:
+                return cached
+        pooled = self.model.encode_pooled(collate_graphs([sample]))
+        if key is not None:
+            self._embedding_cache.put(key, pooled)
+        return pooled
+
     def predict(
         self, region: RegionCharacteristics, power_cap: Optional[float] = None
     ) -> TuningResult:
         """Tune one region (no execution of the region is required)."""
         self._require_fitted()
+        if self.objective == "time":
+            if power_cap is None:
+                raise ValueError("power_cap is required for the performance scenario")
+            return self.predict_sweep(region, [power_cap])[0]
         sample = self.builder.inference_sample(
             region,
             power_cap=power_cap,
             include_counters=self.include_counters,
             scenario=self.scenario,
         )
-        label = int(self.model.predict(collate_graphs([sample.sample]))[0])
+        pooled = self._pooled_embedding(sample.sample)
+        aux = sample.sample.aux_features
+        aux = aux[None, :] if aux is not None else None
+        label = int(self.model.predict_from_pooled(pooled, aux)[0])
         return self._result_from_label(region.region_id, label, power_cap)
+
+    def predict_sweep(
+        self, region: RegionCharacteristics, power_caps: Sequence[float]
+    ) -> List[TuningResult]:
+        """Tune one region at many power caps with a single graph encoding.
+
+        The GNN encoder runs (at most) once — reusing the pooled-embedding
+        cache when warm — and all cap candidates are batched through the
+        dense head, making per-candidate cost a single small matrix product.
+        Only meaningful for the ``"time"`` objective, where the power cap is
+        an auxiliary input; the EDP model chooses the cap itself, so a sweep
+        degenerates to :meth:`predict`.
+        """
+        self._require_fitted()
+        if self.objective != "time":
+            raise ValueError(
+                "predict_sweep sweeps the power-cap auxiliary input and needs "
+                "objective='time'; the EDP objective picks the cap itself — "
+                "use predict()"
+            )
+        caps = [float(cap) for cap in power_caps]
+        if not caps:
+            return []
+        # Warm path: a cached embedding means the region was fully prepared
+        # (graph built, registered, counters profiled) by an earlier query,
+        # so the sample construction can be skipped outright.
+        pooled = self._embedding_cache.get(region.region_id) if region.region_id else None
+        if pooled is None:
+            sample = self.builder.inference_sample(
+                region,
+                power_cap=caps[0],
+                include_counters=self.include_counters,
+                scenario=self.scenario,
+            )
+            pooled = self._pooled_embedding(sample.sample)
+        aux = self.builder.aux_feature_matrix(
+            region.region_id, caps, include_counters=self.include_counters
+        )
+        rows = np.repeat(pooled, len(caps), axis=0)
+        labels = self.model.predict_from_pooled(rows, aux)
+        return [
+            self._result_from_label(region.region_id, int(label), cap)
+            for cap, label in zip(caps, labels)
+        ]
 
     def predict_samples(self, samples: Sequence[LabeledSample]) -> List[TuningResult]:
         """Batch prediction for pre-built samples (used by the experiments)."""
@@ -194,6 +274,7 @@ class PnPTuner:
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         self.model.load_state_dict(state)
         self._fitted = True
+        self._embedding_cache.clear()
 
 
 # ------------------------------------------------------- label → selection

@@ -11,6 +11,16 @@ Table II of the paper.
 The engine is deliberately small but complete for this model family; it is
 not a general tensor library.  All arrays are ``float64`` unless stated
 otherwise, which keeps gradient checks tight at the cost of some speed.
+
+Message passing executes from precompiled per-batch
+:class:`~repro.nn.data.EdgePlan` schedules (relation-grouped edge indices
+and in-degree normalisations built once per batch via
+:meth:`GraphBatch.edge_plan` and shared by every RGCN layer and the pooling
+read-out), and :class:`~repro.nn.data.GraphDataLoader` collates the dataset
+once and materialises minibatches by re-indexing flat arrays.  Both paths
+are bit-identical to the naive per-layer/per-epoch implementations they
+replace, which are retained as references (``RGCNConv.forward`` without a
+plan; ``GraphDataLoader(cache_collate=False)``).
 """
 
 from repro.nn.tensor import Tensor, no_grad
@@ -29,7 +39,14 @@ from repro.nn.rgcn import RGCNConv
 from repro.nn.pooling import global_mean_pool, global_sum_pool, global_max_pool
 from repro.nn.losses import CrossEntropyLoss, MSELoss
 from repro.nn.optim import SGD, Adam, AdamW, Optimizer
-from repro.nn.data import GraphSample, GraphBatch, GraphDataLoader, collate_graphs
+from repro.nn.data import (
+    EdgePlan,
+    GraphSample,
+    GraphBatch,
+    GraphDataLoader,
+    build_edge_plan,
+    collate_graphs,
+)
 from repro.nn.serialization import save_state_dict, load_state_dict
 
 __all__ = [
@@ -57,6 +74,8 @@ __all__ = [
     "GraphSample",
     "GraphBatch",
     "GraphDataLoader",
+    "EdgePlan",
+    "build_edge_plan",
     "collate_graphs",
     "save_state_dict",
     "load_state_dict",

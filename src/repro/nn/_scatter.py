@@ -1,0 +1,92 @@
+"""Fast, bit-identical scatter/segment kernels for the message-passing engine.
+
+``np.add.at`` is the natural NumPy spelling of "sum rows into buckets" but its
+unbuffered fancy-indexing loop is several times slower than a per-channel
+``np.bincount`` sweep.  Both process the input strictly in index order, so for
+any duplicate destination the partial sums are accumulated in exactly the same
+sequence — the two spellings are **bit-identical**, which the equivalence
+tests in ``tests/nn/test_edge_plan.py`` assert.
+
+``reference_kernels()`` switches the module back to the ``np.add.at`` path;
+``benchmarks/bench_engine.py`` uses it to time the seed implementation
+without keeping a second copy of the code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "scatter_rows_sum",
+    "count_index",
+    "flat_scatter_index",
+    "reference_kernels",
+    "fast_kernels_enabled",
+]
+
+_USE_FAST = True
+
+
+@contextlib.contextmanager
+def reference_kernels() -> Iterator[None]:
+    """Run the enclosed block with the original ``np.add.at`` kernels."""
+    global _USE_FAST
+    previous = _USE_FAST
+    _USE_FAST = False
+    try:
+        yield
+    finally:
+        _USE_FAST = previous
+
+
+def fast_kernels_enabled() -> bool:
+    return _USE_FAST
+
+
+def flat_scatter_index(index: np.ndarray, channels: int) -> np.ndarray:
+    """Flattened (bucket, channel) bins for :func:`scatter_rows_sum`.
+
+    Precompute once per (index array, channel count) — e.g. per
+    :class:`~repro.nn.data.EdgePlan` relation — and pass as ``flat`` to
+    amortise the index expansion across layers and training steps.
+    """
+    return (index[:, None] * channels + np.arange(channels)).ravel()
+
+
+def scatter_rows_sum(
+    data: np.ndarray,
+    index: np.ndarray,
+    dim_size: int,
+    flat: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``out[j] = sum_{i : index[i] == j} data[i]`` for 2-D float ``data``.
+
+    Falls back to ``np.add.at`` for non-2-D inputs (and under
+    :func:`reference_kernels`); the fast path runs one flat ``np.bincount``
+    over (bucket, channel) bins: ``data.ravel()`` walks rows in index order
+    and channels in order within a row, so duplicates of any bin accumulate
+    in exactly ``np.add.at``'s order — the results are bit-identical.
+    """
+    if not _USE_FAST or data.ndim != 2 or data.dtype != np.float64:
+        out = np.zeros((dim_size,) + data.shape[1:], dtype=np.float64)
+        np.add.at(out, index, data)
+        return out
+    channels = data.shape[1]
+    if channels == 0 or index.size == 0:
+        return np.zeros((dim_size, channels), dtype=np.float64)
+    if flat is None:
+        flat = flat_scatter_index(index, channels)
+    summed = np.bincount(flat, weights=data.ravel(), minlength=dim_size * channels)
+    return summed.reshape(dim_size, channels)
+
+
+def count_index(index: np.ndarray, dim_size: int) -> np.ndarray:
+    """Occurrences of each bucket in ``index`` as float64 (in-degree counts)."""
+    if not _USE_FAST:
+        counts = np.zeros(dim_size, dtype=np.float64)
+        np.add.at(counts, index, 1.0)
+        return counts
+    return np.bincount(index, minlength=dim_size).astype(np.float64)

@@ -1,4 +1,4 @@
-"""Graph datasets, block-diagonal batching and the data loader.
+"""Graph datasets, block-diagonal batching, edge plans and the data loader.
 
 A :class:`GraphSample` holds one flow graph in index form (token ids, node
 types, relation-typed edges) plus a label and optional auxiliary feature
@@ -6,16 +6,44 @@ vector (normalised power cap, PAPI counters for the "dynamic" model variant).
 :func:`collate_graphs` merges several samples into one large disconnected
 graph (the PyTorch-Geometric batching trick), which lets the RGCN process a
 minibatch with a single set of matrix operations.
+
+Two batch-level precomputations back the compiled message-passing engine:
+
+* :class:`EdgePlan` — the per-relation edge grouping (source/destination
+  index arrays and the :math:`1/|N_r(i)|` normalisation per edge) together
+  with the per-graph node counts used by the pooling read-out.  The plan is
+  built lazily, exactly once per batch, via :meth:`GraphBatch.edge_plan`;
+  every RGCN layer and the pooling layer then consume the same plan instead
+  of re-deriving relation masks, in-degrees and normalisations per layer.
+  Plan-driven and naive execution are bit-identical because the per-relation
+  edge order and every floating-point operation are preserved.
+* **Collate-once batching** — :class:`GraphDataLoader` concatenates the
+  whole dataset into flat arrays a single time and materialises each
+  minibatch by re-indexing those arrays (shuffling permutes sample indices
+  only).  The emitted batches are bit-identical to calling
+  :func:`collate_graphs` per epoch, and repeated batch compositions (e.g.
+  unshuffled evaluation loaders) are memoised so their edge plans are reused
+  across epochs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["GraphSample", "GraphBatch", "collate_graphs", "GraphDataLoader"]
+from repro.nn._scatter import count_index, flat_scatter_index
+from repro.utils.caching import LRUCache
+
+__all__ = [
+    "GraphSample",
+    "GraphBatch",
+    "EdgePlan",
+    "build_edge_plan",
+    "collate_graphs",
+    "GraphDataLoader",
+]
 
 
 @dataclass(eq=False)
@@ -93,6 +121,102 @@ class GraphSample:
 
 
 @dataclass(eq=False)
+class EdgePlan:
+    """Precompiled per-batch message-passing schedule.
+
+    For every relation ``r`` the plan stores the source/destination node
+    indices of the relation's edges (in the batch's original edge order, so
+    scatter accumulation is bit-identical to the naive masked path) and the
+    per-edge normalisation column ``1 / |N_r(dst)|``.  The per-graph node
+    counts feed the pooling read-out.  One plan is shared by every RGCN layer
+    of a forward pass and, for memoised batches, across epochs.
+    """
+
+    num_nodes: int
+    num_relations: int
+    relation_src: Tuple[np.ndarray, ...]
+    relation_dst: Tuple[np.ndarray, ...]
+    relation_norm: Tuple[np.ndarray, ...]
+    graph_node_counts: np.ndarray
+    batch_vector: np.ndarray
+    _flat_cache: Dict[Tuple[str, int, int], np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
+
+    def scatter_flat(self, relation: int, channels: int) -> np.ndarray:
+        """Memoised flat (node, channel) bins for the relation's dst scatter."""
+        key = ("dst", relation, channels)
+        flat = self._flat_cache.get(key)
+        if flat is None:
+            flat = flat_scatter_index(self.relation_dst[relation], channels)
+            self._flat_cache[key] = flat
+        return flat
+
+    def gather_flat(self, relation: int, channels: int) -> np.ndarray:
+        """Memoised flat bins for the relation's src gather backward-scatter."""
+        key = ("src", relation, channels)
+        flat = self._flat_cache.get(key)
+        if flat is None:
+            flat = flat_scatter_index(self.relation_src[relation], channels)
+            self._flat_cache[key] = flat
+        return flat
+
+    def pool_flat(self, channels: int) -> np.ndarray:
+        """Memoised flat bins for the per-graph pooling scatter."""
+        key = ("pool", 0, channels)
+        flat = self._flat_cache.get(key)
+        if flat is None:
+            flat = flat_scatter_index(self.batch_vector, channels)
+            self._flat_cache[key] = flat
+        return flat
+
+
+def build_edge_plan(
+    edge_index: np.ndarray,
+    edge_type: np.ndarray,
+    batch: np.ndarray,
+    num_nodes: int,
+    num_graphs: int,
+    num_relations: int,
+) -> EdgePlan:
+    """Group edges by relation and precompute in-degree normalisations."""
+    if num_relations <= 0:
+        raise ValueError("num_relations must be positive")
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    edge_type = np.asarray(edge_type, dtype=np.int64)
+    if edge_type.size and (edge_type.min() < 0 or edge_type.max() >= num_relations):
+        raise ValueError("edge_type out of range for the requested plan")
+    if edge_index.size and (edge_index.min() < 0 or edge_index.max() >= num_nodes):
+        raise ValueError("edge_index references a node outside [0, num_nodes)")
+    srcs: List[np.ndarray] = []
+    dsts: List[np.ndarray] = []
+    norms: List[np.ndarray] = []
+    for relation in range(num_relations):
+        mask = edge_type == relation
+        src = edge_index[0, mask]
+        dst = edge_index[1, mask]
+        if dst.size:
+            degree = count_index(dst, num_nodes)
+            norm = (1.0 / degree[dst])[:, None]
+        else:
+            norm = np.zeros((0, 1), dtype=np.float64)
+        srcs.append(src)
+        dsts.append(dst)
+        norms.append(norm)
+    batch = np.asarray(batch, dtype=np.int64)
+    counts = count_index(batch, num_graphs)
+    return EdgePlan(
+        num_nodes=num_nodes,
+        num_relations=num_relations,
+        relation_src=tuple(srcs),
+        relation_dst=tuple(dsts),
+        relation_norm=tuple(norms),
+        graph_node_counts=counts,
+        batch_vector=batch,
+    )
+
+
+@dataclass(eq=False)
 class GraphBatch:
     """Several graphs merged into one disconnected graph."""
 
@@ -106,10 +230,26 @@ class GraphBatch:
     num_graphs: int
     region_ids: List[str] = field(default_factory=list)
     target_distributions: Optional[np.ndarray] = None
+    _edge_plans: Dict[int, EdgePlan] = field(default_factory=dict, repr=False)
 
     @property
     def num_nodes(self) -> int:
         return int(self.token_ids.shape[0])
+
+    def edge_plan(self, num_relations: int) -> EdgePlan:
+        """The batch's :class:`EdgePlan`, built lazily and cached per arity."""
+        plan = self._edge_plans.get(num_relations)
+        if plan is None:
+            plan = build_edge_plan(
+                self.edge_index,
+                self.edge_type,
+                self.batch,
+                self.num_nodes,
+                self.num_graphs,
+                num_relations,
+            )
+            self._edge_plans[num_relations] = plan
+        return plan
 
 
 def collate_graphs(samples: Sequence[GraphSample]) -> GraphBatch:
@@ -142,9 +282,7 @@ def collate_graphs(samples: Sequence[GraphSample]) -> GraphBatch:
     return GraphBatch(
         token_ids=np.concatenate(token_ids),
         node_types=np.concatenate(node_types),
-        edge_index=np.concatenate(edge_indices, axis=1)
-        if edge_indices
-        else np.zeros((2, 0), dtype=np.int64),
+        edge_index=np.concatenate(edge_indices, axis=1),
         edge_type=np.concatenate(edge_types),
         batch=np.concatenate(batch_vec),
         labels=np.asarray(labels, dtype=np.int64),
@@ -155,8 +293,85 @@ def collate_graphs(samples: Sequence[GraphSample]) -> GraphBatch:
     )
 
 
+class _CollatedDataset:
+    """Dataset-wide flat arrays enabling collate-once minibatching.
+
+    All samples are concatenated a single time; a minibatch for an arbitrary
+    tuple of sample indices is then materialised with pure re-indexing
+    (gathers and integer offset arithmetic), which is bit-identical to
+    :func:`collate_graphs` over the same samples.
+    """
+
+    def __init__(self, samples: Sequence[GraphSample]) -> None:
+        if not samples:
+            raise ValueError("cannot index an empty list of graphs")
+        self.samples = list(samples)
+        has_aux = self.samples[0].aux_features is not None
+        has_targets = self.samples[0].target_distribution is not None
+        for sample in self.samples:
+            if (sample.aux_features is not None) != has_aux:
+                raise ValueError("all samples must consistently have or lack aux_features")
+            if (sample.target_distribution is not None) != has_targets:
+                raise ValueError(
+                    "all samples must consistently have or lack target_distribution"
+                )
+        self.node_counts = np.array([s.num_nodes for s in self.samples], dtype=np.int64)
+        self.edge_counts = np.array([s.num_edges for s in self.samples], dtype=np.int64)
+        self.node_starts = np.concatenate(([0], np.cumsum(self.node_counts)))
+        self.edge_starts = np.concatenate(([0], np.cumsum(self.edge_counts)))
+        self.token_ids = np.concatenate([s.token_ids for s in self.samples])
+        self.node_types = np.concatenate([s.node_types for s in self.samples])
+        # Edge endpoints kept in *local* (per-sample) node coordinates; the
+        # per-batch offsets are added at materialisation time.
+        self.local_edge_index = np.concatenate([s.edge_index for s in self.samples], axis=1)
+        self.edge_type = np.concatenate([s.edge_type for s in self.samples])
+        self.labels = np.array([s.label for s in self.samples], dtype=np.int64)
+        self.region_ids = [s.region_id for s in self.samples]
+        self.aux = (
+            np.stack([s.aux_features for s in self.samples]) if has_aux else None
+        )
+        self.targets = (
+            np.stack([s.target_distribution for s in self.samples]) if has_targets else None
+        )
+
+    def gather(self, chunk: Sequence[int]) -> GraphBatch:
+        """Materialise the batch for ``chunk`` (sample indices, in order)."""
+        chunk = np.asarray(chunk, dtype=np.int64)
+        counts = self.node_counts[chunk]
+        edge_counts = self.edge_counts[chunk]
+        node_sel = np.concatenate(
+            [np.arange(self.node_starts[i], self.node_starts[i + 1]) for i in chunk]
+        )
+        edge_sel = np.concatenate(
+            [np.arange(self.edge_starts[i], self.edge_starts[i + 1]) for i in chunk]
+        )
+        graph_ids = np.arange(len(chunk), dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        edge_index = self.local_edge_index[:, edge_sel] + np.repeat(offsets, edge_counts)
+        return GraphBatch(
+            token_ids=self.token_ids[node_sel],
+            node_types=self.node_types[node_sel],
+            edge_index=edge_index,
+            edge_type=self.edge_type[edge_sel],
+            batch=np.repeat(graph_ids, counts),
+            labels=self.labels[chunk],
+            aux_features=self.aux[chunk] if self.aux is not None else None,
+            num_graphs=len(chunk),
+            region_ids=[self.region_ids[i] for i in chunk],
+            target_distributions=self.targets[chunk] if self.targets is not None else None,
+        )
+
+
 class GraphDataLoader:
     """Minibatch iterator over :class:`GraphSample` lists.
+
+    The loader collates the dataset **once** into flat arrays and materialises
+    every minibatch by re-indexing them; shuffling only permutes sample
+    indices, and the pre-existing shuffle RNG stream is consumed exactly as
+    before, so training trajectories are bit-identical to per-epoch collation.
+    For ``shuffle=False`` loaders (whose compositions repeat every epoch)
+    batches are additionally memoised so their cached :class:`EdgePlan` is
+    reused across epochs.
 
     Parameters
     ----------
@@ -168,7 +383,14 @@ class GraphDataLoader:
         Whether to reshuffle sample order every epoch.
     rng:
         Generator used for shuffling (keeps epochs reproducible).
+    cache_collate:
+        Enable collate-once re-indexing and composition memoisation.  With
+        ``False`` the loader collates from the Python sample list every epoch
+        (the seed behaviour, retained as a benchmark/equivalence reference).
     """
+
+    #: Bound on memoised batch compositions (LRU-evicted beyond this).
+    MEMO_CAPACITY = 256
 
     def __init__(
         self,
@@ -176,21 +398,42 @@ class GraphDataLoader:
         batch_size: int = 16,
         shuffle: bool = True,
         rng: Optional[np.random.Generator] = None,
+        cache_collate: bool = True,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.samples = list(samples)
         self.batch_size = batch_size
         self.shuffle = shuffle
+        self.cache_collate = cache_collate
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._collated: Optional[_CollatedDataset] = None
+        self._batch_memo: LRUCache = LRUCache(self.MEMO_CAPACITY)
 
     def __len__(self) -> int:
         return (len(self.samples) + self.batch_size - 1) // self.batch_size
+
+    def _materialize(self, chunk: Sequence[int]) -> GraphBatch:
+        if not self.cache_collate:
+            return collate_graphs([self.samples[i] for i in chunk])
+        if self._collated is None:
+            self._collated = _CollatedDataset(self.samples)
+        if self.shuffle or len(self) > self.MEMO_CAPACITY:
+            # Shuffled compositions essentially never repeat, and a cyclic
+            # scan over more batches than the LRU holds evicts every entry
+            # just before reuse — memoising would pin batches (and their
+            # EdgePlans) with ~0% hit rate.
+            return self._collated.gather(chunk)
+        key = tuple(int(i) for i in chunk)
+        batch = self._batch_memo.get(key)
+        if batch is None:
+            batch = self._collated.gather(chunk)
+            self._batch_memo.put(key, batch)
+        return batch
 
     def __iter__(self) -> Iterator[GraphBatch]:
         order = np.arange(len(self.samples))
         if self.shuffle:
             self._rng.shuffle(order)
         for start in range(0, len(order), self.batch_size):
-            chunk = [self.samples[i] for i in order[start : start + self.batch_size]]
-            yield collate_graphs(chunk)
+            yield self._materialize(order[start : start + self.batch_size])

@@ -16,6 +16,12 @@ Gradient conventions
 * Operations on tensors with ``requires_grad=False`` propagate data only; no
   graph is recorded for them, so inference under :func:`no_grad` allocates no
   backward closures.
+* ``Tensor.grad`` arrays may be **shared** between tensors (accumulation
+  stores the incoming array without copying; equal-shape backward paths hand
+  the same array to several parents).  Never mutate a gradient in place —
+  e.g. ``param.grad *= scale`` for clipping — rebind instead
+  (``param.grad = param.grad * scale``); nothing in this package mutates
+  gradients in place, which is what makes the no-copy accumulation safe.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ import contextlib
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.nn._scatter import fast_kernels_enabled, scatter_rows_sum
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -149,8 +157,13 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # No copy: gradient arrays are never mutated in place anywhere in the
+        # framework (accumulation rebinds to a fresh sum), so sharing the
+        # incoming array is safe and avoids one allocation per graph node.
+        # (reference_kernels() restores the seed's defensive copy so the
+        # engine benchmarks measure against the original behaviour.)
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = grad if fast_kernels_enabled() else np.array(grad, copy=True)
         else:
             self.grad = self.grad + grad
 
@@ -169,7 +182,10 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        # Copy the seed gradient so a caller-owned array can never alias the
+        # accumulated gradients (internal backward closures always hand over
+        # freshly computed arrays).
+        grad = np.array(grad, dtype=np.float64, copy=True)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
 
@@ -378,12 +394,24 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
-        mask = np.where(self.data > 0, 1.0, negative_slope)
-        out_data = self.data * mask
+        # For 0 < slope <= 1, max(x, slope*x) selects x for positives and
+        # slope*x otherwise — bit-identical to the masked multiply but one
+        # pass cheaper; the subgradient mask is only built when backward runs
+        # (never under no_grad inference).
+        if fast_kernels_enabled() and 0.0 < negative_slope <= 1.0:
+            out_data = np.maximum(self.data, self.data * negative_slope)
+            mask: Optional[np.ndarray] = None
+        else:
+            # Seed path: build the mask eagerly and reuse it in backward.
+            mask = np.where(self.data > 0, 1.0, negative_slope)
+            out_data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                subgradient = (
+                    mask if mask is not None else np.where(self.data > 0, 1.0, negative_slope)
+                )
+                self._accumulate(grad * subgradient)
 
         return self._make(out_data, (self,), backward)
 
@@ -435,6 +463,31 @@ class Tensor:
         return self._make(np.array(out_data, copy=True), (self,), backward)
 
     @staticmethod
+    def add_n(tensors: Sequence["Tensor"]) -> "Tensor":
+        """Sum equally-shaped tensors left to right in one fused op.
+
+        Bit-identical to the chained ``t0 + t1 + ... + tn`` (same left-
+        associative elementwise addition order) but with a single output
+        allocation and one autograd node instead of ``n``.
+        """
+        tensors = [Tensor._lift(t) for t in tensors]
+        if not tensors:
+            raise ValueError("add_n needs at least one tensor")
+        shape = tensors[0].data.shape
+        if any(t.data.shape != shape for t in tensors[1:]):
+            raise ValueError("add_n requires equally-shaped tensors")
+        out_data = tensors[0].data.copy()
+        for tensor in tensors[1:]:
+            out_data += tensor.data
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor in tensors:
+                if tensor.requires_grad:
+                    tensor._accumulate(grad)
+
+        return tensors[0]._make(out_data, tensors, backward)
+
+    @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._lift(t) for t in tensors]
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
@@ -465,31 +518,55 @@ class Tensor:
         return tensors[0]._make(out_data, tensors, backward)
 
     # --------------------------------------------------------- graph kernels
-    def gather_rows(self, index: np.ndarray) -> "Tensor":
-        """Select rows ``self[index]`` (autograd-aware gather along axis 0)."""
+    def gather_rows(
+        self, index: np.ndarray, backward_flat: Optional[np.ndarray] = None
+    ) -> "Tensor":
+        """Select rows ``self[index]`` (autograd-aware gather along axis 0).
+
+        ``backward_flat`` optionally carries the precomputed
+        :func:`repro.nn._scatter.flat_scatter_index` of ``index`` for the
+        gathered row width, reused by the backward scatter (an
+        :class:`~repro.nn.data.EdgePlan` provides it per relation).
+        """
         index = np.asarray(index, dtype=np.int64)
+        # Fancy indexing with an integer array already returns a fresh copy
+        # (the seed's extra np.array copy is re-enabled under
+        # reference_kernels() for faithful before/after benchmarks).
         out_data = self.data[index]
+        if not fast_kernels_enabled():
+            out_data = np.array(out_data, copy=True)
+        num_rows = self.data.shape[0]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
+                if grad.ndim == 2 and self.data.ndim == 2:
+                    self._accumulate(
+                        scatter_rows_sum(grad, index, num_rows, flat=backward_flat)
+                    )
+                else:
+                    full = np.zeros_like(self.data)
+                    np.add.at(full, index, grad)
+                    self._accumulate(full)
 
-        return self._make(np.array(out_data, copy=True), (self,), backward)
+        return self._make(out_data, (self,), backward)
 
-    def scatter_sum(self, index: np.ndarray, dim_size: int) -> "Tensor":
+    def scatter_sum(
+        self,
+        index: np.ndarray,
+        dim_size: int,
+        flat_index: Optional[np.ndarray] = None,
+    ) -> "Tensor":
         """Sum rows of ``self`` into ``dim_size`` buckets given by ``index``.
 
         ``out[j] = sum_{i : index[i] == j} self[i]`` — the core aggregation
-        primitive for graph convolutions and global pooling.
+        primitive for graph convolutions and global pooling.  ``flat_index``
+        optionally passes the precomputed flat (bucket, channel) bins of
+        ``index`` (see :func:`repro.nn._scatter.flat_scatter_index`).
         """
         index = np.asarray(index, dtype=np.int64)
         if index.shape[0] != self.data.shape[0]:
             raise ValueError("index length must match the leading dimension")
-        out_shape = (dim_size,) + self.data.shape[1:]
-        out_data = np.zeros(out_shape, dtype=np.float64)
-        np.add.at(out_data, index, self.data)
+        out_data = scatter_rows_sum(self.data, index, dim_size, flat=flat_index)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

@@ -1,0 +1,216 @@
+"""Equivalence and caching tests for split encoder/head inference.
+
+Covers the engine's inference contract:
+
+* plan-driven encoding is bit-identical to the naive reference encoder;
+* ``predict_sweep`` selects exactly the labels of per-candidate reference
+  predictions and runs the GNN at most once per region (LRU embedding cache);
+* grouped ``predict_labels`` agrees with the seed's chunk-collate loop;
+* collate-once training reproduces the seed training history exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ModelConfig, PnPModel, _GnnEncoder
+from repro.core.training import TrainingConfig, predict_labels, train_model
+from repro.core.tuner import PnPTuner
+from repro.nn import _scatter
+from repro.nn.data import GraphDataLoader, collate_graphs
+
+
+@pytest.fixture(scope="module")
+def fitted_time_tuner(small_database, small_builder, small_regions_by_app):
+    config = ModelConfig(
+        vocabulary_size=len(small_builder.vocabulary),
+        num_classes=small_database.search_space.num_omp_configurations,
+        aux_dim=1,
+        seed=0,
+    )
+    tuner = PnPTuner(
+        system="haswell",
+        objective="time",
+        model_config=config,
+        training_config=TrainingConfig(epochs=2, seed=0),
+        database=small_database,
+        seed=0,
+    )
+    tuner.builder = small_builder
+    tuner.fit(tuner.build_training_samples())
+    return tuner
+
+
+@pytest.fixture(scope="module")
+def perf_samples(small_builder):
+    return small_builder.performance_samples()
+
+
+class TestEncodeHeadSplit:
+    def test_planned_encoding_bit_identical_to_naive(self, fitted_time_tuner, perf_samples):
+        model = fitted_time_tuner.model
+        batch = collate_graphs([s.sample for s in perf_samples[:8]])
+        planned = model.encode_pooled(batch)
+        try:
+            _GnnEncoder.use_edge_plan = False
+            with _scatter.reference_kernels():
+                naive = model.encode_pooled(batch)
+        finally:
+            _GnnEncoder.use_edge_plan = True
+        assert (planned == naive).all()
+
+    def test_forward_equals_encode_then_head(self, fitted_time_tuner, perf_samples):
+        model = fitted_time_tuner.model
+        model.eval()
+        batch = collate_graphs([s.sample for s in perf_samples[:6]])
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            full = model(batch).data
+            split = model.head(model.encode(batch), batch.aux_features).data
+        assert (full == split).all()
+
+    def test_predict_from_pooled_matches_predict(self, fitted_time_tuner, perf_samples):
+        model = fitted_time_tuner.model
+        batch = collate_graphs([s.sample for s in perf_samples[:6]])
+        direct = model.predict(batch)
+        via_split = model.predict_from_pooled(model.encode_pooled(batch), batch.aux_features)
+        assert (direct == via_split).all()
+
+
+class TestPredictSweep:
+    def test_matches_per_candidate_reference_predictions(
+        self, fitted_time_tuner, small_regions_by_app
+    ):
+        region = small_regions_by_app["gemm"][0]
+        caps = [40.0, 50.0, 60.0, 70.0, 85.0]
+        swept = fitted_time_tuner.predict_sweep(region, caps)
+        assert [r.power_cap for r in swept] == caps
+        # Reference: naive kernels, no plans, fresh encoding per candidate.
+        fitted_time_tuner._embedding_cache.clear()
+        try:
+            _GnnEncoder.use_edge_plan = False
+            with _scatter.reference_kernels():
+                reference_labels = []
+                for cap in caps:
+                    fitted_time_tuner._embedding_cache.clear()
+                    reference_labels.append(
+                        fitted_time_tuner.predict(region, power_cap=cap).label
+                    )
+        finally:
+            _GnnEncoder.use_edge_plan = True
+            fitted_time_tuner._embedding_cache.clear()
+        assert [r.label for r in swept] == reference_labels
+
+    def test_runs_encoder_once_per_region(self, fitted_time_tuner, small_regions_by_app):
+        region = small_regions_by_app["atax"][0]
+        calls = []
+        model = fitted_time_tuner.model
+        original = model.encode_pooled
+        fitted_time_tuner._embedding_cache.clear()
+        model.encode_pooled = lambda batch: (calls.append(1), original(batch))[1]
+        try:
+            fitted_time_tuner.predict_sweep(region, [40.0, 60.0, 85.0])
+            fitted_time_tuner.predict_sweep(region, [45.0, 55.0])
+            fitted_time_tuner.predict(region, power_cap=70.0)
+        finally:
+            model.encode_pooled = original
+            fitted_time_tuner._embedding_cache.clear()
+        assert len(calls) == 1
+
+    def test_fit_invalidates_embedding_cache(self, small_database, small_builder):
+        config = ModelConfig(
+            vocabulary_size=len(small_builder.vocabulary),
+            num_classes=small_database.search_space.num_omp_configurations,
+            aux_dim=1,
+            seed=1,
+        )
+        tuner = PnPTuner(
+            system="haswell",
+            objective="time",
+            model_config=config,
+            training_config=TrainingConfig(epochs=1, seed=1),
+            database=small_database,
+            seed=1,
+        )
+        tuner.builder = small_builder
+        samples = tuner.build_training_samples()
+        tuner.fit(samples)
+        region = small_builder.regions()[0]
+        tuner.predict(region, power_cap=60.0)
+        assert len(tuner._embedding_cache) == 1
+        tuner.fit(samples)
+        assert len(tuner._embedding_cache) == 0
+
+    def test_requires_time_objective(self, small_database, small_builder):
+        tuner = PnPTuner(
+            system="haswell",
+            objective="edp",
+            training_config=TrainingConfig(epochs=1, optimizer="adam", seed=0),
+            database=small_database,
+            seed=0,
+        )
+        tuner.builder = small_builder
+        tuner.fit(tuner.build_training_samples())
+        with pytest.raises(ValueError):
+            tuner.predict_sweep(small_builder.regions()[0], [40.0, 60.0])
+
+    def test_empty_cap_list(self, fitted_time_tuner, small_regions_by_app):
+        assert fitted_time_tuner.predict_sweep(small_regions_by_app["gemm"][0], []) == []
+
+
+class TestGroupedPredictLabels:
+    def test_matches_seed_chunked_prediction(self, fitted_time_tuner, perf_samples):
+        model = fitted_time_tuner.model
+        grouped = predict_labels(model, perf_samples)
+        # The seed implementation: collate 32-sample chunks in order and run
+        # the full model on each.
+        chunked = np.empty(len(perf_samples), dtype=np.int64)
+        for start in range(0, len(perf_samples), 32):
+            chunk = perf_samples[start : start + 32]
+            chunked[start : start + len(chunk)] = model.predict(
+                collate_graphs([s.sample for s in chunk])
+            )
+        assert (grouped == chunked).all()
+
+    def test_empty_input(self, fitted_time_tuner):
+        assert predict_labels(fitted_time_tuner.model, []).size == 0
+
+
+class TestCollateOnceTrainingDeterminism:
+    def test_training_history_bit_identical_to_seed_path(self, small_builder, small_database):
+        samples = small_builder.performance_samples()[:24]
+        config = ModelConfig(
+            vocabulary_size=len(small_builder.vocabulary),
+            num_classes=small_database.search_space.num_omp_configurations,
+            aux_dim=1,
+            seed=3,
+        )
+        training = TrainingConfig(epochs=3, seed=3)
+
+        def run_seed_path():
+            model = PnPModel(config)
+            original_init = GraphDataLoader.__init__
+
+            def per_epoch_collate(loader, data, **kwargs):
+                kwargs["cache_collate"] = False
+                original_init(loader, data, **kwargs)
+
+            GraphDataLoader.__init__ = per_epoch_collate
+            try:
+                _GnnEncoder.use_edge_plan = False
+                with _scatter.reference_kernels():
+                    history = train_model(model, samples, training)
+            finally:
+                GraphDataLoader.__init__ = original_init
+                _GnnEncoder.use_edge_plan = True
+            return history, model
+
+        engine_model = PnPModel(config)
+        engine_history = train_model(engine_model, samples, training)
+        seed_history, seed_model = run_seed_path()
+
+        assert engine_history.losses == seed_history.losses
+        assert engine_history.accuracies == seed_history.accuracies
+        engine_state = engine_model.state_dict()
+        seed_state = seed_model.state_dict()
+        assert all((engine_state[k] == seed_state[k]).all() for k in engine_state)

@@ -1,0 +1,250 @@
+"""Equivalence tests for the compiled message-passing engine kernels.
+
+The engine's contract is *bit-identity*: plan-driven RGCN execution, the
+flat-bincount scatter kernels, the fused ``add_n`` accumulation and the
+vectorised pooling must produce exactly the arrays of the retained naive
+reference paths — not merely values within a tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import _scatter
+from repro.nn.data import GraphSample, build_edge_plan, collate_graphs
+from repro.nn.pooling import global_max_pool, global_mean_pool, global_sum_pool
+from repro.nn.rgcn import RGCNConv
+from repro.nn.tensor import Tensor
+
+
+def _random_graph(rng, num_nodes=None, num_edges=None, num_relations=3):
+    num_nodes = num_nodes or int(rng.integers(2, 40))
+    num_edges = num_edges if num_edges is not None else int(rng.integers(0, 4 * num_nodes))
+    edge_index = rng.integers(0, num_nodes, size=(2, num_edges))
+    edge_type = rng.integers(0, num_relations, size=num_edges)
+    return num_nodes, edge_index.astype(np.int64), edge_type.astype(np.int64)
+
+
+class TestScatterKernels:
+    def test_fast_scatter_bit_identical_to_reference(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            buckets = int(rng.integers(1, 50))
+            rows = int(rng.integers(0, 200))
+            channels = int(rng.integers(1, 40))
+            index = rng.integers(0, buckets, size=rows)
+            data = rng.normal(size=(rows, channels))
+            fast = _scatter.scatter_rows_sum(data, index, buckets)
+            with _scatter.reference_kernels():
+                reference = _scatter.scatter_rows_sum(data, index, buckets)
+            assert fast.shape == reference.shape
+            assert (fast == reference).all()
+
+    def test_precomputed_flat_index_matches(self):
+        rng = np.random.default_rng(1)
+        index = rng.integers(0, 11, size=64)
+        data = rng.normal(size=(64, 8))
+        flat = _scatter.flat_scatter_index(index, 8)
+        assert (
+            _scatter.scatter_rows_sum(data, index, 11, flat=flat)
+            == _scatter.scatter_rows_sum(data, index, 11)
+        ).all()
+
+    def test_count_index_bit_identical(self):
+        rng = np.random.default_rng(2)
+        index = rng.integers(0, 13, size=300)
+        fast = _scatter.count_index(index, 13)
+        with _scatter.reference_kernels():
+            reference = _scatter.count_index(index, 13)
+        assert fast.dtype == reference.dtype == np.float64
+        assert (fast == reference).all()
+
+
+class TestEdgePlan:
+    def test_plan_groups_edges_in_original_order(self):
+        rng = np.random.default_rng(3)
+        num_nodes, edge_index, edge_type = _random_graph(rng, num_nodes=20, num_edges=60)
+        batch = np.zeros(num_nodes, dtype=np.int64)
+        plan = build_edge_plan(edge_index, edge_type, batch, num_nodes, 1, 3)
+        for relation in range(3):
+            mask = edge_type == relation
+            assert (plan.relation_src[relation] == edge_index[0, mask]).all()
+            assert (plan.relation_dst[relation] == edge_index[1, mask]).all()
+            dst = edge_index[1, mask]
+            degree = np.zeros(num_nodes)
+            np.add.at(degree, dst, 1.0)
+            assert (plan.relation_norm[relation][:, 0] == 1.0 / degree[dst]).all()
+
+    def test_plan_node_counts(self):
+        batch = np.array([0, 0, 1, 2, 2, 2])
+        plan = build_edge_plan(
+            np.zeros((2, 0), dtype=np.int64), np.zeros(0, dtype=np.int64), batch, 6, 3, 2
+        )
+        assert (plan.graph_node_counts == [2.0, 1.0, 3.0]).all()
+
+    def test_plan_rejects_out_of_range_relation(self):
+        with pytest.raises(ValueError):
+            build_edge_plan(
+                np.array([[0], [1]]), np.array([5]), np.zeros(2, dtype=np.int64), 2, 1, 3
+            )
+
+    def test_batch_memoises_plan_per_arity(self):
+        sample = GraphSample(
+            token_ids=np.array([0, 1]),
+            node_types=np.array([0, 0]),
+            edge_index=np.array([[0], [1]]),
+            edge_type=np.array([0]),
+        )
+        batch = collate_graphs([sample, sample])
+        assert batch.edge_plan(3) is batch.edge_plan(3)
+        assert batch.edge_plan(2) is not batch.edge_plan(3)
+
+
+class TestRGCNPlanEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_forward_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes, edge_index, edge_type = _random_graph(rng)
+        conv = RGCNConv(6, 5, num_relations=3, rng=np.random.default_rng(seed + 10))
+        x = rng.normal(size=(num_nodes, 6))
+        plan = build_edge_plan(
+            edge_index, edge_type, np.zeros(num_nodes, dtype=np.int64), num_nodes, 1, 3
+        )
+        naive = conv(Tensor(x), edge_index, edge_type)
+        planned = conv(Tensor(x), edge_index, edge_type, plan=plan)
+        assert (naive.data == planned.data).all()
+
+    def test_forward_bit_identical_with_empty_relation(self):
+        rng = np.random.default_rng(7)
+        conv = RGCNConv(4, 4, num_relations=3, rng=rng)
+        edge_index = np.array([[0, 1, 2], [1, 2, 0]])
+        edge_type = np.array([0, 0, 2])  # relation 1 has no edges
+        x = rng.normal(size=(3, 4))
+        plan = build_edge_plan(edge_index, edge_type, np.zeros(3, dtype=np.int64), 3, 1, 3)
+        naive = conv(Tensor(x), edge_index, edge_type)
+        planned = conv(Tensor(x), edge_index, edge_type, plan=plan)
+        assert (naive.data == planned.data).all()
+
+    def test_gradients_bit_identical(self):
+        rng = np.random.default_rng(11)
+        num_nodes, edge_index, edge_type = _random_graph(rng, num_nodes=25, num_edges=80)
+        plan = build_edge_plan(
+            edge_index, edge_type, np.zeros(num_nodes, dtype=np.int64), num_nodes, 1, 3
+        )
+        grads = {}
+        for label, use_plan in (("naive", False), ("planned", True)):
+            conv = RGCNConv(5, 5, num_relations=3, rng=np.random.default_rng(42))
+            x = Tensor(np.random.default_rng(43).normal(size=(num_nodes, 5)), requires_grad=True)
+            out = conv(x, edge_index, edge_type, plan=plan if use_plan else None)
+            (out * Tensor(np.random.default_rng(44).normal(size=out.shape))).sum().backward()
+            grads[label] = (x.grad, conv.weight.grad, conv.root.grad, conv.bias.grad)
+        for naive_grad, planned_grad in zip(*grads.values()):
+            assert (naive_grad == planned_grad).all()
+
+    def test_plan_arity_mismatch_rejected(self):
+        conv = RGCNConv(3, 3, num_relations=2)
+        plan = build_edge_plan(
+            np.array([[0], [1]]), np.array([0]), np.zeros(2, dtype=np.int64), 2, 1, 3
+        )
+        with pytest.raises(ValueError):
+            conv(Tensor(np.ones((2, 3))), np.array([[0], [1]]), np.array([0]), plan=plan)
+
+    def test_plan_node_count_mismatch_rejected(self):
+        conv = RGCNConv(3, 3, num_relations=2)
+        plan = build_edge_plan(
+            np.array([[0], [1]]), np.array([0]), np.zeros(2, dtype=np.int64), 2, 1, 2
+        )
+        with pytest.raises(ValueError):
+            conv(Tensor(np.ones((5, 3))), np.array([[0], [1]]), np.array([0]), plan=plan)
+
+
+class TestFusedOps:
+    def test_add_n_bit_identical_to_chained_adds(self):
+        rng = np.random.default_rng(5)
+        arrays = [rng.normal(size=(17, 6)) for _ in range(4)]
+        chained_in = [Tensor(a, requires_grad=True) for a in arrays]
+        fused_in = [Tensor(a, requires_grad=True) for a in arrays]
+        chained = chained_in[0] + chained_in[1] + chained_in[2] + chained_in[3]
+        fused = Tensor.add_n(fused_in)
+        assert (chained.data == fused.data).all()
+        seed = rng.normal(size=(17, 6))
+        chained.backward(seed)
+        fused.backward(seed)
+        for a, b in zip(chained_in, fused_in):
+            assert (a.grad == b.grad).all()
+
+    def test_add_n_validates_inputs(self):
+        with pytest.raises(ValueError):
+            Tensor.add_n([])
+        with pytest.raises(ValueError):
+            Tensor.add_n([Tensor(np.ones((2, 2))), Tensor(np.ones((3, 2)))])
+
+    def test_leaky_relu_bit_identical_to_masked_reference(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(50, 7))
+        data[0, 0] = 0.0
+        fast = Tensor(data).leaky_relu(0.01)
+        reference = data * np.where(data > 0, 1.0, 0.01)
+        assert (fast.data == reference).all()
+        t = Tensor(data, requires_grad=True)
+        t.leaky_relu(0.01).sum().backward()
+        assert (t.grad == np.where(data > 0, 1.0, 0.01)).all()
+
+
+class TestPooling:
+    def test_mean_pool_with_plan_counts_bit_identical(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(12, 4))
+        batch = np.sort(rng.integers(0, 3, size=12))
+        plan = build_edge_plan(
+            np.zeros((2, 0), dtype=np.int64), np.zeros(0, dtype=np.int64), batch, 12, 3, 1
+        )
+        plain = global_mean_pool(Tensor(x), batch, 3)
+        planned = global_mean_pool(
+            Tensor(x), batch, 3, node_counts=plan.graph_node_counts,
+            flat_index=plan.pool_flat(4),
+        )
+        assert (plain.data == planned.data).all()
+
+    def test_max_pool_matches_per_node_reference_loop(self):
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            num_nodes = int(rng.integers(1, 30))
+            channels = int(rng.integers(1, 6))
+            num_graphs = int(rng.integers(1, 5))
+            x = rng.normal(size=(num_nodes, channels))
+            # Duplicate values to exercise tie-breaking.
+            if num_nodes > 2:
+                x[1] = x[0]
+            batch = np.sort(rng.integers(0, num_graphs, size=num_nodes))
+            # The seed's per-node Python loop, kept as the reference.
+            maxima = np.full((num_graphs, channels), -np.inf)
+            argmax = np.zeros((num_graphs, channels), dtype=np.int64)
+            for node in range(num_nodes):
+                graph = batch[node]
+                better = x[node] > maxima[graph]
+                maxima[graph][better] = x[node][better]
+                argmax[graph][better] = node
+            cols = np.tile(np.arange(channels), (num_graphs, 1))
+            reference = x[argmax, cols]
+            out = global_max_pool(Tensor(x), batch, num_graphs)
+            assert (out.data == reference).all()
+
+    def test_max_pool_skips_nan_like_reference_loop(self):
+        # The reference loop's strict '>' never selects a NaN entry.
+        x = Tensor(np.array([[np.nan, 1.0], [5.0, np.nan], [2.0, 3.0]]))
+        batch = np.array([0, 0, 0])
+        assert (global_max_pool(x, batch, 1).data == np.array([[5.0, 3.0]])).all()
+
+    def test_max_pool_routes_gradient_to_first_maximum(self):
+        x = Tensor(np.array([[1.0], [3.0], [3.0], [2.0]]), requires_grad=True)
+        batch = np.array([0, 0, 0, 1])
+        global_max_pool(x, batch, 2).sum().backward()
+        assert (x.grad == np.array([[0.0], [1.0], [0.0], [1.0]])).all()
+
+    def test_check_batch_rejects_out_of_range_indices(self):
+        x = Tensor(np.ones((3, 2)))
+        for pool in (global_sum_pool, global_mean_pool, global_max_pool):
+            with pytest.raises(ValueError):
+                pool(x, np.array([0, 1, 2]), 2)
+            with pytest.raises(ValueError):
+                pool(x, np.array([0, -1, 1]), 2)
