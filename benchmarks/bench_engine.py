@@ -16,10 +16,18 @@ in-tree as reference paths and re-enabled via
   ``PnPTuner.predict_sweep`` (one cached graph encoding, all candidates
   batched through the dense head).
 
+A second axis compares **precisions** (``--dtype``): every engine path is
+additionally timed with a ``float32`` model (same weights, rounded once —
+see :mod:`repro.nn.precision`) against the ``float64`` engine, and a
+dedicated ``scatter_mp`` microbenchmark times the EdgePlan message-passing
+kernel step (gather → relation matmul → normalise → scatter) on a large
+synthetic graph where the scatter/gather bandwidth dominates.
+
 Run ``python -m benchmarks.bench_engine`` for the full measurement or with
 ``--smoke`` for a <30 s regression check that fails (non-zero exit) when the
-engine stops beating the reference paths.  Results are printed as a table
-and written to ``benchmarks/results/bench_engine.json`` following the
+engine stops beating the reference paths or the float32 path stops beating
+float64 on the scatter-bound microbenchmark.  Results are printed as a
+table and written to ``benchmarks/results/bench_engine.json`` following the
 :mod:`figure_cache` conventions.
 """
 
@@ -28,7 +36,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -45,13 +54,20 @@ from repro.core.measurements import get_measurement_database
 from repro.core.model import ModelConfig, PnPModel, _GnnEncoder
 from repro.core.training import TrainingConfig, train_model
 from repro.core.tuner import PnPTuner
-from repro.nn import _scatter
-from repro.nn.data import GraphDataLoader, collate_graphs
+from repro.nn import _scatter, precision
+from repro.nn.data import GraphDataLoader, build_edge_plan, collate_graphs
+from repro.nn.rgcn import RGCNConv
+from repro.nn.tensor import Tensor, no_grad
 
 # Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
 # idle machine) so the check flags regressions, not scheduler noise.
 SMOKE_FLOORS = {"forward": 1.1, "train_epoch": 1.2, "cap_sweep": 2.0}
+
+#: float32-vs-float64 floor on the scatter-bound message-passing microbench
+#: (measured ≈1.3-1.5x on an idle machine; the floor flags the float32 path
+#: losing its edge, e.g. a kernel change re-introducing a float64 round trip).
+F32_SMOKE_FLOORS = {"scatter_mp": 1.15}
 
 
 def _best_of_interleaved(
@@ -107,7 +123,7 @@ def _workload(num_apps: int, seed: int = 0):
     return database, builder, samples, config
 
 
-def bench_forward(samples, config, rounds: int) -> Dict[str, float]:
+def bench_forward(samples, config, rounds: int, with_f32: bool) -> Dict[str, float]:
     """One batched forward pass: naive relation masking vs. a warm EdgePlan.
 
     The plan stays cached on the batch across rounds — the regime every
@@ -128,10 +144,24 @@ def bench_forward(samples, config, rounds: int) -> Dict[str, float]:
     engine()  # warm allocator/BLAS and build the plan before timing
     reference()
     engine_s, reference_s = _best_of_interleaved(engine, reference, max(rounds, 4))
-    return {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+    row = {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+    if with_f32:
+        model32 = PnPModel(replace(config, dtype="float32"))
+        model32.eval()
+
+        def engine32() -> None:
+            model32.encode_pooled(batch)
+
+        engine32()  # warm + build the float32 plan
+        engine64_s, engine32_s = _best_of_interleaved(engine, engine32, max(rounds, 4))
+        row["engine_f32_s"] = engine32_s
+        row["f32_speedup"] = engine64_s / engine32_s
+    return row
 
 
-def bench_train_epoch(samples, config, epochs: int, rounds: int) -> Dict[str, float]:
+def bench_train_epoch(
+    samples, config, epochs: int, rounds: int, with_f32: bool
+) -> Dict[str, float]:
     """Full training runs, reported per epoch; histories are bit-identical."""
     training = TrainingConfig(epochs=epochs, seed=0)
 
@@ -143,12 +173,26 @@ def bench_train_epoch(samples, config, epochs: int, rounds: int) -> Dict[str, fl
             train_model(PnPModel(config), samples, training)
 
     engine_s, reference_s = _best_of_interleaved(engine, reference, rounds)
-    engine_s /= epochs
-    reference_s /= epochs
-    return {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+    row = {
+        "reference_s": reference_s / epochs,
+        "engine_s": engine_s / epochs,
+        "speedup": reference_s / engine_s,
+    }
+    if with_f32:
+        config32 = replace(config, dtype="float32")
+
+        def engine32() -> None:
+            train_model(PnPModel(config32), samples, training)
+
+        engine64_s, engine32_s = _best_of_interleaved(engine, engine32, rounds)
+        row["engine_f32_s"] = engine32_s / epochs
+        row["f32_speedup"] = engine64_s / engine32_s
+    return row
 
 
-def bench_cap_sweep(database, builder, config, epochs: int, rounds: int, num_caps: int) -> Dict[str, float]:
+def bench_cap_sweep(
+    database, builder, config, epochs: int, rounds: int, num_caps: int, with_f32: bool
+) -> Dict[str, float]:
     """Power-cap sweep per region: per-candidate forwards vs. predict_sweep."""
     tuner = PnPTuner(
         system="haswell",
@@ -191,55 +235,137 @@ def bench_cap_sweep(database, builder, config, epochs: int, rounds: int, num_cap
         raise AssertionError("predict_sweep disagrees with the reference sweep")
 
     engine_s, reference_s = _best_of_interleaved(engine, reference, rounds)
-    return {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+    row = {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+    if with_f32:
+        # Same float64-trained tuner serving the sweep at float32 via the
+        # predict_sweep dtype knob (weights cast once, then cached — cleared
+        # here each round along with the embeddings, like the f64 path).
+        def engine32() -> None:
+            tuner._embedding_cache.clear()
+            for region in regions:
+                tuner.predict_sweep(region, caps, dtype="float32")
+
+        engine32()  # warm the cast-model cache outside the timed region
+        engine64_s, engine32_s = _best_of_interleaved(engine, engine32, rounds)
+        row["engine_f32_s"] = engine32_s
+        row["f32_speedup"] = engine64_s / engine32_s
+    return row
 
 
-def run(smoke: bool) -> int:
+def bench_scatter_mp(rounds: int) -> Dict[str, float]:
+    """float32 vs float64 on the scatter-bound message-passing kernel step.
+
+    One planned :class:`RGCNConv` forward (gather → relation matmul →
+    normalise → scatter through the EdgePlan schedules) over a large synthetic
+    multigraph — big enough that memory bandwidth on the scatter/gather hot
+    loops, not BLAS, dominates.  This is the microbenchmark the float32 mode
+    exists for; --smoke fails if float32 stops beating float64 here.
+    """
+    rng = np.random.default_rng(0)
+    num_nodes, num_edges, channels, relations, num_graphs = 40_000, 200_000, 32, 3, 64
+    edge_index = rng.integers(0, num_nodes, size=(2, num_edges))
+    edge_type = rng.integers(0, relations, size=num_edges)
+    batch_vec = np.sort(rng.integers(0, num_graphs, size=num_nodes))
+    features = rng.standard_normal((num_nodes, channels))
+
+    runners: Dict[str, Callable[[], None]] = {}
+    for name in ("float64", "float32"):
+        with precision.autocast(name):
+            layer = RGCNConv(channels, channels, relations, rng=np.random.default_rng(0))
+            layer.eval()
+            plan = build_edge_plan(
+                edge_index, edge_type, batch_vec, num_nodes, num_graphs, relations
+            )
+            x = Tensor(features)
+
+        def run(layer=layer, plan=plan, x=x) -> None:
+            with no_grad():
+                layer(x, edge_index, edge_type, plan=plan)
+
+        run()  # warm the plan's flat scatter-bin caches before timing
+        runners[name] = run
+
+    f64_s, f32_s = _best_of_interleaved(
+        runners["float64"], runners["float32"], max(rounds, 4)
+    )
+    return {"f64_s": f64_s, "f32_s": f32_s, "f32_speedup": f64_s / f32_s}
+
+
+def run(smoke: bool, dtype_axis: str = "both") -> int:
     mode = "smoke" if smoke else "full"
     num_apps = 4 if smoke else 8
     epochs = 3 if smoke else 8
     rounds = 2 if smoke else 3
     num_caps = 12 if smoke else 16
+    with_f32 = dtype_axis in ("both", "float32")
 
     print(f"bench_engine [{mode}]: building workload ({num_apps} applications)...")
     database, builder, samples, config = _workload(num_apps)
     print(f"  {len(samples)} training samples")
 
     results: Dict[str, Dict[str, float]] = {}
-    results["train_epoch"] = bench_train_epoch(samples, config, epochs, rounds)
+    results["train_epoch"] = bench_train_epoch(samples, config, epochs, rounds, with_f32)
     print("  train_epoch done")
-    results["forward"] = bench_forward(samples, config, rounds)
+    results["forward"] = bench_forward(samples, config, rounds, with_f32)
     print("  forward done")
-    results["cap_sweep"] = bench_cap_sweep(database, builder, config, epochs, rounds, num_caps)
+    results["cap_sweep"] = bench_cap_sweep(
+        database, builder, config, epochs, rounds, num_caps, with_f32
+    )
     print("  cap_sweep done")
+    if with_f32:
+        results["scatter_mp"] = bench_scatter_mp(rounds)
+        print("  scatter_mp done")
 
-    header = f"{'benchmark':<14}{'reference':>12}{'engine':>12}{'speedup':>10}"
+    header = (
+        f"{'benchmark':<14}{'reference':>12}{'engine':>12}{'speedup':>10}"
+        f"{'engine f32':>13}{'f32 vs f64':>12}"
+    )
     lines: List[str] = [header, "-" * len(header)]
     for name, row in results.items():
-        lines.append(
-            f"{name:<14}{row['reference_s'] * 1e3:>10.1f}ms{row['engine_s'] * 1e3:>10.1f}ms"
-            f"{row['speedup']:>9.2f}x"
-        )
+        if "reference_s" in row:
+            cells = (
+                f"{name:<14}{row['reference_s'] * 1e3:>10.1f}ms{row['engine_s'] * 1e3:>10.1f}ms"
+                f"{row['speedup']:>9.2f}x"
+            )
+        else:  # scatter_mp: pure f32-vs-f64 microbenchmark
+            cells = f"{name:<14}{'-':>12}{row['f64_s'] * 1e3:>10.1f}ms{'-':>10}"
+        if "f32_speedup" in row:
+            f32_s = row.get("engine_f32_s", row.get("f32_s"))
+            cells += f"{f32_s * 1e3:>11.1f}ms{row['f32_speedup']:>11.2f}x"
+        lines.append(cells)
     table = "\n".join(lines)
     print()
     print(table)
 
-    payload = {"mode": mode, "results": results, "smoke_floors": SMOKE_FLOORS}
+    payload = {
+        "mode": mode,
+        "dtype_axis": dtype_axis,
+        "results": results,
+        "smoke_floors": SMOKE_FLOORS,
+        "f32_smoke_floors": F32_SMOKE_FLOORS,
+    }
     path = figure_cache.save_json("bench_engine", payload)
     print(f"\nJSON written to {path}")
 
     if smoke:
         failures = [
-            f"{name}: {results[name]['speedup']:.2f}x < {floor:.2f}x"
+            f"{name}: {results[name]['speedup']:.2f}x < {floor:.2f}x (engine vs reference)"
             for name, floor in SMOKE_FLOORS.items()
             if results[name]["speedup"] < floor
         ]
+        if with_f32:
+            failures += [
+                f"{name}: {results[name]['f32_speedup']:.2f}x < {floor:.2f}x (float32 vs float64)"
+                for name, floor in F32_SMOKE_FLOORS.items()
+                if results[name]["f32_speedup"] < floor
+            ]
         if failures:
-            print("SMOKE FAILURE — engine slower than its regression floor:")
+            print("SMOKE FAILURE — a fast path lost its edge:")
             for failure in failures:
                 print(f"  {failure}")
             return 1
-        print("smoke ok — all engine paths beat their regression floors")
+        checked = "engine + float32" if with_f32 else "engine"
+        print(f"smoke ok — all {checked} paths beat their regression floors")
     return 0
 
 
@@ -248,10 +374,18 @@ def main() -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small fast run (<30 s) asserting the engine beats the reference paths",
+        help="small fast run (<30 s) asserting the engine beats the reference "
+        "paths and float32 beats float64 on the scatter-bound microbenchmark",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=("float64", "float32", "both"),
+        default="both",
+        help="precision axis: 'both' (default) also times every engine path "
+        "with a float32 model; 'float64' skips the float32 measurements",
     )
     args = parser.parse_args()
-    return run(smoke=args.smoke)
+    return run(smoke=args.smoke, dtype_axis=args.dtype)
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro.graphs.encoder import GraphEncoder
 from repro.graphs.flowgraph import FlowGraph
 from repro.graphs.programl import build_flow_graph
 from repro.graphs.vocabulary import Vocabulary, build_default_vocabulary
+from repro.nn import precision
 from repro.ir.outline import extract_outlined_regions
 from repro.nn.data import GraphSample
 from repro.openmp.region import RegionCharacteristics
@@ -271,7 +272,7 @@ class DatasetBuilder:
         """Near-optimal target distribution over classes from measured metrics."""
         if self.soft_target_temperature is None:
             return None
-        metrics = np.asarray(metrics, dtype=np.float64)
+        metrics = np.asarray(metrics, dtype=precision.get_default_dtype())
         best = metrics.min()
         relative = metrics / best - 1.0
         weights = np.exp(-relative / self.soft_target_temperature)
@@ -295,7 +296,8 @@ class DatasetBuilder:
         features = [self.search_space.normalized_cap(cap)]
         if include_counters:
             features.extend(self.performance_counters(region_id).tolist())
-        return np.asarray(features, dtype=np.float64)
+        # Ingest boundary: auxiliary features adopt the active policy dtype.
+        return np.asarray(features, dtype=precision.get_default_dtype())
 
     def _edp_aux_features(self, region_id: str, include_counters: bool) -> np.ndarray:
         # The EDP model chooses the cap itself; its auxiliary input carries a
@@ -304,4 +306,4 @@ class DatasetBuilder:
         features = [1.0]
         if include_counters:
             features.extend(self.performance_counters(region_id).tolist())
-        return np.asarray(features, dtype=np.float64)
+        return np.asarray(features, dtype=precision.get_default_dtype())

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.graphs.flowgraph import EdgeRelation, NodeKind
 from repro.nn import functional as F
+from repro.nn import precision
 from repro.nn.data import GraphBatch
 from repro.nn.layers import Dropout, Embedding, Linear, Module, ModuleList
 from repro.nn.pooling import global_mean_pool
@@ -52,6 +53,10 @@ class ModelConfig:
     Defaults follow Table II; ``hidden_dim`` and ``embedding_dim`` are not
     listed in the paper and default to moderate values that train quickly on
     the 68-region dataset.
+
+    ``dtype`` selects the model precision ("float64" or "float32"); float32
+    halves parameter/activation memory and unlocks single-precision BLAS on
+    the message-passing hot path (see :mod:`repro.nn.precision`).
     """
 
     vocabulary_size: int
@@ -67,6 +72,7 @@ class ModelConfig:
     dropout: float = 0.1
     leaky_slope: float = 0.01
     seed: int = 0
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.vocabulary_size <= 0 or self.num_classes <= 0:
@@ -75,6 +81,9 @@ class ModelConfig:
             raise ValueError("aux_dim must be non-negative")
         if self.num_rgcn_layers < 1 or self.num_dense_layers < 1:
             raise ValueError("the model needs at least one RGCN and one dense layer")
+        # Normalise to the canonical dtype name (raises on unsupported ones)
+        # while keeping the field a plain string (frozen dataclass).
+        object.__setattr__(self, "dtype", precision.resolve_dtype(self.dtype).name)
 
 
 class _GnnEncoder(Module):
@@ -101,7 +110,11 @@ class _GnnEncoder(Module):
             in_dim = config.hidden_dim
 
     def forward(self, batch: GraphBatch) -> Tensor:
-        plan = batch.edge_plan(self.config.num_relations) if self.use_edge_plan else None
+        plan = (
+            batch.edge_plan(self.config.num_relations, dtype=self.dtype)
+            if self.use_edge_plan
+            else None
+        )
         x = self.token_embedding(batch.token_ids) + self.kind_embedding(batch.node_types)
         for conv in self.convs:
             x = F.leaky_relu(
@@ -140,13 +153,15 @@ class _DenseHead(Module):
                 raise ValueError(
                     f"model expects {self.config.aux_dim} auxiliary features but got none"
                 )
-            aux = np.asarray(aux, dtype=np.float64)
+            # Auxiliary features cross the tensor boundary here: convert to
+            # the pooled embedding's dtype so the head never promotes.
+            aux = np.asarray(aux, dtype=pooled.data.dtype)
             if aux.ndim != 2 or aux.shape[1] != self.config.aux_dim:
                 raise ValueError(
                     f"auxiliary features must have shape (batch, {self.config.aux_dim}), "
                     f"got {aux.shape}"
                 )
-            x = Tensor.concatenate([pooled, Tensor(aux)], axis=1)
+            x = Tensor.concatenate([pooled, Tensor(aux, dtype=aux.dtype)], axis=1)
         else:
             x = pooled
         last = len(self.layers) - 1
@@ -159,13 +174,21 @@ class _DenseHead(Module):
 
 
 class PnPModel(Module):
-    """The complete PnP tuner network (GNN encoder + dense classifier)."""
+    """The complete PnP tuner network (GNN encoder + dense classifier).
+
+    The model is built at ``config.dtype`` — parameters are initialised from
+    the same random stream regardless of precision (float32 weights are the
+    float64 draws rounded once), so a float32 model is the numerical twin of
+    its float64 counterpart.  :meth:`Module.astype` re-casts an existing
+    model in place.
+    """
 
     def __init__(self, config: ModelConfig) -> None:
         super().__init__()
         self.config = config
-        self.gnn = _GnnEncoder(config)
-        self.head = _DenseHead(config)
+        with precision.autocast(config.dtype):
+            self.gnn = _GnnEncoder(config)
+            self.head = _DenseHead(config)
 
     # ------------------------------------------------------------ inference
     def encode(self, batch: GraphBatch) -> Tensor:
@@ -202,11 +225,13 @@ class PnPModel(Module):
 
         ``pooled`` has shape ``(rows, hidden_dim)`` (e.g. one graph embedding
         repeated per aux candidate) and ``aux`` the matching auxiliary
-        feature rows; only the dense head is executed.
+        feature rows; only the dense head is executed.  ``pooled`` is
+        converted to the model dtype at this boundary, so float64 cached
+        embeddings can feed a float32 head (and vice versa).
         """
         self.eval()
         with no_grad():
-            logits = self.head(Tensor(pooled), aux)
+            logits = self.head(Tensor(pooled, dtype=self.dtype), aux)
         return np.argmax(logits.data, axis=1)
 
     def predict_proba(self, batch: GraphBatch) -> np.ndarray:
@@ -236,5 +261,6 @@ class PnPModel(Module):
             "embedding_dim": self.config.embedding_dim,
             "num_classes": self.config.num_classes,
             "aux_dim": self.config.aux_dim,
+            "dtype": self.dtype.name,
             "parameters": self.num_parameters(),
         }

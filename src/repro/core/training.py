@@ -11,13 +11,14 @@ for a large reduction in training time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.dataset import LabeledSample
 from repro.core.model import ModelConfig, PnPModel
 from repro.nn import functional as F
+from repro.nn import precision
 from repro.nn.data import GraphDataLoader, collate_graphs
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.optim import Adam, AdamW, Optimizer, SGD
@@ -54,6 +55,15 @@ class TrainingConfig:
     use_soft_targets: bool = True
     seed: int = 0
     log_every: int = 0             # 0 disables epoch logging
+    #: Train at this precision ("float32"/"float64"); ``None`` keeps the
+    #: model's own dtype.  A non-None value casts the model in place before
+    #: the first step (gradients, optimizer state and updates then all run
+    #: at that precision).
+    dtype: Optional[str] = None
+    #: "samples" (True) reshuffles sample order per epoch; "batches" permutes
+    #: fixed batch compositions so memoised EdgePlans are reused across
+    #: epochs (see :class:`repro.nn.data.GraphDataLoader`).
+    shuffle: Union[bool, str] = True
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -62,6 +72,10 @@ class TrainingConfig:
             raise ValueError("learning_rate must be positive")
         if self.optimizer not in ("adamw", "adam", "sgd"):
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.dtype is not None:
+            object.__setattr__(self, "dtype", precision.resolve_dtype(self.dtype).name)
+        if not isinstance(self.shuffle, bool) and self.shuffle != "batches":
+            raise ValueError(f"shuffle must be True, False or 'batches', got {self.shuffle!r}")
 
 
 @dataclass
@@ -111,11 +125,15 @@ def train_model(
     """
     if not samples:
         raise ValueError("cannot train on an empty dataset")
+    if config.dtype is not None:
+        # Cast before the optimizer captures the parameter list so moment
+        # buffers are created from same-precision gradients.
+        model.astype(config.dtype)
     graph_samples = [s.sample for s in samples]
     loader = GraphDataLoader(
         graph_samples,
         batch_size=config.batch_size,
-        shuffle=True,
+        shuffle=config.shuffle,
         rng=new_rng(config.seed, "training/shuffle"),
     )
     loss_fn = CrossEntropyLoss()

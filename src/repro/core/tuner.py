@@ -31,7 +31,7 @@ The cache is invalidated whenever the model weights change (``fit`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,6 +41,7 @@ from repro.core.measurements import MeasurementDatabase, get_measurement_databas
 from repro.core.model import ModelConfig, PnPModel
 from repro.core.search_space import SearchSpace
 from repro.core.training import TrainingConfig, predict_labels, train_model
+from repro.nn import precision
 from repro.nn.data import GraphSample, collate_graphs
 from repro.openmp.config import OpenMPConfig
 from repro.openmp.region import RegionCharacteristics
@@ -86,9 +87,15 @@ class PnPTuner:
         process database over the full benchmark suite.
     seed:
         Controls weight initialisation, IR generation and shuffling.
+    dtype:
+        Model precision ("float64" default, "float32" fast path).  Overrides
+        the ``model_config`` dtype when both are given.  Independently of the
+        training precision, :meth:`predict_sweep` can serve a sweep at a
+        different precision via its own ``dtype=`` argument (the weights are
+        cast once and cached).
     """
 
-    #: Capacity of the per-tuner pooled-embedding LRU cache (regions).
+    #: Capacity of the per-tuner pooled-embedding LRU cache (regions×dtypes).
     EMBEDDING_CACHE_SIZE = 512
 
     def __init__(
@@ -100,6 +107,7 @@ class PnPTuner:
         training_config: Optional[TrainingConfig] = None,
         database: Optional[MeasurementDatabase] = None,
         seed: int = 0,
+        dtype: Optional[str] = None,
     ) -> None:
         if objective not in ("time", "edp"):
             raise ValueError("objective must be 'time' or 'edp'")
@@ -125,6 +133,10 @@ class PnPTuner:
             aux_dim=aux_dim,
             seed=seed,
         )
+        if dtype is not None:
+            self.model_config = replace(
+                self.model_config, dtype=precision.resolve_dtype(dtype).name
+            )
         self.training_config = training_config if training_config is not None else TrainingConfig(
             optimizer=default_optimizer, seed=seed
         )
@@ -132,8 +144,12 @@ class PnPTuner:
         self._fitted = False
         # Pooled graph embeddings are independent of the auxiliary features,
         # so repeated queries (and power-cap sweeps) on the same region reuse
-        # one GNN encoding.  Invalidated whenever the weights change.
+        # one GNN encoding.  Keys are (region, dtype); invalidated whenever
+        # the weights change.
         self._embedding_cache: LRUCache = LRUCache(maxsize=self.EMBEDDING_CACHE_SIZE)
+        # Weight casts of self.model at other precisions, built lazily for
+        # dtype-overridden sweeps and invalidated with the embedding cache.
+        self._cast_models: Dict[str, PnPModel] = {}
 
     # ------------------------------------------------------------------ fit
     def build_training_samples(
@@ -156,6 +172,7 @@ class PnPTuner:
         history = train_model(self.model, samples, self.training_config, parameters=parameters)
         self._fitted = True
         self._embedding_cache.clear()
+        self._cast_models.clear()
         _LOG.info(
             "PnP tuner fitted (%s, %s): final loss %.4f, accuracy %.3f",
             self.system,
@@ -166,14 +183,31 @@ class PnPTuner:
         return self
 
     # -------------------------------------------------------------- predict
-    def _pooled_embedding(self, sample: GraphSample) -> np.ndarray:
-        """The region's pooled graph embedding, via the LRU cache."""
-        key = sample.region_id or None
+    def _model_at(self, dtype: Optional[str]) -> PnPModel:
+        """``self.model`` or a cached weight-cast copy at ``dtype``."""
+        if dtype is None:
+            return self.model
+        resolved = precision.resolve_dtype(dtype)
+        if resolved == self.model.dtype:
+            return self.model
+        cast = self._cast_models.get(resolved.name)
+        if cast is None:
+            cast = PnPModel(replace(self.model_config, dtype=resolved.name))
+            # Module.load_state_dict casts each value to the parameter dtype.
+            cast.load_state_dict(self.model.state_dict())
+            cast.eval()
+            self._cast_models[resolved.name] = cast
+        return cast
+
+    def _pooled_embedding(self, sample: GraphSample, model: Optional[PnPModel] = None) -> np.ndarray:
+        """The region's pooled graph embedding, via the (region, dtype) LRU cache."""
+        model = model if model is not None else self.model
+        key = (sample.region_id, model.dtype.name) if sample.region_id else None
         if key is not None:
             cached = self._embedding_cache.get(key)
             if cached is not None:
                 return cached
-        pooled = self.model.encode_pooled(collate_graphs([sample]))
+        pooled = model.encode_pooled(collate_graphs([sample]))
         if key is not None:
             self._embedding_cache.put(key, pooled)
         return pooled
@@ -200,7 +234,10 @@ class PnPTuner:
         return self._result_from_label(region.region_id, label, power_cap)
 
     def predict_sweep(
-        self, region: RegionCharacteristics, power_caps: Sequence[float]
+        self,
+        region: RegionCharacteristics,
+        power_caps: Sequence[float],
+        dtype: Optional[str] = None,
     ) -> List[TuningResult]:
         """Tune one region at many power caps with a single graph encoding.
 
@@ -210,6 +247,12 @@ class PnPTuner:
         Only meaningful for the ``"time"`` objective, where the power cap is
         an auxiliary input; the EDP model chooses the cap itself, so a sweep
         degenerates to :meth:`predict`.
+
+        ``dtype`` overrides the serving precision for this sweep: the model
+        weights are cast once (cached until the next ``fit``/weight load) and
+        the encoding + dense-head batch run entirely at that precision —
+        e.g. ``dtype="float32"`` halves the sweep's memory traffic on a
+        float64-trained tuner.
         """
         self._require_fitted()
         if self.objective != "time":
@@ -221,10 +264,15 @@ class PnPTuner:
         caps = [float(cap) for cap in power_caps]
         if not caps:
             return []
+        model = self._model_at(dtype)
         # Warm path: a cached embedding means the region was fully prepared
         # (graph built, registered, counters profiled) by an earlier query,
         # so the sample construction can be skipped outright.
-        pooled = self._embedding_cache.get(region.region_id) if region.region_id else None
+        pooled = (
+            self._embedding_cache.get((region.region_id, model.dtype.name))
+            if region.region_id
+            else None
+        )
         if pooled is None:
             sample = self.builder.inference_sample(
                 region,
@@ -232,12 +280,12 @@ class PnPTuner:
                 include_counters=self.include_counters,
                 scenario=self.scenario,
             )
-            pooled = self._pooled_embedding(sample.sample)
+            pooled = self._pooled_embedding(sample.sample, model)
         aux = self.builder.aux_feature_matrix(
             region.region_id, caps, include_counters=self.include_counters
         )
         rows = np.repeat(pooled, len(caps), axis=0)
-        labels = self.model.predict_from_pooled(rows, aux)
+        labels = model.predict_from_pooled(rows, aux)
         return [
             self._result_from_label(region.region_id, int(label), cap)
             for cap, label in zip(caps, labels)
@@ -275,6 +323,7 @@ class PnPTuner:
         self.model.load_state_dict(state)
         self._fitted = True
         self._embedding_cache.clear()
+        self._cast_models.clear()
 
 
 # ------------------------------------------------------- label → selection

@@ -13,6 +13,7 @@ from typing import List
 import numpy as np
 
 from repro.graphs.flowgraph import EdgeRelation, FlowGraph, NodeKind
+from repro.nn import precision
 
 __all__ = ["STATIC_FEATURE_NAMES", "static_feature_vector"]
 
@@ -96,7 +97,9 @@ def static_feature_vector(graph: FlowGraph) -> np.ndarray:
             float_arith / max(total_arith + memory_ops, 1),
             graph.num_edges / max(graph.num_nodes, 1),
         ],
-        dtype=np.float64,
+        # Feature vectors adopt the active policy dtype at this ingest
+        # boundary (float64 unless the process opted into float32).
+        dtype=precision.get_default_dtype(),
     )
     if features.shape[0] != len(STATIC_FEATURE_NAMES):
         raise AssertionError("feature vector out of sync with STATIC_FEATURE_NAMES")

@@ -9,8 +9,14 @@ it provides reverse-mode automatic differentiation over NumPy arrays
 Table II of the paper.
 
 The engine is deliberately small but complete for this model family; it is
-not a general tensor library.  All arrays are ``float64`` unless stated
-otherwise, which keeps gradient checks tight at the cost of some speed.
+not a general tensor library.  Arrays default to ``float64`` (tight gradient
+checks), but the precision is a switchable policy: :mod:`repro.nn.precision`
+exposes :func:`set_default_dtype` and the :func:`autocast` context manager,
+and ``float32`` is a first-class fast path through tensors, initializers,
+edge plans, scatter kernels, optimizers and serialization (roughly double
+the effective memory bandwidth on the message-passing hot loops plus
+single-precision BLAS).  A strict :func:`dtype_checks` mode asserts that a
+``float32`` forward/backward step never silently promotes to ``float64``.
 
 Message passing executes from precompiled per-batch
 :class:`~repro.nn.data.EdgePlan` schedules (relation-grouped edge indices
@@ -23,6 +29,14 @@ replace, which are retained as references (``RGCNConv.forward`` without a
 plan; ``GraphDataLoader(cache_collate=False)``).
 """
 
+from repro.nn import precision
+from repro.nn.precision import (
+    autocast,
+    dtype_checks,
+    get_default_dtype,
+    set_default_dtype,
+    DtypePromotionError,
+)
 from repro.nn.tensor import Tensor, no_grad
 from repro.nn import functional
 from repro.nn.layers import (
@@ -53,6 +67,12 @@ __all__ = [
     "Tensor",
     "no_grad",
     "functional",
+    "precision",
+    "autocast",
+    "dtype_checks",
+    "get_default_dtype",
+    "set_default_dtype",
+    "DtypePromotionError",
     "Module",
     "Linear",
     "Embedding",

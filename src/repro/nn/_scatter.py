@@ -10,6 +10,13 @@ tests in ``tests/nn/test_edge_plan.py`` assert.
 ``reference_kernels()`` switches the module back to the ``np.add.at`` path;
 ``benchmarks/bench_engine.py`` uses it to time the seed implementation
 without keeping a second copy of the code.
+
+Precision: the kernels accept ``float32`` as well as ``float64`` input and
+always return the input dtype.  ``np.bincount`` accumulates in double
+precision internally, so the ``float32`` path is summed in ``float64`` and
+cast back once — at least as accurate as native single-precision
+accumulation, and it never leaks ``float64`` arrays into a ``float32``
+forward/backward step (see :mod:`repro.nn.precision`).
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ __all__ = [
 ]
 
 _USE_FAST = True
+
+_FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
 
 @contextlib.contextmanager
@@ -68,25 +77,34 @@ def scatter_rows_sum(
     :func:`reference_kernels`); the fast path runs one flat ``np.bincount``
     over (bucket, channel) bins: ``data.ravel()`` walks rows in index order
     and channels in order within a row, so duplicates of any bin accumulate
-    in exactly ``np.add.at``'s order — the results are bit-identical.
+    in exactly ``np.add.at``'s order — the ``float64`` results are
+    bit-identical.  The output always carries ``data``'s dtype.
     """
-    if not _USE_FAST or data.ndim != 2 or data.dtype != np.float64:
-        out = np.zeros((dim_size,) + data.shape[1:], dtype=np.float64)
+    if not _USE_FAST or data.ndim != 2 or data.dtype not in _FLOAT_DTYPES:
+        out_dtype = data.dtype if data.dtype in _FLOAT_DTYPES else np.float64
+        out = np.zeros((dim_size,) + data.shape[1:], dtype=out_dtype)
         np.add.at(out, index, data)
         return out
     channels = data.shape[1]
     if channels == 0 or index.size == 0:
-        return np.zeros((dim_size, channels), dtype=np.float64)
+        return np.zeros((dim_size, channels), dtype=data.dtype)
     if flat is None:
         flat = flat_scatter_index(index, channels)
     summed = np.bincount(flat, weights=data.ravel(), minlength=dim_size * channels)
-    return summed.reshape(dim_size, channels)
+    return summed.reshape(dim_size, channels).astype(data.dtype, copy=False)
 
 
-def count_index(index: np.ndarray, dim_size: int) -> np.ndarray:
-    """Occurrences of each bucket in ``index`` as float64 (in-degree counts)."""
+def count_index(
+    index: np.ndarray, dim_size: int, dtype: np.dtype = np.float64
+) -> np.ndarray:
+    """Occurrences of each bucket in ``index`` as ``dtype`` (in-degree counts).
+
+    Counts are integers, so they are exact in either supported precision;
+    callers building :class:`~repro.nn.data.EdgePlan` normalisations pass the
+    plan dtype to keep the ``1 / degree`` columns promotion-free.
+    """
     if not _USE_FAST:
-        counts = np.zeros(dim_size, dtype=np.float64)
+        counts = np.zeros(dim_size, dtype=dtype)
         np.add.at(counts, index, 1.0)
         return counts
-    return np.bincount(index, minlength=dim_size).astype(np.float64)
+    return np.bincount(index, minlength=dim_size).astype(dtype)

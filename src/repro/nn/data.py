@@ -29,10 +29,11 @@ Two batch-level precomputations back the compiled message-passing engine:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn import precision
 from repro.nn._scatter import count_index, flat_scatter_index
 from repro.utils.caching import LRUCache
 
@@ -93,9 +94,13 @@ class GraphSample:
         self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
         self.edge_type = np.asarray(self.edge_type, dtype=np.int64)
         if self.aux_features is not None:
-            self.aux_features = np.asarray(self.aux_features, dtype=np.float64)
+            self.aux_features = np.asarray(
+                self.aux_features, dtype=precision.get_default_dtype()
+            )
         if self.target_distribution is not None:
-            self.target_distribution = np.asarray(self.target_distribution, dtype=np.float64)
+            self.target_distribution = np.asarray(
+                self.target_distribution, dtype=precision.get_default_dtype()
+            )
             total = self.target_distribution.sum()
             if total <= 0:
                 raise ValueError("target_distribution must have positive mass")
@@ -130,6 +135,10 @@ class EdgePlan:
     per-edge normalisation column ``1 / |N_r(dst)|``.  The per-graph node
     counts feed the pooling read-out.  One plan is shared by every RGCN layer
     of a forward pass and, for memoised batches, across epochs.
+
+    ``dtype`` is the precision of the normalisation columns; plans are cached
+    per (arity, dtype) on their batch, so a float32 model and a float64 model
+    can share the same memoised batches without promoting each other.
     """
 
     num_nodes: int
@@ -139,6 +148,7 @@ class EdgePlan:
     relation_norm: Tuple[np.ndarray, ...]
     graph_node_counts: np.ndarray
     batch_vector: np.ndarray
+    dtype: np.dtype = np.float64
     _flat_cache: Dict[Tuple[str, int, int], np.ndarray] = field(
         default_factory=dict, repr=False
     )
@@ -170,6 +180,38 @@ class EdgePlan:
             self._flat_cache[key] = flat
         return flat
 
+    def with_dtype(self, dtype: np.dtype) -> "EdgePlan":
+        """A twin plan at ``dtype`` sharing every dtype-independent part.
+
+        The integer schedules (relation src/dst, batch vector) and the flat
+        scatter-bin cache — the plan's largest components — are shared by
+        reference; only the normalisation columns and node counts are cast.
+        Only the narrowing float64→float32 direction is allowed: rounding a
+        float64 reciprocal to float32 is exactly the directly computed
+        float32 reciprocal (binary64 carries enough bits that the double
+        rounding is harmless), whereas upcasting float32 norms would *not*
+        reproduce the bit-exact float64 plan the seed-equivalence contract
+        requires.
+        """
+        if dtype == self.dtype:
+            return self
+        if self.dtype != np.float64:
+            raise ValueError(
+                f"cannot derive a {dtype} plan from a {self.dtype} one; "
+                "build the wider plan from the batch instead"
+            )
+        return EdgePlan(
+            num_nodes=self.num_nodes,
+            num_relations=self.num_relations,
+            relation_src=self.relation_src,
+            relation_dst=self.relation_dst,
+            relation_norm=tuple(n.astype(dtype) for n in self.relation_norm),
+            graph_node_counts=self.graph_node_counts.astype(dtype),
+            batch_vector=self.batch_vector,
+            dtype=dtype,
+            _flat_cache=self._flat_cache,
+        )
+
 
 def build_edge_plan(
     edge_index: np.ndarray,
@@ -178,10 +220,16 @@ def build_edge_plan(
     num_nodes: int,
     num_graphs: int,
     num_relations: int,
+    dtype: Optional[np.dtype] = None,
 ) -> EdgePlan:
-    """Group edges by relation and precompute in-degree normalisations."""
+    """Group edges by relation and precompute in-degree normalisations.
+
+    ``dtype`` selects the precision of the normalisation columns (default:
+    the active policy dtype); the integer schedules are dtype-independent.
+    """
     if num_relations <= 0:
         raise ValueError("num_relations must be positive")
+    dtype = precision.resolve_dtype(dtype)
     edge_index = np.asarray(edge_index, dtype=np.int64)
     edge_type = np.asarray(edge_type, dtype=np.int64)
     if edge_type.size and (edge_type.min() < 0 or edge_type.max() >= num_relations):
@@ -196,15 +244,15 @@ def build_edge_plan(
         src = edge_index[0, mask]
         dst = edge_index[1, mask]
         if dst.size:
-            degree = count_index(dst, num_nodes)
+            degree = count_index(dst, num_nodes, dtype=dtype)
             norm = (1.0 / degree[dst])[:, None]
         else:
-            norm = np.zeros((0, 1), dtype=np.float64)
+            norm = np.zeros((0, 1), dtype=dtype)
         srcs.append(src)
         dsts.append(dst)
         norms.append(norm)
     batch = np.asarray(batch, dtype=np.int64)
-    counts = count_index(batch, num_graphs)
+    counts = count_index(batch, num_graphs, dtype=dtype)
     return EdgePlan(
         num_nodes=num_nodes,
         num_relations=num_relations,
@@ -213,6 +261,7 @@ def build_edge_plan(
         relation_norm=tuple(norms),
         graph_node_counts=counts,
         batch_vector=batch,
+        dtype=dtype,
     )
 
 
@@ -230,25 +279,42 @@ class GraphBatch:
     num_graphs: int
     region_ids: List[str] = field(default_factory=list)
     target_distributions: Optional[np.ndarray] = None
-    _edge_plans: Dict[int, EdgePlan] = field(default_factory=dict, repr=False)
+    _edge_plans: Dict[Tuple[int, np.dtype], EdgePlan] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def num_nodes(self) -> int:
         return int(self.token_ids.shape[0])
 
-    def edge_plan(self, num_relations: int) -> EdgePlan:
-        """The batch's :class:`EdgePlan`, built lazily and cached per arity."""
-        plan = self._edge_plans.get(num_relations)
+    def edge_plan(self, num_relations: int, dtype: Optional[np.dtype] = None) -> EdgePlan:
+        """The batch's :class:`EdgePlan`, built lazily, cached per (arity, dtype).
+
+        Plans for a second dtype are derived from an existing plan of the
+        same arity (:meth:`EdgePlan.with_dtype`), sharing the integer
+        schedules and flat scatter-bin caches instead of rebuilding them.
+        """
+        dtype = precision.resolve_dtype(dtype)
+        key = (num_relations, dtype)
+        plan = self._edge_plans.get(key)
         if plan is None:
-            plan = build_edge_plan(
-                self.edge_index,
-                self.edge_type,
-                self.batch,
-                self.num_nodes,
-                self.num_graphs,
-                num_relations,
-            )
-            self._edge_plans[num_relations] = plan
+            # Narrower plans derive from a cached float64 sibling of the same
+            # arity (shared schedules, exactly-rounded norms); wider ones are
+            # rebuilt so float64 norms stay bit-identical to the seed's.
+            sibling = self._edge_plans.get((num_relations, np.dtype(np.float64)))
+            if sibling is not None:
+                plan = sibling.with_dtype(dtype)
+            else:
+                plan = build_edge_plan(
+                    self.edge_index,
+                    self.edge_type,
+                    self.batch,
+                    self.num_nodes,
+                    self.num_graphs,
+                    num_relations,
+                    dtype=dtype,
+                )
+            self._edge_plans[key] = plan
         return plan
 
 
@@ -373,6 +439,13 @@ class GraphDataLoader:
     batches are additionally memoised so their cached :class:`EdgePlan` is
     reused across epochs.
 
+    ``shuffle="batches"`` shuffles *batches, not samples*: the dataset is
+    partitioned into fixed contiguous batch compositions once, and each epoch
+    permutes the order in which those batches are visited.  Every composition
+    repeats every epoch, so all batches (and their cached edge plans) are
+    memoised and reused across the whole training run — full cross-epoch plan
+    reuse at the cost of never re-mixing which samples share a batch.
+
     Parameters
     ----------
     samples:
@@ -380,7 +453,8 @@ class GraphDataLoader:
     batch_size:
         Number of graphs per batch (Table II: 16).
     shuffle:
-        Whether to reshuffle sample order every epoch.
+        ``True`` reshuffles sample order every epoch; ``False`` keeps dataset
+        order; ``"batches"`` permutes fixed batch compositions every epoch.
     rng:
         Generator used for shuffling (keeps epochs reproducible).
     cache_collate:
@@ -396,12 +470,16 @@ class GraphDataLoader:
         self,
         samples: Sequence[GraphSample],
         batch_size: int = 16,
-        shuffle: bool = True,
+        shuffle: Union[bool, str] = True,
         rng: Optional[np.random.Generator] = None,
         cache_collate: bool = True,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if not isinstance(shuffle, bool) and shuffle != "batches":
+            raise ValueError(
+                f"shuffle must be True, False or 'batches', got {shuffle!r}"
+            )
         self.samples = list(samples)
         self.batch_size = batch_size
         self.shuffle = shuffle
@@ -418,11 +496,13 @@ class GraphDataLoader:
             return collate_graphs([self.samples[i] for i in chunk])
         if self._collated is None:
             self._collated = _CollatedDataset(self.samples)
-        if self.shuffle or len(self) > self.MEMO_CAPACITY:
-            # Shuffled compositions essentially never repeat, and a cyclic
-            # scan over more batches than the LRU holds evicts every entry
-            # just before reuse — memoising would pin batches (and their
-            # EdgePlans) with ~0% hit rate.
+        if self.shuffle is True or len(self) > self.MEMO_CAPACITY:
+            # Sample-shuffled compositions essentially never repeat, and a
+            # cyclic scan over more batches than the LRU holds evicts every
+            # entry just before reuse — memoising would pin batches (and
+            # their EdgePlans) with ~0% hit rate.  shuffle=False and
+            # shuffle="batches" compositions repeat every epoch and are
+            # memoised.
             return self._collated.gather(chunk)
         key = tuple(int(i) for i in chunk)
         batch = self._batch_memo.get(key)
@@ -433,6 +513,15 @@ class GraphDataLoader:
 
     def __iter__(self) -> Iterator[GraphBatch]:
         order = np.arange(len(self.samples))
+        if self.shuffle == "batches":
+            # Fixed contiguous compositions, visited in a fresh random order
+            # each epoch; one rng draw per epoch mirrors shuffle=True.
+            batch_order = np.arange(len(self))
+            self._rng.shuffle(batch_order)
+            for index in batch_order:
+                start = int(index) * self.batch_size
+                yield self._materialize(order[start : start + self.batch_size])
+            return
         if self.shuffle:
             self._rng.shuffle(order)
         for start in range(0, len(order), self.batch_size):

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn import precision
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -51,14 +52,14 @@ def tanh(x: Tensor) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True), dtype=x.data.dtype)
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True), dtype=x.data.dtype)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -69,8 +70,8 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
     if not training or p == 0.0:
         return x
     rng = rng if rng is not None else np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
-    return x * Tensor(mask)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask, dtype=mask.dtype)
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
@@ -97,11 +98,11 @@ def soft_cross_entropy(logits: Tensor, target_distribution: np.ndarray) -> Tenso
     probability mass on every configuration whose measured metric is close to
     the optimum, not only on the single argmin class.
     """
-    target = np.asarray(target_distribution, dtype=np.float64)
+    target = np.asarray(target_distribution, dtype=logits.data.dtype)
     if target.shape != tuple(logits.shape):
         raise ValueError(f"target distribution shape {target.shape} != logits shape {logits.shape}")
     log_probs = log_softmax(logits, axis=-1)
-    return -(log_probs * Tensor(target)).sum(axis=1).mean()
+    return -(log_probs * Tensor(target, dtype=target.dtype)).sum(axis=1).mean()
 
 
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
@@ -111,10 +112,13 @@ def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
 
 
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
-    """One-hot encode an integer array (plain NumPy; no gradient needed)."""
+    """One-hot encode an integer array (plain NumPy; no gradient needed).
+
+    The output uses the active policy dtype of :mod:`repro.nn.precision`.
+    """
     indices = np.asarray(indices, dtype=np.int64)
     if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
         raise ValueError("index out of range for one_hot")
-    out = np.zeros((indices.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((indices.shape[0], num_classes), dtype=precision.get_default_dtype())
     out[np.arange(indices.shape[0]), indices] = 1.0
     return out

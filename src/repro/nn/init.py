@@ -3,38 +3,66 @@
 The RGCN and dense layers use Glorot/Xavier initialisation (the PyTorch
 Geometric default for ``RGCNConv``) and Kaiming initialisation for layers
 followed by ReLU-family activations.
+
+All schemes draw from the generator in ``float64`` and cast to the requested
+dtype afterwards (default: the active policy dtype of
+:mod:`repro.nn.precision`), so a ``float32`` model consumes exactly the same
+random stream as its ``float64`` twin — its weights are the ``float64``
+weights rounded once, which the dtype-equivalence tests rely on.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+from repro.nn import precision
 
 __all__ = ["xavier_uniform", "kaiming_uniform", "zeros", "uniform"]
 
 
-def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_uniform(
+    shape: tuple,
+    rng: np.random.Generator,
+    gain: float = 1.0,
+    dtype: Optional[np.dtype] = None,
+) -> np.ndarray:
     """Glorot/Xavier uniform initialisation for a weight of ``shape``."""
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    values = rng.uniform(-bound, bound, size=shape)
+    return values.astype(precision.resolve_dtype(dtype), copy=False)
 
 
-def kaiming_uniform(shape: tuple, rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
+def kaiming_uniform(
+    shape: tuple,
+    rng: np.random.Generator,
+    negative_slope: float = 0.0,
+    dtype: Optional[np.dtype] = None,
+) -> np.ndarray:
     """He/Kaiming uniform initialisation suited to (leaky-)ReLU activations."""
     fan_in, _ = _fans(shape)
     gain = np.sqrt(2.0 / (1.0 + negative_slope**2))
     bound = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    values = rng.uniform(-bound, bound, size=shape)
+    return values.astype(precision.resolve_dtype(dtype), copy=False)
 
 
-def uniform(shape: tuple, rng: np.random.Generator, bound: float) -> np.ndarray:
+def uniform(
+    shape: tuple,
+    rng: np.random.Generator,
+    bound: float,
+    dtype: Optional[np.dtype] = None,
+) -> np.ndarray:
     """Uniform initialisation in ``[-bound, bound]``."""
-    return rng.uniform(-bound, bound, size=shape)
+    values = rng.uniform(-bound, bound, size=shape)
+    return values.astype(precision.resolve_dtype(dtype), copy=False)
 
 
-def zeros(shape: tuple) -> np.ndarray:
+def zeros(shape: tuple, dtype: Optional[np.dtype] = None) -> np.ndarray:
     """All-zero initialisation (used for biases)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=precision.resolve_dtype(dtype))
 
 
 def _fans(shape: tuple) -> tuple:

@@ -98,7 +98,7 @@ class Module:
 
     # --------------------------------------------------------------- weights
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Return a flat name→array copy of all parameters."""
+        """Return a flat name→array copy of all parameters (dtype preserved)."""
         return {name: np.array(param.data, copy=True) for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
@@ -107,6 +107,10 @@ class Module:
         With ``strict=True`` (default) the key sets must match exactly; with
         ``strict=False`` missing or extra keys are ignored, which is what the
         transfer-learning step uses to load only the GNN-layer weights.
+
+        Loaded values are cast to each parameter's existing dtype, so a
+        ``float32`` model can consume a ``float64`` checkpoint (and vice
+        versa) without changing the module's precision.
         """
         own = dict(self.named_parameters())
         if strict:
@@ -117,12 +121,36 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"
                 )
             param.data = np.array(value, copy=True)
+
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place and return ``self``.
+
+        Accumulated gradients are dropped (they were computed at the old
+        precision); optimizer moment buffers keyed on the parameters pick up
+        the new dtype from the next backward pass's gradients.
+        """
+        from repro.nn import precision
+
+        resolved = precision.resolve_dtype(dtype)
+        for param in self.parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            param.grad = None
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The parameters' dtype (modules are never mixed-precision)."""
+        for param in self.parameters():
+            return param.data.dtype
+        from repro.nn import precision
+
+        return precision.get_default_dtype()
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters."""

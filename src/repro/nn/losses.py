@@ -34,7 +34,10 @@ class MSELoss(Module):
     """Mean squared error between a prediction tensor and a target."""
 
     def forward(self, prediction: Tensor, target) -> Tensor:
-        target = target if isinstance(target, Tensor) else Tensor(target)
+        # Raw targets join at the prediction's dtype so a float32 regressor
+        # never promotes through its loss.
+        if not isinstance(target, Tensor):
+            target = Tensor(target, dtype=prediction.data.dtype)
         if prediction.shape != target.shape:
             raise ValueError("prediction and target shapes must match")
         return F.mse_loss(prediction, target)

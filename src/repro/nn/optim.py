@@ -3,6 +3,13 @@
 Table II of the paper specifies AdamW with ``amsgrad`` for the power-
 constrained tuning experiments and plain Adam for the EDP experiments, both
 at a learning rate of 1e-3.
+
+Precision: every state buffer (momentum velocity, Adam first/second moments,
+AMSGrad maxima) is derived from the parameter gradients with scalar
+arithmetic only, so it carries the parameters' dtype — a ``float32`` model
+trains with ``float32`` optimizer state and updates, with no hidden
+``float64`` copies (asserted by the strict-mode tests in
+``tests/nn/test_precision.py``).
 """
 
 from __future__ import annotations
@@ -53,6 +60,11 @@ class SGD(Optimizer):
             update = param.grad
             if self.momentum > 0.0:
                 vel = self._velocity.get(id(param))
+                if vel is not None and vel.dtype != update.dtype:
+                    # The model was re-cast mid-training (Module.astype):
+                    # carry the state over at the new precision instead of
+                    # promoting every subsequent update back to the old one.
+                    vel = vel.astype(update.dtype)
                 vel = self.momentum * vel + update if vel is not None else update.copy()
                 self._velocity[id(param)] = vel
                 update = vel
@@ -105,6 +117,12 @@ class _AdamBase(Optimizer):
             key = id(param)
             m = self._m.get(key)
             v = self._v.get(key)
+            if m is not None and m.dtype != grad.dtype:
+                # The model was re-cast mid-training (Module.astype): carry
+                # the moments over at the new precision instead of promoting
+                # every subsequent update back to the old dtype.
+                m = m.astype(grad.dtype)
+                v = v.astype(grad.dtype)
             m = self.beta1 * m + (1 - self.beta1) * grad if m is not None else (1 - self.beta1) * grad
             v = (
                 self.beta2 * v + (1 - self.beta2) * grad * grad
@@ -115,6 +133,8 @@ class _AdamBase(Optimizer):
 
             if self.amsgrad:
                 vmax = self._vmax.get(key)
+                if vmax is not None and vmax.dtype != v.dtype:
+                    vmax = vmax.astype(v.dtype)
                 vmax = np.maximum(vmax, v) if vmax is not None else v.copy()
                 self._vmax[key] = vmax
                 denom = np.sqrt(vmax / bias_correction2) + self.eps

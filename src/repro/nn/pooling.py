@@ -57,7 +57,10 @@ def global_mean_pool(
     sums = x.scatter_sum(batch, num_graphs, flat_index=flat_index)
     counts = node_counts if node_counts is not None else count_index(batch, num_graphs)
     counts = np.maximum(counts, 1.0)
-    return sums * Tensor(1.0 / counts[:, None])
+    # Reciprocal counts join at the feature dtype (counts themselves are
+    # exact integers in either precision).
+    inverse = (1.0 / counts[:, None]).astype(x.data.dtype, copy=False)
+    return sums * Tensor(inverse, dtype=inverse.dtype)
 
 
 def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
@@ -69,7 +72,7 @@ def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """
     batch = _check_batch(x, batch, num_graphs)
     num_nodes, channels = x.shape
-    maxima = np.full((num_graphs, channels), -np.inf)
+    maxima = np.full((num_graphs, channels), -np.inf, dtype=x.data.dtype)
     # fmax (not maximum) ignores NaN entries, matching the reference loop's
     # strict ``>`` comparison which never selects a NaN.
     np.fmax.at(maxima, batch, x.data)

@@ -1,0 +1,143 @@
+"""Process- and context-scoped floating-point precision policy.
+
+The tensor engine historically hardwired ``float64`` everywhere — every
+``np.asarray`` call, initializer, mask and moment buffer.  This module turns
+that constant into a *policy*: a process-wide default dtype that can be
+switched globally (:func:`set_default_dtype`) or for a dynamic scope
+(:func:`autocast`).  ``float64`` remains the default, so gradient checks and
+seed-equivalence tests are untouched; ``float32`` is a first-class fast path
+that roughly halves memory traffic on the scatter/gather hot loops and
+unlocks single-precision BLAS.
+
+The policy governs **tensor creation boundaries**: converting raw data
+(Python lists, scalars, ``float64`` ingest arrays) into
+:class:`~repro.nn.tensor.Tensor` data, parameter initialisation, and
+:class:`~repro.nn.data.EdgePlan` normalisation columns.  Once tensors exist,
+every operation follows its operands' dtype — a ``float32`` forward/backward
+step never silently promotes to ``float64`` (scalar arithmetic keeps the
+array dtype under NumPy's NEP-50 rules, and every mask/normalisation array
+the engine builds is cast to the operand dtype).
+
+Debug assertion mode
+--------------------
+:func:`dtype_checks` enables a strict mode in which every tensor created
+while the scope is active must match the active policy dtype, and every
+gradient accumulated in backward must match its tensor's dtype; a violation
+raises :class:`DtypePromotionError` naming the offending dtype.  Use it in
+tests (and when touching kernels) to prove a ``float32`` step stays
+``float32`` end to end::
+
+    with autocast("float32"), dtype_checks():
+        loss = model(batch)
+        loss.backward()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "SUPPORTED_DTYPES",
+    "DtypePromotionError",
+    "resolve_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "autocast",
+    "dtype_checks",
+    "dtype_checks_enabled",
+]
+
+DtypeLike = Union[str, type, np.dtype, None]
+
+#: The engine-wide default: float64 keeps gradient checks tight.
+DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+
+#: Precisions the engine supports end to end (kernels, optimisers, I/O).
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_ACTIVE: np.dtype = DEFAULT_DTYPE
+_STRICT: bool = False
+
+
+class DtypePromotionError(TypeError):
+    """A tensor or gradient escaped the active precision policy."""
+
+
+def resolve_dtype(dtype: DtypeLike = None) -> np.dtype:
+    """Normalise ``dtype`` to a supported ``np.dtype``.
+
+    ``None`` resolves to the active policy dtype; strings (``"float32"`` /
+    ``"float64"``), NumPy scalar types and ``np.dtype`` instances are all
+    accepted.  Unsupported precisions raise ``ValueError``.
+    """
+    if dtype is None:
+        return _ACTIVE
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported dtype {resolved.name!r}; supported: {supported}")
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the active policy dtype."""
+    return _ACTIVE
+
+
+def set_default_dtype(dtype: DtypeLike) -> np.dtype:
+    """Set the process-wide policy dtype; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = resolve_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def autocast(dtype: DtypeLike) -> Iterator[np.dtype]:
+    """Run the enclosed block under ``dtype`` as the policy dtype."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = resolve_dtype(dtype)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def dtype_checks_enabled() -> bool:
+    """Return whether the strict dtype assertion mode is active."""
+    return _STRICT
+
+
+@contextlib.contextmanager
+def dtype_checks(enabled: bool = True) -> Iterator[None]:
+    """Enable (or disable) the strict dtype assertion mode for a scope."""
+    global _STRICT
+    previous = _STRICT
+    _STRICT = bool(enabled)
+    try:
+        yield
+    finally:
+        _STRICT = previous
+
+
+def _check_tensor(data: np.ndarray) -> None:
+    """Strict-mode hook: a freshly created tensor must match the policy."""
+    if data.dtype != _ACTIVE:
+        raise DtypePromotionError(
+            f"tensor created with dtype {data.dtype.name} under an active "
+            f"{_ACTIVE.name} policy (silent promotion?)"
+        )
+
+
+def _check_grad(grad: np.ndarray, data: np.ndarray) -> None:
+    """Strict-mode hook: an accumulated gradient must match its tensor."""
+    if grad.dtype != data.dtype:
+        raise DtypePromotionError(
+            f"gradient of dtype {grad.dtype.name} accumulated into a "
+            f"{data.dtype.name} tensor (silent promotion in backward?)"
+        )

@@ -111,6 +111,12 @@ class RGCNConv(Module):
                 )
             if plan.num_nodes != x.shape[0]:
                 raise ValueError("edge plan does not match the number of nodes")
+            if plan.dtype != x.data.dtype:
+                raise ValueError(
+                    f"edge plan carries {plan.dtype} normalisations but node "
+                    f"features are {x.data.dtype}; request the plan at the "
+                    "model dtype (GraphBatch.edge_plan(num_relations, dtype=...))"
+                )
             return self._forward_planned(x, plan)
 
         edge_index = np.asarray(edge_index, dtype=np.int64)
@@ -131,12 +137,13 @@ class RGCNConv(Module):
                 continue
             src = edge_index[0, mask]
             dst = edge_index[1, mask]
-            # Normalisation 1 / |N_r(i)| computed per destination node.
-            degree = count_index(dst, num_nodes)
+            # Normalisation 1 / |N_r(i)| computed per destination node, in
+            # the feature dtype so float32 stays float32.
+            degree = count_index(dst, num_nodes, dtype=x.data.dtype)
             norm = 1.0 / degree[dst]
 
             messages = x.gather_rows(src) @ self.weight[relation]
-            messages = messages * Tensor(norm[:, None])
+            messages = messages * Tensor(norm[:, None], dtype=norm.dtype)
             out = out + messages.scatter_sum(dst, num_nodes)
 
         if self.bias is not None:
@@ -153,7 +160,8 @@ class RGCNConv(Module):
                 continue
             gathered = x.gather_rows(src, backward_flat=plan.gather_flat(relation, in_channels))
             messages = gathered @ self.weight[relation]
-            messages = messages * Tensor(plan.relation_norm[relation])
+            norm = plan.relation_norm[relation]
+            messages = messages * Tensor(norm, dtype=norm.dtype)
             parts.append(
                 messages.scatter_sum(
                     plan.relation_dst[relation],

@@ -5,6 +5,13 @@ State dictionaries (flat name → array mappings produced by
 The transfer-learning experiment (Section IV-B of the paper) saves the GNN
 weights trained on the Haswell dataset and reloads only those weights before
 re-training the dense layers on Skylake data.
+
+Archives preserve the parameters' dtype exactly: a ``float32`` model round-
+trips as ``float32`` (half the checkpoint size) and a ``float64`` model as
+``float64``.  :func:`load_state_dict` can optionally cast on read for
+cross-precision transfer, and :meth:`Module.load_state_dict` casts to each
+parameter's dtype anyway, so precision is always explicit, never implied by
+the file.
 """
 
 from __future__ import annotations
@@ -18,19 +25,34 @@ __all__ = ["save_state_dict", "load_state_dict", "filter_state_dict"]
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
-    """Write a state dictionary to ``path`` (``.npz`` appended if missing)."""
+    """Write a state dictionary to ``path`` (``.npz`` appended if missing).
+
+    Array dtypes are stored as-is (``np.savez`` is dtype-faithful).
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez(path if path.endswith(".npz") else path + ".npz", **state)
 
 
-def load_state_dict(path: str) -> Dict[str, np.ndarray]:
-    """Read a state dictionary previously written by :func:`save_state_dict`."""
+def load_state_dict(path: str, dtype: Optional[np.dtype] = None) -> Dict[str, np.ndarray]:
+    """Read a state dictionary previously written by :func:`save_state_dict`.
+
+    With ``dtype=None`` (default) the stored dtypes are preserved; passing a
+    dtype casts every array on read (e.g. load a ``float64`` checkpoint
+    straight into a ``float32`` serving configuration).
+    """
     resolved = path if path.endswith(".npz") else path + ".npz"
     if not os.path.exists(resolved):
         raise FileNotFoundError(resolved)
+    if dtype is not None:
+        from repro.nn import precision
+
+        dtype = precision.resolve_dtype(dtype)
     with np.load(resolved) as archive:
-        return {key: np.array(archive[key]) for key in archive.files}
+        return {
+            key: np.array(archive[key], dtype=dtype) if dtype is not None else np.array(archive[key])
+            for key in archive.files
+        }
 
 
 def filter_state_dict(

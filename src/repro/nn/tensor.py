@@ -22,6 +22,16 @@ Gradient conventions
   e.g. ``param.grad *= scale`` for clipping — rebind instead
   (``param.grad = param.grad * scale``); nothing in this package mutates
   gradients in place, which is what makes the no-copy accumulation safe.
+
+Precision policy
+----------------
+Raw data entering a tensor is converted to the active policy dtype of
+:mod:`repro.nn.precision` (``float64`` by default) unless an explicit
+``dtype=`` is given.  Operation *results* keep their operands' dtype — a
+``float32`` graph stays ``float32`` through forward and backward (scalar
+operands are lifted at the tensor's own dtype, masks are built in it, and
+the seed gradient is cast to it), which the strict
+:func:`repro.nn.precision.dtype_checks` mode asserts.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn import precision
 from repro.nn._scatter import fast_kernels_enabled, scatter_rows_sum
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
@@ -72,8 +83,8 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
-    arr = np.asarray(value, dtype=np.float64)
+def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
+    arr = np.asarray(value, dtype=dtype if dtype is not None else precision._ACTIVE)
     return arr
 
 
@@ -83,16 +94,27 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like initial value (converted to ``float64``).
+        Array-like initial value (converted to ``dtype``).
     requires_grad:
         Whether gradients should be accumulated into this tensor.
+    dtype:
+        Target dtype; defaults to the active policy dtype of
+        :mod:`repro.nn.precision` (``float64`` unless switched).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
     __array_priority__ = 100  # ensure ndarray.__mul__ defers to Tensor.__rmul__
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
-        self.data: np.ndarray = _as_array(data)
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str = "",
+        dtype: Optional[np.dtype] = None,
+    ):
+        self.data: np.ndarray = _as_array(data, dtype)
+        if precision._STRICT:
+            precision._check_tensor(self.data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -113,6 +135,10 @@ class Tensor:
         return int(self.data.size)
 
     @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
     def T(self) -> "Tensor":
         return self.transpose()
 
@@ -126,7 +152,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -138,8 +164,24 @@ class Tensor:
 
     # ------------------------------------------------------------- graph glue
     @staticmethod
-    def _lift(value: Union["Tensor", ArrayLike]) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _lift(
+        value: Union["Tensor", ArrayLike], dtype: Optional[np.dtype] = None
+    ) -> "Tensor":
+        """Wrap ``value`` as a tensor; non-tensors convert at ``dtype``.
+
+        Binary operations pass their own dtype so scalar/array operands join
+        the graph without promoting it (``float32_tensor * 2.0`` stays
+        ``float32``); lifted tensors are never recast.
+        """
+        return value if isinstance(value, Tensor) else Tensor(value, dtype=dtype)
+
+    @staticmethod
+    def _lift_all(values: Sequence[Union["Tensor", ArrayLike]]) -> List["Tensor"]:
+        """Lift a sequence, anchoring raw elements to the first tensor's dtype."""
+        anchor = next(
+            (v.data.dtype for v in values if isinstance(v, Tensor)), None
+        )
+        return [Tensor._lift(v, dtype=anchor) for v in values]
 
     def _make(
         self,
@@ -150,7 +192,9 @@ class Tensor:
         """Create a result tensor wired into the autograd graph."""
         parents = tuple(parents)
         requires = _grad_enabled and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        # Results keep the dtype the operation produced (operand-following);
+        # only raw-data boundaries convert to the policy dtype.
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
             out._prev = parents
             out._backward = backward
@@ -162,6 +206,8 @@ class Tensor:
         # incoming array is safe and avoids one allocation per graph node.
         # (reference_kernels() restores the seed's defensive copy so the
         # engine benchmarks measure against the original behaviour.)
+        if precision._STRICT:
+            precision._check_grad(grad, self.data)
         if self.grad is None:
             self.grad = grad if fast_kernels_enabled() else np.array(grad, copy=True)
         else:
@@ -185,9 +231,9 @@ class Tensor:
         # Copy the seed gradient so a caller-owned array can never alias the
         # accumulated gradients (internal backward closures always hand over
         # freshly computed arrays).
-        grad = np.array(grad, dtype=np.float64, copy=True)
+        grad = np.array(grad, dtype=self.data.dtype, copy=True)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
 
         # Topological order over the dynamic graph.
         topo: List[Tensor] = []
@@ -214,7 +260,7 @@ class Tensor:
 
     # ------------------------------------------------------------ arithmetic
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -235,13 +281,13 @@ class Tensor:
         return self._make(-self.data, (self,), backward)
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        return self + (-self._lift(other))
+        return self + (-self._lift(other, self.data.dtype))
 
     def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        return self._lift(other) + (-self)
+        return self._lift(other, self.data.dtype) + (-self)
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -255,7 +301,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -269,7 +315,7 @@ class Tensor:
         return self._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        return self._lift(other) / self
+        return self._lift(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -283,7 +329,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -315,7 +361,7 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 axes = tuple(a % self.data.ndim for a in axes)
                 g = np.expand_dims(g, axis=axes)
-            self._accumulate(np.broadcast_to(g, self.data.shape).astype(np.float64))
+            self._accumulate(np.broadcast_to(g, self.data.shape).astype(self.data.dtype))
 
         return self._make(out_data, (self,), backward)
 
@@ -334,12 +380,12 @@ class Tensor:
             if not self.requires_grad:
                 return
             if axis is None:
-                mask = (self.data == self.data.max()).astype(np.float64)
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
                 mask /= mask.sum()
                 self._accumulate(mask * grad)
             else:
                 expanded_max = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded_max).astype(np.float64)
+                mask = (self.data == expanded_max).astype(self.data.dtype)
                 mask /= mask.sum(axis=axis, keepdims=True)
                 g = grad if keepdims else np.expand_dims(grad, axis=axis)
                 self._accumulate(mask * g)
@@ -384,7 +430,7 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
+        mask = (self.data > 0).astype(self.data.dtype)
         out_data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
@@ -403,13 +449,19 @@ class Tensor:
             mask: Optional[np.ndarray] = None
         else:
             # Seed path: build the mask eagerly and reuse it in backward.
-            mask = np.where(self.data > 0, 1.0, negative_slope)
+            mask = np.where(self.data > 0, 1.0, negative_slope).astype(
+                self.data.dtype, copy=False
+            )
             out_data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 subgradient = (
-                    mask if mask is not None else np.where(self.data > 0, 1.0, negative_slope)
+                    mask
+                    if mask is not None
+                    else np.where(self.data > 0, 1.0, negative_slope).astype(
+                        self.data.dtype, copy=False
+                    )
                 )
                 self._accumulate(grad * subgradient)
 
@@ -417,7 +469,7 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -470,7 +522,7 @@ class Tensor:
         associative elementwise addition order) but with a single output
         allocation and one autograd node instead of ``n``.
         """
-        tensors = [Tensor._lift(t) for t in tensors]
+        tensors = Tensor._lift_all(tensors)
         if not tensors:
             raise ValueError("add_n needs at least one tensor")
         shape = tensors[0].data.shape
@@ -489,7 +541,7 @@ class Tensor:
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = [Tensor._lift(t) for t in tensors]
+        tensors = Tensor._lift_all(tensors)
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.data.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
@@ -506,7 +558,7 @@ class Tensor:
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = [Tensor._lift(t) for t in tensors]
+        tensors = Tensor._lift_all(tensors)
         out_data = np.stack([t.data for t in tensors], axis=axis)
 
         def backward(grad: np.ndarray) -> None:

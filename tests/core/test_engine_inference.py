@@ -214,3 +214,113 @@ class TestCollateOnceTrainingDeterminism:
         engine_state = engine_model.state_dict()
         seed_state = seed_model.state_dict()
         assert all((engine_state[k] == seed_state[k]).all() for k in engine_state)
+
+
+class TestPrecisionKnobs:
+    """dtype= knobs on PnPModel / train_model / predict_sweep."""
+
+    TOL = dict(rtol=5e-4, atol=5e-4)
+
+    def _config(self, small_builder, small_database, **overrides):
+        from dataclasses import replace
+
+        base = ModelConfig(
+            vocabulary_size=len(small_builder.vocabulary),
+            num_classes=small_database.search_space.num_omp_configurations,
+            aux_dim=1,
+            seed=0,
+        )
+        return replace(base, **overrides) if overrides else base
+
+    def test_float32_model_trains_and_tracks_float64(self, small_builder, small_database):
+        samples = small_builder.performance_samples()[:24]
+        training = TrainingConfig(epochs=2, seed=0)
+        config64 = self._config(small_builder, small_database)
+        config32 = self._config(small_builder, small_database, dtype="float32")
+        history64 = train_model(PnPModel(config64), samples, training)
+        model32 = PnPModel(config32)
+        history32 = train_model(model32, samples, training)
+        assert model32.dtype == np.float32
+        assert all(p.data.dtype == np.float32 for p in model32.parameters())
+        np.testing.assert_allclose(history32.losses, history64.losses, **self.TOL)
+
+    def test_training_config_dtype_casts_the_model(self, small_builder, small_database):
+        samples = small_builder.performance_samples()[:16]
+        model = PnPModel(self._config(small_builder, small_database))
+        assert model.dtype == np.float64
+        train_model(model, samples, TrainingConfig(epochs=1, seed=0, dtype="float32"))
+        assert model.dtype == np.float32
+
+    def test_training_config_batches_shuffle_mode(self, small_builder, small_database):
+        samples = small_builder.performance_samples()[:24]
+        model = PnPModel(self._config(small_builder, small_database))
+        history = train_model(
+            model, samples, TrainingConfig(epochs=2, seed=0, shuffle="batches")
+        )
+        assert len(history.losses) == 2
+        assert all(np.isfinite(history.losses))
+
+    def test_predict_sweep_dtype_override(self, fitted_time_tuner, small_regions_by_app):
+        region = small_regions_by_app["gemm"][0]
+        caps = [40.0, 50.0, 60.0, 70.0, 85.0]
+        fitted_time_tuner._embedding_cache.clear()
+        swept64 = fitted_time_tuner.predict_sweep(region, caps)
+        swept32 = fitted_time_tuner.predict_sweep(region, caps, dtype="float32")
+        assert [r.power_cap for r in swept32] == caps
+        # The cast model serves at float32 end to end...
+        cast = fitted_time_tuner._cast_models["float32"]
+        assert cast.dtype == np.float32
+        cached = fitted_time_tuner._embedding_cache.get((region.region_id, "float32"))
+        assert cached is not None and cached.dtype == np.float32
+        # ...from weights that are exact rounded twins of the fitted model's.
+        state64 = fitted_time_tuner.model.state_dict()
+        for name, value in cast.state_dict().items():
+            assert np.array_equal(value, state64[name].astype(np.float32))
+        # Label disagreements can only come from near-ties; logits must agree.
+        aux = fitted_time_tuner.builder.aux_feature_matrix(region.region_id, caps)
+        pooled64 = fitted_time_tuner._embedding_cache.get((region.region_id, "float64"))
+        np.testing.assert_allclose(
+            cached, pooled64.astype(np.float32), rtol=1e-4, atol=1e-4
+        )
+        labels_agree = [a.label == b.label for a, b in zip(swept64, swept32)]
+        assert sum(labels_agree) >= len(caps) - 1
+
+    def test_cast_model_reused_and_invalidated(
+        self, small_database, small_builder, small_regions_by_app
+    ):
+        tuner = PnPTuner(
+            system="haswell",
+            objective="time",
+            model_config=self._config(small_builder, small_database),
+            training_config=TrainingConfig(epochs=1, seed=0),
+            database=small_database,
+            seed=0,
+        )
+        tuner.builder = small_builder
+        samples = tuner.build_training_samples()
+        tuner.fit(samples)
+        region = small_regions_by_app["gemm"][0]
+        tuner.predict_sweep(region, [40.0, 60.0], dtype="float32")
+        first_cast = tuner._cast_models["float32"]
+        tuner.predict_sweep(region, [45.0], dtype="float32")
+        assert tuner._cast_models["float32"] is first_cast
+        tuner.fit(samples)
+        assert tuner._cast_models == {}
+
+    def test_tuner_dtype_argument_builds_float32_model(self, small_database, small_builder):
+        tuner = PnPTuner(
+            system="haswell",
+            objective="time",
+            model_config=self._config(small_builder, small_database),
+            training_config=TrainingConfig(epochs=1, seed=0),
+            database=small_database,
+            seed=0,
+            dtype="float32",
+        )
+        assert tuner.model.dtype == np.float32
+        assert tuner.model_config.dtype == "float32"
+
+    def test_sweep_with_model_dtype_skips_cast(self, fitted_time_tuner, small_regions_by_app):
+        region = small_regions_by_app["atax"][0]
+        fitted_time_tuner.predict_sweep(region, [40.0], dtype="float64")
+        assert "float64" not in fitted_time_tuner._cast_models

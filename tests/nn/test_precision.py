@@ -1,0 +1,404 @@
+"""Tests for the switchable precision policy (``repro.nn.precision``).
+
+Covers the policy API (defaults, process/context scoping, validation), the
+no-silent-promotion invariant in strict ``dtype_checks`` mode, float32
+forward/backward/optimizer equivalence against float64 within documented
+tolerances, and dtype preservation through state-dict round trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn import precision
+from repro.nn.data import GraphSample, build_edge_plan, collate_graphs
+from repro.nn.layers import Linear, Module
+from repro.nn.optim import AdamW, SGD
+from repro.nn.pooling import global_max_pool, global_mean_pool
+from repro.nn.rgcn import RGCNConv
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _restore_policy():
+    """Every test starts and ends on the float64 default policy."""
+    previous = precision.get_default_dtype()
+    yield
+    precision.set_default_dtype(previous)
+
+
+def _graph_inputs(rng, num_nodes=60, num_edges=200, relations=3, num_graphs=4):
+    edge_index = rng.integers(0, num_nodes, size=(2, num_edges))
+    edge_type = rng.integers(0, relations, size=num_edges)
+    batch = np.sort(rng.integers(0, num_graphs, size=num_nodes))
+    return edge_index, edge_type, batch
+
+
+class TestPolicyApi:
+    def test_default_is_float64(self):
+        assert precision.get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_set_default_dtype_returns_previous(self):
+        previous = precision.set_default_dtype("float32")
+        assert previous == np.float64
+        assert Tensor([1.0]).data.dtype == np.float32
+
+    def test_autocast_scopes_and_nests(self):
+        with precision.autocast("float32"):
+            assert precision.get_default_dtype() == np.float32
+            with precision.autocast("float64"):
+                assert Tensor([1.0]).data.dtype == np.float64
+            assert Tensor([1.0]).data.dtype == np.float32
+        assert precision.get_default_dtype() == np.float64
+
+    def test_autocast_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with precision.autocast("float32"):
+                raise RuntimeError("boom")
+        assert precision.get_default_dtype() == np.float64
+
+    @pytest.mark.parametrize("bad", ["float16", np.int64, "complex128"])
+    def test_unsupported_dtypes_rejected(self, bad):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            precision.resolve_dtype(bad)
+
+    def test_resolve_accepts_all_spellings(self):
+        for spelling in ("float32", np.float32, np.dtype(np.float32)):
+            assert precision.resolve_dtype(spelling) == np.float32
+
+    def test_explicit_dtype_overrides_policy(self):
+        with precision.autocast("float32"):
+            t = Tensor([1.0], dtype=np.float64)
+        assert t.data.dtype == np.float64
+
+
+class TestOperandFollowing:
+    """Ops keep their operands' dtype regardless of the ambient policy."""
+
+    def test_scalar_arithmetic_keeps_float32(self):
+        x = Tensor(np.ones(4, dtype=np.float32), dtype=np.float32)
+        for result in (x + 1.0, x * 2.0, x / 3.0, 1.0 - x, 2.0 / x, x**2):
+            assert result.data.dtype == np.float32
+
+    def test_elementwise_and_reductions_keep_float32(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)), dtype=np.float32)
+        for result in (
+            x.exp(), (x * x + 0.1).log(), x.tanh(), x.sigmoid(), x.relu(),
+            x.leaky_relu(0.1), x.clip(-1.0, 1.0), x.sum(axis=0), x.mean(),
+            x.max(axis=1), x.reshape(4, 3), x.transpose(), x[1:],
+        ):
+            assert result.data.dtype == np.float32
+
+    def test_softmax_losses_follow_logits(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 3)), dtype=np.float32)
+        targets = np.array([0, 1, 2, 0, 1])
+        distribution = np.full((5, 3), 1.0 / 3.0)
+        assert F.softmax(logits).data.dtype == np.float32
+        assert F.log_softmax(logits).data.dtype == np.float32
+        assert F.cross_entropy(logits, targets).data.dtype == np.float32
+        assert F.soft_cross_entropy(logits, distribution).data.dtype == np.float32
+
+    def test_backward_stays_float32(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True,
+                   dtype=np.float32)
+        loss = (x.relu() * 2.0).sum()
+        loss.backward()
+        assert x.grad.dtype == np.float32
+
+    def test_scatter_gather_keep_float32(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(10, 4)), requires_grad=True, dtype=np.float32)
+        index = rng.integers(0, 10, size=25)
+        gathered = x.gather_rows(index)
+        assert gathered.data.dtype == np.float32
+        summed = gathered.scatter_sum(index, 10)
+        assert summed.data.dtype == np.float32
+        summed.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_pooling_keeps_float32(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(12, 5)), dtype=np.float32)
+        batch = np.sort(rng.integers(0, 3, size=12))
+        assert global_mean_pool(x, batch, 3).data.dtype == np.float32
+        assert global_max_pool(x, batch, 3).data.dtype == np.float32
+
+
+class TestDtypeChecks:
+    def test_planted_promotion_is_caught(self):
+        with precision.autocast("float32"), precision.dtype_checks():
+            with pytest.raises(precision.DtypePromotionError, match="float64"):
+                Tensor(np.zeros(3), dtype=np.float64)
+
+    def test_mixed_dtype_grad_is_caught(self):
+        # backward() casts its seed gradient, so exercise the accumulation
+        # hook the internal closures go through with a planted f64 gradient.
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True, dtype=np.float32)
+        with precision.dtype_checks():
+            with pytest.raises(precision.DtypePromotionError, match="gradient"):
+                x._accumulate(np.ones(3, dtype=np.float64))
+
+    def test_full_float32_step_is_promotion_free(self):
+        rng = np.random.default_rng(0)
+        edge_index, edge_type, batch = _graph_inputs(rng)
+        plan64_inputs = rng.normal(size=(60, 8))
+        with precision.autocast("float32"), precision.dtype_checks():
+            conv = RGCNConv(8, 8, 3, rng=np.random.default_rng(1))
+            head = Linear(8, 4, rng=np.random.default_rng(2))
+            plan = build_edge_plan(edge_index, edge_type, batch, 60, 4, 3)
+            x = Tensor(plan64_inputs, requires_grad=True)
+            hidden = conv(x, edge_index, edge_type, plan=plan).leaky_relu()
+            pooled = global_mean_pool(
+                hidden, batch, 4,
+                node_counts=plan.graph_node_counts,
+                flat_index=plan.pool_flat(8),
+            )
+            loss = F.cross_entropy(head(pooled), np.array([0, 1, 2, 3]))
+            loss.backward()
+            optimizer = AdamW(conv.parameters() + head.parameters(), lr=1e-3)
+            optimizer.step()
+        for param in conv.parameters() + head.parameters():
+            assert param.data.dtype == np.float32
+
+    def test_checks_disabled_outside_scope(self):
+        with precision.autocast("float32"):
+            # No dtype_checks: a float64 tensor is allowed (only discouraged).
+            assert Tensor(np.zeros(2), dtype=np.float64).data.dtype == np.float64
+
+
+class TestFloat32Equivalence:
+    """float32 results agree with float64 within documented tolerances."""
+
+    RTOL = 5e-5
+    ATOL = 1e-5
+
+    def _twin_convs(self):
+        convs = {}
+        for name in ("float64", "float32"):
+            with precision.autocast(name):
+                convs[name] = RGCNConv(8, 8, 3, rng=np.random.default_rng(7))
+        return convs["float64"], convs["float32"]
+
+    def test_initializers_share_the_random_stream(self):
+        conv64, conv32 = self._twin_convs()
+        for p64, p32 in zip(conv64.parameters(), conv32.parameters()):
+            assert p32.data.dtype == np.float32
+            assert np.array_equal(p64.data.astype(np.float32), p32.data)
+
+    def test_forward_and_backward_agree(self):
+        rng = np.random.default_rng(3)
+        edge_index, edge_type, batch = _graph_inputs(rng)
+        features = rng.normal(size=(60, 8))
+        conv64, conv32 = self._twin_convs()
+
+        x64 = Tensor(features, requires_grad=True, dtype=np.float64)
+        out64 = conv64(x64, edge_index, edge_type)
+        out64.sum().backward()
+
+        with precision.autocast("float32"):
+            x32 = Tensor(features, requires_grad=True)
+            out32 = conv32(x32, edge_index, edge_type)
+            out32.sum().backward()
+
+        np.testing.assert_allclose(
+            out32.data, out64.data.astype(np.float32), rtol=self.RTOL, atol=self.ATOL
+        )
+        np.testing.assert_allclose(
+            x32.grad, x64.grad.astype(np.float32), rtol=self.RTOL, atol=self.ATOL
+        )
+
+    def test_planned_and_naive_float32_agree(self):
+        rng = np.random.default_rng(5)
+        edge_index, edge_type, batch = _graph_inputs(rng)
+        features = rng.normal(size=(60, 8))
+        _, conv32 = self._twin_convs()
+        with precision.autocast("float32"):
+            plan = build_edge_plan(edge_index, edge_type, batch, 60, 4, 3)
+            x = Tensor(features)
+            planned = conv32(x, edge_index, edge_type, plan=plan)
+            naive = conv32(x, edge_index, edge_type)
+        np.testing.assert_allclose(planned.data, naive.data, rtol=self.RTOL, atol=self.ATOL)
+
+    def test_optimizer_steps_track_float64(self):
+        def run(dtype):
+            with precision.autocast(dtype):
+                layer = Linear(6, 3, rng=np.random.default_rng(11))
+                optimizer = AdamW(layer.parameters(), lr=1e-2)
+                data = np.random.default_rng(12).normal(size=(9, 6))
+                for _ in range(5):
+                    optimizer.zero_grad()
+                    loss = (layer(Tensor(data)) ** 2).mean()
+                    loss.backward()
+                    optimizer.step()
+            return layer.weight.data
+
+    # one rounding per step accumulates: keep tolerances loose but meaningful
+        w64 = run("float64")
+        w32 = run("float32")
+        assert w32.dtype == np.float32
+        np.testing.assert_allclose(w32, w64.astype(np.float32), rtol=5e-4, atol=5e-4)
+
+    def test_sgd_momentum_state_keeps_float32(self):
+        with precision.autocast("float32"):
+            layer = Linear(4, 2, rng=np.random.default_rng(0))
+            optimizer = SGD(layer.parameters(), lr=1e-2, momentum=0.9)
+            for _ in range(2):
+                optimizer.zero_grad()
+                (layer(Tensor(np.ones((3, 4)))) ** 2).mean().backward()
+                optimizer.step()
+        assert all(v.dtype == np.float32 for v in optimizer._velocity.values())
+        assert layer.weight.data.dtype == np.float32
+
+    def test_astype_mid_training_recasts_optimizer_state(self):
+        # Moments created at float64 must follow a Module.astype("float32")
+        # instead of silently promoting the parameters back to float64.
+        layer = Linear(4, 2, rng=np.random.default_rng(0))
+        optimizer = AdamW(layer.parameters(), lr=1e-3, amsgrad=True)
+        data = np.ones((3, 4))
+
+        def step():
+            optimizer.zero_grad()
+            (layer(Tensor(data, dtype=layer.dtype)) ** 2).mean().backward()
+            optimizer.step()
+
+        step()  # float64 moments exist now
+        layer.astype("float32")
+        step()
+        assert layer.weight.data.dtype == np.float32
+        for store in (optimizer._m, optimizer._v, optimizer._vmax):
+            assert all(v.dtype == np.float32 for v in store.values())
+
+    def test_sgd_velocity_follows_recast(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(0))
+        optimizer = SGD(layer.parameters(), lr=1e-2, momentum=0.9)
+
+        def step():
+            optimizer.zero_grad()
+            (layer(Tensor(np.ones((3, 4)), dtype=layer.dtype)) ** 2).mean().backward()
+            optimizer.step()
+
+        step()
+        layer.astype("float32")
+        step()
+        assert layer.weight.data.dtype == np.float32
+        assert all(v.dtype == np.float32 for v in optimizer._velocity.values())
+
+    def test_adam_moments_keep_float32(self):
+        with precision.autocast("float32"):
+            layer = Linear(4, 2, rng=np.random.default_rng(0))
+            optimizer = AdamW(layer.parameters(), lr=1e-3, amsgrad=True)
+            optimizer.zero_grad()
+            (layer(Tensor(np.ones((3, 4)))) ** 2).mean().backward()
+            optimizer.step()
+        for store in (optimizer._m, optimizer._v, optimizer._vmax):
+            assert all(v.dtype == np.float32 for v in store.values())
+
+
+class TestEdgePlanDtypes:
+    def test_plan_norms_follow_requested_dtype(self):
+        rng = np.random.default_rng(0)
+        edge_index, edge_type, batch = _graph_inputs(rng)
+        plan32 = build_edge_plan(edge_index, edge_type, batch, 60, 4, 3, dtype="float32")
+        plan64 = build_edge_plan(edge_index, edge_type, batch, 60, 4, 3)
+        assert plan32.dtype == np.float32
+        assert plan64.dtype == np.float64
+        for norm in plan32.relation_norm:
+            assert norm.dtype == np.float32
+        for n32, n64 in zip(plan32.relation_norm, plan64.relation_norm):
+            assert np.array_equal(n64.astype(np.float32), n32)
+        assert plan32.graph_node_counts.dtype == np.float32
+        assert plan64.graph_node_counts.dtype == np.float64
+
+    def test_float32_plan_derives_from_float64_sibling(self):
+        rng = np.random.default_rng(3)
+        samples = [
+            GraphSample(
+                token_ids=rng.integers(0, 5, size=6),
+                node_types=rng.integers(0, 3, size=6),
+                edge_index=rng.integers(0, 6, size=(2, 9)),
+                edge_type=rng.integers(0, 3, size=9),
+            )
+            for _ in range(2)
+        ]
+        batch = collate_graphs(samples)
+        plan64 = batch.edge_plan(3)
+        plan64.scatter_flat(0, 8)  # warm a flat bin before deriving
+        plan32 = batch.edge_plan(3, dtype="float32")
+        # Integer schedules and the flat scatter-bin cache are shared...
+        assert all(a is b for a, b in zip(plan32.relation_src, plan64.relation_src))
+        assert plan32._flat_cache is plan64._flat_cache
+        # ...and the narrowed norms are the exactly rounded float64 ones.
+        for n32, n64 in zip(plan32.relation_norm, plan64.relation_norm):
+            assert np.array_equal(n64.astype(np.float32), n32)
+        # Upcasting a float32 plan would break seed bit-identity: rejected.
+        with pytest.raises(ValueError, match="cannot derive"):
+            plan32.with_dtype(np.dtype(np.float64))
+
+    def test_batch_caches_one_plan_per_dtype(self):
+        rng = np.random.default_rng(1)
+        samples = [
+            GraphSample(
+                token_ids=rng.integers(0, 5, size=4),
+                node_types=rng.integers(0, 3, size=4),
+                edge_index=rng.integers(0, 4, size=(2, 6)),
+                edge_type=rng.integers(0, 3, size=6),
+            )
+            for _ in range(3)
+        ]
+        batch = collate_graphs(samples)
+        plan64 = batch.edge_plan(3)
+        plan32 = batch.edge_plan(3, dtype="float32")
+        assert plan64 is batch.edge_plan(3)
+        assert plan32 is batch.edge_plan(3, dtype=np.float32)
+        assert plan64 is not plan32
+
+    def test_mismatched_plan_dtype_is_rejected(self):
+        rng = np.random.default_rng(2)
+        edge_index, edge_type, batch = _graph_inputs(rng, num_nodes=20, num_edges=40)
+        plan64 = build_edge_plan(edge_index, edge_type, batch, 20, 4, 3)
+        with precision.autocast("float32"):
+            conv = RGCNConv(4, 4, 3, rng=np.random.default_rng(0))
+            x = Tensor(rng.normal(size=(20, 4)))
+        with pytest.raises(ValueError, match="float64 normalisations"):
+            conv(x, edge_index, edge_type, plan=plan64)
+
+
+class TestStateDictDtypes:
+    def test_npz_round_trip_preserves_dtype(self, tmp_path):
+        with precision.autocast("float32"):
+            layer = Linear(5, 3, rng=np.random.default_rng(0))
+        path = str(tmp_path / "weights")
+        save_state_dict(layer.state_dict(), path)
+        restored = load_state_dict(path)
+        for name, value in layer.state_dict().items():
+            assert restored[name].dtype == np.float32
+            assert np.array_equal(restored[name], value)
+
+    def test_load_can_cast_on_read(self, tmp_path):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        path = str(tmp_path / "weights")
+        save_state_dict(layer.state_dict(), path)
+        restored = load_state_dict(path, dtype="float32")
+        assert all(v.dtype == np.float32 for v in restored.values())
+
+    def test_module_load_casts_to_parameter_dtype(self):
+        layer64 = Linear(5, 3, rng=np.random.default_rng(0))
+        with precision.autocast("float32"):
+            layer32 = Linear(5, 3, rng=np.random.default_rng(1))
+        layer32.load_state_dict(layer64.state_dict())
+        assert layer32.weight.data.dtype == np.float32
+        assert np.array_equal(
+            layer32.weight.data, layer64.weight.data.astype(np.float32)
+        )
+
+    def test_module_astype_round_trip(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        original = layer.weight.data.copy()
+        layer.astype("float32")
+        assert layer.dtype == np.float32
+        layer.astype("float64")
+        # one float64->float32 rounding survives, but dtype round-trips
+        assert layer.weight.data.dtype == np.float64
+        np.testing.assert_allclose(layer.weight.data, original, rtol=1e-6, atol=1e-7)
