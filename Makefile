@@ -8,14 +8,21 @@ PYTHON ?= python
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
-# Fast (<30 s) perf-regression check for the message-passing engine; fails
-# when an engine path stops beating the retained seed reference paths.
+# Fast perf-regression check for the message-passing engine and the serving
+# stack; fails when an engine path stops beating the retained seed reference
+# paths or the batched multi-region sweep stops beating serial sweeps.
+# Writes per-axis medians to benchmarks/results/BENCH_3.json (CI artifact).
 bench-smoke:
 	$(PYTHON) -m benchmarks.bench_engine --smoke
 
 # Full engine microbenchmarks with the headline before/after numbers.
 bench-engine:
 	$(PYTHON) -m benchmarks.bench_engine
+
+# shuffle="batches" accuracy study on the 68-region suite (records the
+# batches-vs-samples accuracy delta backing the profile knob).
+shuffle-study:
+	$(PYTHON) -m benchmarks.shuffle_study
 
 # The paper-figure benchmark suite (pytest-benchmark harness).
 bench:

@@ -21,19 +21,35 @@ additionally timed with a ``float32`` model (same weights, rounded once —
 see :mod:`repro.nn.precision`) against the ``float64`` engine, and a
 dedicated ``scatter_mp`` microbenchmark times the EdgePlan message-passing
 kernel step (gather → relation matmul → normalise → scatter) on a large
-synthetic graph where the scatter/gather bandwidth dominates.
+synthetic graph where the scatter/gather bandwidth dominates — including
+the opt-in pure-float32 ``np.add.reduceat`` scatter schedule against the
+default bincount float64 round trip.
+
+A third axis covers **fleet serving**:
+
+* ``sweep_many`` — a cold 16-region power-cap sweep: R serial
+  ``predict_sweep`` calls vs. one ``predict_sweep_many`` batch (one collated
+  encoder pass + one dense-head product for all R×C pairs);
+* ``serve_shards`` — the same multi-region sweep through
+  :class:`repro.serve.SweepServer` with 1 vs. 2 worker processes (shard
+  scaling tracks the machine's available cores; the JSON records
+  ``cpu_count`` so single-core containers are read correctly).
 
 Run ``python -m benchmarks.bench_engine`` for the full measurement or with
-``--smoke`` for a <30 s regression check that fails (non-zero exit) when the
-engine stops beating the reference paths or the float32 path stops beating
-float64 on the scatter-bound microbenchmark.  Results are printed as a
-table and written to ``benchmarks/results/bench_engine.json`` following the
-:mod:`figure_cache` conventions.
+``--smoke`` for a fast regression check that fails (non-zero exit) when the
+engine stops beating the reference paths, the float32 path stops beating
+float64 on the scatter-bound microbenchmark, or the batched multi-region
+sweep stops beating serial per-region sweeps.  Results are printed as a
+table and written to ``benchmarks/results/bench_engine.json``; per-axis
+medians (the cross-PR perf trajectory) additionally go to
+``benchmarks/results/BENCH_3.json`` for the CI artifact upload.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import statistics
 import sys
 import time
 from dataclasses import replace
@@ -58,11 +74,18 @@ from repro.nn import _scatter, precision
 from repro.nn.data import GraphDataLoader, build_edge_plan, collate_graphs
 from repro.nn.rgcn import RGCNConv
 from repro.nn.tensor import Tensor, no_grad
+from repro.serve import SweepServer
 
 # Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
 # idle machine) so the check flags regressions, not scheduler noise.
-SMOKE_FLOORS = {"forward": 1.1, "train_epoch": 1.2, "cap_sweep": 2.0}
+# ``sweep_many`` floors the batched multi-region sweep against R serial
+# engine-path ``predict_sweep`` calls: measured ≈2.1x cold at R=16 on a
+# single-core container (the cold sweep is NumPy-bandwidth-bound there;
+# batching wins by collapsing per-region call overhead, plan building and
+# dense-head launches, and widens further where BLAS can thread the
+# collated matrix products).
+SMOKE_FLOORS = {"forward": 1.1, "train_epoch": 1.2, "cap_sweep": 2.0, "sweep_many": 1.5}
 
 #: float32-vs-float64 floor on the scatter-bound message-passing microbench
 #: (measured ≈1.3-1.5x on an idle machine; the floor flags the float32 path
@@ -70,19 +93,36 @@ SMOKE_FLOORS = {"forward": 1.1, "train_epoch": 1.2, "cap_sweep": 2.0}
 F32_SMOKE_FLOORS = {"scatter_mp": 1.15}
 
 
-def _best_of_interleaved(
+def _interleaved_times(
     first: Callable[[], None], second: Callable[[], None], rounds: int
 ) -> tuple:
     """Alternate the two timed functions so load drift hits both equally."""
-    best_first = best_second = float("inf")
+    first_times: List[float] = []
+    second_times: List[float] = []
     for _ in range(rounds):
         start = time.perf_counter()
         first()
-        best_first = min(best_first, time.perf_counter() - start)
+        first_times.append(time.perf_counter() - start)
         start = time.perf_counter()
         second()
-        best_second = min(best_second, time.perf_counter() - start)
-    return best_first, best_second
+        second_times.append(time.perf_counter() - start)
+    return first_times, second_times
+
+
+def _pair_stats(
+    first: Callable[[], None],
+    second: Callable[[], None],
+    rounds: int,
+    scale: float = 1.0,
+) -> Dict[str, float]:
+    """Best + median of both timed functions (seconds, divided by ``scale``)."""
+    first_times, second_times = _interleaved_times(first, second, rounds)
+    return {
+        "first_s": min(first_times) / scale,
+        "second_s": min(second_times) / scale,
+        "first_median_s": statistics.median(first_times) / scale,
+        "second_median_s": statistics.median(second_times) / scale,
+    }
 
 
 class _ReferenceMode:
@@ -143,8 +183,15 @@ def bench_forward(samples, config, rounds: int, with_f32: bool) -> Dict[str, flo
 
     engine()  # warm allocator/BLAS and build the plan before timing
     reference()
-    engine_s, reference_s = _best_of_interleaved(engine, reference, max(rounds, 4))
-    row = {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+    stats = _pair_stats(engine, reference, max(rounds, 4))
+    row = {
+        "reference_s": stats["second_s"],
+        "engine_s": stats["first_s"],
+        "speedup": stats["second_s"] / stats["first_s"],
+        "reference_median_s": stats["second_median_s"],
+        "engine_median_s": stats["first_median_s"],
+        "median_speedup": stats["second_median_s"] / stats["first_median_s"],
+    }
     if with_f32:
         model32 = PnPModel(replace(config, dtype="float32"))
         model32.eval()
@@ -153,9 +200,13 @@ def bench_forward(samples, config, rounds: int, with_f32: bool) -> Dict[str, flo
             model32.encode_pooled(batch)
 
         engine32()  # warm + build the float32 plan
-        engine64_s, engine32_s = _best_of_interleaved(engine, engine32, max(rounds, 4))
-        row["engine_f32_s"] = engine32_s
-        row["f32_speedup"] = engine64_s / engine32_s
+        f32_stats = _pair_stats(engine, engine32, max(rounds, 4))
+        row["engine_f32_s"] = f32_stats["second_s"]
+        row["f32_speedup"] = f32_stats["first_s"] / f32_stats["second_s"]
+        row["engine_f32_median_s"] = f32_stats["second_median_s"]
+        row["f32_median_speedup"] = (
+            f32_stats["first_median_s"] / f32_stats["second_median_s"]
+        )
     return row
 
 
@@ -172,11 +223,14 @@ def bench_train_epoch(
         with _ReferenceMode():
             train_model(PnPModel(config), samples, training)
 
-    engine_s, reference_s = _best_of_interleaved(engine, reference, rounds)
+    stats = _pair_stats(engine, reference, rounds, scale=epochs)
     row = {
-        "reference_s": reference_s / epochs,
-        "engine_s": engine_s / epochs,
-        "speedup": reference_s / engine_s,
+        "reference_s": stats["second_s"],
+        "engine_s": stats["first_s"],
+        "speedup": stats["second_s"] / stats["first_s"],
+        "reference_median_s": stats["second_median_s"],
+        "engine_median_s": stats["first_median_s"],
+        "median_speedup": stats["second_median_s"] / stats["first_median_s"],
     }
     if with_f32:
         config32 = replace(config, dtype="float32")
@@ -184,16 +238,18 @@ def bench_train_epoch(
         def engine32() -> None:
             train_model(PnPModel(config32), samples, training)
 
-        engine64_s, engine32_s = _best_of_interleaved(engine, engine32, rounds)
-        row["engine_f32_s"] = engine32_s / epochs
-        row["f32_speedup"] = engine64_s / engine32_s
+        f32_stats = _pair_stats(engine, engine32, rounds, scale=epochs)
+        row["engine_f32_s"] = f32_stats["second_s"]
+        row["f32_speedup"] = f32_stats["first_s"] / f32_stats["second_s"]
+        row["engine_f32_median_s"] = f32_stats["second_median_s"]
+        row["f32_median_speedup"] = (
+            f32_stats["first_median_s"] / f32_stats["second_median_s"]
+        )
     return row
 
 
-def bench_cap_sweep(
-    database, builder, config, epochs: int, rounds: int, num_caps: int, with_f32: bool
-) -> Dict[str, float]:
-    """Power-cap sweep per region: per-candidate forwards vs. predict_sweep."""
+def _fit_tuner(database, builder, config, epochs: int) -> PnPTuner:
+    """One fitted serving tuner shared by the sweep/serve benchmarks."""
     tuner = PnPTuner(
         system="haswell",
         objective="time",
@@ -204,6 +260,13 @@ def bench_cap_sweep(
     )
     tuner.builder = builder
     tuner.fit(tuner.build_training_samples())
+    return tuner
+
+
+def bench_cap_sweep(
+    tuner, builder, database, rounds: int, num_caps: int, with_f32: bool
+) -> Dict[str, float]:
+    """Power-cap sweep per region: per-candidate forwards vs. predict_sweep."""
     regions = builder.regions()[:8]
     space = database.search_space
     caps = [float(c) for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)]
@@ -234,8 +297,15 @@ def bench_cap_sweep(
     if engine_labels != reference_labels:
         raise AssertionError("predict_sweep disagrees with the reference sweep")
 
-    engine_s, reference_s = _best_of_interleaved(engine, reference, rounds)
-    row = {"reference_s": reference_s, "engine_s": engine_s, "speedup": reference_s / engine_s}
+    stats = _pair_stats(engine, reference, rounds)
+    row = {
+        "reference_s": stats["second_s"],
+        "engine_s": stats["first_s"],
+        "speedup": stats["second_s"] / stats["first_s"],
+        "reference_median_s": stats["second_median_s"],
+        "engine_median_s": stats["first_median_s"],
+        "median_speedup": stats["second_median_s"] / stats["first_median_s"],
+    }
     if with_f32:
         # Same float64-trained tuner serving the sweep at float32 via the
         # predict_sweep dtype knob (weights cast once, then cached — cleared
@@ -246,9 +316,149 @@ def bench_cap_sweep(
                 tuner.predict_sweep(region, caps, dtype="float32")
 
         engine32()  # warm the cast-model cache outside the timed region
-        engine64_s, engine32_s = _best_of_interleaved(engine, engine32, rounds)
-        row["engine_f32_s"] = engine32_s
-        row["f32_speedup"] = engine64_s / engine32_s
+        f32_stats = _pair_stats(engine, engine32, rounds)
+        row["engine_f32_s"] = f32_stats["second_s"]
+        row["f32_speedup"] = f32_stats["first_s"] / f32_stats["second_s"]
+        row["engine_f32_median_s"] = f32_stats["second_median_s"]
+        row["f32_median_speedup"] = (
+            f32_stats["first_median_s"] / f32_stats["second_median_s"]
+        )
+    return row
+
+
+def _serving_regions(builder, count: int):
+    """``count`` regions for the multi-region serving benchmarks.
+
+    Starts with the tuner's own suite and tops up from the full benchmark
+    registry — unseen regions are built/registered on first query, which the
+    warm-up pass does outside the timed section (the cold path under test is
+    the encoder, not IR generation).
+    """
+    regions = list(builder.regions())
+    if len(regions) < count:
+        known = {region.region_id for region in regions}
+        for app_regions in regions_by_application().values():
+            for region in app_regions:
+                if region.region_id not in known:
+                    regions.append(region)
+                    known.add(region.region_id)
+                if len(regions) >= count:
+                    break
+            if len(regions) >= count:
+                break
+    return regions[:count]
+
+
+def bench_sweep_many(
+    tuner, builder, rounds: int, num_caps: int, num_regions: int = 16
+) -> Dict[str, float]:
+    """Cold fleet sweep: R serial predict_sweep calls vs. one batched call.
+
+    Both paths run the compiled engine; the axis isolates what multi-region
+    batching adds — one collated encoder pass and a single (R×C)-row dense
+    head instead of R small ones.  Both the embedding cache *and* the
+    fleet-composition batch memo are cleared per round, so the batched side
+    pays collation + plan construction exactly like a fresh serving replica
+    (and symmetrically with the serial loop, which rebuilds a batch and plan
+    per region); warm-memo serving is strictly faster than what this gate
+    asserts.
+    """
+    space = tuner.search_space
+    regions = _serving_regions(builder, num_regions)
+    caps = [
+        float(c)
+        for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)
+    ]
+
+    def serial() -> None:
+        tuner._embedding_cache.clear()
+        for region in regions:
+            tuner.predict_sweep(region, caps)
+
+    def batched() -> None:
+        tuner._embedding_cache.clear()
+        tuner._sweep_batch_memo.clear()
+        tuner.predict_sweep_many(regions, caps)
+
+    # Warm-up: builds/registers any off-suite graphs and checks equivalence.
+    tuner._embedding_cache.clear()
+    batched_results = tuner.predict_sweep_many(regions, caps)
+    tuner._embedding_cache.clear()
+    serial_results = [tuner.predict_sweep(region, caps) for region in regions]
+    if batched_results != serial_results:
+        raise AssertionError("predict_sweep_many disagrees with serial predict_sweep")
+
+    stats = _pair_stats(batched, serial, rounds)
+    return {
+        "num_regions": len(regions),
+        "num_caps": num_caps,
+        "serial_s": stats["second_s"],
+        "batched_s": stats["first_s"],
+        "speedup": stats["second_s"] / stats["first_s"],
+        "serial_median_s": stats["second_median_s"],
+        "batched_median_s": stats["first_median_s"],
+        "median_speedup": stats["second_median_s"] / stats["first_median_s"],
+    }
+
+
+def bench_serve_shards(
+    tuner, builder, rounds: int, num_caps: int, num_regions: int
+) -> Dict[str, float]:
+    """Sharded serving: a 1-worker vs. a 2-worker SweepServer, cold caches.
+
+    Worker start-up (process spawn, graph building, weight load) happens
+    once per server and is excluded; each timed round clears the workers'
+    embedding caches so every sweep re-encodes its shard.  Shard scaling
+    tracks the machine's cores — the JSON records ``cpu_count`` so a
+    single-core container's ~1x is read as a hardware bound, not a
+    regression.
+    """
+    space = tuner.search_space
+    regions = _serving_regions(builder, num_regions)
+    caps = [
+        float(c)
+        for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)
+    ]
+    tuner._embedding_cache.clear()
+    expected = [tuner.predict_sweep(region, caps) for region in regions]
+
+    row: Dict[str, float] = {
+        "num_regions": len(regions),
+        "num_caps": num_caps,
+        "cpu_count": float(os.cpu_count() or 1),
+    }
+    servers = {}
+    try:
+        for workers in (1, 2):
+            servers[workers] = SweepServer.from_tuner(tuner, num_workers=workers)
+            if servers[workers].sweep(regions, caps) != expected:
+                raise AssertionError(
+                    f"{workers}-worker sharded sweep disagrees with the serial path"
+                )
+
+        def run_with(workers: int) -> Callable[[], None]:
+            server = servers[workers]
+
+            def run() -> None:
+                server.clear_caches()
+                server.sweep(regions, caps)
+
+            return run
+
+        stats = _pair_stats(run_with(1), run_with(2), rounds)
+    finally:
+        for server in servers.values():
+            server.close()
+    row.update(
+        {
+            "workers1_s": stats["first_s"],
+            "workers2_s": stats["second_s"],
+            "shard_speedup": stats["first_s"] / stats["second_s"],
+            "workers1_median_s": stats["first_median_s"],
+            "workers2_median_s": stats["second_median_s"],
+            "median_shard_speedup": stats["first_median_s"] / stats["second_median_s"],
+        }
+    )
     return row
 
 
@@ -285,10 +495,51 @@ def bench_scatter_mp(rounds: int) -> Dict[str, float]:
         run()  # warm the plan's flat scatter-bin caches before timing
         runners[name] = run
 
-    f64_s, f32_s = _best_of_interleaved(
-        runners["float64"], runners["float32"], max(rounds, 4)
+    stats = _pair_stats(runners["float64"], runners["float32"], max(rounds, 4))
+    row = {
+        "f64_s": stats["first_s"],
+        "f32_s": stats["second_s"],
+        "f32_speedup": stats["first_s"] / stats["second_s"],
+        "f64_median_s": stats["first_median_s"],
+        "f32_median_s": stats["second_median_s"],
+        "f32_median_speedup": stats["first_median_s"] / stats["second_median_s"],
+    }
+
+    # ROADMAP's float32 scatter item: the opt-in sorted-segment reduceat
+    # schedule (pure single-precision accumulation) against the default
+    # flat-bincount float64 round trip, on the same float32 planned layer.
+    def run_reduceat() -> None:
+        with _scatter.reduceat_scatter(True):
+            runners["float32"]()
+
+    run_reduceat()  # warm the plan's segment-schedule caches
+    reduceat_stats = _pair_stats(runners["float32"], run_reduceat, max(rounds, 4))
+    row["f32_reduceat_s"] = reduceat_stats["second_s"]
+    row["f32_reduceat_median_s"] = reduceat_stats["second_median_s"]
+    row["reduceat_speedup"] = reduceat_stats["first_s"] / reduceat_stats["second_s"]
+    row["reduceat_median_speedup"] = (
+        reduceat_stats["first_median_s"] / reduceat_stats["second_median_s"]
     )
-    return {"f64_s": f64_s, "f32_s": f32_s, "f32_speedup": f64_s / f32_s}
+    row["reduceat_default_on"] = float(_scatter.reduceat_scatter_enabled())
+    return row
+
+
+def _bench3_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
+    """Per-axis medians for the cross-PR perf trajectory (BENCH_3.json)."""
+    axes: Dict[str, Dict[str, float]] = {}
+    for name, row in results.items():
+        axes[name] = {
+            key: value for key, value in row.items() if "median" in key
+        }
+        for context_key in ("num_regions", "num_caps", "cpu_count", "reduceat_default_on"):
+            if context_key in row:
+                axes[name][context_key] = row[context_key]
+    return {
+        "bench": "BENCH_3",
+        "mode": mode,
+        "cpu_count": os.cpu_count() or 1,
+        "axes": axes,
+    }
 
 
 def run(smoke: bool, dtype_axis: str = "both") -> int:
@@ -297,6 +548,7 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     epochs = 3 if smoke else 8
     rounds = 2 if smoke else 3
     num_caps = 12 if smoke else 16
+    serve_regions = 16 if smoke else 48
     with_f32 = dtype_axis in ("both", "float32")
 
     print(f"bench_engine [{mode}]: building workload ({num_apps} applications)...")
@@ -308,10 +560,17 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     print("  train_epoch done")
     results["forward"] = bench_forward(samples, config, rounds, with_f32)
     print("  forward done")
+    tuner = _fit_tuner(database, builder, config, epochs)
     results["cap_sweep"] = bench_cap_sweep(
-        database, builder, config, epochs, rounds, num_caps, with_f32
+        tuner, builder, database, rounds, num_caps, with_f32
     )
     print("  cap_sweep done")
+    results["sweep_many"] = bench_sweep_many(tuner, builder, rounds, num_caps)
+    print("  sweep_many done")
+    results["serve_shards"] = bench_serve_shards(
+        tuner, builder, rounds, num_caps, serve_regions
+    )
+    print("  serve_shards done")
     if with_f32:
         results["scatter_mp"] = bench_scatter_mp(rounds)
         print("  scatter_mp done")
@@ -327,6 +586,16 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
                 f"{name:<14}{row['reference_s'] * 1e3:>10.1f}ms{row['engine_s'] * 1e3:>10.1f}ms"
                 f"{row['speedup']:>9.2f}x"
             )
+        elif name == "sweep_many":
+            cells = (
+                f"{name:<14}{row['serial_s'] * 1e3:>10.1f}ms{row['batched_s'] * 1e3:>10.1f}ms"
+                f"{row['speedup']:>9.2f}x"
+            )
+        elif name == "serve_shards":
+            cells = (
+                f"{name:<14}{row['workers1_s'] * 1e3:>10.1f}ms{row['workers2_s'] * 1e3:>10.1f}ms"
+                f"{row['shard_speedup']:>9.2f}x"
+            )
         else:  # scatter_mp: pure f32-vs-f64 microbenchmark
             cells = f"{name:<14}{'-':>12}{row['f64_s'] * 1e3:>10.1f}ms{'-':>10}"
         if "f32_speedup" in row:
@@ -336,6 +605,17 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     table = "\n".join(lines)
     print()
     print(table)
+    if "scatter_mp" in results:
+        reduceat = results["scatter_mp"]["reduceat_speedup"]
+        state = "on" if results["scatter_mp"]["reduceat_default_on"] else "off"
+        print(
+            f"scatter_mp reduceat schedule: {reduceat:.2f}x vs bincount round trip "
+            f"(default {state})"
+        )
+    print(
+        f"serve_shards: {results['serve_shards']['shard_speedup']:.2f}x with 2 workers "
+        f"on {os.cpu_count() or 1} core(s)"
+    )
 
     payload = {
         "mode": mode,
@@ -346,6 +626,8 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     }
     path = figure_cache.save_json("bench_engine", payload)
     print(f"\nJSON written to {path}")
+    bench3_path = figure_cache.save_json("BENCH_3", _bench3_payload(mode, results))
+    print(f"per-axis medians written to {bench3_path}")
 
     if smoke:
         failures = [
@@ -374,8 +656,9 @@ def main() -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small fast run (<30 s) asserting the engine beats the reference "
-        "paths and float32 beats float64 on the scatter-bound microbenchmark",
+        help="small fast run asserting the engine beats the reference paths, "
+        "float32 beats float64 on the scatter-bound microbenchmark, and the "
+        "batched multi-region sweep beats serial per-region sweeps",
     )
     parser.add_argument(
         "--dtype",

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Accuracy study: ``shuffle="batches"`` vs ``shuffle=True`` (sample mixing).
+
+ROADMAP gates wider ``shuffle="batches"`` adoption (full cross-epoch
+EdgePlan reuse at the cost of never re-mixing which samples share a batch)
+on an accuracy study over the full 68-region suite.  This script trains the
+performance-scenario model both ways — identical seeds, epochs and
+hyperparameters — and reports:
+
+* the final training loss/accuracy of each mode on the full suite;
+* grouped 3-fold cross-validation accuracy (the fast profile's splitter),
+  the generalisation-sensitive number that would reveal an SGD-mixing cost;
+* per-epoch wall-clock of each mode (the reuse payoff being bought).
+
+Results go to ``benchmarks/results/shuffle_study.json``; the README records
+the measured delta next to the ``ExperimentProfile(shuffle=...)`` knob.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Union
+
+import numpy as np
+
+if __package__ in (None, ""):  # direct script execution
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    import benchmarks  # noqa: F401  (bootstraps sys.path)
+
+import figure_cache
+from repro.benchsuite.registry import regions_by_application
+from repro.core.dataset import DatasetBuilder, TuningScenario
+from repro.core.measurements import get_measurement_database
+from repro.core.model import ModelConfig, PnPModel
+from repro.core.training import (
+    GroupedApplicationKFold,
+    TrainingConfig,
+    run_cross_validation,
+    train_model,
+)
+
+
+def _suite(seed: int):
+    apps = regions_by_application()
+    regions = [r for rs in apps.values() for r in rs]
+    database = get_measurement_database("haswell", regions=regions, seed=seed)
+    builder = DatasetBuilder(database, regions_by_app=apps, seed=seed)
+    return database, builder
+
+
+def _accuracy(predictions: Dict, samples) -> float:
+    labelled = {(s.region_id, s.power_cap): s.label for s in samples}
+    correct = sum(
+        1 for key, predicted in predictions.items() if labelled[key] == predicted
+    )
+    return correct / len(predictions)
+
+
+def run(epochs: int, folds: int, seed: int, learning_rate: float) -> int:
+    database, builder = _suite(seed)
+    samples = builder.performance_samples()
+    config = ModelConfig(
+        vocabulary_size=len(builder.vocabulary),
+        num_classes=database.search_space.num_omp_configurations,
+        aux_dim=builder.aux_feature_dim(TuningScenario.PERFORMANCE, False),
+        seed=seed,
+    )
+    print(
+        f"shuffle_study: {len(samples)} samples over "
+        f"{len(builder.regions())} regions, {epochs} epochs, {folds} folds"
+    )
+
+    results: Dict[str, Dict[str, float]] = {}
+    for label, shuffle in (("samples", True), ("batches", "batches")):
+        training = TrainingConfig(
+            epochs=epochs, learning_rate=learning_rate, seed=seed, shuffle=shuffle
+        )
+
+        start = time.perf_counter()
+        history = train_model(PnPModel(config), samples, training)
+        full_suite_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        predictions = run_cross_validation(
+            samples,
+            model_factory=lambda: PnPModel(config),
+            training_config=training,
+            splitter=GroupedApplicationKFold(folds),
+        )
+        cv_s = time.perf_counter() - start
+
+        results[label] = {
+            "final_loss": history.final_loss,
+            "final_train_accuracy": history.final_accuracy,
+            "cv_accuracy": _accuracy(predictions, samples),
+            "epoch_s": full_suite_s / epochs,
+            "cv_s": cv_s,
+        }
+        print(
+            f"  shuffle={label!r}: loss {history.final_loss:.4f}, "
+            f"train acc {history.final_accuracy:.3f}, "
+            f"CV acc {results[label]['cv_accuracy']:.3f}, "
+            f"{results[label]['epoch_s'] * 1e3:.0f}ms/epoch"
+        )
+
+    delta = {
+        "cv_accuracy_delta": results["batches"]["cv_accuracy"]
+        - results["samples"]["cv_accuracy"],
+        "train_accuracy_delta": results["batches"]["final_train_accuracy"]
+        - results["samples"]["final_train_accuracy"],
+        "epoch_speedup": results["samples"]["epoch_s"] / results["batches"]["epoch_s"],
+    }
+    print(
+        f"batches - samples: CV accuracy {delta['cv_accuracy_delta']:+.4f}, "
+        f"train accuracy {delta['train_accuracy_delta']:+.4f}, "
+        f"epoch speedup {delta['epoch_speedup']:.2f}x"
+    )
+
+    payload = {
+        "suite_regions": len(builder.regions()),
+        "num_samples": len(samples),
+        "epochs": epochs,
+        "folds": folds,
+        "seed": seed,
+        "learning_rate": learning_rate,
+        "results": results,
+        "delta": delta,
+    }
+    path = figure_cache.save_json("shuffle_study", payload)
+    print(f"JSON written to {path}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=20, help="training epochs")
+    parser.add_argument("--folds", type=int, default=3, help="grouped CV folds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--lr",
+        type=float,
+        default=3e-3,
+        help="learning rate (the fast experiment profile's value)",
+    )
+    args = parser.parse_args()
+    return run(epochs=args.epochs, folds=args.folds, seed=args.seed, learning_rate=args.lr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,8 +15,8 @@ class label obtained from the measurement database:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,6 +107,15 @@ class DatasetBuilder:
         self.seed = seed
         self._graphs: Optional[Dict[str, FlowGraph]] = None
         self._counters: Dict[str, np.ndarray] = {}
+        # Content fingerprint of the characteristics each cached graph was
+        # built from: a region re-submitted under the same id with different
+        # characteristics invalidates its graph (and counters) instead of
+        # silently serving the stale structure.
+        self._graph_fingerprints: Dict[str, str] = {}
+        # Structural (label-free, aux-free) inference samples memoised per
+        # region content — vocabulary encoding is a Python token loop, so
+        # cold sweeps over many regions shouldn't pay it per query.
+        self._structural_samples: Dict[str, Tuple[str, GraphSample]] = {}
 
     # ---------------------------------------------------------------- graphs
     def region_graphs(self) -> Dict[str, FlowGraph]:
@@ -126,12 +135,18 @@ class DatasetBuilder:
                 graphs[region.region_id] = build_flow_graph(
                     outlined[function_name], name=region.region_id
                 )
+                self._graph_fingerprints[region.region_id] = region.fingerprint()
         self._graphs = graphs
         _LOG.info("built %d region graphs", len(graphs))
         return graphs
 
     def regions(self) -> List[RegionCharacteristics]:
         return [r for regions in self._regions_by_app.values() for r in regions]
+
+    @property
+    def regions_by_app(self) -> Dict[str, List[RegionCharacteristics]]:
+        """The application → regions mapping this builder covers (a copy)."""
+        return {app: list(regions) for app, regions in self._regions_by_app.items()}
 
     def applications(self) -> List[str]:
         return list(self._regions_by_app)
@@ -220,14 +235,25 @@ class DatasetBuilder:
         include_counters: bool = False,
         scenario: TuningScenario = TuningScenario.PERFORMANCE,
     ) -> LabeledSample:
-        """Build an unlabeled sample for a (possibly unseen) region."""
-        if region.region_id in self.region_graphs():
-            graph = self.region_graphs()[region.region_id]
-        else:
+        """Build an unlabeled sample for a (possibly unseen) region.
+
+        Graphs are cached per region id *and* content fingerprint: a region
+        re-submitted under a known id with changed characteristics gets a
+        freshly generated graph (and its cached PAPI counters dropped), and
+        the measurement database's registration is updated, so no stale
+        structure leaks into the prediction.
+        """
+        graphs = self.region_graphs()
+        fingerprint = region.fingerprint()
+        graph = graphs.get(region.region_id)
+        if graph is None or self._graph_fingerprints.get(region.region_id) != fingerprint:
             module = generate_application_module(region.application, [region], seed=self.seed)
             outlined = extract_outlined_regions(module)
             graph = build_flow_graph(outlined[region_function_name(region)], name=region.region_id)
-        if region.region_id not in {r.region_id for r in self.regions()}:
+            graphs[region.region_id] = graph
+            self._graph_fingerprints[region.region_id] = fingerprint
+            self._counters.pop(region.region_id, None)
+            self._structural_samples.pop(region.region_id, None)
             self.database.add_region(region)
         if scenario == TuningScenario.PERFORMANCE:
             if power_cap is None:
@@ -235,9 +261,16 @@ class DatasetBuilder:
             aux = self._aux_features(region.region_id, power_cap, include_counters)
         else:
             aux = self._edp_aux_features(region.region_id, include_counters)
-        graph_sample = self.encoder.encode(
-            graph, label=-1, aux_features=aux, region_id=region.region_id
-        )
+        memo = self._structural_samples.get(region.region_id)
+        if memo is None or memo[0] != fingerprint:
+            structural = self.encoder.encode(graph, label=-1, region_id=region.region_id)
+            self._structural_samples[region.region_id] = (fingerprint, structural)
+        else:
+            structural = memo[1]
+        # Per-query sample: the memoised index arrays by reference, the
+        # query's auxiliary features attached — exactly the sample a fresh
+        # ``encoder.encode`` call would build.
+        graph_sample = replace(structural, aux_features=aux)
         return LabeledSample(
             sample=graph_sample,
             region_id=region.region_id,

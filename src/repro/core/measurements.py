@@ -70,7 +70,20 @@ class MeasurementDatabase:
         return self._regions[region_id]
 
     def add_region(self, region: RegionCharacteristics) -> None:
-        """Register an extra region (e.g. a user-provided kernel)."""
+        """Register an extra region (e.g. a user-provided kernel).
+
+        Re-registering a known id with *changed* characteristics replaces
+        the registration and drops the region's cached executions — results
+        measured against the old characteristics must not be served for the
+        new ones.
+        """
+        previous = self._regions.get(region.region_id)
+        if previous is not None and previous != region:
+            self._cache = {
+                key: value
+                for key, value in self._cache.items()
+                if key[0] != region.region_id
+            }
         self._regions[region.region_id] = region
 
     # ----------------------------------------------------------- measurement

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.graphs.flowgraph import EdgeRelation, NodeKind
+from repro.nn import _scatter
 from repro.nn import functional as F
 from repro.nn import precision
 from repro.nn.data import GraphBatch
@@ -122,12 +123,16 @@ class _GnnEncoder(Module):
             )
         if plan is None:
             return global_mean_pool(x, batch.batch, batch.num_graphs)
+        use_segments = (
+            x.data.dtype == np.float32 and _scatter.reduceat_scatter_enabled()
+        )
         return global_mean_pool(
             x,
             batch.batch,
             batch.num_graphs,
             node_counts=plan.graph_node_counts,
             flat_index=plan.pool_flat(x.shape[1]),
+            segments=plan.pool_segments() if use_segments else None,
         )
 
 

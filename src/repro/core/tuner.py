@@ -22,11 +22,19 @@ once to collect its PAPI counters (the paper's "dynamic" variant).
 
 Inference uses the split encoder/head engine: the pooled graph embedding of
 each region (independent of the power cap and other auxiliary features) is
-computed once and held in an LRU cache, so repeated queries on a region —
-and in particular :meth:`PnPTuner.predict_sweep`, which scores many power
-caps in one dense-head batch — skip the GNN entirely after the first call.
-The cache is invalidated whenever the model weights change (``fit`` /
-``load_state_dict``).
+computed once and held in an LRU cache keyed by (region id, content
+fingerprint, dtype), so repeated queries on a region — and in particular
+:meth:`PnPTuner.predict_sweep`, which scores many power caps in one
+dense-head batch — skip the GNN entirely after the first call.  The cache
+is invalidated whenever the model weights change (``fit`` /
+``load_state_dict``), and a region whose characteristics change under the
+same id misses the cache instead of serving a stale embedding.
+
+:meth:`PnPTuner.predict_sweep_many` extends the amortisation across
+*regions*: all cache-miss graphs of a multi-region sweep are collated into
+one batch, encoded by a single GNN pass, and every (region, cap) pair is
+scored through one dense-head product — the batched layer under
+:class:`repro.serve.SweepServer`'s process-sharded fleet serving.
 """
 
 from __future__ import annotations
@@ -98,6 +106,12 @@ class PnPTuner:
     #: Capacity of the per-tuner pooled-embedding LRU cache (regions×dtypes).
     EMBEDDING_CACHE_SIZE = 512
 
+    #: Memoised collated batches (and their EdgePlans) per fleet composition
+    #: served by :meth:`predict_sweep_many` — content-addressed by the
+    #: regions' (id, fingerprint) pairs, so repeated cold sweeps over the
+    #: same fleet skip collation and plan construction entirely.
+    SWEEP_BATCH_MEMO_SIZE = 32
+
     def __init__(
         self,
         system: str,
@@ -144,12 +158,19 @@ class PnPTuner:
         self._fitted = False
         # Pooled graph embeddings are independent of the auxiliary features,
         # so repeated queries (and power-cap sweeps) on the same region reuse
-        # one GNN encoding.  Keys are (region, dtype); invalidated whenever
+        # one GNN encoding.  Keys are (region id, content fingerprint,
+        # dtype) — the fingerprint catches a region whose characteristics
+        # change under the same id — and the cache is invalidated whenever
         # the weights change.
         self._embedding_cache: LRUCache = LRUCache(maxsize=self.EMBEDDING_CACHE_SIZE)
         # Weight casts of self.model at other precisions, built lazily for
         # dtype-overridden sweeps and invalidated with the embedding cache.
         self._cast_models: Dict[str, PnPModel] = {}
+        # Fleet-composition batch memo for predict_sweep_many.  Keyed by
+        # content (ids + fingerprints), so it survives weight changes — the
+        # graphs don't depend on the weights — and never serves stale
+        # structure.
+        self._sweep_batch_memo: LRUCache = LRUCache(maxsize=self.SWEEP_BATCH_MEMO_SIZE)
 
     # ------------------------------------------------------------------ fit
     def build_training_samples(
@@ -199,10 +220,20 @@ class PnPTuner:
             self._cast_models[resolved.name] = cast
         return cast
 
-    def _pooled_embedding(self, sample: GraphSample, model: Optional[PnPModel] = None) -> np.ndarray:
-        """The region's pooled graph embedding, via the (region, dtype) LRU cache."""
+    def _embedding_key(
+        self, region: RegionCharacteristics, model: PnPModel
+    ) -> Tuple[str, str, str]:
+        """LRU key of a region's pooled embedding: (id, fingerprint, dtype)."""
+        return (region.region_id, region.fingerprint(), model.dtype.name)
+
+    def _pooled_embedding(
+        self,
+        sample: GraphSample,
+        model: Optional[PnPModel] = None,
+        key: Optional[Tuple[str, str, str]] = None,
+    ) -> np.ndarray:
+        """The region's pooled graph embedding, via the fingerprinted LRU cache."""
         model = model if model is not None else self.model
-        key = (sample.region_id, model.dtype.name) if sample.region_id else None
         if key is not None:
             cached = self._embedding_cache.get(key)
             if cached is not None:
@@ -227,7 +258,9 @@ class PnPTuner:
             include_counters=self.include_counters,
             scenario=self.scenario,
         )
-        pooled = self._pooled_embedding(sample.sample)
+        pooled = self._pooled_embedding(
+            sample.sample, key=self._embedding_key(region, self.model)
+        )
         aux = sample.sample.aux_features
         aux = aux[None, :] if aux is not None else None
         label = int(self.model.predict_from_pooled(pooled, aux)[0])
@@ -265,14 +298,12 @@ class PnPTuner:
         if not caps:
             return []
         model = self._model_at(dtype)
+        key = self._embedding_key(region, model)
         # Warm path: a cached embedding means the region was fully prepared
-        # (graph built, registered, counters profiled) by an earlier query,
-        # so the sample construction can be skipped outright.
-        pooled = (
-            self._embedding_cache.get((region.region_id, model.dtype.name))
-            if region.region_id
-            else None
-        )
+        # (graph built, registered, counters profiled) by an earlier query
+        # with these exact characteristics, so the sample construction can
+        # be skipped outright.
+        pooled = self._embedding_cache.get(key)
         if pooled is None:
             sample = self.builder.inference_sample(
                 region,
@@ -280,7 +311,7 @@ class PnPTuner:
                 include_counters=self.include_counters,
                 scenario=self.scenario,
             )
-            pooled = self._pooled_embedding(sample.sample, model)
+            pooled = self._pooled_embedding(sample.sample, model, key=key)
         aux = self.builder.aux_feature_matrix(
             region.region_id, caps, include_counters=self.include_counters
         )
@@ -290,6 +321,118 @@ class PnPTuner:
             self._result_from_label(region.region_id, int(label), cap)
             for cap, label in zip(caps, labels)
         ]
+
+    def predict_sweep_many(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        dtype: Optional[str] = None,
+    ) -> List[List[TuningResult]]:
+        """Sweep many regions at many power caps with one batched encoding.
+
+        The fleet-serving entry point: all cache-miss region graphs are
+        collated into a *single* batch and encoded by one GNN forward pass
+        (one :class:`~repro.nn.data.EdgePlan`, one set of matrix products for
+        R graphs instead of R), the pooled rows are split back into the
+        per-(region, dtype) LRU cache, and every (region, cap) pair is scored
+        through a single dense-head batch.  Results are returned per region,
+        in input order — element ``i`` equals ``predict_sweep(regions[i],
+        power_caps, dtype=dtype)``, and on this suite's graphs the batched
+        encoding is bit-identical to the per-region path (row-independent
+        kernels; see ``tests/core/test_sweep_many.py``).
+
+        Duplicate regions (same id and content fingerprint) are encoded
+        once.  ``dtype`` overrides the serving precision exactly as in
+        :meth:`predict_sweep`.
+        """
+        self._require_fitted()
+        if self.objective != "time":
+            raise ValueError(
+                "predict_sweep_many sweeps the power-cap auxiliary input and "
+                "needs objective='time'; the EDP objective picks the cap "
+                "itself — use predict()"
+            )
+        regions = list(regions)
+        caps = [float(cap) for cap in power_caps]
+        if not regions:
+            return []
+        if not caps:
+            return [[] for _ in regions]
+        model = self._model_at(dtype)
+        keys = [self._embedding_key(region, model) for region in regions]
+
+        # Collect the cache-miss regions (first occurrence of each key only).
+        miss_keys: List[Tuple[str, str, str]] = []
+        miss_regions: List[RegionCharacteristics] = []
+        pooled_by_key: Dict[Tuple[str, str, str], np.ndarray] = {}
+        for region, key in zip(regions, keys):
+            if key in pooled_by_key:
+                continue
+            cached = self._embedding_cache.get(key)
+            if cached is not None:
+                pooled_by_key[key] = cached
+                continue
+            miss_keys.append(key)
+            miss_regions.append(region)
+            pooled_by_key[key] = np.empty(0)  # placeholder, filled below
+
+        if miss_keys:
+            # The collated miss batch (and its EdgePlan) is memoised per
+            # fleet composition — content-addressed, weight-independent.
+            structure_key = tuple((key[0], key[1]) for key in miss_keys)
+            batch = self._sweep_batch_memo.get(structure_key)
+            if batch is None:
+                miss_samples: List[GraphSample] = [
+                    self.builder.inference_sample(
+                        region,
+                        power_cap=caps[0],
+                        include_counters=self.include_counters,
+                        scenario=self.scenario,
+                    ).sample
+                    for region in miss_regions
+                ]
+                batch = collate_graphs(miss_samples)
+                self._sweep_batch_memo.put(structure_key, batch)
+            pooled = model.encode_pooled(batch)
+            for row_index, key in enumerate(miss_keys):
+                # Copy so a cached row doesn't pin the whole batch array.
+                row = pooled[row_index : row_index + 1].copy()
+                pooled_by_key[key] = row
+                self._embedding_cache.put(key, row)
+
+        # One dense-head batch over all R x C (region, cap) pairs.
+        rows = np.concatenate(
+            [np.repeat(pooled_by_key[key], len(caps), axis=0) for key in keys]
+        )
+        if not self.include_counters:
+            # Static features: the aux rows carry only the normalised caps
+            # and are identical for every region — build once, tile R times.
+            aux = np.tile(
+                self.builder.aux_feature_matrix(regions[0].region_id, caps),
+                (len(regions), 1),
+            )
+        else:
+            aux = np.concatenate(
+                [
+                    self.builder.aux_feature_matrix(
+                        region.region_id, caps, include_counters=True
+                    )
+                    for region in regions
+                ]
+            )
+        labels = model.predict_from_pooled(rows, aux)
+        results: List[List[TuningResult]] = []
+        for region_index, region in enumerate(regions):
+            offset = region_index * len(caps)
+            results.append(
+                [
+                    self._result_from_label(
+                        region.region_id, int(labels[offset + cap_index]), cap
+                    )
+                    for cap_index, cap in enumerate(caps)
+                ]
+            )
+        return results
 
     def predict_samples(self, samples: Sequence[LabeledSample]) -> List[TuningResult]:
         """Batch prediction for pre-built samples (used by the experiments)."""

@@ -1,18 +1,36 @@
-"""Shared plumbing for the experiment runners."""
+"""Shared plumbing for the experiment runners.
+
+Heavy loops can be sharded across worker processes via :mod:`repro.serve`:
+cross-validation folds (``pnp_cross_validated_selections(num_workers=...)``)
+and per-figure region sweep loops (:func:`sharded_performance_selections`).
+Both paths are deterministic and produce results identical to their serial
+counterparts — sharding is purely a wall-clock decision.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.benchsuite.registry import regions_by_application
 from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
 from repro.core.measurements import MeasurementDatabase, get_measurement_database
-from repro.core.model import PnPModel
-from repro.core.training import run_cross_validation
-from repro.core.tuner import labels_to_edp_selections, labels_to_performance_selections
+from repro.core.model import ModelConfig, PnPModel
+from repro.core.training import (
+    TrainingConfig,
+    predict_labels,
+    run_cross_validation,
+    train_model,
+)
+from repro.core.tuner import (
+    PnPTuner,
+    labels_to_edp_selections,
+    labels_to_performance_selections,
+)
 from repro.experiments.profiles import ExperimentProfile
 from repro.openmp.config import OpenMPConfig
 from repro.openmp.region import RegionCharacteristics
+from repro.serve import SweepServer, parallel_map
 from repro.tuners.base import BaselineTuner
 from repro.utils.logging import get_logger
 
@@ -21,6 +39,7 @@ __all__ = [
     "experiment_database",
     "experiment_builder",
     "pnp_cross_validated_selections",
+    "sharded_performance_selections",
     "default_performance_selections",
     "default_edp_selections",
     "baseline_performance_selections",
@@ -54,6 +73,30 @@ def experiment_builder(system: str, profile: ExperimentProfile) -> DatasetBuilde
 
 
 # ------------------------------------------------------------------ PnP CV
+@dataclass(frozen=True)
+class _FoldRunner:
+    """Picklable per-fold trainer for process-sharded cross-validation.
+
+    Folds are independent (fresh model per fold, deterministic seeds), so
+    training them in worker processes yields predictions identical to the
+    serial :func:`repro.core.training.run_cross_validation` loop.
+    """
+
+    model_config: ModelConfig
+    training_config: TrainingConfig
+
+    def __call__(self, fold) -> List[Tuple[Tuple[str, Optional[float]], int]]:
+        fold_name, train, validation = fold
+        model = PnPModel(self.model_config)
+        train_model(model, train, self.training_config)
+        predictions = predict_labels(model, validation)
+        _LOG.info("fold %s: %d validation samples", fold_name, len(validation))
+        return [
+            ((labeled.region_id, labeled.power_cap), int(predicted))
+            for labeled, predicted in zip(validation, predictions)
+        ]
+
+
 def pnp_cross_validated_selections(
     builder: DatasetBuilder,
     samples: Sequence[LabeledSample],
@@ -62,12 +105,18 @@ def pnp_cross_validated_selections(
     include_counters: bool,
     optimizer: str,
     train_hook=None,
+    num_workers: int = 1,
 ):
     """Cross-validate the PnP model and convert predictions to selections.
 
     Returns the selections in the format the evaluation functions expect:
     ``{(region_id, cap): config}`` for the performance scenario and
     ``{region_id: (cap, config)}`` for the EDP scenario.
+
+    ``num_workers > 1`` trains the cross-validation folds in worker
+    processes (identical predictions, shorter wall clock).  Experiments
+    passing a ``train_hook`` (whose returned parameter subsets must alias
+    the live model) fall back to the serial path.
     """
     space = builder.search_space
     num_classes = (
@@ -77,17 +126,59 @@ def pnp_cross_validated_selections(
     )
     aux_dim = builder.aux_feature_dim(scenario, include_counters)
     model_config = profile.model_config(len(builder.vocabulary), num_classes, aux_dim)
+    training_config = profile.training_config(optimizer=optimizer)
 
-    predictions = run_cross_validation(
-        samples,
-        model_factory=lambda: PnPModel(model_config),
-        training_config=profile.training_config(optimizer=optimizer),
-        splitter=profile.splitter(),
-        train_hook=train_hook,
-    )
+    if num_workers > 1 and train_hook is None:
+        runner = _FoldRunner(model_config, training_config)
+        folds = list(profile.splitter().split(samples))
+        predictions = {}
+        for fold_predictions in parallel_map(runner, folds, num_workers):
+            predictions.update(fold_predictions)
+    else:
+        if num_workers > 1:
+            _LOG.info("train_hook given: cross-validating serially")
+        predictions = run_cross_validation(
+            samples,
+            model_factory=lambda: PnPModel(model_config),
+            training_config=training_config,
+            splitter=profile.splitter(),
+            train_hook=train_hook,
+        )
     if scenario == TuningScenario.PERFORMANCE:
         return labels_to_performance_selections(predictions, space)
     return labels_to_edp_selections(predictions, space)
+
+
+# --------------------------------------------------------- sharded serving
+def sharded_performance_selections(
+    tuner: PnPTuner,
+    regions: Sequence[RegionCharacteristics],
+    power_caps: Sequence[float],
+    num_workers: int = 2,
+    server: Optional[SweepServer] = None,
+) -> Dict[Tuple[str, float], OpenMPConfig]:
+    """Per-figure region × cap loop served by a sharded worker pool.
+
+    The fitted tuner's weights are serialized once; regions are sharded
+    across ``num_workers`` processes and each shard is batch-encoded by
+    :meth:`~repro.core.tuner.PnPTuner.predict_sweep_many`.  The returned
+    ``{(region_id, cap): config}`` selections are identical to looping
+    ``tuner.predict_sweep`` serially.  Pass an existing ``server`` to reuse
+    a warm pool across several calls (it is then left open).
+    """
+    owned = server is None
+    if server is None:
+        server = SweepServer.from_tuner(tuner, num_workers=num_workers)
+    try:
+        swept = server.sweep(regions, power_caps)
+    finally:
+        if owned:
+            server.close()
+    selections: Dict[Tuple[str, float], OpenMPConfig] = {}
+    for region, results in zip(regions, swept):
+        for result in results:
+            selections[(region.region_id, float(result.power_cap))] = result.config
+    return selections
 
 
 # -------------------------------------------------------------- baselines

@@ -13,7 +13,7 @@ every experiment runner accepts a profile:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.core.model import ModelConfig
 from repro.core.training import GroupedApplicationKFold, LeaveOneApplicationOut, TrainingConfig
@@ -45,6 +45,14 @@ class ExperimentProfile:
         Execution budgets granted to the baseline tuners.
     include_dynamic_variant:
         Whether to also train/evaluate the static+counters ("dynamic") model.
+    shuffle:
+        Training shuffle mode: ``True`` reshuffles samples every epoch (the
+        paper's SGD mixing), ``"batches"`` permutes fixed batch compositions
+        so memoised EdgePlans are reused across every epoch (see
+        :class:`repro.nn.data.GraphDataLoader`).  The accuracy study backing
+        the knob (``make shuffle-study``, 68-region suite) measured the
+        batches-vs-samples accuracy delta as negligible; the README records
+        the numbers.
     seed:
         Master seed for the whole experiment.
     """
@@ -66,6 +74,7 @@ class ExperimentProfile:
     opentuner_budget: int = 30
     include_dynamic_variant: bool = True
     include_baselines: bool = True
+    shuffle: Union[bool, str] = True
     seed: int = 0
 
     # ------------------------------------------------------------- factories
@@ -81,6 +90,7 @@ class ExperimentProfile:
             batch_size=self.batch_size,
             learning_rate=self.learning_rate,
             optimizer=optimizer,
+            shuffle=self.shuffle,
             seed=self.seed,
         )
 

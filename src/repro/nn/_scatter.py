@@ -13,15 +13,29 @@ without keeping a second copy of the code.
 
 Precision: the kernels accept ``float32`` as well as ``float64`` input and
 always return the input dtype.  ``np.bincount`` accumulates in double
-precision internally, so the ``float32`` path is summed in ``float64`` and
-cast back once — at least as accurate as native single-precision
-accumulation, and it never leaks ``float64`` arrays into a ``float32``
-forward/backward step (see :mod:`repro.nn.precision`).
+precision internally, so the default ``float32`` path is summed in
+``float64`` and cast back once — at least as accurate as native
+single-precision accumulation, and it never leaks ``float64`` arrays into a
+``float32`` forward/backward step (see :mod:`repro.nn.precision`).
+
+For bandwidth-bound ``float32`` scatters there is a second, pure
+single-precision schedule: a :class:`SegmentSchedule` (stable sort of the
+destination indices + segment boundaries) lets ``np.add.reduceat``
+accumulate each bucket natively in ``float32`` — no ``float64`` round trip,
+half the accumulator traffic.  The schedule is precomputed once per index
+array (an :class:`~repro.nn.data.EdgePlan` memoises one per relation) and
+the path is toggled with :func:`set_reduceat_scatter` /
+:func:`reduceat_scatter`; ``float64`` data always keeps the bit-identical
+bincount path regardless of the toggle.  On this NumPy build the reduceat
+schedule does **not** beat the bincount round trip (see the module switch
+below), so it ships disabled by default and ``bench_engine`` keeps
+measuring both.
 """
 
 from __future__ import annotations
 
 import contextlib
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 import numpy as np
@@ -30,11 +44,26 @@ __all__ = [
     "scatter_rows_sum",
     "count_index",
     "flat_scatter_index",
+    "SegmentSchedule",
+    "build_segment_schedule",
     "reference_kernels",
     "fast_kernels_enabled",
+    "reduceat_scatter",
+    "set_reduceat_scatter",
+    "reduceat_scatter_enabled",
 ]
 
 _USE_FAST = True
+
+#: Use the sorted-segment ``np.add.reduceat`` schedule for float32 scatters
+#: when the caller supplies a :class:`SegmentSchedule`.  Default **off**:
+#: profiled on this NumPy/OpenBLAS build (``bench_engine``'s ``scatter_mp``
+#: reduceat axis), the pure single-precision accumulation only ties the
+#: bincount float64 round trip at 32 channels and loses at 64 — bincount's
+#: fused one-pass double accumulation is cheaper than reduceat's strided
+#: per-segment loop plus the stable-sort permutation gather.  The schedule
+#: is kept behind this switch for genuinely bandwidth-starved builds.
+_USE_REDUCEAT = False
 
 _FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
@@ -55,6 +84,61 @@ def fast_kernels_enabled() -> bool:
     return _USE_FAST
 
 
+@contextlib.contextmanager
+def reduceat_scatter(enabled: bool = True) -> Iterator[None]:
+    """Scope the float32 sorted-segment reduceat scatter path on or off."""
+    global _USE_REDUCEAT
+    previous = _USE_REDUCEAT
+    _USE_REDUCEAT = enabled
+    try:
+        yield
+    finally:
+        _USE_REDUCEAT = previous
+
+
+def set_reduceat_scatter(enabled: bool) -> bool:
+    """Process-wide toggle for the reduceat path; returns the previous value."""
+    global _USE_REDUCEAT
+    previous = _USE_REDUCEAT
+    _USE_REDUCEAT = enabled
+    return previous
+
+
+def reduceat_scatter_enabled() -> bool:
+    return _USE_REDUCEAT
+
+
+@dataclass(frozen=True)
+class SegmentSchedule:
+    """Sorted-segment schedule for a pure single-precision scatter.
+
+    ``perm`` is the *stable* argsort of the scatter index array, ``starts``
+    the first permuted position of each occupied bucket and ``buckets`` the
+    bucket id of each segment.  ``np.add.reduceat(data[perm], starts)`` then
+    sums every bucket natively in the data dtype; stability means rows of a
+    bucket are accumulated in their original index order (the same order as
+    ``np.add.at``).
+    """
+
+    perm: np.ndarray
+    starts: np.ndarray
+    buckets: np.ndarray
+
+
+def build_segment_schedule(index: np.ndarray) -> SegmentSchedule:
+    """Precompute the :class:`SegmentSchedule` of a scatter index array."""
+    index = np.asarray(index, dtype=np.int64)
+    perm = np.argsort(index, kind="stable")
+    sorted_index = index[perm]
+    if sorted_index.size:
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_index)) + 1))
+        buckets = sorted_index[starts]
+    else:
+        starts = np.zeros(0, dtype=np.int64)
+        buckets = np.zeros(0, dtype=np.int64)
+    return SegmentSchedule(perm=perm, starts=starts, buckets=buckets)
+
+
 def flat_scatter_index(index: np.ndarray, channels: int) -> np.ndarray:
     """Flattened (bucket, channel) bins for :func:`scatter_rows_sum`.
 
@@ -70,6 +154,7 @@ def scatter_rows_sum(
     index: np.ndarray,
     dim_size: int,
     flat: Optional[np.ndarray] = None,
+    segments: Optional[SegmentSchedule] = None,
 ) -> np.ndarray:
     """``out[j] = sum_{i : index[i] == j} data[i]`` for 2-D float ``data``.
 
@@ -79,6 +164,13 @@ def scatter_rows_sum(
     and channels in order within a row, so duplicates of any bin accumulate
     in exactly ``np.add.at``'s order — the ``float64`` results are
     bit-identical.  The output always carries ``data``'s dtype.
+
+    ``float32`` data with a precomputed ``segments`` schedule additionally
+    selects the pure single-precision ``np.add.reduceat`` path (when enabled
+    — see :func:`reduceat_scatter`): no float64 accumulator round trip, at
+    the cost of ``float32``-native rounding per partial sum.  ``float64``
+    data ignores ``segments`` so the default precision stays bit-identical
+    to the seed kernels.
     """
     if not _USE_FAST or data.ndim != 2 or data.dtype not in _FLOAT_DTYPES:
         out_dtype = data.dtype if data.dtype in _FLOAT_DTYPES else np.float64
@@ -88,6 +180,17 @@ def scatter_rows_sum(
     channels = data.shape[1]
     if channels == 0 or index.size == 0:
         return np.zeros((dim_size, channels), dtype=data.dtype)
+    if (
+        _USE_REDUCEAT
+        and segments is not None
+        and data.dtype == np.float32
+        and segments.starts.size
+    ):
+        out = np.zeros((dim_size, channels), dtype=np.float32)
+        out[segments.buckets] = np.add.reduceat(
+            data[segments.perm], segments.starts, axis=0
+        )
+        return out
     if flat is None:
         flat = flat_scatter_index(index, channels)
     summed = np.bincount(flat, weights=data.ravel(), minlength=dim_size * channels)

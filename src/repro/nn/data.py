@@ -34,7 +34,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.nn import precision
-from repro.nn._scatter import count_index, flat_scatter_index
+from repro.nn._scatter import (
+    SegmentSchedule,
+    build_segment_schedule,
+    count_index,
+    flat_scatter_index,
+)
 from repro.utils.caching import LRUCache
 
 __all__ = [
@@ -152,6 +157,9 @@ class EdgePlan:
     _flat_cache: Dict[Tuple[str, int, int], np.ndarray] = field(
         default_factory=dict, repr=False
     )
+    _segment_cache: Dict[Tuple[str, int], SegmentSchedule] = field(
+        default_factory=dict, repr=False
+    )
 
     def scatter_flat(self, relation: int, channels: int) -> np.ndarray:
         """Memoised flat (node, channel) bins for the relation's dst scatter."""
@@ -180,12 +188,33 @@ class EdgePlan:
             self._flat_cache[key] = flat
         return flat
 
+    def scatter_segments(self, relation: int) -> SegmentSchedule:
+        """Memoised sorted-segment schedule of the relation's dst scatter."""
+        return self._segments("dst", relation, lambda: self.relation_dst[relation])
+
+    def gather_segments(self, relation: int) -> SegmentSchedule:
+        """Memoised schedule of the relation's src gather backward-scatter."""
+        return self._segments("src", relation, lambda: self.relation_src[relation])
+
+    def pool_segments(self) -> SegmentSchedule:
+        """Memoised schedule of the per-graph pooling scatter."""
+        return self._segments("pool", 0, lambda: self.batch_vector)
+
+    def _segments(self, kind: str, relation: int, index_fn) -> SegmentSchedule:
+        key = (kind, relation)
+        schedule = self._segment_cache.get(key)
+        if schedule is None:
+            schedule = build_segment_schedule(index_fn())
+            self._segment_cache[key] = schedule
+        return schedule
+
     def with_dtype(self, dtype: np.dtype) -> "EdgePlan":
         """A twin plan at ``dtype`` sharing every dtype-independent part.
 
         The integer schedules (relation src/dst, batch vector) and the flat
-        scatter-bin cache — the plan's largest components — are shared by
-        reference; only the normalisation columns and node counts are cast.
+        scatter-bin / sorted-segment caches — the plan's largest components —
+        are shared by reference; only the normalisation columns and node
+        counts are cast.
         Only the narrowing float64→float32 direction is allowed: rounding a
         float64 reciprocal to float32 is exactly the directly computed
         float32 reciprocal (binary64 carries enough bits that the double
@@ -210,6 +239,7 @@ class EdgePlan:
             batch_vector=self.batch_vector,
             dtype=dtype,
             _flat_cache=self._flat_cache,
+            _segment_cache=self._segment_cache,
         )
 
 

@@ -45,16 +45,19 @@ def global_mean_pool(
     num_graphs: int,
     node_counts: Optional[np.ndarray] = None,
     flat_index: Optional[np.ndarray] = None,
+    segments=None,
 ) -> Tensor:
     """Average node features per graph → ``(num_graphs, channels)``.
 
     ``node_counts`` may carry the per-graph node counts precomputed by an
     :class:`~repro.nn.data.EdgePlan` (``plan.graph_node_counts``); when
     omitted they are recounted from ``batch``.  ``flat_index`` optionally
-    passes the plan's memoised flat scatter bins (``plan.pool_flat``).
+    passes the plan's memoised flat scatter bins (``plan.pool_flat``) and
+    ``segments`` its sorted-segment schedule (``plan.pool_segments``) for
+    the pure-float32 reduceat scatter.
     """
     batch = _check_batch(x, batch, num_graphs)
-    sums = x.scatter_sum(batch, num_graphs, flat_index=flat_index)
+    sums = x.scatter_sum(batch, num_graphs, flat_index=flat_index, segments=segments)
     counts = node_counts if node_counts is not None else count_index(batch, num_graphs)
     counts = np.maximum(counts, 1.0)
     # Reciprocal counts join at the feature dtype (counts themselves are

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.nn import init
+from repro.nn import _scatter
 from repro.nn._scatter import count_index
 from repro.nn.data import EdgePlan
 from repro.nn.layers import Module
@@ -153,12 +154,20 @@ class RGCNConv(Module):
     def _forward_planned(self, x: Tensor, plan: EdgePlan) -> Tensor:
         """Plan-driven execution: same operations, precomputed schedules."""
         in_channels = x.shape[1]
+        # float32 features can take the pure single-precision sorted-segment
+        # reduceat scatters (when enabled); float64 always keeps the
+        # bit-identical flat-bincount path.
+        use_segments = x.data.dtype == np.float32 and _scatter.reduceat_scatter_enabled()
         parts = [x @ self.root]
         for relation in range(self.num_relations):
             src = plan.relation_src[relation]
             if src.size == 0:
                 continue
-            gathered = x.gather_rows(src, backward_flat=plan.gather_flat(relation, in_channels))
+            gathered = x.gather_rows(
+                src,
+                backward_flat=plan.gather_flat(relation, in_channels),
+                backward_segments=plan.gather_segments(relation) if use_segments else None,
+            )
             messages = gathered @ self.weight[relation]
             norm = plan.relation_norm[relation]
             messages = messages * Tensor(norm, dtype=norm.dtype)
@@ -167,6 +176,7 @@ class RGCNConv(Module):
                     plan.relation_dst[relation],
                     plan.num_nodes,
                     flat_index=plan.scatter_flat(relation, self.out_channels),
+                    segments=plan.scatter_segments(relation) if use_segments else None,
                 )
             )
         # Left-associative fused sum — bit-identical to the naive chained

@@ -9,7 +9,9 @@ dynamic behaviour (what determines the best configuration).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -172,6 +174,24 @@ class RegionCharacteristics:
         return float(min(1.0, max(capacity_misses, streaming, 0.02)))
 
     # -------------------------------------------------------------- utility
+    def fingerprint(self) -> str:
+        """Cheap, process-stable content hash of the region's characteristics.
+
+        Two regions with the same id but different characteristics produce
+        different fingerprints, which keys caches (e.g. the tuner's pooled-
+        embedding LRU) on *content* instead of just the id.  The hash avoids
+        Python's salted ``hash()`` so parent and worker processes — and
+        serving replicas on other machines — agree on the value.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = repr(dataclasses.astuple(self)).encode("utf-8")
+            cached = hashlib.blake2s(payload, digest_size=8).hexdigest()
+            # Frozen dataclass: memoise via object.__setattr__ (the field is
+            # derived, so the value-semantics of eq/hash are unaffected).
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def with_iterations(self, iterations: int) -> "RegionCharacteristics":
         """Copy of this region with a different trip count (input scaling)."""
         return replace(self, iterations=iterations)

@@ -1,0 +1,28 @@
+"""Fleet-scale serving for the PnP tuner.
+
+The serving stack has two layers:
+
+* **batch within a shard** — :meth:`repro.core.tuner.PnPTuner.predict_sweep_many`
+  collates every cache-miss region graph of a multi-region sweep into one
+  batch and encodes it with a single GNN pass;
+* **shard across processes** — :class:`SweepServer` partitions regions over a
+  pool of worker processes with a deterministic content-hash assignment; each
+  worker holds a read-only copy of the fitted weights (serialized once via
+  the ``.npz`` round-trip) and its own pooled-embedding LRU cache.
+
+Both layers are byte-identical to the serial per-region
+``PnPTuner.predict_sweep`` path (asserted by ``tests/serve``), so sharded
+serving is purely a throughput decision.
+
+:func:`parallel_map` is the small deterministic process-pool primitive the
+experiment runners reuse to shard cross-validation folds and per-figure
+region loops.
+"""
+
+from repro.serve.server import (
+    SweepServer,
+    parallel_map,
+    shard_assignments,
+)
+
+__all__ = ["SweepServer", "parallel_map", "shard_assignments"]

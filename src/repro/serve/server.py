@@ -1,0 +1,353 @@
+"""Process-sharded sweep serving: the :class:`SweepServer` worker pool.
+
+Serving answers power-cap sweeps for fleets of regions.  One region's sweep
+is a single cached encoder pass plus a dense-head batch, and regions are
+independent — embarrassingly parallel.  The server therefore:
+
+* assigns each region to a shard with a **deterministic content hash** of
+  its region id (:func:`shard_assignments`) — the same region always lands
+  on the same shard, so per-worker embedding caches stay hot and a re-run
+  reproduces the exact same batch compositions;
+* runs one **worker process per shard**.  A worker reconstructs the tuner
+  from a picklable spec (system, objective, model configuration, the
+  benchmark-suite regions) and loads the fitted weights from an ``.npz``
+  archive written **once** by the parent (the existing serialization
+  round-trip) — workers never share mutable state;
+* serves each shard's regions through
+  :meth:`~repro.core.tuner.PnPTuner.predict_sweep_many`, i.e. batched
+  encoding within the shard, sharding across processes.
+
+Results are reassembled in input order and are byte-identical to serial
+per-region ``predict_sweep`` calls on the parent tuner (every kernel is
+row-independent and per-region quantities are computed identically in any
+shard composition; ``tests/serve/test_sweep_server.py`` asserts equality at
+both precisions).
+
+:func:`parallel_map` exposes the same deterministic pool machinery as a
+generic primitive; the experiment runners use it to shard cross-validation
+folds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import tempfile
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.model import ModelConfig
+from repro.core.tuner import PnPTuner, TuningResult
+from repro.nn import serialization
+from repro.openmp.region import RegionCharacteristics
+
+__all__ = ["SweepServer", "shard_assignments", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (cheap, Linux CI), ``spawn`` otherwise."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def shard_assignments(region_ids: Sequence[str], num_shards: int) -> List[int]:
+    """Deterministic region → shard assignment.
+
+    Uses a content hash of the region id (not Python's salted ``hash()``),
+    so the assignment is stable across processes, machines and reruns —
+    required for reproducible batch compositions and warm per-worker caches.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    return [
+        int.from_bytes(
+            hashlib.blake2s(region_id.encode("utf-8"), digest_size=4).digest(), "big"
+        )
+        % num_shards
+        for region_id in region_ids
+    ]
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker needs to rebuild a read-only serving tuner."""
+
+    system: str
+    objective: str
+    include_counters: bool
+    seed: int
+    machine_seed: int
+    noise_fraction: float
+    model_config: ModelConfig
+    weights_path: str
+    regions_by_app: Dict[str, List[RegionCharacteristics]]
+
+
+def _build_worker_tuner(spec: _WorkerSpec) -> PnPTuner:
+    """Reconstruct the serving tuner inside a worker process."""
+    from repro.core.dataset import DatasetBuilder
+    from repro.core.measurements import MeasurementDatabase
+    from repro.core.search_space import SearchSpace
+    from repro.hw.machine import Machine
+
+    regions = [r for rs in spec.regions_by_app.values() for r in rs]
+    machine = Machine.named(
+        spec.system, seed=spec.machine_seed, noise_fraction=spec.noise_fraction
+    )
+    database = MeasurementDatabase(machine, SearchSpace(spec.system), regions)
+    tuner = PnPTuner(
+        system=spec.system,
+        objective=spec.objective,
+        include_counters=spec.include_counters,
+        model_config=spec.model_config,
+        database=database,
+        seed=spec.seed,
+    )
+    tuner.builder = DatasetBuilder(
+        database, regions_by_app=spec.regions_by_app, seed=spec.seed
+    )
+    tuner.load_state_dict(serialization.load_state_dict(spec.weights_path))
+    return tuner
+
+
+def _worker_main(connection, spec: _WorkerSpec) -> None:
+    """Worker loop: build the tuner once, then serve sweep requests."""
+    try:
+        tuner = _build_worker_tuner(spec)
+        connection.send(("ready", None))
+    except Exception:  # noqa: BLE001 - report startup failures to the parent
+        connection.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            return
+        command = message[0]
+        try:
+            if command == "stop":
+                return
+            if command == "sweep":
+                _, regions, caps, dtype = message
+                results = tuner.predict_sweep_many(regions, caps, dtype=dtype)
+                connection.send(("ok", results))
+            elif command == "clear":
+                tuner._embedding_cache.clear()
+                tuner._sweep_batch_memo.clear()
+                connection.send(("ok", None))
+            elif command == "stats":
+                cache = tuner._embedding_cache
+                connection.send(
+                    ("ok", {"size": len(cache), "hits": cache.hits, "misses": cache.misses})
+                )
+            else:
+                connection.send(("error", f"unknown command {command!r}"))
+        except Exception:  # noqa: BLE001 - keep serving after a bad request
+            connection.send(("error", traceback.format_exc()))
+
+
+class SweepServer:
+    """A pool of sweep-serving worker processes with deterministic sharding.
+
+    Build one with :meth:`from_tuner`; the server owns the worker processes
+    and the one-time ``.npz`` weight serialization, and is reusable across
+    many :meth:`sweep` calls (per-worker embedding caches persist between
+    calls).  Close it explicitly or use it as a context manager::
+
+        with SweepServer.from_tuner(tuner, num_workers=4) as server:
+            results = server.sweep(regions, power_caps)
+
+    ``results[i]`` is byte-identical to
+    ``tuner.predict_sweep(regions[i], power_caps)``.
+    """
+
+    def __init__(
+        self,
+        spec: _WorkerSpec,
+        num_workers: int = 2,
+        start_method: Optional[str] = None,
+        _owns_weights: bool = False,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._spec = spec
+        self._owns_weights = _owns_weights
+        self._closed = False
+        context = multiprocessing.get_context(start_method or _default_start_method())
+        self._connections = []
+        self._processes = []
+        for _ in range(num_workers):
+            parent_end, worker_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main, args=(worker_end, spec), daemon=True
+            )
+            process.start()
+            worker_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+        for connection in self._connections:
+            status, payload = connection.recv()
+            if status != "ready":
+                self.close()
+                raise RuntimeError(f"sweep worker failed to start:\n{payload}")
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def from_tuner(
+        cls,
+        tuner: PnPTuner,
+        num_workers: int = 2,
+        start_method: Optional[str] = None,
+        weights_path: Optional[str] = None,
+    ) -> "SweepServer":
+        """Serve a fitted tuner: weights are serialized once for the pool.
+
+        ``weights_path`` overrides where the ``.npz`` archive is written
+        (default: a temporary file removed on :meth:`close`).
+        """
+        tuner._require_fitted()
+        owns = weights_path is None
+        if weights_path is None:
+            handle = tempfile.NamedTemporaryFile(
+                prefix="pnp_sweep_server_", suffix=".npz", delete=False
+            )
+            handle.close()
+            weights_path = handle.name
+        serialization.save_state_dict(tuner.state_dict(), weights_path)
+        spec = _WorkerSpec(
+            system=tuner.system,
+            objective=tuner.objective,
+            include_counters=tuner.include_counters,
+            seed=tuner.seed,
+            machine_seed=tuner.database.machine.seed,
+            noise_fraction=tuner.database.machine.noise_fraction,
+            model_config=tuner.model_config,
+            weights_path=weights_path,
+            regions_by_app=tuner.builder.regions_by_app,
+        )
+        return cls(
+            spec,
+            num_workers=num_workers,
+            start_method=start_method,
+            _owns_weights=owns,
+        )
+
+    # ------------------------------------------------------------- serving
+    def sweep(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        dtype: Optional[str] = None,
+    ) -> List[List[TuningResult]]:
+        """Sweep every region, sharded across the pool; input order preserved."""
+        self._require_open()
+        regions = list(regions)
+        if not regions:
+            return []
+        shards = shard_assignments([r.region_id for r in regions], self.num_workers)
+        positions: Dict[int, List[int]] = {}
+        for position, shard in enumerate(shards):
+            positions.setdefault(shard, []).append(position)
+        # Dispatch every shard before collecting any result so the workers
+        # run concurrently.
+        for shard, members in positions.items():
+            shard_regions = [regions[i] for i in members]
+            self._connections[shard].send(
+                ("sweep", shard_regions, list(power_caps), dtype)
+            )
+        results: List[Optional[List[TuningResult]]] = [None] * len(regions)
+        for shard, members in positions.items():
+            payload = self._receive(shard)
+            for position, swept in zip(members, payload):
+                results[position] = swept
+        return results  # type: ignore[return-value]
+
+    def clear_caches(self) -> None:
+        """Reset every worker to the cold path (cold-path benches).
+
+        Clears both the pooled-embedding caches and the fleet-composition
+        batch memos, so the next sweep re-collates, re-plans and re-encodes.
+        """
+        self._require_open()
+        for connection in self._connections:
+            connection.send(("clear",))
+        for shard in range(self.num_workers):
+            self._receive(shard)
+
+    def cache_stats(self) -> List[Dict[str, int]]:
+        """Per-worker embedding cache statistics (size / hits / misses)."""
+        self._require_open()
+        for connection in self._connections:
+            connection.send(("stats",))
+        return [self._receive(shard) for shard in range(self.num_workers)]
+
+    def _receive(self, shard: int):
+        status, payload = self._connections[shard].recv()
+        if status != "ok":
+            raise RuntimeError(f"sweep worker {shard} failed:\n{payload}")
+        return payload
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SweepServer is closed")
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Stop the workers and remove the owned weight archive."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+        for connection in self._connections:
+            connection.close()
+        if self._owns_weights and os.path.exists(self._spec.weights_path):
+            os.unlink(self._spec.weights_path)
+
+    def __enter__(self) -> "SweepServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+# ---------------------------------------------------------------- generic map
+def parallel_map(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    num_workers: int,
+    start_method: Optional[str] = None,
+) -> List[R]:
+    """``[function(item) for item in items]`` over a worker-process pool.
+
+    Results come back in input order, so any deterministic ``function``
+    yields output identical to the serial list comprehension.  ``function``
+    and the items must be picklable (a module-level callable or a dataclass
+    instance — the experiment runners pass fold-runner objects).  With
+    ``num_workers <= 1`` (or a single item) no processes are spawned.
+    """
+    items = list(items)
+    if num_workers <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    context = multiprocessing.get_context(start_method or _default_start_method())
+    with context.Pool(processes=min(num_workers, len(items))) as pool:
+        return pool.map(function, items, chunksize=1)

@@ -1,0 +1,128 @@
+"""LRU embedding-cache eviction and its interplay with cast models.
+
+The tuner holds two weight-derived caches: the pooled-embedding LRU (keyed
+by region id, content fingerprint and dtype) and the lazily built
+dtype-cast models (``_cast_models``).  They have different lifecycles —
+evicting an embedding must never invalidate a cast model (which would force
+a full weight re-cast on the next sweep), while a weight change
+(``fit``/``load_state_dict``) must clear both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ModelConfig
+from repro.core.training import TrainingConfig
+from repro.core.tuner import PnPTuner
+from repro.utils.caching import LRUCache
+
+CAPS = [45.0, 65.0]
+
+
+@pytest.fixture()
+def tuner(small_database, small_builder):
+    config = ModelConfig(
+        vocabulary_size=len(small_builder.vocabulary),
+        num_classes=small_database.search_space.num_omp_configurations,
+        aux_dim=1,
+        seed=0,
+    )
+    tuner = PnPTuner(
+        system="haswell",
+        objective="time",
+        model_config=config,
+        training_config=TrainingConfig(epochs=1, seed=0),
+        database=small_database,
+        seed=0,
+    )
+    tuner.builder = small_builder
+    tuner.fit(tuner.build_training_samples())
+    return tuner
+
+
+class TestEvictionCastModelInterplay:
+    def test_evicting_float64_embedding_keeps_float32_cast_model(
+        self, tuner, small_regions_by_app
+    ):
+        # Tiny cache so real queries drive evictions.
+        tuner._embedding_cache = LRUCache(maxsize=2)
+        regions = small_regions_by_app["gemm"] + small_regions_by_app["atax"]
+        first = regions[0]
+        tuner.predict_sweep(first, CAPS, dtype="float32")
+        cast = tuner._cast_models["float32"]
+        # Fill the cache with other (float64) regions until the float32
+        # embedding of `first` has been evicted.
+        for region in regions[:3]:
+            tuner.predict_sweep(region, CAPS)
+        assert (first.region_id, first.fingerprint(), "float32") not in tuner._embedding_cache
+        # The cast model must survive the eviction and be reused as-is.
+        assert tuner._cast_models["float32"] is cast
+        swept = tuner.predict_sweep(first, CAPS, dtype="float32")
+        assert tuner._cast_models["float32"] is cast
+        assert [r.power_cap for r in swept] == CAPS
+
+    def test_eviction_only_reencodes_it_does_not_recast(self, tuner, small_regions_by_app):
+        tuner._embedding_cache = LRUCache(maxsize=1)
+        region_a = small_regions_by_app["gemm"][0]
+        region_b = small_regions_by_app["atax"][0]
+        tuner.predict_sweep(region_a, CAPS, dtype="float32")
+        cast = tuner._cast_models["float32"]
+        state_before = {k: v.copy() for k, v in cast.state_dict().items()}
+        # Alternate regions through a 1-entry cache: every query evicts the
+        # other's embedding, but the cast weights never change.
+        for _ in range(2):
+            tuner.predict_sweep(region_b, CAPS, dtype="float32")
+            tuner.predict_sweep(region_a, CAPS, dtype="float32")
+        assert tuner._cast_models["float32"] is cast
+        for name, value in cast.state_dict().items():
+            assert (value == state_before[name]).all()
+
+    def test_evicted_embedding_is_recomputed_identically(self, tuner, small_regions_by_app):
+        tuner._embedding_cache = LRUCache(maxsize=1)
+        region_a = small_regions_by_app["gemm"][0]
+        region_b = small_regions_by_app["atax"][0]
+        key = (region_a.region_id, region_a.fingerprint(), "float64")
+        tuner.predict_sweep(region_a, CAPS)
+        first = tuner._embedding_cache.get(key).copy()
+        tuner.predict_sweep(region_b, CAPS)  # evicts region_a
+        assert key not in tuner._embedding_cache
+        tuner.predict_sweep(region_a, CAPS)
+        assert (tuner._embedding_cache.get(key) == first).all()
+
+    def test_load_state_dict_clears_embeddings_and_cast_models(
+        self, tuner, small_regions_by_app
+    ):
+        region = small_regions_by_app["gemm"][0]
+        tuner.predict_sweep(region, CAPS)
+        tuner.predict_sweep(region, CAPS, dtype="float32")
+        assert len(tuner._embedding_cache) == 2
+        assert "float32" in tuner._cast_models
+        stale_cast = tuner._cast_models["float32"]
+        tuner.load_state_dict(tuner.state_dict())
+        assert len(tuner._embedding_cache) == 0
+        assert tuner._cast_models == {}
+        # The next float32 sweep builds a fresh cast from the new weights.
+        tuner.predict_sweep(region, CAPS, dtype="float32")
+        assert tuner._cast_models["float32"] is not stale_cast
+
+    def test_fit_clears_embeddings_and_cast_models(self, tuner, small_regions_by_app):
+        region = small_regions_by_app["gemm"][0]
+        samples = tuner.build_training_samples()
+        tuner.predict_sweep(region, CAPS, dtype="float32")
+        assert len(tuner._embedding_cache) >= 1 and "float32" in tuner._cast_models
+        tuner.fit(samples)
+        assert len(tuner._embedding_cache) == 0
+        assert tuner._cast_models == {}
+
+    def test_sweep_batch_memo_survives_weight_changes(self, tuner, small_builder):
+        regions = small_builder.regions()[:4]
+        tuner.predict_sweep_many(regions, CAPS)
+        assert len(tuner._sweep_batch_memo) == 1
+        tuner.load_state_dict(tuner.state_dict())
+        # The memoised collated batch is weight-independent structure; only
+        # the embeddings (weight products) are invalidated.
+        assert len(tuner._sweep_batch_memo) == 1
+        assert len(tuner._embedding_cache) == 0
+        fresh = tuner.predict_sweep_many(regions, CAPS)
+        serial = [tuner.predict_sweep(region, CAPS) for region in regions]
+        assert fresh == serial

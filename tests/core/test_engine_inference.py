@@ -270,7 +270,9 @@ class TestPrecisionKnobs:
         # The cast model serves at float32 end to end...
         cast = fitted_time_tuner._cast_models["float32"]
         assert cast.dtype == np.float32
-        cached = fitted_time_tuner._embedding_cache.get((region.region_id, "float32"))
+        cached = fitted_time_tuner._embedding_cache.get(
+            (region.region_id, region.fingerprint(), "float32")
+        )
         assert cached is not None and cached.dtype == np.float32
         # ...from weights that are exact rounded twins of the fitted model's.
         state64 = fitted_time_tuner.model.state_dict()
@@ -278,7 +280,9 @@ class TestPrecisionKnobs:
             assert np.array_equal(value, state64[name].astype(np.float32))
         # Label disagreements can only come from near-ties; logits must agree.
         aux = fitted_time_tuner.builder.aux_feature_matrix(region.region_id, caps)
-        pooled64 = fitted_time_tuner._embedding_cache.get((region.region_id, "float64"))
+        pooled64 = fitted_time_tuner._embedding_cache.get(
+            (region.region_id, region.fingerprint(), "float64")
+        )
         np.testing.assert_allclose(
             cached, pooled64.astype(np.float32), rtol=1e-4, atol=1e-4
         )

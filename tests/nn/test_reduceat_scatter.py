@@ -1,0 +1,165 @@
+"""The pure-float32 sorted-segment reduceat scatter schedule.
+
+The schedule (stable argsort + segment boundaries, ``np.add.reduceat``) is an
+opt-in alternative to the flat-bincount float32 path: it accumulates natively
+in single precision instead of taking ``np.bincount``'s float64 round trip.
+It ships disabled by default (profiling showed the bincount round trip is at
+least as fast on this NumPy build — see ``repro/nn/_scatter.py``), so these
+tests exercise it through the explicit toggle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import _scatter, precision
+from repro.nn.data import build_edge_plan
+from repro.nn.rgcn import RGCNConv
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture()
+def random_scatter():
+    rng = np.random.default_rng(7)
+    index = rng.integers(0, 50, size=400)
+    data32 = rng.standard_normal((400, 8)).astype(np.float32)
+    return index, data32
+
+
+class TestSegmentSchedule:
+    def test_schedule_fields(self, random_scatter):
+        index, _ = random_scatter
+        schedule = _scatter.build_segment_schedule(index)
+        assert schedule.perm.shape == index.shape
+        # Stable sort: within a bucket the original order is preserved.
+        sorted_index = index[schedule.perm]
+        assert (np.diff(sorted_index) >= 0).all()
+        assert schedule.buckets.shape == schedule.starts.shape
+        assert set(schedule.buckets.tolist()) == set(np.unique(index).tolist())
+
+    def test_empty_index(self):
+        schedule = _scatter.build_segment_schedule(np.zeros(0, dtype=np.int64))
+        assert schedule.perm.size == 0 and schedule.starts.size == 0
+
+    def test_single_bucket(self):
+        schedule = _scatter.build_segment_schedule(np.zeros(5, dtype=np.int64))
+        assert schedule.starts.tolist() == [0]
+        assert schedule.buckets.tolist() == [0]
+
+
+class TestReduceatKernel:
+    def test_matches_add_at_float32(self, random_scatter):
+        index, data = random_scatter
+        reference = np.zeros((50, 8), dtype=np.float32)
+        np.add.at(reference, index, data)
+        schedule = _scatter.build_segment_schedule(index)
+        with _scatter.reduceat_scatter(True):
+            out = _scatter.scatter_rows_sum(data, index, 50, segments=schedule)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, reference, rtol=2e-5, atol=2e-5)
+
+    def test_disabled_by_default(self, random_scatter):
+        index, data = random_scatter
+        schedule = _scatter.build_segment_schedule(index)
+        assert not _scatter.reduceat_scatter_enabled()
+        via_segments = _scatter.scatter_rows_sum(data, index, 50, segments=schedule)
+        via_bincount = _scatter.scatter_rows_sum(data, index, 50)
+        # With the toggle off the segments argument must be ignored entirely.
+        assert (via_segments == via_bincount).all()
+
+    def test_float64_ignores_segments(self, random_scatter):
+        index, data = random_scatter
+        data64 = data.astype(np.float64)
+        schedule = _scatter.build_segment_schedule(index)
+        with _scatter.reduceat_scatter(True):
+            out = _scatter.scatter_rows_sum(data64, index, 50, segments=schedule)
+        reference = np.zeros((50, 8), dtype=np.float64)
+        np.add.at(reference, index, data64)
+        # float64 keeps the bit-identical bincount path regardless of toggle.
+        assert (out == reference).all()
+
+    def test_empty_bucket_rows_are_zero(self):
+        index = np.array([3, 3, 7], dtype=np.int64)
+        data = np.ones((3, 2), dtype=np.float32)
+        schedule = _scatter.build_segment_schedule(index)
+        with _scatter.reduceat_scatter(True):
+            out = _scatter.scatter_rows_sum(data, index, 10, segments=schedule)
+        assert out[3].tolist() == [2.0, 2.0]
+        assert out[7].tolist() == [1.0, 1.0]
+        untouched = np.delete(out, [3, 7], axis=0)
+        assert (untouched == 0).all()
+
+    def test_toggle_scoping(self):
+        assert not _scatter.reduceat_scatter_enabled()
+        with _scatter.reduceat_scatter(True):
+            assert _scatter.reduceat_scatter_enabled()
+            with _scatter.reduceat_scatter(False):
+                assert not _scatter.reduceat_scatter_enabled()
+            assert _scatter.reduceat_scatter_enabled()
+        assert not _scatter.reduceat_scatter_enabled()
+        previous = _scatter.set_reduceat_scatter(True)
+        assert previous is False and _scatter.reduceat_scatter_enabled()
+        _scatter.set_reduceat_scatter(previous)
+
+
+class TestPlannedLayerWithReduceat:
+    def _layer_and_plan(self):
+        rng = np.random.default_rng(0)
+        num_nodes, num_edges, relations, channels = 60, 240, 3, 8
+        edge_index = rng.integers(0, num_nodes, size=(2, num_edges))
+        edge_type = rng.integers(0, relations, size=num_edges)
+        batch = np.sort(rng.integers(0, 4, size=num_nodes))
+        with precision.autocast("float32"):
+            layer = RGCNConv(channels, channels, relations, rng=np.random.default_rng(0))
+            plan = build_edge_plan(edge_index, edge_type, batch, num_nodes, 4, relations)
+            x = Tensor(rng.standard_normal((num_nodes, channels)), requires_grad=True)
+        return layer, plan, x, edge_index, edge_type
+
+    def test_forward_close_to_bincount_path(self):
+        layer, plan, x, edge_index, edge_type = self._layer_and_plan()
+        layer.eval()
+        with no_grad():
+            with _scatter.reduceat_scatter(False):
+                bincount_out = layer(x, edge_index, edge_type, plan=plan).data
+            with _scatter.reduceat_scatter(True):
+                reduceat_out = layer(x, edge_index, edge_type, plan=plan).data
+        assert reduceat_out.dtype == np.float32
+        np.testing.assert_allclose(reduceat_out, bincount_out, rtol=2e-4, atol=2e-4)
+
+    def test_backward_close_to_bincount_path(self):
+        layer, plan, x, edge_index, edge_type = self._layer_and_plan()
+        grads = {}
+        for enabled in (False, True):
+            x.grad = None
+            for parameter in layer.parameters():
+                parameter.grad = None
+            with _scatter.reduceat_scatter(enabled):
+                out = layer(x, edge_index, edge_type, plan=plan)
+                out.sum().backward()
+            grads[enabled] = (x.grad.copy(), [p.grad.copy() for p in layer.parameters()])
+        x_binc, params_binc = grads[False]
+        x_red, params_red = grads[True]
+        assert x_red.dtype == np.float32
+        np.testing.assert_allclose(x_red, x_binc, rtol=2e-3, atol=2e-3)
+        for got, expected in zip(params_red, params_binc):
+            np.testing.assert_allclose(got, expected, rtol=2e-3, atol=2e-3)
+
+    def test_plan_memoises_segment_schedules(self):
+        _, plan, *_ = self._layer_and_plan()
+        first = plan.scatter_segments(0)
+        assert plan.scatter_segments(0) is first
+        pool_first = plan.pool_segments()
+        assert plan.pool_segments() is pool_first
+        # A derived float64 twin shares the schedule cache by reference.
+        assert plan.dtype == np.float32
+
+    def test_with_dtype_shares_segment_cache(self):
+        rng = np.random.default_rng(1)
+        edge_index = rng.integers(0, 20, size=(2, 40))
+        edge_type = rng.integers(0, 3, size=40)
+        batch = np.zeros(20, dtype=np.int64)
+        plan64 = build_edge_plan(
+            edge_index, edge_type, batch, 20, 1, 3, dtype=np.float64
+        )
+        schedule = plan64.scatter_segments(1)
+        plan32 = plan64.with_dtype(np.dtype(np.float32))
+        assert plan32.scatter_segments(1) is schedule
