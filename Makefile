@@ -10,8 +10,9 @@ test:
 
 # Fast perf-regression check for the message-passing engine and the serving
 # stack; fails when an engine path stops beating the retained seed reference
-# paths or the batched multi-region sweep stops beating serial sweeps.
-# Writes per-axis medians to benchmarks/results/BENCH_3.json (CI artifact).
+# paths, the batched multi-region sweep stops beating serial sweeps, or the
+# compiled autograd-free inference program stops beating the Module forward.
+# Writes per-axis medians to benchmarks/results/BENCH_4.json (CI artifact).
 bench-smoke:
 	$(PYTHON) -m benchmarks.bench_engine --smoke
 

@@ -35,14 +35,23 @@ A third axis covers **fleet serving**:
   scaling tracks the machine's available cores; the JSON records
   ``cpu_count`` so single-core containers are read correctly).
 
+A fourth axis covers the **autograd-free inference runtime**
+(``inference_runtime``): the compiled
+:class:`~repro.nn.inference.InferenceProgram` (raw-ndarray kernel steps,
+buffers preallocated per edge plan) against the ``Module``/``Tensor``
+forward it lowers, on the batched cold multi-region sweep and on a
+single-region encoding, at float64 and float32.
+
 Run ``python -m benchmarks.bench_engine`` for the full measurement or with
 ``--smoke`` for a fast regression check that fails (non-zero exit) when the
 engine stops beating the reference paths, the float32 path stops beating
-float64 on the scatter-bound microbenchmark, or the batched multi-region
-sweep stops beating serial per-region sweeps.  Results are printed as a
-table and written to ``benchmarks/results/bench_engine.json``; per-axis
-medians (the cross-PR perf trajectory) additionally go to
-``benchmarks/results/BENCH_3.json`` for the CI artifact upload.
+float64 on the scatter-bound microbenchmark, the batched multi-region
+sweep stops beating serial per-region sweeps, or the compiled inference
+program stops beating the Module forward on the batched cold sweep.
+Results are printed as a table and written to
+``benchmarks/results/bench_engine.json``; per-axis medians (the cross-PR
+perf trajectory) additionally go to ``benchmarks/results/BENCH_4.json``
+for the CI artifact upload.
 """
 
 from __future__ import annotations
@@ -80,12 +89,23 @@ from repro.serve import SweepServer
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
 # idle machine) so the check flags regressions, not scheduler noise.
 # ``sweep_many`` floors the batched multi-region sweep against R serial
-# engine-path ``predict_sweep`` calls: measured ≈2.1x cold at R=16 on a
-# single-core container (the cold sweep is NumPy-bandwidth-bound there;
-# batching wins by collapsing per-region call overhead, plan building and
-# dense-head launches, and widens further where BLAS can thread the
-# collated matrix products).
-SMOKE_FLOORS = {"forward": 1.1, "train_epoch": 1.2, "cap_sweep": 2.0, "sweep_many": 1.5}
+# engine-path ``predict_sweep`` calls.  Both sides now run the compiled
+# autograd-free inference runtime, which shrank exactly the per-region
+# overhead (per-op Tensor allocation, graph bookkeeping) that batching used
+# to amortise — the gap narrowed from ≈2.1x (Module serving) to ≈1.2x
+# measured cold at R=16 on a single-core container; batching still wins
+# (one collated plan, one set of BLAS launches) and widens where BLAS can
+# thread the collated matrix products.  ``inference_runtime`` floors the
+# compiled InferenceProgram against the Module forward on the batched cold
+# sweep (measured ≈1.2x batched, ≈2x single-region; buffers preallocated
+# per plan, no autograd machinery).
+SMOKE_FLOORS = {
+    "forward": 1.1,
+    "train_epoch": 1.2,
+    "cap_sweep": 2.0,
+    "sweep_many": 1.1,
+    "inference_runtime": 1.1,
+}
 
 #: float32-vs-float64 floor on the scatter-bound message-passing microbench
 #: (measured ≈1.3-1.5x on an idle machine; the floor flags the float32 path
@@ -133,6 +153,8 @@ class _ReferenceMode:
         self._kernels.__enter__()
         self._use_plan = _GnnEncoder.use_edge_plan
         _GnnEncoder.use_edge_plan = False
+        self._use_programs = PnPTuner.use_inference_programs
+        PnPTuner.use_inference_programs = False
         self._loader_init = GraphDataLoader.__init__
 
         def per_epoch_collate_init(loader, samples, **kwargs):
@@ -145,6 +167,7 @@ class _ReferenceMode:
     def __exit__(self, *exc) -> None:
         GraphDataLoader.__init__ = self._loader_init
         _GnnEncoder.use_edge_plan = self._use_plan
+        PnPTuner.use_inference_programs = self._use_programs
         self._kernels.__exit__(*exc)
 
 
@@ -462,6 +485,138 @@ def bench_serve_shards(
     return row
 
 
+def bench_inference_runtime(
+    tuner, builder, rounds: int, num_caps: int, num_regions: int = 16, with_f32: bool = True
+) -> Dict[str, float]:
+    """Compiled InferenceProgram vs. the Module/Tensor forward it lowers.
+
+    * ``batched`` — the compute of the cold ``num_regions``-region power-cap
+      sweep: one collated encoder pass over all R graphs plus one dense-head
+      batch over all R×C (region, cap) rows — exactly the work
+      ``predict_sweep_many`` runs on an embedding-cache miss, with the
+      Python bookkeeping both paths share (sample prep, result objects)
+      excluded so the axis isolates what the program replaces: per-op
+      ``Tensor`` allocation, autograd/no-grad bookkeeping and per-op output
+      arrays vs. a flat thunk list over preallocated buffers.  This is the
+      smoke-gated number.
+    * ``single`` — one single-region encoder pass (``encode_pooled`` on a
+      one-graph batch, plan warm), the regime of point ``predict`` calls,
+      where the per-op overhead is the largest fraction of the work.
+
+    Both comparisons are repeated with the float32 cast model (the serving
+    ``dtype="float32"`` path); program and Module results are checked
+    bit-identical before timing.
+    """
+    space = tuner.search_space
+    regions = _serving_regions(builder, num_regions)
+    caps = [
+        float(c)
+        for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)
+    ]
+    rounds = max(rounds, 8)  # the timed sections are milliseconds; cheap rounds
+
+    # The collated fleet batch and the R×C aux rows, built once like the
+    # fleet-composition memo would hold them.
+    batch = collate_graphs(
+        [
+            tuner.builder.inference_sample(region, power_cap=caps[0]).sample
+            for region in regions
+        ]
+    )
+    aux = np.tile(
+        tuner.builder.aux_feature_matrix(regions[0].region_id, caps),
+        (len(regions), 1),
+    )
+    model = tuner.model
+    program = tuner.compile_inference()
+
+    def batched_program() -> None:
+        rows = np.repeat(program.encode_pooled(batch), len(caps), axis=0)
+        program.predict_from_pooled(rows, aux)
+
+    def batched_module() -> None:
+        rows = np.repeat(model.encode_pooled(batch), len(caps), axis=0)
+        model.predict_from_pooled(rows, aux)
+
+    # Warm-up both paths (plan, program buffers, BLAS) and check they agree
+    # bit for bit before timing.
+    if model.encode_pooled(batch).tobytes() != program.encode_pooled(batch).tobytes():
+        raise AssertionError("program encoding is not bit-identical to the Module's")
+    pooled_rows = np.repeat(program.encode_pooled(batch), len(caps), axis=0)
+    if not np.array_equal(
+        program.predict_from_pooled(pooled_rows, aux),
+        model.predict_from_pooled(pooled_rows, aux),
+    ):
+        raise AssertionError("program head disagrees with the Module head")
+
+    stats = _pair_stats(batched_program, batched_module, rounds)
+    row: Dict[str, float] = {
+        "num_regions": len(regions),
+        "num_caps": num_caps,
+        "module_s": stats["second_s"],
+        "program_s": stats["first_s"],
+        "speedup": stats["second_s"] / stats["first_s"],
+        "module_median_s": stats["second_median_s"],
+        "program_median_s": stats["first_median_s"],
+        "median_speedup": stats["second_median_s"] / stats["first_median_s"],
+    }
+
+    # Single-region encoding: the point-predict regime.
+    single = collate_graphs(
+        [tuner.builder.inference_sample(regions[0], power_cap=caps[0]).sample]
+    )
+    if model.encode_pooled(single).tobytes() != program.encode_pooled(single).tobytes():
+        raise AssertionError("program encoding is not bit-identical to the Module's")
+    single_stats = _pair_stats(
+        lambda: program.encode_pooled(single), lambda: model.encode_pooled(single), rounds
+    )
+    row.update(
+        {
+            "single_module_s": single_stats["second_s"],
+            "single_program_s": single_stats["first_s"],
+            "single_speedup": single_stats["second_s"] / single_stats["first_s"],
+            "single_module_median_s": single_stats["second_median_s"],
+            "single_program_median_s": single_stats["first_median_s"],
+            "single_median_speedup": (
+                single_stats["second_median_s"] / single_stats["first_median_s"]
+            ),
+        }
+    )
+
+    if with_f32:
+        model32 = tuner._model_at("float32")
+        program32 = tuner.compile_inference("float32")
+
+        def batched_program32() -> None:
+            rows = np.repeat(program32.encode_pooled(batch), len(caps), axis=0)
+            program32.predict_from_pooled(rows, aux)
+
+        def batched_module32() -> None:
+            rows = np.repeat(model32.encode_pooled(batch), len(caps), axis=0)
+            model32.predict_from_pooled(rows, aux)
+
+        if (
+            model32.encode_pooled(batch).tobytes()
+            != program32.encode_pooled(batch).tobytes()
+        ):
+            raise AssertionError("float32 program is not bit-identical to the Module's")
+        batched_module32()  # warm the float32 plan + program buffers
+        f32_stats = _pair_stats(batched_program32, batched_module32, rounds)
+        # Named program_f32_* deliberately: this is program-vs-Module *at*
+        # float32, not the float32-vs-float64 comparison the other axes'
+        # ``f32_speedup`` keys (and the table's "f32 vs f64" column) carry.
+        row["module_f32_s"] = f32_stats["second_s"]
+        row["program_f32_s"] = f32_stats["first_s"]
+        row["program_f32_speedup"] = f32_stats["second_s"] / f32_stats["first_s"]
+        row["module_f32_median_s"] = f32_stats["second_median_s"]
+        row["program_f32_median_s"] = f32_stats["first_median_s"]
+        row["program_f32_median_speedup"] = (
+            f32_stats["second_median_s"] / f32_stats["first_median_s"]
+        )
+    tuner._embedding_cache.clear()
+    return row
+
+
 def bench_scatter_mp(rounds: int) -> Dict[str, float]:
     """float32 vs float64 on the scatter-bound message-passing kernel step.
 
@@ -524,8 +679,8 @@ def bench_scatter_mp(rounds: int) -> Dict[str, float]:
     return row
 
 
-def _bench3_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
-    """Per-axis medians for the cross-PR perf trajectory (BENCH_3.json)."""
+def _bench4_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
+    """Per-axis medians for the cross-PR perf trajectory (BENCH_4.json)."""
     axes: Dict[str, Dict[str, float]] = {}
     for name, row in results.items():
         axes[name] = {
@@ -535,7 +690,7 @@ def _bench3_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict[str
             if context_key in row:
                 axes[name][context_key] = row[context_key]
     return {
-        "bench": "BENCH_3",
+        "bench": "BENCH_4",
         "mode": mode,
         "cpu_count": os.cpu_count() or 1,
         "axes": axes,
@@ -567,6 +722,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     print("  cap_sweep done")
     results["sweep_many"] = bench_sweep_many(tuner, builder, rounds, num_caps)
     print("  sweep_many done")
+    results["inference_runtime"] = bench_inference_runtime(
+        tuner, builder, rounds, num_caps, with_f32=with_f32
+    )
+    print("  inference_runtime done")
     results["serve_shards"] = bench_serve_shards(
         tuner, builder, rounds, num_caps, serve_regions
     )
@@ -589,6 +748,11 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         elif name == "sweep_many":
             cells = (
                 f"{name:<14}{row['serial_s'] * 1e3:>10.1f}ms{row['batched_s'] * 1e3:>10.1f}ms"
+                f"{row['speedup']:>9.2f}x"
+            )
+        elif name == "inference_runtime":
+            cells = (
+                f"{name:<14}{row['module_s'] * 1e3:>10.1f}ms{row['program_s'] * 1e3:>10.1f}ms"
                 f"{row['speedup']:>9.2f}x"
             )
         elif name == "serve_shards":
@@ -616,6 +780,16 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         f"serve_shards: {results['serve_shards']['shard_speedup']:.2f}x with 2 workers "
         f"on {os.cpu_count() or 1} core(s)"
     )
+    runtime = results["inference_runtime"]
+    f32_note = (
+        f", {runtime['program_f32_speedup']:.2f}x batched at float32"
+        if "program_f32_speedup" in runtime
+        else ""
+    )
+    print(
+        f"inference_runtime: program {runtime['speedup']:.2f}x vs Module on the "
+        f"batched cold sweep, {runtime['single_speedup']:.2f}x single-region{f32_note}"
+    )
 
     payload = {
         "mode": mode,
@@ -626,8 +800,8 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     }
     path = figure_cache.save_json("bench_engine", payload)
     print(f"\nJSON written to {path}")
-    bench3_path = figure_cache.save_json("BENCH_3", _bench3_payload(mode, results))
-    print(f"per-axis medians written to {bench3_path}")
+    bench4_path = figure_cache.save_json("BENCH_4", _bench4_payload(mode, results))
+    print(f"per-axis medians written to {bench4_path}")
 
     if smoke:
         failures = [
@@ -657,8 +831,9 @@ def main() -> int:
         "--smoke",
         action="store_true",
         help="small fast run asserting the engine beats the reference paths, "
-        "float32 beats float64 on the scatter-bound microbenchmark, and the "
-        "batched multi-region sweep beats serial per-region sweeps",
+        "float32 beats float64 on the scatter-bound microbenchmark, the "
+        "batched multi-region sweep beats serial per-region sweeps, and the "
+        "compiled inference program beats the Module forward",
     )
     parser.add_argument(
         "--dtype",

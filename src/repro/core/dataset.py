@@ -295,6 +295,17 @@ class DatasetBuilder:
             [self._aux_features(region_id, cap, include_counters) for cap in power_caps]
         )
 
+    def edp_aux_features(self, region_id: str, include_counters: bool = False) -> np.ndarray:
+        """Auxiliary feature row of one EDP-scenario query.
+
+        Used by the tuner's warm ``predict`` path: when a region's pooled
+        embedding is already cached (same id *and* content fingerprint), the
+        aux row is the only per-query input left, so the full inference
+        sample need not be rebuilt.  Requires the region to be registered
+        (any cold query on it registers it first).
+        """
+        return self._edp_aux_features(region_id, include_counters)
+
     def aux_feature_dim(self, scenario: TuningScenario, include_counters: bool) -> int:
         """Dimensionality of the auxiliary feature vector for a scenario."""
         if scenario == TuningScenario.PERFORMANCE:

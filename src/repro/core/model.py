@@ -38,8 +38,9 @@ from repro.nn import _scatter
 from repro.nn import functional as F
 from repro.nn import precision
 from repro.nn.data import GraphBatch
+from repro.nn.inference import DenseHeadProgram, InferenceProgram, KernelStep, LeakyReLUStep
 from repro.nn.layers import Dropout, Embedding, Linear, Module, ModuleList
-from repro.nn.pooling import global_mean_pool
+from repro.nn.pooling import global_mean_pool, lower_global_mean_pool
 from repro.nn.rgcn import RGCNConv
 from repro.nn.tensor import Tensor, no_grad
 from repro.utils.rng import new_rng
@@ -135,6 +136,24 @@ class _GnnEncoder(Module):
             segments=plan.pool_segments() if use_segments else None,
         )
 
+    def lower(self) -> List[KernelStep]:
+        """Lower the encoder to the flat raw-ndarray step list.
+
+        Embedding sum, then per layer convolution + in-place leaky ReLU
+        ping-ponging between two hidden slots, then the mean-pool read-out —
+        the exact op order of :meth:`forward` on the planned path.
+        """
+        steps = self.token_embedding.lower("token_ids", "embed")
+        steps += self.kind_embedding.lower("node_types", "embed", accumulate=True)
+        in_slot = "embed"
+        for index, conv in enumerate(self.convs):
+            out_slot = "hidden0" if index % 2 == 0 else "hidden1"
+            steps += conv.lower(in_slot, out_slot)
+            steps.append(LeakyReLUStep(out_slot, self.config.leaky_slope))
+            in_slot = out_slot
+        steps += lower_global_mean_pool(in_slot)
+        return steps
+
 
 class _DenseHead(Module):
     """Fully connected classifier over pooled graph + auxiliary features."""
@@ -177,6 +196,19 @@ class _DenseHead(Module):
                 x = self.dropout(x)
         return x
 
+    def lower(self) -> DenseHeadProgram:
+        """Lower the classifier to its raw-ndarray inference program.
+
+        Eval-mode semantics (dropout is the identity): affine steps with the
+        in-place ReLU between, plus the same pooled/aux dtype-cast boundary
+        as :meth:`forward`.
+        """
+        return DenseHeadProgram(
+            [layer.lower() for layer in self.layers],
+            aux_dim=self.config.aux_dim,
+            dtype=self.dtype,
+        )
+
 
 class PnPModel(Module):
     """The complete PnP tuner network (GNN encoder + dense classifier).
@@ -196,6 +228,29 @@ class PnPModel(Module):
             self.head = _DenseHead(config)
 
     # ------------------------------------------------------------ inference
+    def compile_inference(self) -> InferenceProgram:
+        """Lower this model to an autograd-free :class:`InferenceProgram`.
+
+        The program is a flat, ordered list of raw-ndarray kernel steps
+        (embedding lookup, planned RGCN message passing, mean pooling, dense
+        head) sharing this model's parameter arrays by reference — no
+        ``Tensor`` wrappers, no autograd graph — and is bit-identical to the
+        ``Module`` inference path at float64 and float32.  Buffers are
+        preallocated per ``(EdgePlan, dtype)`` on first use and reused
+        across calls.
+
+        Programs snapshot the current parameter arrays: any path that
+        rebinds them (training steps, ``load_state_dict``, ``astype``)
+        makes the program report :meth:`InferenceProgram.stale`, and the
+        tuner's program cache recompiles automatically.
+        """
+        return InferenceProgram(
+            encoder_steps=self.gnn.lower(),
+            head=self.head.lower(),
+            num_relations=self.config.num_relations,
+            dtype=self.dtype,
+            source=self,
+        )
     def encode(self, batch: GraphBatch) -> Tensor:
         """Pooled per-graph embedding of shape ``(num_graphs, hidden_dim)``.
 

@@ -175,7 +175,12 @@ def train_model(
     return history
 
 
-def predict_labels(model: PnPModel, samples: Sequence[LabeledSample], batch_size: int = 32) -> np.ndarray:
+def predict_labels(
+    model: PnPModel,
+    samples: Sequence[LabeledSample],
+    batch_size: int = 32,
+    program=None,
+) -> np.ndarray:
     """Predicted class index for every sample (in input order).
 
     Inference is split into the two model stages: each *unique* graph
@@ -183,6 +188,12 @@ def predict_labels(model: PnPModel, samples: Sequence[LabeledSample], batch_size
     — one per (graph, auxiliary-feature) candidate — goes through the dense
     head only.  The performance scenario has one sample per (region, power
     cap), so this avoids re-encoding each region's graph once per cap.
+
+    ``program`` optionally supplies a compiled
+    :class:`~repro.nn.inference.InferenceProgram` for ``model`` (see
+    ``PnPModel.compile_inference``); both stages then run through the
+    autograd-free raw-ndarray runtime — bit-identical to the ``Module``
+    path.
     """
     samples = list(samples)
     if not samples:
@@ -218,17 +229,20 @@ def predict_labels(model: PnPModel, samples: Sequence[LabeledSample], batch_size
                 )
         sample_rows[position] = row
 
+    encode = program.encode_pooled if program is not None else model.encode_pooled
     pooled_rows: List[np.ndarray] = []
     for start in range(0, len(unique_samples), batch_size):
         chunk = unique_samples[start : start + batch_size]
         batch = collate_graphs([s.sample for s in chunk])
-        pooled_rows.append(model.encode_pooled(batch))
+        pooled_rows.append(encode(batch))
     pooled = np.concatenate(pooled_rows, axis=0)[sample_rows]
 
     has_aux = samples[0].sample.aux_features is not None
     if any((s.sample.aux_features is not None) != has_aux for s in samples):
         raise ValueError("all samples must consistently have or lack aux_features")
     aux = np.stack([s.sample.aux_features for s in samples]) if has_aux else None
+    if program is not None:
+        return program.predict_from_pooled(pooled, aux)
     return model.predict_from_pooled(pooled, aux)
 
 

@@ -51,6 +51,7 @@ from repro.core.search_space import SearchSpace
 from repro.core.training import TrainingConfig, predict_labels, train_model
 from repro.nn import precision
 from repro.nn.data import GraphSample, collate_graphs
+from repro.nn.inference import InferenceProgram
 from repro.openmp.config import OpenMPConfig
 from repro.openmp.region import RegionCharacteristics
 from repro.utils.caching import LRUCache
@@ -106,6 +107,13 @@ class PnPTuner:
     #: Capacity of the per-tuner pooled-embedding LRU cache (regions×dtypes).
     EMBEDDING_CACHE_SIZE = 512
 
+    #: Route every inference entry point through compiled
+    #: :class:`~repro.nn.inference.InferenceProgram`\ s (autograd-free
+    #: raw-ndarray kernels, bit-identical to the ``Module`` path).  Disable
+    #: to fall back to the ``Module`` forward — retained as the reference
+    #: the benchmarks compare against.
+    use_inference_programs = True
+
     #: Memoised collated batches (and their EdgePlans) per fleet composition
     #: served by :meth:`predict_sweep_many` — content-addressed by the
     #: regions' (id, fingerprint) pairs, so repeated cold sweeps over the
@@ -156,6 +164,13 @@ class PnPTuner:
         )
         self.model = PnPModel(self.model_config)
         self._fitted = False
+        # Parameter arrays the serving caches were built from (identity
+        # snapshot).  Every serving entry point compares against the model's
+        # current arrays, so a weight change that bypasses the tuner
+        # (direct load_state_dict/astype/training on self.model) flushes the
+        # embedding cache, cast models and compiled programs instead of
+        # serving stale results.
+        self._served_arrays: Optional[List[np.ndarray]] = None
         # Pooled graph embeddings are independent of the auxiliary features,
         # so repeated queries (and power-cap sweeps) on the same region reuse
         # one GNN encoding.  Keys are (region id, content fingerprint,
@@ -166,6 +181,12 @@ class PnPTuner:
         # Weight casts of self.model at other precisions, built lazily for
         # dtype-overridden sweeps and invalidated with the embedding cache.
         self._cast_models: Dict[str, PnPModel] = {}
+        # Compiled inference programs per serving dtype (autograd-free
+        # raw-ndarray runtime), invalidated with the cast models whenever
+        # the weights change; InferenceProgram.stale() additionally catches
+        # any weight rebinding that bypasses the tuner (direct
+        # load_state_dict/astype/training on the underlying model).
+        self._programs: Dict[str, InferenceProgram] = {}
         # Fleet-composition batch memo for predict_sweep_many.  Keyed by
         # content (ids + fingerprints), so it survives weight changes — the
         # graphs don't depend on the weights — and never serves stale
@@ -194,6 +215,8 @@ class PnPTuner:
         self._fitted = True
         self._embedding_cache.clear()
         self._cast_models.clear()
+        self._programs.clear()
+        self._served_arrays = [param.data for param in self.model.parameters()]
         _LOG.info(
             "PnP tuner fitted (%s, %s): final loss %.4f, accuracy %.3f",
             self.system,
@@ -220,6 +243,58 @@ class PnPTuner:
             self._cast_models[resolved.name] = cast
         return cast
 
+    def _program_for(
+        self, model: Optional[PnPModel] = None, force: bool = False
+    ) -> Optional[InferenceProgram]:
+        """The cached compiled program serving ``model`` (or ``None``).
+
+        Programs are compiled lazily per serving dtype and cached until the
+        weights change (``fit`` / :meth:`load_state_dict` clear the cache; a
+        direct ``load_state_dict``/``astype`` on the model is caught by
+        :meth:`InferenceProgram.stale`).  Returns ``None`` when program
+        routing is disabled (``use_inference_programs``) and ``force`` is
+        not set.
+        """
+        if not (self.use_inference_programs or force):
+            return None
+        model = model if model is not None else self.model
+        key = model.dtype.name
+        program = self._programs.get(key)
+        if program is None or program.stale():
+            program = model.compile_inference()
+            self._programs[key] = program
+        return program
+
+    def compile_inference(self, dtype: Optional[str] = None) -> InferenceProgram:
+        """Compile (and cache) the serving program at ``dtype``.
+
+        Returns the same cached :class:`~repro.nn.inference.InferenceProgram`
+        the tuner's ``predict`` / ``predict_sweep`` / ``predict_sweep_many``
+        entry points execute, compiling it eagerly — serving replicas (e.g.
+        :class:`repro.serve.SweepServer` workers) call this at start-up so
+        the first query pays no lowering cost.
+        """
+        self._require_fitted()
+        program = self._program_for(self._model_at(dtype), force=True)
+        assert program is not None  # force=True always compiles
+        return program
+
+    def _encode_pooled(self, model: PnPModel, batch) -> np.ndarray:
+        """One encoder pass — compiled program when enabled, Module otherwise."""
+        program = self._program_for(model)
+        if program is not None:
+            return program.encode_pooled(batch)
+        return model.encode_pooled(batch)
+
+    def _head_labels(
+        self, model: PnPModel, pooled: np.ndarray, aux: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Dense-head label prediction — program-routed like the encoder."""
+        program = self._program_for(model)
+        if program is not None:
+            return program.predict_from_pooled(pooled, aux)
+        return model.predict_from_pooled(pooled, aux)
+
     def _embedding_key(
         self, region: RegionCharacteristics, model: PnPModel
     ) -> Tuple[str, str, str]:
@@ -238,7 +313,7 @@ class PnPTuner:
             cached = self._embedding_cache.get(key)
             if cached is not None:
                 return cached
-        pooled = model.encode_pooled(collate_graphs([sample]))
+        pooled = self._encode_pooled(model, collate_graphs([sample]))
         if key is not None:
             self._embedding_cache.put(key, pooled)
         return pooled
@@ -246,24 +321,42 @@ class PnPTuner:
     def predict(
         self, region: RegionCharacteristics, power_cap: Optional[float] = None
     ) -> TuningResult:
-        """Tune one region (no execution of the region is required)."""
+        """Tune one region (no execution of the region is required).
+
+        Point predictions share the fingerprint-keyed pooled-embedding cache
+        with the sweep entry points: a repeated query on an unchanged region
+        skips graph construction and the GNN entirely — the performance
+        objective delegates to :meth:`predict_sweep`, and the EDP warm path
+        rebuilds only the auxiliary feature row (a cache hit guarantees the
+        region was fully registered with these exact characteristics).
+        """
         self._require_fitted()
         if self.objective == "time":
             if power_cap is None:
                 raise ValueError("power_cap is required for the performance scenario")
             return self.predict_sweep(region, [power_cap])[0]
-        sample = self.builder.inference_sample(
-            region,
-            power_cap=power_cap,
-            include_counters=self.include_counters,
-            scenario=self.scenario,
-        )
-        pooled = self._pooled_embedding(
-            sample.sample, key=self._embedding_key(region, self.model)
-        )
-        aux = sample.sample.aux_features
+        key = self._embedding_key(region, self.model)
+        pooled = self._embedding_cache.get(key)
+        if pooled is not None and not self.include_counters:
+            # Static features: the EDP aux row is registration-independent,
+            # so a cached embedding answers the query without rebuilding the
+            # inference sample at all.
+            aux = self.builder.edp_aux_features(region.region_id)
+        else:
+            # Cold — or the dynamic variant, whose counters must come from
+            # *this* region version's registration: inference_sample
+            # re-registers a changed region before profiling, and the
+            # embedding cache still skips the encoder on a warm key.
+            sample = self.builder.inference_sample(
+                region,
+                power_cap=power_cap,
+                include_counters=self.include_counters,
+                scenario=self.scenario,
+            )
+            pooled = self._pooled_embedding(sample.sample, key=key)
+            aux = sample.sample.aux_features
         aux = aux[None, :] if aux is not None else None
-        label = int(self.model.predict_from_pooled(pooled, aux)[0])
+        label = int(self._head_labels(self.model, pooled, aux)[0])
         return self._result_from_label(region.region_id, label, power_cap)
 
     def predict_sweep(
@@ -316,7 +409,7 @@ class PnPTuner:
             region.region_id, caps, include_counters=self.include_counters
         )
         rows = np.repeat(pooled, len(caps), axis=0)
-        labels = model.predict_from_pooled(rows, aux)
+        labels = self._head_labels(model, rows, aux)
         return [
             self._result_from_label(region.region_id, int(label), cap)
             for cap, label in zip(caps, labels)
@@ -393,7 +486,7 @@ class PnPTuner:
                 ]
                 batch = collate_graphs(miss_samples)
                 self._sweep_batch_memo.put(structure_key, batch)
-            pooled = model.encode_pooled(batch)
+            pooled = self._encode_pooled(model, batch)
             for row_index, key in enumerate(miss_keys):
                 # Copy so a cached row doesn't pin the whole batch array.
                 row = pooled[row_index : row_index + 1].copy()
@@ -420,7 +513,7 @@ class PnPTuner:
                     for region in regions
                 ]
             )
-        labels = model.predict_from_pooled(rows, aux)
+        labels = self._head_labels(model, rows, aux)
         results: List[List[TuningResult]] = []
         for region_index, region in enumerate(regions):
             offset = region_index * len(caps)
@@ -435,9 +528,16 @@ class PnPTuner:
         return results
 
     def predict_samples(self, samples: Sequence[LabeledSample]) -> List[TuningResult]:
-        """Batch prediction for pre-built samples (used by the experiments)."""
+        """Batch prediction for pre-built samples (used by the experiments).
+
+        Shares the compiled inference runtime with the serving entry points
+        (the program is passed into :func:`predict_labels`), so experiment
+        sweeps pay no autograd overhead either.
+        """
         self._require_fitted()
-        labels = predict_labels(self.model, list(samples))
+        labels = predict_labels(
+            self.model, list(samples), program=self._program_for(self.model)
+        )
         return [
             self._result_from_label(s.region_id, int(label), s.power_cap)
             for s, label in zip(samples, labels)
@@ -455,8 +555,26 @@ class PnPTuner:
         return TuningResult(region_id, self.objective, config, cap, label)
 
     def _require_fitted(self) -> None:
+        """Entry gate of every serving call: fitted, and caches current.
+
+        Beyond the fitted check, this compares the model's parameter arrays
+        (by identity) against the snapshot the serving caches were built
+        from; a mismatch means the weights were rebound behind the tuner's
+        back, so every weights-derived cache is flushed before serving.
+        """
         if not self._fitted:
             raise RuntimeError("PnPTuner.predict called before fit()")
+        current = [param.data for param in self.model.parameters()]
+        if self._served_arrays is None:
+            self._served_arrays = current
+        elif len(current) != len(self._served_arrays) or any(
+            array is not served
+            for array, served in zip(current, self._served_arrays)
+        ):
+            self._embedding_cache.clear()
+            self._cast_models.clear()
+            self._programs.clear()
+            self._served_arrays = current
 
     # ------------------------------------------------------------- weights
     def state_dict(self) -> Dict[str, np.ndarray]:
@@ -467,6 +585,8 @@ class PnPTuner:
         self._fitted = True
         self._embedding_cache.clear()
         self._cast_models.clear()
+        self._programs.clear()
+        self._served_arrays = [param.data for param in self.model.parameters()]
 
 
 # ------------------------------------------------------- label → selection

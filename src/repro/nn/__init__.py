@@ -27,6 +27,12 @@ once and materialises minibatches by re-indexing flat arrays.  Both paths
 are bit-identical to the naive per-layer/per-epoch implementations they
 replace, which are retained as references (``RGCNConv.forward`` without a
 plan; ``GraphDataLoader(cache_collate=False)``).
+
+Serving additionally has an autograd-free compiled runtime:
+:mod:`repro.nn.inference` lowers a model into an :class:`InferenceProgram`
+— a flat list of raw-ndarray kernel steps with buffers preallocated per
+``(EdgePlan, dtype)``, no ``Tensor`` wrappers and no graph recording —
+bit-identical to the ``Module`` forward at either precision.
 """
 
 from repro.nn import precision
@@ -62,6 +68,7 @@ from repro.nn.data import (
     collate_graphs,
 )
 from repro.nn.serialization import save_state_dict, load_state_dict
+from repro.nn.inference import InferenceProgram
 
 __all__ = [
     "Tensor",
@@ -99,4 +106,5 @@ __all__ = [
     "collate_graphs",
     "save_state_dict",
     "load_state_dict",
+    "InferenceProgram",
 ]

@@ -3,6 +3,12 @@
 These mirror the subset of ``torch.nn.functional`` used by the PnP tuner's
 architecture: activations, numerically stable softmax/log-softmax, dropout,
 cross-entropy, and one-hot encoding.
+
+The trailing-underscore variants (:func:`relu_`, :func:`leaky_relu_`) are
+raw-ndarray, in-place kernels for the autograd-free inference runtime
+(:mod:`repro.nn.inference`): no :class:`~repro.nn.tensor.Tensor` wrappers,
+no output allocation, bit-identical to the corresponding tensor op's
+forward values.
 """
 
 from __future__ import annotations
@@ -16,7 +22,9 @@ from repro.nn.tensor import Tensor
 
 __all__ = [
     "relu",
+    "relu_",
     "leaky_relu",
+    "leaky_relu_",
     "sigmoid",
     "tanh",
     "softmax",
@@ -35,9 +43,46 @@ def relu(x: Tensor) -> Tensor:
     return x.relu()
 
 
+def relu_(x: np.ndarray) -> np.ndarray:
+    """In-place ReLU on a raw ndarray.
+
+    Bit-identical to :meth:`Tensor.relu`'s forward values (the masked
+    multiply ``x * (x > 0)``, including its signed zeros for negative
+    inputs); used by the compiled inference runtime where no gradient is
+    ever needed.
+    """
+    mask = (x > 0).astype(x.dtype)
+    np.multiply(x, mask, out=x)
+    return x
+
+
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     """Leaky rectified linear unit (paper uses this inside the RGCN stack)."""
     return x.leaky_relu(negative_slope)
+
+
+def leaky_relu_(
+    x: np.ndarray,
+    negative_slope: float = 0.01,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """In-place leaky ReLU on a raw ndarray.
+
+    Bit-identical to :meth:`Tensor.leaky_relu`'s fused engine path
+    (``np.maximum(x, x * slope)`` for ``0 < slope <= 1``; the masked
+    multiply otherwise).  ``scratch`` optionally receives the ``x * slope``
+    intermediate so a preallocated buffer can absorb the only allocation.
+    """
+    if 0.0 < negative_slope <= 1.0:
+        if scratch is None:
+            scratch = x * negative_slope
+        else:
+            np.multiply(x, negative_slope, out=scratch)
+        np.maximum(x, scratch, out=x)
+    else:
+        mask = np.where(x > 0, 1.0, negative_slope).astype(x.dtype, copy=False)
+        np.multiply(x, mask, out=x)
+    return x
 
 
 def sigmoid(x: Tensor) -> Tensor:

@@ -1,0 +1,524 @@
+"""Autograd-free compiled inference runtime over raw ndarrays.
+
+Training runs through :class:`~repro.nn.tensor.Tensor` — every op allocates
+a result tensor, records a backward closure and participates in the dynamic
+graph.  Serving never needs any of that: the tuner is trained once and then
+queried constantly, so the per-op ``Tensor`` wrapper, the graph bookkeeping
+and the per-op output allocations are pure overhead on the hot path.
+
+This module lowers a model into an :class:`InferenceProgram`: a **flat,
+ordered list of raw-ndarray kernel steps** (embedding lookup, per-relation
+planned RGCN message passing through the existing
+:mod:`repro.nn._scatter` kernels, mean pooling, dense head) that
+
+* references the model's parameter arrays directly (no ``Tensor`` wrappers,
+  no autograd graph, no ``no_grad`` bookkeeping),
+* preallocates every activation/scratch buffer **once per**
+  ``(EdgePlan, dtype)`` and reuses it across calls (the
+  per-plan binding is held in a :class:`weakref.WeakKeyDictionary`, so
+  buffers die with their plan), and
+* is **bit-identical** to the ``Module`` forward at float64 *and* float32:
+  every step performs exactly the same floating-point operations in the
+  same order as the tensor op it replaces (in-place/``out=`` variants are
+  used only where NumPy guarantees the identical result).
+
+Lowering is owned by the modules themselves — :meth:`Embedding.lower`,
+:meth:`Linear.lower`, :meth:`RGCNConv.lower`,
+:func:`repro.nn.pooling.lower_global_mean_pool` and
+``PnPModel.compile_inference()`` compose the step classes defined here.
+
+Programs snapshot parameter *references* at compile time; anything that
+rebinds parameter data (training/optimizer steps, ``load_state_dict``,
+``astype``) makes a program stale.  :meth:`InferenceProgram.stale` detects
+this by comparing the captured arrays against the source model's current
+parameters by identity, and :class:`repro.core.tuner.PnPTuner` recompiles
+automatically.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import _scatter
+from repro.nn import functional as F
+from repro.nn._scatter import scatter_rows_sum
+from repro.nn.data import EdgePlan, GraphBatch
+
+__all__ = [
+    "KernelStep",
+    "GatherRowsStep",
+    "RGCNStep",
+    "LeakyReLUStep",
+    "MeanPoolStep",
+    "DenseStep",
+    "DenseHeadProgram",
+    "InferenceProgram",
+]
+
+#: Name of the slot every encoder lowering must end in.
+POOLED_SLOT = "pooled"
+
+
+class _EncoderInputs:
+    """Per-call integer inputs of an encoder run (set before the thunks)."""
+
+    __slots__ = ("token_ids", "node_types")
+
+    def __init__(self) -> None:
+        self.token_ids: Optional[np.ndarray] = None
+        self.node_types: Optional[np.ndarray] = None
+
+
+def _buffer(
+    buffers: Dict[object, np.ndarray], key: object, shape, dtype: np.dtype
+) -> np.ndarray:
+    """Fetch-or-allocate a named buffer of exactly ``shape``/``dtype``."""
+    existing = buffers.get(key)
+    if existing is not None:
+        if existing.shape != tuple(shape) or existing.dtype != dtype:
+            raise ValueError(
+                f"buffer {key!r} already bound with shape {existing.shape} "
+                f"({existing.dtype}), requested {tuple(shape)} ({dtype})"
+            )
+        return existing
+    array = np.empty(shape, dtype=dtype)
+    buffers[key] = array
+    return array
+
+
+class KernelStep:
+    """One raw-ndarray step of a lowered encoder.
+
+    A step is *unbound* at lowering time (it knows its weights and slot
+    names, not the batch); :meth:`bind` specialises it to one
+    ``(EdgePlan, dtype)``: buffers are fetched/allocated from the shared
+    per-plan pool and a list of zero-argument thunks (closing over the
+    bound arrays) is returned for the flat execution loop.
+    """
+
+    def bind(
+        self,
+        plan: EdgePlan,
+        buffers: Dict[object, np.ndarray],
+        dtype: np.dtype,
+        inputs: _EncoderInputs,
+    ) -> List[Callable[[], None]]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class GatherRowsStep(KernelStep):
+    """Embedding lookup: gather ``table[ids]`` into a slot.
+
+    With ``accumulate=True`` the gathered rows are added to the slot in
+    place (the encoder sums token and node-kind embeddings) — bit-identical
+    to the tensor path's ``token_emb + kind_emb``.
+    """
+
+    def __init__(
+        self, table: np.ndarray, ids_input: str, out_slot: str, accumulate: bool = False
+    ) -> None:
+        if ids_input not in ("token_ids", "node_types"):
+            raise ValueError(f"unknown encoder input {ids_input!r}")
+        self.table = table
+        self.ids_input = ids_input
+        self.out_slot = out_slot
+        self.accumulate = accumulate
+
+    def bind(self, plan, buffers, dtype, inputs):
+        if self.table.dtype != dtype:
+            raise ValueError(
+                f"embedding table is {self.table.dtype}, program expects {dtype}"
+            )
+        channels = self.table.shape[1]
+        out = _buffer(buffers, self.out_slot, (plan.num_nodes, channels), dtype)
+        table, ids_input = self.table, self.ids_input
+
+        if self.accumulate:
+            scratch = _buffer(
+                buffers, ("gather_scratch", channels), (plan.num_nodes, channels), dtype
+            )
+
+            def run() -> None:
+                np.take(table, getattr(inputs, ids_input), axis=0, out=scratch)
+                np.add(out, scratch, out=out)
+
+        else:
+
+            def run() -> None:
+                np.take(table, getattr(inputs, ids_input), axis=0, out=out)
+
+        return [run]
+
+    def describe(self) -> str:
+        op = "+=" if self.accumulate else "="
+        return f"{self.out_slot} {op} gather({self.ids_input})"
+
+
+class RGCNStep(KernelStep):
+    """One planned relational graph convolution over raw ndarrays.
+
+    Mirrors ``RGCNConv._forward_planned`` exactly: root transform, then per
+    relation gather → matmul → normalise → scatter, accumulated in relation
+    order (the ``Tensor.add_n`` order), then the bias — with the matmuls and
+    the normalisation running in place on preallocated buffers.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        root: np.ndarray,
+        bias: Optional[np.ndarray],
+        num_relations: int,
+        in_slot: str,
+        out_slot: str,
+    ) -> None:
+        self.weight = weight
+        self.root = root
+        self.bias = bias
+        self.num_relations = num_relations
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def bind(self, plan, buffers, dtype, inputs):
+        if plan.num_relations != self.num_relations:
+            raise ValueError(
+                f"edge plan was built for {plan.num_relations} relations, "
+                f"step has {self.num_relations}"
+            )
+        if plan.dtype != dtype:
+            raise ValueError(
+                f"edge plan carries {plan.dtype} normalisations, program "
+                f"expects {dtype}"
+            )
+        x = buffers.get(self.in_slot)
+        if x is None:
+            raise ValueError(f"input slot {self.in_slot!r} has no producer")
+        in_ch, out_ch = self.weight.shape[1], self.weight.shape[2]
+        if x.shape != (plan.num_nodes, in_ch):
+            raise ValueError(
+                f"slot {self.in_slot!r} has shape {x.shape}, layer expects "
+                f"{(plan.num_nodes, in_ch)}"
+            )
+        out = _buffer(buffers, self.out_slot, (plan.num_nodes, out_ch), dtype)
+        num_nodes = plan.num_nodes
+        root, bias = self.root, self.bias
+        is_f32 = dtype == np.float32
+        # The thunk must not capture the plan itself: bound thunks live in a
+        # WeakKeyDictionary keyed by the plan, and a strong reference from
+        # value to key would pin the entry (and its buffers) forever.  The
+        # sorted-segment schedules for the float32 reduceat path are
+        # fetched through a weakref — the plan is always alive during a run
+        # (the batch being encoded holds it).
+        plan_ref = weakref.ref(plan)
+
+        relations = []
+        for relation in range(self.num_relations):
+            src = plan.relation_src[relation]
+            if src.size == 0:
+                continue
+            relations.append(
+                (
+                    src,
+                    plan.relation_dst[relation],
+                    plan.relation_norm[relation],
+                    self.weight[relation],
+                    _buffer(buffers, ("gather", relation, in_ch), (src.size, in_ch), dtype),
+                    _buffer(buffers, ("msg", relation, out_ch), (src.size, out_ch), dtype),
+                    plan.scatter_flat(relation, out_ch),
+                    relation,
+                )
+            )
+
+        def run() -> None:
+            np.matmul(x, root, out=out)
+            use_segments = is_f32 and _scatter.reduceat_scatter_enabled()
+            for src, dst, norm, w, gathered, messages, flat, relation in relations:
+                np.take(x, src, axis=0, out=gathered)
+                np.matmul(gathered, w, out=messages)
+                np.multiply(messages, norm, out=messages)
+                scattered = scatter_rows_sum(
+                    messages,
+                    dst,
+                    num_nodes,
+                    flat=flat,
+                    segments=plan_ref().scatter_segments(relation) if use_segments else None,
+                )
+                np.add(out, scattered, out=out)
+            if bias is not None:
+                np.add(out, bias, out=out)
+
+        return [run]
+
+    def describe(self) -> str:
+        return f"{self.out_slot} = rgcn({self.in_slot})"
+
+
+class LeakyReLUStep(KernelStep):
+    """In-place leaky ReLU on a slot (:func:`repro.nn.functional.leaky_relu_`)."""
+
+    def __init__(self, slot: str, negative_slope: float) -> None:
+        self.slot = slot
+        self.negative_slope = negative_slope
+
+    def bind(self, plan, buffers, dtype, inputs):
+        x = buffers.get(self.slot)
+        if x is None:
+            raise ValueError(f"activation slot {self.slot!r} has no producer")
+        scratch = _buffer(buffers, ("act_scratch", x.shape[1]), x.shape, dtype)
+        slope = self.negative_slope
+
+        def run() -> None:
+            F.leaky_relu_(x, slope, scratch=scratch)
+
+        return [run]
+
+    def describe(self) -> str:
+        return f"{self.slot} = leaky_relu({self.slot})"
+
+
+class MeanPoolStep(KernelStep):
+    """Per-graph mean pooling into the ``pooled`` slot.
+
+    The reciprocal node counts are precomputed per plan at bind time
+    (``(1 / max(counts, 1))`` in the feature dtype — exactly the column
+    :func:`repro.nn.pooling.global_mean_pool` rebuilds per forward).
+    """
+
+    def __init__(self, in_slot: str, out_slot: str = POOLED_SLOT) -> None:
+        self.in_slot = in_slot
+        self.out_slot = out_slot
+
+    def bind(self, plan, buffers, dtype, inputs):
+        x = buffers.get(self.in_slot)
+        if x is None:
+            raise ValueError(f"input slot {self.in_slot!r} has no producer")
+        channels = x.shape[1]
+        num_graphs = plan.graph_node_counts.shape[0]
+        pooled = _buffer(buffers, self.out_slot, (num_graphs, channels), dtype)
+        counts = np.maximum(plan.graph_node_counts, 1.0)
+        inverse = (1.0 / counts[:, None]).astype(dtype, copy=False)
+        flat = plan.pool_flat(channels)
+        batch_vector = plan.batch_vector
+        is_f32 = dtype == np.float32
+        # Weakref for the same reason as RGCNStep: a thunk capturing the
+        # plan would pin the WeakKeyDictionary entry holding it.
+        plan_ref = weakref.ref(plan)
+
+        def run() -> None:
+            use_segments = is_f32 and _scatter.reduceat_scatter_enabled()
+            sums = scatter_rows_sum(
+                x,
+                batch_vector,
+                num_graphs,
+                flat=flat,
+                segments=plan_ref().pool_segments() if use_segments else None,
+            )
+            np.multiply(sums, inverse, out=pooled)
+
+        return [run]
+
+    def describe(self) -> str:
+        return f"{self.out_slot} = mean_pool({self.in_slot})"
+
+
+class _BoundEncoder:
+    """An encoder program specialised to one ``(EdgePlan, dtype)``.
+
+    Holds the preallocated buffer pool and the flat list of bound thunks;
+    :meth:`run` is just "set the two integer inputs, execute the list".
+    """
+
+    __slots__ = ("_thunks", "_inputs", "_pooled", "_num_nodes")
+
+    def __init__(
+        self, steps: Sequence[KernelStep], plan: EdgePlan, dtype: np.dtype
+    ) -> None:
+        buffers: Dict[object, np.ndarray] = {}
+        self._inputs = _EncoderInputs()
+        self._thunks: List[Callable[[], None]] = []
+        for step in steps:
+            self._thunks.extend(step.bind(plan, buffers, dtype, self._inputs))
+        pooled = buffers.get(POOLED_SLOT)
+        if pooled is None:
+            raise ValueError("encoder lowering produced no 'pooled' slot")
+        self._pooled = pooled
+        self._num_nodes = plan.num_nodes
+
+    def run(self, token_ids: np.ndarray, node_types: np.ndarray) -> np.ndarray:
+        if token_ids.shape[0] != self._num_nodes:
+            raise ValueError(
+                f"batch has {token_ids.shape[0]} nodes, bound program expects "
+                f"{self._num_nodes}"
+            )
+        inputs = self._inputs
+        inputs.token_ids = token_ids
+        inputs.node_types = node_types
+        for thunk in self._thunks:
+            thunk()
+        return self._pooled
+
+
+class DenseStep:
+    """One affine layer of the lowered dense head (``y = x @ W (+ b)``).
+
+    Head batch sizes vary per query (R regions × C caps), so the head runs
+    on per-call outputs rather than plan-bound buffers; the bias add is in
+    place on the fresh matmul result — same values as the tensor path.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
+        self.weight = weight
+        self.bias = bias
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight
+        if self.bias is not None:
+            out += self.bias
+        return out
+
+
+class DenseHeadProgram:
+    """Lowered dense classifier: affine steps with in-place ReLU between.
+
+    Mirrors ``_DenseHead.forward`` in eval mode (dropout is the identity)
+    bit for bit, including the dtype casts at the pooled/aux boundary.
+    """
+
+    def __init__(self, steps: Sequence[DenseStep], aux_dim: int, dtype: np.dtype) -> None:
+        self.steps = list(steps)
+        self.aux_dim = aux_dim
+        self.dtype = dtype
+
+    def logits(self, pooled: np.ndarray, aux: Optional[np.ndarray]) -> np.ndarray:
+        x = np.asarray(pooled, dtype=self.dtype)
+        if self.aux_dim > 0:
+            if aux is None:
+                raise ValueError(
+                    f"head expects {self.aux_dim} auxiliary features but got none"
+                )
+            aux = np.asarray(aux, dtype=self.dtype)
+            if aux.ndim != 2 or aux.shape[1] != self.aux_dim:
+                raise ValueError(
+                    f"auxiliary features must have shape (batch, {self.aux_dim}), "
+                    f"got {aux.shape}"
+                )
+            x = np.concatenate([x, aux], axis=1)
+        last = len(self.steps) - 1
+        for index, step in enumerate(self.steps):
+            x = step.apply(x)
+            if index != last:
+                F.relu_(x)
+        return x
+
+
+class InferenceProgram:
+    """A model lowered to the autograd-free serving runtime.
+
+    Construct via ``PnPModel.compile_inference()``.  The program shares the
+    model's parameter arrays by reference and reproduces the ``Module``
+    inference path bit for bit (both dtypes); buffers are bound lazily per
+    ``(EdgePlan, dtype)`` and reused across calls, so interleaving batches
+    of different sizes is safe — each plan owns its own buffer pool.
+    """
+
+    def __init__(
+        self,
+        encoder_steps: Sequence[KernelStep],
+        head: DenseHeadProgram,
+        num_relations: int,
+        dtype: np.dtype,
+        source=None,
+    ) -> None:
+        self.encoder_steps = list(encoder_steps)
+        self.head = head
+        self.num_relations = num_relations
+        self.dtype = np.dtype(dtype)
+        self._bound: "weakref.WeakKeyDictionary[EdgePlan, _BoundEncoder]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._source = weakref.ref(source) if source is not None else None
+        # The parameter arrays this program serves, in named_parameters
+        # order.  The program's steps hold them anyway; keeping the ordered
+        # list lets stale() compare them against the model's *current*
+        # arrays by identity.
+        self._source_arrays = (
+            [param.data for param in source.parameters()] if source is not None else None
+        )
+
+    # ------------------------------------------------------------- lifetime
+    def stale(self) -> bool:
+        """Whether the source model's weights were rebound since compile.
+
+        Every weight-changing path — optimizer steps during training,
+        ``load_state_dict`` (on the model *or* any sub-module), ``astype``,
+        direct ``param.data`` assignment — rebinds parameter arrays, so the
+        program compiled earlier would keep serving the old arrays.  This
+        compares the captured arrays against the model's current parameters
+        by identity; callers (e.g. the tuner's program cache) recompile
+        when it returns True.
+        """
+        if self._source is None:
+            return False
+        model = self._source()
+        if model is None:
+            return True
+        current = [param.data for param in model.parameters()]
+        if len(current) != len(self._source_arrays):
+            return True
+        return any(
+            captured is not array
+            for captured, array in zip(self._source_arrays, current)
+        )
+
+    @property
+    def num_bound_plans(self) -> int:
+        """How many ``(EdgePlan, dtype)`` buffer bindings are currently live."""
+        return len(self._bound)
+
+    def describe(self) -> List[str]:
+        """The flat, ordered kernel-step listing (for docs/tests)."""
+        return [step.describe() for step in self.encoder_steps] + [
+            f"logits = dense_head({POOLED_SLOT}, aux)"
+        ]
+
+    # ------------------------------------------------------------- encoding
+    def _bound_encoder(self, plan: EdgePlan) -> _BoundEncoder:
+        bound = self._bound.get(plan)
+        if bound is None:
+            bound = _BoundEncoder(self.encoder_steps, plan, self.dtype)
+            self._bound[plan] = bound
+        return bound
+
+    def encode_pooled(self, batch: GraphBatch) -> np.ndarray:
+        """Pooled per-graph embedding, bit-identical to ``model.encode_pooled``.
+
+        Returns a fresh copy (the internal pooled buffer is reused across
+        calls), so callers may cache the result like the ``Module`` path's.
+        """
+        plan = batch.edge_plan(self.num_relations, dtype=self.dtype)
+        return self._bound_encoder(plan).run(batch.token_ids, batch.node_types).copy()
+
+    # -------------------------------------------------------------- serving
+    def head_logits(self, pooled: np.ndarray, aux: Optional[np.ndarray]) -> np.ndarray:
+        """Dense-head logits from a (possibly cached) pooled embedding."""
+        return self.head.logits(pooled, aux)
+
+    def predict_from_pooled(
+        self, pooled: np.ndarray, aux: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Predicted class per row — ``model.predict_from_pooled`` twin."""
+        return np.argmax(self.head.logits(pooled, aux), axis=1)
+
+    def forward_logits(self, batch: GraphBatch) -> np.ndarray:
+        """Raw class logits for a batch (encode + head, one call)."""
+        return self.head.logits(self.encode_pooled(batch), batch.aux_features)
+
+    def predict(self, batch: GraphBatch) -> np.ndarray:
+        """Predicted class per graph — ``model.predict`` twin."""
+        return np.argmax(self.forward_logits(batch), axis=1)

@@ -207,6 +207,19 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def lower(self):
+        """Lower to a raw-ndarray :class:`~repro.nn.inference.DenseStep`.
+
+        The step shares this layer's parameter arrays by reference and
+        reproduces the forward bit for bit (matmul, then in-place bias add
+        on the fresh result).
+        """
+        from repro.nn.inference import DenseStep
+
+        return DenseStep(
+            self.weight.data, self.bias.data if self.bias is not None else None
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
 
@@ -240,6 +253,17 @@ class Embedding(Module):
         if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
             raise IndexError("embedding index out of range")
         return self.weight.gather_rows(ids)
+
+    def lower(self, ids_input: str, out_slot: str, accumulate: bool = False):
+        """Lower to a raw-ndarray gather step for the inference runtime.
+
+        ``ids_input`` names the encoder input to gather by (``"token_ids"``
+        or ``"node_types"``); with ``accumulate=True`` the gathered rows add
+        into ``out_slot`` in place (the token + node-kind embedding sum).
+        """
+        from repro.nn.inference import GatherRowsStep
+
+        return [GatherRowsStep(self.weight.data, ids_input, out_slot, accumulate)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

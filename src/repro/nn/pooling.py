@@ -19,7 +19,12 @@ import numpy as np
 from repro.nn._scatter import count_index
 from repro.nn.tensor import Tensor
 
-__all__ = ["global_mean_pool", "global_sum_pool", "global_max_pool"]
+__all__ = [
+    "global_mean_pool",
+    "global_sum_pool",
+    "global_max_pool",
+    "lower_global_mean_pool",
+]
 
 
 def _check_batch(x: Tensor, batch: np.ndarray, num_graphs: int) -> np.ndarray:
@@ -64,6 +69,21 @@ def global_mean_pool(
     # exact integers in either precision).
     inverse = (1.0 / counts[:, None]).astype(x.data.dtype, copy=False)
     return sums * Tensor(inverse, dtype=inverse.dtype)
+
+
+def lower_global_mean_pool(in_slot: str, out_slot: str = "pooled"):
+    """Lower the mean-pool read-out to its raw-ndarray inference step.
+
+    The returned :class:`~repro.nn.inference.MeanPoolStep` reads the
+    per-graph node counts, flat scatter bins and (for float32 under the
+    reduceat toggle) sorted-segment schedule from the bound
+    :class:`~repro.nn.data.EdgePlan`, precomputing the reciprocal-count
+    column once per plan — bit-identical to :func:`global_mean_pool` fed
+    the same plan-derived arguments.
+    """
+    from repro.nn.inference import MeanPoolStep
+
+    return [MeanPoolStep(in_slot, out_slot)]
 
 
 def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:

@@ -186,6 +186,28 @@ class RGCNConv(Module):
             out = out + self.bias
         return out
 
+    def lower(self, in_slot: str, out_slot: str) -> list:
+        """Lower this layer to raw-ndarray steps for the inference runtime.
+
+        Returns the :class:`~repro.nn.inference.RGCNStep` reproducing
+        :meth:`_forward_planned` bit for bit on preallocated buffers; the
+        step consumes the batch's :class:`EdgePlan` (schedules and buffers
+        bind once per plan, on first use) exactly like the planned tensor
+        path.
+        """
+        from repro.nn.inference import RGCNStep
+
+        return [
+            RGCNStep(
+                weight=self.weight.data,
+                root=self.root.data,
+                bias=self.bias.data if self.bias is not None else None,
+                num_relations=self.num_relations,
+                in_slot=in_slot,
+                out_slot=out_slot,
+            )
+        ]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"RGCNConv({self.in_channels}, {self.out_channels}, "

@@ -15,7 +15,12 @@ independent — embarrassingly parallel.  The server therefore:
   round-trip) — workers never share mutable state;
 * serves each shard's regions through
   :meth:`~repro.core.tuner.PnPTuner.predict_sweep_many`, i.e. batched
-  encoding within the shard, sharding across processes.
+  encoding within the shard, sharding across processes.  Each worker lowers
+  its loaded weights into a compiled
+  :class:`~repro.nn.inference.InferenceProgram` at start-up
+  (``tuner.compile_inference()``), so shard serving runs the autograd-free
+  raw-ndarray runtime — no ``Tensor`` wrappers or graph bookkeeping on any
+  worker's hot path.
 
 Results are reassembled in input order and are byte-identical to serial
 per-region ``predict_sweep`` calls on the parent tuner (every kernel is
@@ -111,6 +116,11 @@ def _build_worker_tuner(spec: _WorkerSpec) -> PnPTuner:
         database, regions_by_app=spec.regions_by_app, seed=spec.seed
     )
     tuner.load_state_dict(serialization.load_state_dict(spec.weights_path))
+    # Lower the freshly loaded weights to the autograd-free inference
+    # program at start-up: every sweep the worker serves then runs raw
+    # ndarray kernels (no Tensor wrappers, no graph recording), and the
+    # first request pays no compile latency.
+    tuner.compile_inference()
     return tuner
 
 

@@ -85,10 +85,12 @@ class TestPredictSweep:
         caps = [40.0, 50.0, 60.0, 70.0, 85.0]
         swept = fitted_time_tuner.predict_sweep(region, caps)
         assert [r.power_cap for r in swept] == caps
-        # Reference: naive kernels, no plans, fresh encoding per candidate.
+        # Reference: naive kernels, no plans, no compiled programs, fresh
+        # encoding per candidate.
         fitted_time_tuner._embedding_cache.clear()
         try:
             _GnnEncoder.use_edge_plan = False
+            PnPTuner.use_inference_programs = False
             with _scatter.reference_kernels():
                 reference_labels = []
                 for cap in caps:
@@ -98,22 +100,25 @@ class TestPredictSweep:
                     )
         finally:
             _GnnEncoder.use_edge_plan = True
+            PnPTuner.use_inference_programs = True
             fitted_time_tuner._embedding_cache.clear()
         assert [r.label for r in swept] == reference_labels
 
     def test_runs_encoder_once_per_region(self, fitted_time_tuner, small_regions_by_app):
         region = small_regions_by_app["atax"][0]
         calls = []
-        model = fitted_time_tuner.model
-        original = model.encode_pooled
+        # Serving is routed through the compiled inference program; count
+        # encoder passes there (the Module encoder is no longer on the path).
+        program = fitted_time_tuner.compile_inference()
+        original = program.encode_pooled
         fitted_time_tuner._embedding_cache.clear()
-        model.encode_pooled = lambda batch: (calls.append(1), original(batch))[1]
+        program.encode_pooled = lambda batch: (calls.append(1), original(batch))[1]
         try:
             fitted_time_tuner.predict_sweep(region, [40.0, 60.0, 85.0])
             fitted_time_tuner.predict_sweep(region, [45.0, 55.0])
             fitted_time_tuner.predict(region, power_cap=70.0)
         finally:
-            model.encode_pooled = original
+            program.encode_pooled = original
             fitted_time_tuner._embedding_cache.clear()
         assert len(calls) == 1
 
@@ -156,6 +161,206 @@ class TestPredictSweep:
 
     def test_empty_cap_list(self, fitted_time_tuner, small_regions_by_app):
         assert fitted_time_tuner.predict_sweep(small_regions_by_app["gemm"][0], []) == []
+
+
+class TestInferenceProgramRouting:
+    """Serving goes through cached compiled programs, invalidated with the
+    weights; the point-predict warm path reuses the fingerprint-keyed
+    embedding cache without rebuilding inference samples."""
+
+    def _edp_tuner(self, small_database, small_builder, seed=0):
+        tuner = PnPTuner(
+            system="haswell",
+            objective="edp",
+            training_config=TrainingConfig(epochs=1, optimizer="adam", seed=seed),
+            database=small_database,
+            seed=seed,
+        )
+        tuner.builder = small_builder
+        tuner.fit(tuner.build_training_samples())
+        return tuner
+
+    def test_program_cached_and_reused(self, fitted_time_tuner, small_regions_by_app):
+        region = small_regions_by_app["gemm"][0]
+        fitted_time_tuner.predict_sweep(region, [40.0, 60.0])
+        program = fitted_time_tuner._programs["float64"]
+        fitted_time_tuner.predict_sweep(region, [45.0])
+        assert fitted_time_tuner._programs["float64"] is program
+        assert fitted_time_tuner.compile_inference() is program
+
+    def test_fit_invalidates_program_cache(self, small_database, small_builder):
+        tuner = self._edp_tuner(small_database, small_builder)
+        region = small_builder.regions()[0]
+        tuner.predict(region)
+        assert "float64" in tuner._programs
+        tuner.fit(tuner.build_training_samples())
+        assert tuner._programs == {}
+
+    def test_load_state_dict_invalidates_program_cache(
+        self, fitted_time_tuner, small_regions_by_app
+    ):
+        region = small_regions_by_app["gemm"][0]
+        fitted_time_tuner.predict_sweep(region, [40.0])
+        stale = fitted_time_tuner._programs["float64"]
+        fitted_time_tuner.load_state_dict(fitted_time_tuner.state_dict())
+        assert fitted_time_tuner._programs == {}
+        fitted_time_tuner.predict_sweep(region, [40.0])
+        assert fitted_time_tuner._programs["float64"] is not stale
+
+    def test_direct_model_reload_flushes_serving_caches(
+        self, fitted_time_tuner, small_regions_by_app
+    ):
+        region = small_regions_by_app["atax"][0]
+        swept = fitted_time_tuner.predict_sweep(region, [40.0, 60.0])
+        fitted_time_tuner.predict_sweep(region, [40.0], dtype="float32")
+        stale = fitted_time_tuner._programs["float64"]
+        assert len(fitted_time_tuner._embedding_cache) > 0
+        # A reload that bypasses the tuner must flush every weights-derived
+        # cache on the next query: embeddings, cast models and programs —
+        # not just recompile the program (a cached embedding computed with
+        # the old encoder must never feed the new head).
+        fitted_time_tuner.model.load_state_dict(fitted_time_tuner.model.state_dict())
+        again = fitted_time_tuner.predict_sweep(region, [40.0, 60.0])
+        assert fitted_time_tuner._programs["float64"] is not stale
+        assert "float32" not in fitted_time_tuner._cast_models
+        assert [r.label for r in again] == [r.label for r in swept]
+        fitted_time_tuner._embedding_cache.clear()
+
+    def test_program_routing_matches_module_routing(
+        self, fitted_time_tuner, small_regions_by_app
+    ):
+        region = small_regions_by_app["trisolv"][0]
+        caps = [40.0, 55.0, 70.0, 85.0]
+        fitted_time_tuner._embedding_cache.clear()
+        routed = fitted_time_tuner.predict_sweep(region, caps)
+        try:
+            PnPTuner.use_inference_programs = False
+            fitted_time_tuner._embedding_cache.clear()
+            module = fitted_time_tuner.predict_sweep(region, caps)
+        finally:
+            PnPTuner.use_inference_programs = True
+            fitted_time_tuner._embedding_cache.clear()
+        assert routed == module
+
+    def test_float32_sweep_compiles_float32_program(
+        self, fitted_time_tuner, small_regions_by_app
+    ):
+        region = small_regions_by_app["gemm"][0]
+        fitted_time_tuner.predict_sweep(region, [40.0], dtype="float32")
+        program = fitted_time_tuner._programs["float32"]
+        assert program.dtype == np.float32
+
+    def test_warm_predict_skips_sample_construction(
+        self, small_database, small_builder
+    ):
+        tuner = self._edp_tuner(small_database, small_builder, seed=2)
+        region = small_builder.regions()[1]
+        cold = tuner.predict(region)
+        calls = []
+        original = tuner.builder.inference_sample
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        tuner.builder.inference_sample = counting
+        try:
+            warm = tuner.predict(region)
+        finally:
+            tuner.builder.inference_sample = original
+        assert calls == []
+        assert warm == cold
+
+    def test_changed_region_rebuilds_sample_on_predict(
+        self, small_database, small_builder
+    ):
+        tuner = self._edp_tuner(small_database, small_builder, seed=3)
+        region = small_builder.regions()[2]
+        tuner.predict(region)
+        from dataclasses import replace as dc_replace
+
+        modified = dc_replace(region, nest_depth=region.nest_depth + 1)
+        assert modified.fingerprint() != region.fingerprint()
+        calls = []
+        original = tuner.builder.inference_sample
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        tuner.builder.inference_sample = counting
+        try:
+            tuner.predict(modified)
+        finally:
+            tuner.builder.inference_sample = original
+        assert calls == [1]
+        # Restore the session-scoped builder/database registration.
+        tuner.builder.inference_sample(region, power_cap=60.0)
+
+    def test_training_marks_program_stale(self, small_database, small_builder):
+        config = ModelConfig(
+            vocabulary_size=len(small_builder.vocabulary),
+            num_classes=small_database.search_space.num_omp_configurations,
+            aux_dim=1,
+            seed=4,
+        )
+        model = PnPModel(config)
+        program = model.compile_inference()
+        assert not program.stale()
+        train_model(
+            model, small_builder.performance_samples()[:16], TrainingConfig(epochs=1, seed=4)
+        )
+        # The optimizer rebound every parameter array: the pre-training
+        # program must report stale so caches recompile.
+        assert program.stale()
+
+    def test_counters_predict_rebuilds_sample_on_warm_cache(
+        self, small_database, small_builder
+    ):
+        """The dynamic (counters) variant must not pair a cached embedding
+        with counters profiled for a different registration of the id."""
+        tuner = PnPTuner(
+            system="haswell",
+            objective="edp",
+            include_counters=True,
+            training_config=TrainingConfig(epochs=1, optimizer="adam", seed=5),
+            database=small_database,
+            seed=5,
+        )
+        tuner.builder = small_builder
+        tuner.fit(tuner.build_training_samples())
+        region = small_builder.regions()[0]
+        cold = tuner.predict(region)
+        calls = []
+        original = tuner.builder.inference_sample
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        tuner.builder.inference_sample = counting
+        try:
+            warm = tuner.predict(region)
+        finally:
+            tuner.builder.inference_sample = original
+        # Warm in the embedding cache, but the sample (and its counters) is
+        # rebuilt so the aux row always matches this region version.
+        assert calls == [1]
+        assert warm == cold
+
+    def test_predict_samples_routes_through_program(self, fitted_time_tuner, perf_samples):
+        program = fitted_time_tuner.compile_inference()
+        calls = []
+        original = program.encode_pooled
+        program.encode_pooled = lambda batch: (calls.append(1), original(batch))[1]
+        try:
+            results = fitted_time_tuner.predict_samples(perf_samples[:8])
+        finally:
+            program.encode_pooled = original
+        assert calls  # the experiments path runs the compiled runtime
+        assert [r.label for r in results] == [
+            int(l) for l in predict_labels(fitted_time_tuner.model, perf_samples[:8])
+        ]
 
 
 class TestGroupedPredictLabels:

@@ -9,6 +9,7 @@ keys: a region resubmitted under a known id with changed characteristics
 must re-encode instead of serving the stale embedding.
 """
 
+import contextlib
 from dataclasses import replace
 
 import numpy as np
@@ -19,6 +20,26 @@ from repro.core.training import TrainingConfig
 from repro.core.tuner import PnPTuner
 
 CAPS = [40.0, 50.0, 60.0, 70.0, 85.0]
+
+
+@contextlib.contextmanager
+def counted_encoder(tuner):
+    """Count encoder passes (graphs per pass) on the tuner's serving path.
+
+    Serving runs through the compiled inference program, so the counter
+    wraps ``program.encode_pooled`` — the single encoder entry point for
+    predict/predict_sweep/predict_sweep_many.
+    """
+    calls = []
+    program = tuner.compile_inference()
+    original = program.encode_pooled
+    program.encode_pooled = (
+        lambda batch: (calls.append(batch.num_graphs), original(batch))[1]
+    )
+    try:
+        yield calls
+    finally:
+        program.encode_pooled = original
 
 
 @pytest.fixture(scope="module")
@@ -80,29 +101,15 @@ class TestBatchedEquivalence:
 
     def test_runs_encoder_once_for_all_regions(self, fleet_tuner, suite_regions):
         fleet_tuner._embedding_cache.clear()
-        calls = []
-        original = fleet_tuner.model.encode_pooled
-        fleet_tuner.model.encode_pooled = (
-            lambda batch: (calls.append(batch.num_graphs), original(batch))[1]
-        )
-        try:
+        with counted_encoder(fleet_tuner) as calls:
             fleet_tuner.predict_sweep_many(suite_regions, CAPS)
-        finally:
-            fleet_tuner.model.encode_pooled = original
         assert calls == [len(suite_regions)]
 
     def test_warm_cache_skips_encoding(self, fleet_tuner, suite_regions):
         fleet_tuner._embedding_cache.clear()
         first = fleet_tuner.predict_sweep_many(suite_regions, CAPS)
-        calls = []
-        original = fleet_tuner.model.encode_pooled
-        fleet_tuner.model.encode_pooled = (
-            lambda batch: (calls.append(batch.num_graphs), original(batch))[1]
-        )
-        try:
+        with counted_encoder(fleet_tuner) as calls:
             second = fleet_tuner.predict_sweep_many(suite_regions, CAPS)
-        finally:
-            fleet_tuner.model.encode_pooled = original
         assert calls == []
         assert second == first
 
@@ -110,15 +117,8 @@ class TestBatchedEquivalence:
         fleet_tuner._embedding_cache.clear()
         warm = suite_regions[:3]
         fleet_tuner.predict_sweep_many(warm, CAPS)
-        calls = []
-        original = fleet_tuner.model.encode_pooled
-        fleet_tuner.model.encode_pooled = (
-            lambda batch: (calls.append(batch.num_graphs), original(batch))[1]
-        )
-        try:
+        with counted_encoder(fleet_tuner) as calls:
             results = fleet_tuner.predict_sweep_many(suite_regions, CAPS)
-        finally:
-            fleet_tuner.model.encode_pooled = original
         # Only the cold regions hit the encoder, in one batch.
         assert calls == [len(suite_regions) - len(warm)]
         fleet_tuner._embedding_cache.clear()
@@ -128,15 +128,8 @@ class TestBatchedEquivalence:
     def test_duplicate_regions_encoded_once(self, fleet_tuner, suite_regions):
         fleet_tuner._embedding_cache.clear()
         region = suite_regions[0]
-        calls = []
-        original = fleet_tuner.model.encode_pooled
-        fleet_tuner.model.encode_pooled = (
-            lambda batch: (calls.append(batch.num_graphs), original(batch))[1]
-        )
-        try:
+        with counted_encoder(fleet_tuner) as calls:
             results = fleet_tuner.predict_sweep_many([region, region, region], CAPS)
-        finally:
-            fleet_tuner.model.encode_pooled = original
         assert calls == [1]
         assert results[0] == results[1] == results[2]
 
@@ -188,15 +181,8 @@ class TestFingerprintedCache:
         modified = self._modified(region)
         assert modified.region_id == region.region_id
         assert modified.fingerprint() != region.fingerprint()
-        calls = []
-        original = fleet_tuner.model.encode_pooled
-        fleet_tuner.model.encode_pooled = (
-            lambda batch: (calls.append(1), original(batch))[1]
-        )
-        try:
+        with counted_encoder(fleet_tuner) as calls:
             fleet_tuner.predict_sweep(modified, CAPS)
-        finally:
-            fleet_tuner.model.encode_pooled = original
         # The stale embedding must NOT be served: the modified region
         # re-encodes and both variants coexist under distinct keys.
         assert calls == [1]

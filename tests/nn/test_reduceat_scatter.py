@@ -101,6 +101,52 @@ class TestReduceatKernel:
         _scatter.set_reduceat_scatter(previous)
 
 
+class TestAutoCalibration:
+    """``set_reduceat_scatter("auto")``: one-shot cached microcalibration."""
+
+    def test_auto_measures_once_and_caches(self, monkeypatch):
+        # Seed the cache with a known verdict: "auto" must apply it without
+        # re-measuring.
+        monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", True)
+        previous = _scatter.set_reduceat_scatter("auto")
+        try:
+            assert _scatter.reduceat_scatter_enabled() is True
+        finally:
+            _scatter.set_reduceat_scatter(previous)
+        monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", False)
+        previous = _scatter.set_reduceat_scatter("auto")
+        try:
+            assert _scatter.reduceat_scatter_enabled() is False
+        finally:
+            _scatter.set_reduceat_scatter(previous)
+
+    def test_calibration_returns_bool_and_is_cached(self, monkeypatch):
+        monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", None)
+        verdict = _scatter._calibrate_reduceat(
+            num_rows=2_000, num_buckets=400, channels=8, repeats=1
+        )
+        assert isinstance(verdict, bool)
+        # Cached: a second call ignores (different) arguments entirely.
+        assert (
+            _scatter._calibrate_reduceat(num_rows=1, num_buckets=1, channels=1)
+            is verdict
+        )
+
+    def test_auto_sets_global_and_returns_previous(self, monkeypatch):
+        monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", None)
+        assert not _scatter.reduceat_scatter_enabled()
+        previous = _scatter.set_reduceat_scatter("auto")
+        try:
+            assert previous is False
+            assert _scatter.reduceat_scatter_enabled() == _scatter._AUTO_REDUCEAT
+        finally:
+            _scatter.set_reduceat_scatter(previous)
+
+    def test_rejects_unknown_strings(self):
+        with pytest.raises(ValueError):
+            _scatter.set_reduceat_scatter("always")
+
+
 class TestPlannedLayerWithReduceat:
     def _layer_and_plan(self):
         rng = np.random.default_rng(0)
