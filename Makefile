@@ -2,17 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: test bench-smoke bench-engine bench
+.PHONY: test lint coverage bench-smoke bench-engine shuffle-study bench
 
 # Tier-1 verification: the full unit test suite.
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
+# Static checks (CI `lint` job): ruff check over the whole tree (pyflakes +
+# pycodestyle subsets, config in pyproject.toml) plus ruff's formatter in
+# check mode over the trees whose formatting has been normalised.
+lint:
+	$(PYTHON) -m ruff check .
+	$(PYTHON) -m ruff format --check src/repro/serve tools
+
+# Coverage with an asserted floor for the serving subsystem (CI `coverage`
+# job): writes coverage.xml (Cobertura) and fails if src/repro/serve drops
+# below the floor enforced by tools/check_coverage.py.
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=xml --cov-report=term
+	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 70
+
 # Fast perf-regression check for the message-passing engine and the serving
 # stack; fails when an engine path stops beating the retained seed reference
 # paths, the batched multi-region sweep stops beating serial sweeps, or the
 # compiled autograd-free inference program stops beating the Module forward.
-# Writes per-axis medians to benchmarks/results/BENCH_4.json (CI artifact).
+# Writes per-axis medians to benchmarks/results/BENCH_<n>.json and the
+# stable benchmarks/results/BENCH_latest.json copy CI uploads as the
+# `perf-trajectory` artifact.
 bench-smoke:
 	$(PYTHON) -m benchmarks.bench_engine --smoke
 

@@ -33,7 +33,13 @@ A third axis covers **fleet serving**:
 * ``serve_shards`` — the same multi-region sweep through
   :class:`repro.serve.SweepServer` with 1 vs. 2 worker processes (shard
   scaling tracks the machine's available cores; the JSON records
-  ``cpu_count`` so single-core containers are read correctly).
+  ``cpu_count`` so single-core containers are read correctly);
+* ``serve_fleet`` — the same multi-region sweep through a 2-node
+  :class:`repro.serve.LocalFleet` (the full TCP RPC wire path: registration
+  ships the weights once, each node batch-encodes its shard) against the
+  in-process serial loop, measuring what the wire costs; results are
+  asserted byte-identical before timing, and ``cpu_count`` is recorded for
+  the same single-core caveat as ``serve_shards``.
 
 A fourth axis covers the **autograd-free inference runtime**
 (``inference_runtime``): the compiled
@@ -50,8 +56,11 @@ sweep stops beating serial per-region sweeps, or the compiled inference
 program stops beating the Module forward on the batched cold sweep.
 Results are printed as a table and written to
 ``benchmarks/results/bench_engine.json``; per-axis medians (the cross-PR
-perf trajectory) additionally go to ``benchmarks/results/BENCH_4.json``
-for the CI artifact upload.
+perf trajectory) additionally go to the numbered
+``benchmarks/results/{BENCH_NAME}.json`` *and* to the stable
+``benchmarks/results/BENCH_latest.json`` copy that CI uploads under the
+fixed artifact name ``perf-trajectory`` — the artifact name no longer
+changes per PR, only the ``bench`` field inside the payload does.
 """
 
 from __future__ import annotations
@@ -62,13 +71,11 @@ import statistics
 import sys
 import time
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 import numpy as np
 
 if __package__ in (None, ""):  # direct script execution
-    import os
-
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     import benchmarks  # noqa: F401  (bootstraps sys.path)
 
@@ -83,7 +90,13 @@ from repro.nn import _scatter, precision
 from repro.nn.data import GraphDataLoader, build_edge_plan, collate_graphs
 from repro.nn.rgcn import RGCNConv
 from repro.nn.tensor import Tensor, no_grad
-from repro.serve import SweepServer
+from repro.serve import LocalFleet, SweepServer
+
+#: The numbered perf-trajectory payload of this PR's bench run.  CI uploads
+#: the ``BENCH_latest.json`` copy under the stable artifact name
+#: ``perf-trajectory``, so only this constant moves per PR — never the
+#: artifact name or the workflow file.
+BENCH_NAME = "BENCH_5"
 
 # Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
@@ -485,6 +498,65 @@ def bench_serve_shards(
     return row
 
 
+def bench_serve_fleet(
+    tuner, builder, rounds: int, num_caps: int, num_regions: int
+) -> Dict[str, float]:
+    """Multi-node TCP fleet serving vs. the in-process serial sweep loop.
+
+    A 2-node :class:`repro.serve.LocalFleet` exercises the full wire path —
+    node subprocesses, one-time spec + ``.npz``-bytes registration,
+    content-hash sharding, length-prefixed pickle framing, concurrent
+    per-node requests — against the serial in-process ``predict_sweep``
+    loop.  Node start-up and registration happen once per fleet and are
+    excluded; each timed round clears every node's caches so sweeps
+    re-encode their shard cold (symmetrically, the serial side clears the
+    parent's embedding cache).  Like ``serve_shards``, scaling tracks the
+    machine's cores and the JSON records ``cpu_count``: on a single-core
+    container the axis measures the RPC overhead floor, not the multi-node
+    speedup.
+    """
+    space = tuner.search_space
+    regions = _serving_regions(builder, num_regions)
+    caps = [
+        float(c)
+        for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)
+    ]
+    tuner._embedding_cache.clear()
+    expected = [tuner.predict_sweep(region, caps) for region in regions]
+
+    def serial() -> None:
+        tuner._embedding_cache.clear()
+        for region in regions:
+            tuner.predict_sweep(region, caps)
+
+    row: Dict[str, float] = {
+        "num_regions": len(regions),
+        "num_caps": num_caps,
+        "num_nodes": 2.0,
+        "cpu_count": float(os.cpu_count() or 1),
+    }
+    with LocalFleet(tuner, num_nodes=2) as fleet:
+        if fleet.sweep(regions, caps) != expected:
+            raise AssertionError("fleet sweep disagrees with the serial path")
+
+        def fleet_sweep() -> None:
+            fleet.clear_caches()
+            fleet.sweep(regions, caps)
+
+        stats = _pair_stats(serial, fleet_sweep, rounds)
+    row.update(
+        {
+            "serial_s": stats["first_s"],
+            "fleet_s": stats["second_s"],
+            "fleet_speedup": stats["first_s"] / stats["second_s"],
+            "serial_median_s": stats["first_median_s"],
+            "fleet_median_s": stats["second_median_s"],
+            "median_fleet_speedup": stats["first_median_s"] / stats["second_median_s"],
+        }
+    )
+    return row
+
+
 def bench_inference_runtime(
     tuner, builder, rounds: int, num_caps: int, num_regions: int = 16, with_f32: bool = True
 ) -> Dict[str, float]:
@@ -679,18 +751,30 @@ def bench_scatter_mp(rounds: int) -> Dict[str, float]:
     return row
 
 
-def _bench4_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
-    """Per-axis medians for the cross-PR perf trajectory (BENCH_4.json)."""
+def _trajectory_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
+    """Per-axis medians for the cross-PR perf trajectory.
+
+    Written twice: to the numbered ``{BENCH_NAME}.json`` and to the stable
+    ``BENCH_latest.json`` copy CI uploads as the ``perf-trajectory``
+    artifact.
+    """
     axes: Dict[str, Dict[str, float]] = {}
     for name, row in results.items():
         axes[name] = {
             key: value for key, value in row.items() if "median" in key
         }
-        for context_key in ("num_regions", "num_caps", "cpu_count", "reduceat_default_on"):
+        context_keys = (
+            "num_regions",
+            "num_caps",
+            "num_nodes",
+            "cpu_count",
+            "reduceat_default_on",
+        )
+        for context_key in context_keys:
             if context_key in row:
                 axes[name][context_key] = row[context_key]
     return {
-        "bench": "BENCH_4",
+        "bench": BENCH_NAME,
         "mode": mode,
         "cpu_count": os.cpu_count() or 1,
         "axes": axes,
@@ -730,6 +814,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         tuner, builder, rounds, num_caps, serve_regions
     )
     print("  serve_shards done")
+    results["serve_fleet"] = bench_serve_fleet(
+        tuner, builder, rounds, num_caps, serve_regions
+    )
+    print("  serve_fleet done")
     if with_f32:
         results["scatter_mp"] = bench_scatter_mp(rounds)
         print("  scatter_mp done")
@@ -760,6 +848,11 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
                 f"{name:<14}{row['workers1_s'] * 1e3:>10.1f}ms{row['workers2_s'] * 1e3:>10.1f}ms"
                 f"{row['shard_speedup']:>9.2f}x"
             )
+        elif name == "serve_fleet":
+            cells = (
+                f"{name:<14}{row['serial_s'] * 1e3:>10.1f}ms{row['fleet_s'] * 1e3:>10.1f}ms"
+                f"{row['fleet_speedup']:>9.2f}x"
+            )
         else:  # scatter_mp: pure f32-vs-f64 microbenchmark
             cells = f"{name:<14}{'-':>12}{row['f64_s'] * 1e3:>10.1f}ms{'-':>10}"
         if "f32_speedup" in row:
@@ -779,6 +872,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     print(
         f"serve_shards: {results['serve_shards']['shard_speedup']:.2f}x with 2 workers "
         f"on {os.cpu_count() or 1} core(s)"
+    )
+    print(
+        f"serve_fleet: {results['serve_fleet']['fleet_speedup']:.2f}x with 2 TCP nodes "
+        f"vs the in-process serial loop on {os.cpu_count() or 1} core(s)"
     )
     runtime = results["inference_runtime"]
     f32_note = (
@@ -800,8 +897,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     }
     path = figure_cache.save_json("bench_engine", payload)
     print(f"\nJSON written to {path}")
-    bench4_path = figure_cache.save_json("BENCH_4", _bench4_payload(mode, results))
-    print(f"per-axis medians written to {bench4_path}")
+    trajectory = _trajectory_payload(mode, results)
+    numbered_path = figure_cache.save_json(BENCH_NAME, trajectory)
+    latest_path = figure_cache.save_json("BENCH_latest", trajectory)
+    print(f"per-axis medians written to {numbered_path} (+ stable copy {latest_path})")
 
     if smoke:
         failures = [

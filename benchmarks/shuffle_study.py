@@ -21,9 +21,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List, Union
+from typing import Dict
 
-import numpy as np
 
 if __package__ in (None, ""):  # direct script execution
     import os

@@ -3,15 +3,19 @@
 
 The paper's headline use-case is tuning *every* parallel region of an
 application suite.  This script trains the PnP tuner once and then answers a
-power-cap sweep for the whole 68-region suite three ways —
+power-cap sweep for the whole 68-region suite four ways —
 
 1. serially (one ``predict_sweep`` per region),
 2. batched (``predict_sweep_many``: one collated GNN pass for all cache-miss
    regions, one dense-head product for all region × cap pairs),
 3. sharded (``repro.serve.SweepServer``: regions deterministically sharded
    over worker processes, each holding a read-only weight copy),
+4. fleet (``repro.serve.LocalFleet``: the same sweep over TCP
+   ``NodeServer`` subprocesses — the full multi-node wire path, with the
+   spec + ``.npz`` weight bytes shipped once at registration and each
+   node batch-encoding its content-hash shard),
 
-verifies that all three agree exactly, and prints the wall-clock of each.
+verifies that all four agree exactly, and prints the wall-clock of each.
 
 Every path runs the **compiled inference runtime**: the fitted weights are
 lowered once (``tuner.compile_inference()``) into a flat raw-ndarray kernel
@@ -22,7 +26,7 @@ script asserts the compiled program is bit-identical to the retained
 
 Run with::
 
-    python examples/fleet_serving.py [--epochs 10] [--workers 2]
+    python examples/fleet_serving.py [--epochs 10] [--workers 2] [--nodes 2]
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ import time
 import numpy as np
 
 from repro.core import PnPTuner, TrainingConfig
-from repro.serve import SweepServer
+from repro.serve import LocalFleet, SweepServer
 
 
 def main() -> None:
@@ -41,6 +45,7 @@ def main() -> None:
     parser.add_argument("--system", default="haswell", choices=["haswell", "skylake"])
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--nodes", type=int, default=2)
     parser.add_argument("--num-caps", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
@@ -74,7 +79,7 @@ def main() -> None:
         program.encode_pooled(probe).tobytes() == tuner.model.encode_pooled(probe).tobytes()
     ), "compiled inference program must match the Module encoder bit for bit"
     print(f"Compiled inference program: {len(program.describe())} kernel steps, "
-          f"bit-identical to the Module path")
+          "bit-identical to the Module path")
 
     print(f"Sweeping {len(regions)} regions x {len(caps)} power caps...")
 
@@ -112,9 +117,20 @@ def main() -> None:
         sharded = server.sweep(regions, caps)
         sharded_s = time.perf_counter() - start
 
+    # The multi-node wire path: N TCP NodeServer subprocesses, spec +
+    # weight bytes registered once, every sweep sharded by content hash and
+    # multiplexed concurrently over the node sockets.
+    with LocalFleet(tuner, num_nodes=args.nodes) as local_fleet:
+        fleet_results = local_fleet.sweep(regions, caps)  # nodes encode cold
+        local_fleet.clear_caches()
+        start = time.perf_counter()
+        fleet_results = local_fleet.sweep(regions, caps)
+        fleet_s = time.perf_counter() - start
+
     assert serial == module_serial, "compiled runtime must match the Module path"
     assert batched == serial, "batched sweep must match the serial path"
     assert sharded == serial, "sharded sweep must match the serial path"
+    assert fleet_results == serial, "fleet sweep must match the serial path"
 
     print(f"  module  : {module_s * 1e3:7.1f} ms (Module/Tensor forward, no program)")
     print(f"  serial  : {serial_s * 1e3:7.1f} ms ({module_s / serial_s:.2f}x, compiled program)")
@@ -122,6 +138,10 @@ def main() -> None:
     print(
         f"  sharded : {sharded_s * 1e3:7.1f} ms ({serial_s / sharded_s:.2f}x vs serial, "
         f"{args.workers} workers)"
+    )
+    print(
+        f"  fleet   : {fleet_s * 1e3:7.1f} ms ({serial_s / fleet_s:.2f}x vs serial, "
+        f"{args.nodes} TCP nodes)"
     )
 
     best = serial[0][0]

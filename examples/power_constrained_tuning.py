@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import logging
 
-from repro.experiments import run_motivating_example, run_power_constrained, smoke_profile, fast_profile
+from repro.experiments import run_motivating_example, run_power_constrained, fast_profile
 from repro.utils.logging import enable_console
 
 

@@ -68,7 +68,7 @@ def main() -> None:
     print(f"  oracle  ({oracle_config.label()}): {oracle.time_s * 1e6:8.1f} us "
           f"(speedup {default.time_s / oracle.time_s:.2f}x)")
     print(f"  PnP reaches {oracle.time_s / predicted.time_s:.1%} of the oracle's performance "
-          f"without executing the region.")
+          "without executing the region.")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ operations — which is the signal the model needs.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -16,11 +16,9 @@ from typing import Dict, List
 
 from repro.benchsuite.characteristics import (
     amr_block_kernel,
-    dense_linear_algebra,
     monte_carlo_lookup,
     small_boundary_kernel,
     sparse_matvec,
-    stencil,
     streaming_blas2,
 )
 from repro.openmp.region import ImbalancePattern, RegionCharacteristics

@@ -13,9 +13,8 @@ functions here turn those selections into the quantities the paper reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.measurements import MeasurementDatabase
 from repro.openmp.config import OpenMPConfig

@@ -10,7 +10,6 @@ exactly as they would when measured on one physical node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.search_space import SearchSpace

@@ -28,7 +28,7 @@ per-layer path, retained as a bit-identical reference).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

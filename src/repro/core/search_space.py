@@ -15,7 +15,7 @@ default OpenMP configuration at each of the four caps — the paper's 508
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.hw.processor import get_processor
 from repro.openmp.config import OpenMPConfig, ScheduleKind, default_config

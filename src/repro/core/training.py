@@ -16,13 +16,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.dataset import LabeledSample
-from repro.core.model import ModelConfig, PnPModel
+from repro.core.model import PnPModel
 from repro.nn import functional as F
 from repro.nn import precision
 from repro.nn.data import GraphDataLoader, collate_graphs
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.optim import Adam, AdamW, Optimizer, SGD
-from repro.nn.tensor import Tensor
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
 

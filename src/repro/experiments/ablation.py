@@ -18,13 +18,11 @@ import numpy as np
 
 from repro.core import evaluation
 from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
-from repro.core.model import PnPModel
-from repro.core.training import predict_labels, train_model
 from repro.core.tuner import labels_to_performance_selections
 from repro.experiments.common import experiment_builder, pnp_cross_validated_selections
 from repro.experiments.profiles import ExperimentProfile, fast_profile
 from repro.experiments.reporting import format_summary
-from repro.graphs.features import STATIC_FEATURE_NAMES, static_feature_vector
+from repro.graphs.features import static_feature_vector
 from repro.nn import functional as F
 from repro.nn.layers import Linear, Module
 from repro.nn.losses import CrossEntropyLoss

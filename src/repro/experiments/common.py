@@ -10,7 +10,7 @@ counterparts — sharding is purely a wall-clock decision.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.benchsuite.registry import regions_by_application
 from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
@@ -30,7 +30,7 @@ from repro.core.tuner import (
 from repro.experiments.profiles import ExperimentProfile
 from repro.openmp.config import OpenMPConfig
 from repro.openmp.region import RegionCharacteristics
-from repro.serve import SweepServer, parallel_map
+from repro.serve import FleetClient, LocalFleet, SweepServer, parallel_map
 from repro.tuners.base import BaselineTuner
 from repro.utils.logging import get_logger
 
@@ -156,6 +156,7 @@ def sharded_performance_selections(
     power_caps: Sequence[float],
     num_workers: int = 2,
     server: Optional[SweepServer] = None,
+    fleet: Optional[Union[FleetClient, LocalFleet]] = None,
 ) -> Dict[Tuple[str, float], OpenMPConfig]:
     """Per-figure region × cap loop served by a sharded worker pool.
 
@@ -164,16 +165,23 @@ def sharded_performance_selections(
     :meth:`~repro.core.tuner.PnPTuner.predict_sweep_many`.  The returned
     ``{(region_id, cap): config}`` selections are identical to looping
     ``tuner.predict_sweep`` serially.  Pass an existing ``server`` to reuse
-    a warm pool across several calls (it is then left open).
+    a warm pool across several calls (it is then left open), or a ``fleet``
+    (a :class:`~repro.serve.FleetClient` with the tuner already registered,
+    or a :class:`~repro.serve.LocalFleet`) to route the sweep over TCP
+    nodes instead of local worker processes — also left open, and still
+    byte-identical to the serial loop.
     """
-    owned = server is None
-    if server is None:
-        server = SweepServer.from_tuner(tuner, num_workers=num_workers)
-    try:
-        swept = server.sweep(regions, power_caps)
-    finally:
-        if owned:
-            server.close()
+    if fleet is not None:
+        swept = fleet.sweep(regions, power_caps)
+    else:
+        owned = server is None
+        if server is None:
+            server = SweepServer.from_tuner(tuner, num_workers=num_workers)
+        try:
+            swept = server.sweep(regions, power_caps)
+        finally:
+            if owned:
+                server.close()
     selections: Dict[Tuple[str, float], OpenMPConfig] = {}
     for region, results in zip(regions, swept):
         for result in results:

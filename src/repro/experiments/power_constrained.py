@@ -15,12 +15,11 @@ speedup, exactly as the paper's figures do (the oracle is always 1.0).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import evaluation
 from repro.core.dataset import TuningScenario
 from repro.core.evaluation import PerformanceRecord
-from repro.core.measurements import MeasurementDatabase
 from repro.experiments.common import (
     baseline_performance_selections,
     default_performance_selections,

@@ -12,8 +12,8 @@ every experiment runner accepts a profile:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
 
 from repro.core.model import ModelConfig
 from repro.core.training import GroupedApplicationKFold, LeaveOneApplicationOut, TrainingConfig

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import evaluation
-from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
+from repro.core.dataset import DatasetBuilder, TuningScenario
 from repro.core.evaluation import PerformanceRecord
 from repro.core.model import PnPModel
 from repro.core.training import predict_labels, train_model
@@ -27,7 +27,6 @@ from repro.experiments.common import (
 from repro.experiments.profiles import ExperimentProfile, fast_profile
 from repro.experiments.reporting import format_per_application_series, format_summary
 from repro.utils.logging import get_logger
-from repro.utils.stats import geometric_mean
 
 __all__ = ["UnseenPowerResult", "run_unseen_power"]
 

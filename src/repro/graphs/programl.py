@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.graphs.flowgraph import EdgeRelation, FlowGraph, NodeKind
 from repro.ir.function import Function
-from repro.ir.instructions import Call, Instruction, Phi
+from repro.ir.instructions import Call, Instruction
 from repro.ir.module import Module
 from repro.ir.values import Argument, Constant, GlobalVariable, Value
 

@@ -8,7 +8,7 @@ nest in the benchmark suite's code generators.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.ir import instructions as instr
 from repro.ir import types as irt

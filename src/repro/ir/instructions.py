@@ -9,10 +9,10 @@ token stream for the vocabulary/embedding stage.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 from repro.ir.types import FloatType, IRType, IntType, PointerType, i1, void
-from repro.ir.values import Constant, Value
+from repro.ir.values import Value
 
 __all__ = [
     "Instruction",

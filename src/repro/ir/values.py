@@ -7,7 +7,7 @@ their own graph nodes).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from repro.ir.types import IRType, FloatType, IntType, PointerType
 

@@ -14,7 +14,7 @@ trains with ``float32`` optimizer state and updates, with no hidden
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

@@ -35,7 +35,7 @@ tests (and when touching kernels) to prove a ``float32`` step stays
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional, Union
+from typing import Iterator, Union
 
 import numpy as np
 

@@ -20,7 +20,7 @@ bit-identical reference implementation.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -29,7 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.hw.machine import Machine
 from repro.hw.papi import PapiCounters

@@ -12,8 +12,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict
 
 __all__ = ["ImbalancePattern", "RegionCharacteristics"]
 

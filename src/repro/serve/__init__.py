@@ -1,6 +1,6 @@
 """Fleet-scale serving for the PnP tuner.
 
-The serving stack has two layers:
+The serving stack has three layers:
 
 * **batch within a shard** — :meth:`repro.core.tuner.PnPTuner.predict_sweep_many`
   collates every cache-miss region graph of a multi-region sweep into one
@@ -8,21 +8,37 @@ The serving stack has two layers:
 * **shard across processes** — :class:`SweepServer` partitions regions over a
   pool of worker processes with a deterministic content-hash assignment; each
   worker holds a read-only copy of the fitted weights (serialized once via
-  the ``.npz`` round-trip) and its own pooled-embedding LRU cache.
+  the ``.npz`` round-trip) and its own pooled-embedding LRU cache;
+* **shard across machines** — :class:`NodeServer` wraps the same read-only
+  serving tuner behind a TCP socket (length-prefixed RPC,
+  :mod:`repro.serve.rpc`), and :class:`FleetClient` shards regions over the
+  nodes with the same content hash, ships the spec + ``.npz`` weight bytes
+  once at registration, multiplexes per-node batched requests concurrently,
+  and rebalances onto the surviving nodes when a node drops mid-sweep.
+  :class:`LocalFleet` spins N node subprocesses on localhost so the full
+  wire path is exercisable on one machine.
 
-Both layers are byte-identical to the serial per-region
+Every layer is byte-identical to the serial per-region
 ``PnPTuner.predict_sweep`` path (asserted by ``tests/serve``), so sharded
-serving is purely a throughput decision.
+serving — local or multi-node — is purely a throughput decision.
 
 :func:`parallel_map` is the small deterministic process-pool primitive the
 experiment runners reuse to shard cross-validation folds and per-figure
 region loops.
 """
 
-from repro.serve.server import (
-    SweepServer,
-    parallel_map,
-    shard_assignments,
-)
+from repro.serve.fleet import FleetClient, LocalFleet
+from repro.serve.node import NodeServer
+from repro.serve.server import SweepServer, parallel_map
+from repro.serve.sharding import shard_assignments, shard_for_region, shard_positions
 
-__all__ = ["SweepServer", "parallel_map", "shard_assignments"]
+__all__ = [
+    "FleetClient",
+    "LocalFleet",
+    "NodeServer",
+    "SweepServer",
+    "parallel_map",
+    "shard_assignments",
+    "shard_for_region",
+    "shard_positions",
+]

@@ -1,0 +1,373 @@
+"""Multi-node fleet serving: :class:`FleetClient` and :class:`LocalFleet`.
+
+:class:`FleetClient` is the machine-boundary analogue of
+:class:`~repro.serve.server.SweepServer`: it holds one TCP connection per
+:class:`~repro.serve.node.NodeServer`, ships the picklable tuner spec plus
+the ``.npz`` weight bytes **once** at registration, and serves fleet sweeps
+by
+
+* assigning each region to a live node with the same deterministic blake2s
+  content hash every serving layer uses (:mod:`repro.serve.sharding`);
+* batching each node's share into one ``predict_sweep_many``-style request
+  (one collated GNN pass per node);
+* multiplexing the per-node requests concurrently over the sockets; and
+* **rebalancing onto the surviving nodes** when a node drops mid-sweep —
+  the dead node's regions are re-sharded over the remaining nodes and
+  retried, so a sweep completes as long as one node survives.
+
+Results are reassembled in input order and are byte-identical to serial
+per-region ``predict_sweep`` on the parent tuner at float64 and float32
+(``tests/serve/test_fleet.py``) — node count and node loss are pure
+throughput/availability events, never correctness events.
+
+:class:`LocalFleet` spins ``num_nodes`` :class:`NodeServer` subprocesses on
+localhost and registers a fitted tuner with all of them, so tests, examples
+and benchmarks exercise the full wire path (framing, registration,
+sharded sweeps, rebalance) on one machine::
+
+    with LocalFleet(tuner, num_nodes=2) as fleet:
+        results = fleet.sweep(regions, power_caps)   # == serial predict_sweep
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.tuner import PnPTuner, TuningResult
+from repro.openmp.region import RegionCharacteristics
+from repro.serve import rpc
+from repro.serve.node import node_subprocess_main
+from repro.serve.sharding import shard_positions
+from repro.serve.spec import default_start_method, tuner_spec, weights_blob
+from repro.utils.logging import get_logger
+
+__all__ = ["FleetClient", "LocalFleet"]
+
+_LOG = get_logger("serve.fleet")
+
+
+class _Node:
+    """One fleet node: its endpoint, socket and a per-socket send/recv lock."""
+
+    def __init__(
+        self, index: int, address: Tuple[str, int], connect_timeout: Optional[float]
+    ) -> None:
+        self.index = index
+        self.address = address
+        self.sock = socket.create_connection(address, timeout=connect_timeout)
+        # The timeout above bounds connection *establishment* only.  Requests
+        # then block indefinitely, like the worker pool's pipes: a dead node
+        # surfaces immediately as EOF/RST (ConnectionClosed → rebalance),
+        # whereas a merely *slow* node (a big cold shard on a loaded machine)
+        # must never be misclassified as dead — a per-recv timeout here would
+        # drop it and cascade its load onto the survivors.
+        self.sock.settimeout(None)
+        self.lock = threading.Lock()
+
+    def request(self, payload: Tuple):
+        with self.lock:
+            return rpc.request(self.sock, payload)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class FleetClient:
+    """Sharded sweep serving over a fleet of TCP :class:`NodeServer` nodes.
+
+    Connect, register a fitted tuner once, then :meth:`sweep` any number of
+    times; close explicitly or use as a context manager.  A node that drops
+    is removed from the live set for the client's remaining lifetime, and
+    its share of any in-flight sweep is rebalanced onto the survivors.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        connect_timeout: Optional[float] = 60.0,
+    ) -> None:
+        if not addresses:
+            raise ValueError("a fleet needs at least one node address")
+        self._nodes: Dict[int, _Node] = {}
+        try:
+            for index, address in enumerate(addresses):
+                self._nodes[index] = _Node(index, tuple(address), connect_timeout)
+        except OSError:
+            self.close()
+            raise
+        self._closed = False
+
+    # ------------------------------------------------------------- topology
+    @property
+    def alive_nodes(self) -> List[int]:
+        """Indices (into the constructor's address list) of the live nodes."""
+        return sorted(self._nodes)
+
+    def _drop_node(self, index: int, reason: str) -> None:
+        node = self._nodes.pop(index, None)
+        if node is not None:
+            node.close()
+            _LOG.warning(
+                "fleet node %d (%s:%d) dropped: %s", index, *node.address, reason
+            )
+
+    # --------------------------------------------------------- registration
+    def register_tuner(
+        self, tuner: PnPTuner, dtypes: Sequence[str] = ()
+    ) -> List[Dict[str, object]]:
+        """Ship the tuner spec + ``.npz`` weight bytes to every node (once).
+
+        ``dtypes`` lists additional serving precisions every node compiles
+        eagerly (e.g. ``("float32",)`` on a float64-trained tuner); the
+        tuner's own dtype is always compiled.  Registration must reach every
+        live node — a node that cannot register is a configuration error,
+        not a rebalance event.
+        """
+        self._require_open()
+        spec = tuner_spec(tuner)
+        weights = weights_blob(tuner.state_dict())
+        payload = ("register", spec, weights, tuple(dtypes))
+        return self._request_concurrently(
+            {index: payload for index in self._nodes}, rebalance=False
+        )
+
+    # -------------------------------------------------------------- serving
+    def sweep(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        dtype: Optional[str] = None,
+    ) -> List[List[TuningResult]]:
+        """Sweep every region across the fleet; input order preserved.
+
+        ``results[i]`` is byte-identical to ``tuner.predict_sweep(
+        regions[i], power_caps, dtype=dtype)`` on the registered tuner.
+        Raises :class:`RuntimeError` when every node has failed.
+        """
+        self._require_open()
+        regions = list(regions)
+        results: List[Optional[List[TuningResult]]] = [None] * len(regions)
+        pending = list(range(len(regions)))
+        caps = list(power_caps)
+        while pending:
+            if not self._nodes:
+                raise RuntimeError(
+                    f"all fleet nodes failed with {len(pending)} regions unserved"
+                )
+            # Deterministic content-hash assignment over the *live* nodes:
+            # the shard index picks a position in the sorted live list, so a
+            # fixed fleet always produces the same batches, and a shrunken
+            # fleet re-shards only what the dead nodes were serving.
+            alive = self.alive_nodes
+            groups = shard_positions(
+                [regions[position].region_id for position in pending], len(alive)
+            )
+            requests = {}
+            members: Dict[int, List[int]] = {}
+            for shard, group in groups.items():
+                node_index = alive[shard]
+                members[node_index] = [pending[offset] for offset in group]
+                shard_regions = [regions[p] for p in members[node_index]]
+                requests[node_index] = ("sweep", shard_regions, caps, dtype)
+            replies = self._request_concurrently(requests, rebalance=True)
+            served = []
+            for node_index, reply in zip(sorted(requests), replies):
+                if reply is None:
+                    continue  # node dropped; its members stay pending
+                for position, swept in zip(members[node_index], reply):
+                    results[position] = swept
+                served.extend(members[node_index])
+            pending = [position for position in pending if position not in set(served)]
+        return results  # type: ignore[return-value]
+
+    def clear_caches(self) -> None:
+        """Reset every live node to the cold path (cold-path benches)."""
+        self._require_open()
+        self._request_concurrently(
+            {index: ("clear",) for index in self._nodes}, rebalance=True
+        )
+
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        """Per-live-node embedding cache statistics, keyed by node index."""
+        self._require_open()
+        indices = sorted(self._nodes)
+        replies = self._request_concurrently(
+            {index: ("stats",) for index in indices}, rebalance=True
+        )
+        return {
+            index: reply
+            for index, reply in zip(indices, replies)
+            if reply is not None
+        }
+
+    # ------------------------------------------------------------ lifecycle
+    def stop(self) -> None:
+        """Ask every live node to shut down (best effort), then close."""
+        if not self._closed:
+            for index in list(self._nodes):
+                try:
+                    self._nodes[index].request(("stop",))
+                except (rpc.ConnectionClosed, rpc.RemoteError, OSError):
+                    pass
+        self.close()
+
+    def close(self) -> None:
+        """Close the client's sockets; the nodes keep running."""
+        self._closed = True
+        for node in self._nodes.values():
+            node.close()
+        self._nodes.clear()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("FleetClient is closed")
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ plumbing
+    def _request_concurrently(
+        self, requests: Dict[int, Tuple], rebalance: bool
+    ) -> List[Optional[object]]:
+        """Issue one request per node over its socket, concurrently.
+
+        Returns the replies ordered by node index.  With ``rebalance=True``
+        a transport failure (the node died) yields ``None`` for that node
+        and drops it from the live set; application errors
+        (:class:`~repro.serve.rpc.RemoteError`) always propagate — a bad
+        request must not masquerade as a dead node.
+        """
+        indices = sorted(requests)
+        replies: Dict[int, Optional[object]] = {}
+        errors: Dict[int, BaseException] = {}
+
+        def call(index: int) -> None:
+            try:
+                replies[index] = self._nodes[index].request(requests[index])
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors[index] = error
+
+        threads = [
+            threading.Thread(target=call, args=(index,), daemon=True)
+            for index in indices
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index, error in errors.items():
+            transport_failure = isinstance(error, (rpc.ConnectionClosed, OSError))
+            if rebalance and transport_failure:
+                self._drop_node(index, str(error))
+                replies[index] = None
+            else:
+                raise error
+        return [replies[index] for index in indices]
+
+
+class LocalFleet:
+    """N :class:`NodeServer` subprocesses on localhost plus a registered client.
+
+    The one-machine harness for the full TCP wire path: spawn the node
+    processes, collect their ephemeral endpoints, connect a
+    :class:`FleetClient` and register ``tuner`` with every node.  Used by
+    ``tests/serve``, ``examples/fleet_serving.py`` and the ``serve_fleet``
+    benchmark axis; :meth:`kill_node` hard-kills one node to exercise the
+    client's rebalance path.
+    """
+
+    def __init__(
+        self,
+        tuner: PnPTuner,
+        num_nodes: int = 2,
+        dtypes: Sequence[str] = (),
+        start_method: Optional[str] = None,
+        connect_timeout: Optional[float] = 60.0,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        context = multiprocessing.get_context(start_method or default_start_method())
+        self._processes = []
+        channels = []
+        for _ in range(num_nodes):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=node_subprocess_main, args=(child_end,), daemon=True
+            )
+            process.start()
+            child_end.close()
+            self._processes.append(process)
+            channels.append(parent_end)
+        addresses = []
+        try:
+            for channel in channels:
+                status, payload = channel.recv()
+                if status != "ready":
+                    raise RuntimeError(f"fleet node failed to start:\n{payload}")
+                addresses.append(payload)
+        except BaseException:
+            self._terminate()
+            raise
+        finally:
+            for channel in channels:
+                channel.close()
+        self.addresses: List[Tuple[str, int]] = addresses
+        try:
+            self.client = FleetClient(addresses, connect_timeout=connect_timeout)
+            self.client.register_tuner(tuner, dtypes=dtypes)
+        except BaseException:
+            self._terminate()
+            raise
+
+    # ------------------------------------------------- delegated serving API
+    def sweep(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        dtype: Optional[str] = None,
+    ) -> List[List[TuningResult]]:
+        return self.client.sweep(regions, power_caps, dtype=dtype)
+
+    def clear_caches(self) -> None:
+        self.client.clear_caches()
+
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        return self.client.stats()
+
+    # ------------------------------------------------------------ lifecycle
+    def kill_node(self, index: int) -> None:
+        """Hard-kill one node process (simulates losing a machine)."""
+        process = self._processes[index]
+        process.kill()
+        process.join(timeout=5.0)
+
+    def close(self) -> None:
+        try:
+            self.client.stop()
+        except Exception:  # noqa: BLE001 - shutdown is best effort
+            pass
+        self._terminate()
+
+    def _terminate(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=1.0)
+
+    def __enter__(self) -> "LocalFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,171 @@
+"""One fleet node: a TCP server wrapping a read-only serving tuner.
+
+A :class:`NodeServer` is the machine-boundary analogue of one
+:class:`~repro.serve.server.SweepServer` worker.  It listens on a TCP
+socket, and over :mod:`repro.serve.rpc`'s length-prefixed framing answers:
+
+``("register", spec, weights, dtypes)``
+    Build the serving tuner from the picklable
+    :class:`~repro.serve.spec.TunerSpec` plus the ``.npz`` weight bytes
+    (shipped **once**), and eagerly compile the autograd-free
+    :class:`~repro.nn.inference.InferenceProgram` for every requested
+    serving dtype — after registration no request pays lowering cost.
+``("sweep", regions, power_caps, dtype)``
+    One batched :meth:`~repro.core.tuner.PnPTuner.predict_sweep_many` call
+    over the node's share of the fleet, byte-identical to serial
+    ``predict_sweep`` on the parent tuner.
+``("clear",)`` / ``("stats",)`` / ``("ping",)`` / ``("stop",)``
+    Cache control, cache statistics, liveness, shutdown — the same verbs the
+    local worker pool speaks over its pipes.
+
+The node accepts any number of sequential or concurrent client connections
+(registration is node-global, and a lock serializes tuner access), so a
+restarted client re-attaches to a warm, already-registered node.  Run one
+in-process via :meth:`serve_forever` or as a subprocess via
+:func:`node_subprocess_main` (what :class:`~repro.serve.fleet.LocalFleet`
+spawns).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import traceback
+from typing import Optional, Sequence, Tuple
+
+from repro.serve import rpc
+from repro.serve.spec import build_serving_tuner, state_from_blob
+
+__all__ = ["NodeServer", "node_subprocess_main"]
+
+
+class NodeServer:
+    """A TCP sweep-serving node; one per machine (or per core locally).
+
+    ``port=0`` (the default) binds an ephemeral port — read the actual
+    endpoint from :attr:`address` after construction.  The listening socket
+    is bound in ``__init__`` so the address can be published (to a parent
+    process, a service registry, ...) before :meth:`serve_forever` starts
+    accepting.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen()
+        self.address: Tuple[str, int] = self._sock.getsockname()
+        self._tuner = None
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+
+    # ----------------------------------------------------------------- loop
+    def serve_forever(self) -> None:
+        """Accept connections until a ``stop`` request (or :meth:`shutdown`)."""
+        while not self._stopped.is_set():
+            try:
+                connection, _ = self._sock.accept()
+            except OSError:
+                break  # listening socket closed by shutdown()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            )
+            thread.start()
+
+    def shutdown(self) -> None:
+        """Stop accepting; in-flight connections finish their current reply."""
+        self._stopped.set()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while not self._stopped.is_set():
+                try:
+                    message = rpc.recv_message(connection)
+                except rpc.ConnectionClosed:
+                    return  # client went away; keep serving others
+                try:
+                    reply = ("ok", self._dispatch(message))
+                except Exception:  # noqa: BLE001 - report, keep serving
+                    reply = ("error", traceback.format_exc())
+                try:
+                    rpc.send_message(connection, reply)
+                except rpc.ConnectionClosed:
+                    return  # client vanished while we served its request
+                if message[0] == "stop" and reply[0] == "ok":
+                    return
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, message: Tuple):
+        command = message[0]
+        if command == "ping":
+            return {"registered": self._tuner is not None, "pid": os.getpid()}
+        if command == "register":
+            _, spec, weights, dtypes = message
+            return self._register(spec, weights, dtypes)
+        if command == "stop":
+            self.shutdown()
+            return None
+        if command not in ("sweep", "clear", "stats"):
+            raise ValueError(f"unknown command {command!r}")
+        # Everything below serves the registered tuner.
+        with self._lock:
+            tuner = self._require_registered()
+            if command == "sweep":
+                _, regions, power_caps, dtype = message
+                return tuner.predict_sweep_many(regions, power_caps, dtype=dtype)
+            if command == "stats":
+                cache = tuner._embedding_cache
+                return {
+                    "size": len(cache),
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "pid": os.getpid(),
+                }
+            # command == "clear"
+            tuner._embedding_cache.clear()
+            tuner._sweep_batch_memo.clear()
+            return None
+
+    def _register(self, spec, weights: bytes, dtypes: Sequence[Optional[str]]):
+        with self._lock:
+            tuner = build_serving_tuner(spec, state=state_from_blob(weights))
+            # build_serving_tuner compiled the tuner's own dtype; eagerly
+            # compile any additional serving dtypes (e.g. "float32" on a
+            # float64-trained tuner) so no sweep pays lowering cost either.
+            for dtype in dtypes:
+                tuner.compile_inference(dtype)
+            self._tuner = tuner
+            return {
+                "num_regions": len(tuner.builder.regions()),
+                "dtypes": sorted(tuner._programs),
+                "pid": os.getpid(),
+            }
+
+    def _require_registered(self):
+        if self._tuner is None:
+            raise RuntimeError("node has no registered tuner (send 'register' first)")
+        return self._tuner
+
+
+def node_subprocess_main(channel, host: str = "127.0.0.1", port: int = 0) -> None:
+    """Subprocess entry point: bind, report the endpoint, serve forever.
+
+    ``channel`` is one end of a ``multiprocessing.Pipe``; the node sends
+    ``("ready", (host, port))`` once listening (or ``("error", traceback)``
+    if binding failed) and then closes it — all further traffic is TCP.
+    :class:`~repro.serve.fleet.LocalFleet` spawns one of these per node.
+    """
+    try:
+        server = NodeServer(host=host, port=port)
+    except Exception:  # noqa: BLE001 - report startup failures to the parent
+        channel.send(("error", traceback.format_exc()))
+        channel.close()
+        return
+    channel.send(("ready", server.address))
+    channel.close()
+    server.serve_forever()

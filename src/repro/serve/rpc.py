@@ -1,0 +1,111 @@
+"""Length-prefixed message framing for the fleet's TCP RPC.
+
+The wire format is deliberately thin — one message is an 8-byte big-endian
+length prefix followed by a pickled Python object — because the protocol on
+top of it is the same four-verb request/reply scheme the local
+:class:`~repro.serve.server.SweepServer` pipes already speak (``register`` /
+``sweep`` / ``clear`` / ``stats`` / ``stop``).  Replies are ``("ok",
+payload)`` or ``("error", traceback_text)``; :func:`request` sends one
+message, waits for the reply and raises :class:`RemoteError` carrying the
+remote traceback on an error reply.
+
+Like ``multiprocessing``'s pipes, the transport trusts its peers: messages
+are **pickle**, so a node must only ever be exposed to the cluster-internal
+network that also ships the model weights (bind to localhost or a private
+interface, never the open internet).
+
+:exc:`ConnectionClosed` is the one failure mode callers are expected to
+handle: it means the peer went away (process killed, machine lost), and the
+:class:`~repro.serve.fleet.FleetClient` reacts by rebalancing the dead
+node's regions onto the surviving nodes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+__all__ = [
+    "ConnectionClosed",
+    "RemoteError",
+    "send_message",
+    "recv_message",
+    "request",
+]
+
+#: 8-byte big-endian payload length prefix.
+_HEADER = struct.Struct(">Q")
+
+#: Upper bound on a single message (1 GiB) — a corrupt or misaligned stream
+#: fails fast instead of attempting an absurd allocation.
+MAX_MESSAGE_BYTES = 1 << 30
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection (or died) mid-conversation."""
+
+
+class RemoteError(RuntimeError):
+    """The peer answered with an error reply; carries the remote traceback."""
+
+
+def send_message(sock: socket.socket, payload: Any) -> None:
+    """Pickle ``payload`` and send it with a length prefix (blocking)."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        sock.sendall(_HEADER.pack(len(data)) + data)
+    except TimeoutError:
+        raise  # slow peer, not a dead one — see _recv_exact
+    except (BrokenPipeError, ConnectionResetError, OSError) as error:
+        raise ConnectionClosed(f"peer closed while sending: {error}") from error
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except TimeoutError:
+            # A timeout on a caller-configured socket means "slow", never
+            # "dead" — surface it as-is so it is not mistaken for peer loss.
+            raise
+        except (ConnectionResetError, OSError) as error:
+            raise ConnectionClosed(f"peer closed while receiving: {error}") from error
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {remaining} of {count} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Receive one length-prefixed pickled message (blocking)."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise ConnectionClosed(
+            f"refusing a {length}-byte message (corrupt stream? limit is "
+            f"{MAX_MESSAGE_BYTES})"
+        )
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def request(sock: socket.socket, payload: Tuple) -> Any:
+    """One request/reply round trip; unwraps ``("ok", ...)`` replies.
+
+    Raises :class:`RemoteError` (with the remote traceback) on an
+    ``("error", ...)`` reply and :class:`ConnectionClosed` when the peer
+    vanished before answering.
+    """
+    send_message(sock, payload)
+    reply = recv_message(sock)
+    if not (isinstance(reply, tuple) and len(reply) == 2):
+        raise RemoteError(f"malformed reply: {reply!r}")
+    status, body = reply
+    if status != "ok":
+        raise RemoteError(f"remote {payload[0]!r} request failed:\n{body}")
+    return body

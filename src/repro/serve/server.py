@@ -4,29 +4,34 @@ Serving answers power-cap sweeps for fleets of regions.  One region's sweep
 is a single cached encoder pass plus a dense-head batch, and regions are
 independent — embarrassingly parallel.  The server therefore:
 
-* assigns each region to a shard with a **deterministic content hash** of
-  its region id (:func:`shard_assignments`) — the same region always lands
-  on the same shard, so per-worker embedding caches stay hot and a re-run
-  reproduces the exact same batch compositions;
+* assigns each region to a shard with the **deterministic content hash**
+  shared by every serving layer (:mod:`repro.serve.sharding`) — the same
+  region always lands on the same shard, so per-worker embedding caches
+  stay hot and a re-run reproduces the exact same batch compositions;
 * runs one **worker process per shard**.  A worker reconstructs the tuner
-  from a picklable spec (system, objective, model configuration, the
-  benchmark-suite regions) and loads the fitted weights from an ``.npz``
-  archive written **once** by the parent (the existing serialization
-  round-trip) — workers never share mutable state;
+  from the picklable :class:`~repro.serve.spec.TunerSpec` (system,
+  objective, model configuration, the benchmark-suite regions) and loads
+  the fitted weights from an ``.npz`` archive written **once** by the
+  parent (the existing serialization round-trip) — workers never share
+  mutable state;
 * serves each shard's regions through
   :meth:`~repro.core.tuner.PnPTuner.predict_sweep_many`, i.e. batched
   encoding within the shard, sharding across processes.  Each worker lowers
   its loaded weights into a compiled
   :class:`~repro.nn.inference.InferenceProgram` at start-up
-  (``tuner.compile_inference()``), so shard serving runs the autograd-free
-  raw-ndarray runtime — no ``Tensor`` wrappers or graph bookkeeping on any
-  worker's hot path.
+  (:func:`~repro.serve.spec.build_serving_tuner` does this eagerly), so
+  shard serving runs the autograd-free raw-ndarray runtime — no ``Tensor``
+  wrappers or graph bookkeeping on any worker's hot path.
 
 Results are reassembled in input order and are byte-identical to serial
 per-region ``predict_sweep`` calls on the parent tuner (every kernel is
 row-independent and per-region quantities are computed identically in any
 shard composition; ``tests/serve/test_sweep_server.py`` asserts equality at
 both precisions).
+
+The machine-boundary analogue of this pool — the same spec/weight shipping
+and shard assignment over TCP instead of pipes — lives in
+:mod:`repro.serve.node` / :mod:`repro.serve.fleet`.
 
 :func:`parallel_map` exposes the same deterministic pool machinery as a
 generic primitive; the experiment runners use it to shard cross-validation
@@ -35,99 +40,42 @@ folds.
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import os
 import tempfile
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
-from repro.core.model import ModelConfig
 from repro.core.tuner import PnPTuner, TuningResult
 from repro.nn import serialization
 from repro.openmp.region import RegionCharacteristics
+from repro.serve.sharding import shard_positions
+from repro.serve.spec import (
+    TunerSpec,
+    build_serving_tuner,
+    default_start_method,
+    tuner_spec,
+)
 
-__all__ = ["SweepServer", "shard_assignments", "parallel_map"]
+__all__ = ["SweepServer", "parallel_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
-def _default_start_method() -> str:
-    """``fork`` where available (cheap, Linux CI), ``spawn`` otherwise."""
-    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-
-
-def shard_assignments(region_ids: Sequence[str], num_shards: int) -> List[int]:
-    """Deterministic region → shard assignment.
-
-    Uses a content hash of the region id (not Python's salted ``hash()``),
-    so the assignment is stable across processes, machines and reruns —
-    required for reproducible batch compositions and warm per-worker caches.
-    """
-    if num_shards <= 0:
-        raise ValueError("num_shards must be positive")
-    return [
-        int.from_bytes(
-            hashlib.blake2s(region_id.encode("utf-8"), digest_size=4).digest(), "big"
-        )
-        % num_shards
-        for region_id in region_ids
-    ]
-
-
 @dataclass(frozen=True)
 class _WorkerSpec:
-    """Everything a worker needs to rebuild a read-only serving tuner."""
+    """A shared :class:`TunerSpec` plus where this pool parked the weights."""
 
-    system: str
-    objective: str
-    include_counters: bool
-    seed: int
-    machine_seed: int
-    noise_fraction: float
-    model_config: ModelConfig
+    tuner: TunerSpec
     weights_path: str
-    regions_by_app: Dict[str, List[RegionCharacteristics]]
-
-
-def _build_worker_tuner(spec: _WorkerSpec) -> PnPTuner:
-    """Reconstruct the serving tuner inside a worker process."""
-    from repro.core.dataset import DatasetBuilder
-    from repro.core.measurements import MeasurementDatabase
-    from repro.core.search_space import SearchSpace
-    from repro.hw.machine import Machine
-
-    regions = [r for rs in spec.regions_by_app.values() for r in rs]
-    machine = Machine.named(
-        spec.system, seed=spec.machine_seed, noise_fraction=spec.noise_fraction
-    )
-    database = MeasurementDatabase(machine, SearchSpace(spec.system), regions)
-    tuner = PnPTuner(
-        system=spec.system,
-        objective=spec.objective,
-        include_counters=spec.include_counters,
-        model_config=spec.model_config,
-        database=database,
-        seed=spec.seed,
-    )
-    tuner.builder = DatasetBuilder(
-        database, regions_by_app=spec.regions_by_app, seed=spec.seed
-    )
-    tuner.load_state_dict(serialization.load_state_dict(spec.weights_path))
-    # Lower the freshly loaded weights to the autograd-free inference
-    # program at start-up: every sweep the worker serves then runs raw
-    # ndarray kernels (no Tensor wrappers, no graph recording), and the
-    # first request pays no compile latency.
-    tuner.compile_inference()
-    return tuner
 
 
 def _worker_main(connection, spec: _WorkerSpec) -> None:
     """Worker loop: build the tuner once, then serve sweep requests."""
     try:
-        tuner = _build_worker_tuner(spec)
+        tuner = build_serving_tuner(spec.tuner, weights_path=spec.weights_path)
         connection.send(("ready", None))
     except Exception:  # noqa: BLE001 - report startup failures to the parent
         connection.send(("error", traceback.format_exc()))
@@ -151,9 +99,8 @@ def _worker_main(connection, spec: _WorkerSpec) -> None:
                 connection.send(("ok", None))
             elif command == "stats":
                 cache = tuner._embedding_cache
-                connection.send(
-                    ("ok", {"size": len(cache), "hits": cache.hits, "misses": cache.misses})
-                )
+                stats = {"size": len(cache), "hits": cache.hits, "misses": cache.misses}
+                connection.send(("ok", stats))
             else:
                 connection.send(("error", f"unknown command {command!r}"))
         except Exception:  # noqa: BLE001 - keep serving after a bad request
@@ -188,7 +135,7 @@ class SweepServer:
         self._spec = spec
         self._owns_weights = _owns_weights
         self._closed = False
-        context = multiprocessing.get_context(start_method or _default_start_method())
+        context = multiprocessing.get_context(start_method or default_start_method())
         self._connections = []
         self._processes = []
         for _ in range(num_workers):
@@ -229,17 +176,7 @@ class SweepServer:
             handle.close()
             weights_path = handle.name
         serialization.save_state_dict(tuner.state_dict(), weights_path)
-        spec = _WorkerSpec(
-            system=tuner.system,
-            objective=tuner.objective,
-            include_counters=tuner.include_counters,
-            seed=tuner.seed,
-            machine_seed=tuner.database.machine.seed,
-            noise_fraction=tuner.database.machine.noise_fraction,
-            model_config=tuner.model_config,
-            weights_path=weights_path,
-            regions_by_app=tuner.builder.regions_by_app,
-        )
+        spec = _WorkerSpec(tuner=tuner_spec(tuner), weights_path=weights_path)
         return cls(
             spec,
             num_workers=num_workers,
@@ -259,17 +196,12 @@ class SweepServer:
         regions = list(regions)
         if not regions:
             return []
-        shards = shard_assignments([r.region_id for r in regions], self.num_workers)
-        positions: Dict[int, List[int]] = {}
-        for position, shard in enumerate(shards):
-            positions.setdefault(shard, []).append(position)
+        positions = shard_positions([r.region_id for r in regions], self.num_workers)
         # Dispatch every shard before collecting any result so the workers
         # run concurrently.
         for shard, members in positions.items():
             shard_regions = [regions[i] for i in members]
-            self._connections[shard].send(
-                ("sweep", shard_regions, list(power_caps), dtype)
-            )
+            self._send(shard, ("sweep", shard_regions, list(power_caps), dtype))
         results: List[Optional[List[TuningResult]]] = [None] * len(regions)
         for shard, members in positions.items():
             payload = self._receive(shard)
@@ -284,23 +216,46 @@ class SweepServer:
         batch memos, so the next sweep re-collates, re-plans and re-encodes.
         """
         self._require_open()
-        for connection in self._connections:
-            connection.send(("clear",))
+        for shard in range(self.num_workers):
+            self._send(shard, ("clear",))
         for shard in range(self.num_workers):
             self._receive(shard)
 
     def cache_stats(self) -> List[Dict[str, int]]:
         """Per-worker embedding cache statistics (size / hits / misses)."""
         self._require_open()
-        for connection in self._connections:
-            connection.send(("stats",))
+        for shard in range(self.num_workers):
+            self._send(shard, ("stats",))
         return [self._receive(shard) for shard in range(self.num_workers)]
 
+    def _send(self, shard: int, message) -> None:
+        """Send one request to a worker; a dead worker raises, never hangs."""
+        try:
+            self._connections[shard].send(message)
+        except (BrokenPipeError, OSError):
+            raise self._worker_died(shard) from None
+
     def _receive(self, shard: int):
-        status, payload = self._connections[shard].recv()
+        try:
+            status, payload = self._connections[shard].recv()
+        except (EOFError, ConnectionError, OSError):
+            # The worker process died mid-request: its end of the pipe is
+            # gone, so recv() raises instead of blocking forever.  Surface
+            # what happened (who died, with what exit code) to the caller.
+            raise self._worker_died(shard) from None
         if status != "ok":
             raise RuntimeError(f"sweep worker {shard} failed:\n{payload}")
         return payload
+
+    def _worker_died(self, shard: int) -> RuntimeError:
+        process = self._processes[shard]
+        process.join(timeout=0.5)
+        exitcode = process.exitcode
+        return RuntimeError(
+            f"sweep worker {shard} died mid-request "
+            f"(exitcode {exitcode}); the pool is no longer consistent — "
+            "close() this server and build a new one"
+        )
 
     def _require_open(self) -> None:
         if self._closed:
@@ -358,6 +313,6 @@ def parallel_map(
     items = list(items)
     if num_workers <= 1 or len(items) <= 1:
         return [function(item) for item in items]
-    context = multiprocessing.get_context(start_method or _default_start_method())
+    context = multiprocessing.get_context(start_method or default_start_method())
     with context.Pool(processes=min(num_workers, len(items))) as pool:
         return pool.map(function, items, chunksize=1)

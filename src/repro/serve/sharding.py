@@ -1,0 +1,45 @@
+"""Deterministic content-hash sharding shared by every serving layer.
+
+Regions are assigned to shards (worker processes in
+:class:`~repro.serve.server.SweepServer`, TCP nodes in
+:class:`~repro.serve.fleet.FleetClient`) by a **content hash** of the region
+id — not Python's salted ``hash()`` — so the assignment is stable across
+processes, machines and reruns.  Stability is what makes fleet serving
+reproducible: the same region always lands on the same shard, per-shard
+embedding caches stay hot, and a re-run reproduces the exact same batch
+compositions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+__all__ = ["shard_for_region", "shard_assignments", "shard_positions"]
+
+
+def shard_for_region(region_id: str, num_shards: int) -> int:
+    """The stable shard index of one region id (blake2s content hash)."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    digest = hashlib.blake2s(region_id.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def shard_assignments(region_ids: Sequence[str], num_shards: int) -> List[int]:
+    """Deterministic region → shard assignment for a whole fleet of regions."""
+    return [shard_for_region(region_id, num_shards) for region_id in region_ids]
+
+
+def shard_positions(region_ids: Sequence[str], num_shards: int) -> Dict[int, List[int]]:
+    """Input positions grouped by shard: ``{shard: [position, ...]}``.
+
+    Only shards that received at least one region appear as keys; each
+    position list preserves input order, so scattering a request per shard
+    and writing every shard's results back through its position list
+    reassembles the fleet result in input order.
+    """
+    positions: Dict[int, List[int]] = {}
+    for position, shard in enumerate(shard_assignments(region_ids, num_shards)):
+        positions.setdefault(shard, []).append(position)
+    return positions

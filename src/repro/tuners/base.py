@@ -4,12 +4,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.measurements import MeasurementDatabase
-from repro.core.search_space import SCHEDULES, SearchSpace
+from repro.core.search_space import SearchSpace
 from repro.openmp.config import OpenMPConfig, ScheduleKind
 
 __all__ = ["ConfigurationPoint", "BaselineTuner", "config_feature_vector"]

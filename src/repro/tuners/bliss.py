@@ -16,7 +16,7 @@ ensemble-selected) of the original without its GPU-oriented machinery.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

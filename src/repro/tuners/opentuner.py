@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.search_space import CHUNK_SIZES, SCHEDULES, SearchSpace
-from repro.openmp.config import OpenMPConfig
 from repro.tuners.base import BaselineTuner, ConfigurationPoint
 from repro.utils.rng import new_rng
 

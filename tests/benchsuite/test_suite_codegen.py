@@ -1,11 +1,10 @@
 """Tests for the benchmark-suite registry and the IR code generator."""
 
-import numpy as np
 import pytest
 
 from repro.benchsuite.codegen import generate_application_module, generate_region_function, region_function_name
-from repro.benchsuite.polybench import POLYBENCH_NAMES, polybench_applications
-from repro.benchsuite.proxyapps import LULESH_MOTIVATING_REGION, PROXY_NAMES, proxy_applications
+from repro.benchsuite.polybench import POLYBENCH_NAMES
+from repro.benchsuite.proxyapps import LULESH_MOTIVATING_REGION, PROXY_NAMES
 from repro.benchsuite.registry import (
     all_regions,
     application_names,
@@ -14,7 +13,6 @@ from repro.benchsuite.registry import (
     get_region,
     regions_by_application,
 )
-from repro.graphs.programl import build_flow_graph
 from repro.ir.module import Module
 from repro.ir.outline import extract_outlined_regions, outlined_function_names
 from repro.ir.verifier import verify_module

@@ -8,7 +8,6 @@ a full weight re-cast on the next sweep), while a weight change
 (``fit``/``load_state_dict``) must clear both.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.model import ModelConfig

@@ -359,7 +359,7 @@ class TestInferenceProgramRouting:
             program.encode_pooled = original
         assert calls  # the experiments path runs the compiled runtime
         assert [r.label for r in results] == [
-            int(l) for l in predict_labels(fitted_time_tuner.model, perf_samples[:8])
+            int(lab) for lab in predict_labels(fitted_time_tuner.model, perf_samples[:8])
         ]
 
 
@@ -484,7 +484,6 @@ class TestPrecisionKnobs:
         for name, value in cast.state_dict().items():
             assert np.array_equal(value, state64[name].astype(np.float32))
         # Label disagreements can only come from near-ties; logits must agree.
-        aux = fitted_time_tuner.builder.aux_feature_matrix(region.region_id, caps)
         pooled64 = fitted_time_tuner._embedding_cache.get(
             (region.region_id, region.fingerprint(), "float64")
         )

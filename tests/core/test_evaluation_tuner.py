@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import evaluation
-from repro.core.dataset import TuningScenario
 from repro.core.evaluation import EdpRecord, PerformanceRecord
-from repro.core.model import ModelConfig
 from repro.core.training import TrainingConfig
 from repro.core.tuner import (
     PnPTuner,
@@ -80,7 +78,6 @@ class TestEdpRecord:
 
 class TestEvaluationAgainstDatabase:
     def test_oracle_selection_evaluates_to_one(self, small_database):
-        space = small_database.search_space
         selections = {}
         for region_id in small_database.region_ids:
             config, _ = small_database.best_by_time(region_id, 40.0)

@@ -16,7 +16,6 @@ from repro.experiments import (
     smoke_profile,
 )
 from repro.experiments.power_constrained import DEFAULT, PNP_STATIC
-from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_per_application_series, format_summary, format_table
 
 

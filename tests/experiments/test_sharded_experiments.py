@@ -16,6 +16,7 @@ from repro.experiments.common import (
     sharded_performance_selections,
 )
 from repro.experiments.profiles import smoke_profile
+from repro.serve import LocalFleet
 
 
 @pytest.fixture(scope="module")
@@ -99,3 +100,31 @@ class TestShardedRegionLoop:
             for result in tuner.predict_sweep(region, caps):
                 expected[(region.region_id, float(result.power_cap))] = result.config
         assert sharded == expected
+
+    def test_fleet_routing_identical_to_serial_sweep(self, builder, profile):
+        database = builder.database
+        config = ModelConfig(
+            vocabulary_size=len(builder.vocabulary),
+            num_classes=database.search_space.num_omp_configurations,
+            aux_dim=1,
+            seed=0,
+        )
+        tuner = PnPTuner(
+            system="haswell",
+            objective="time",
+            model_config=config,
+            training_config=TrainingConfig(epochs=2, seed=0),
+            database=database,
+            seed=0,
+        )
+        tuner.builder = builder
+        tuner.fit(tuner.build_training_samples())
+        regions = builder.regions()
+        caps = [45.0, 65.0, 85.0]
+        expected = {}
+        for region in regions:
+            for result in tuner.predict_sweep(region, caps):
+                expected[(region.region_id, float(result.power_cap))] = result.config
+        with LocalFleet(tuner, num_nodes=2) as fleet:
+            selections = sharded_performance_selections(tuner, regions, caps, fleet=fleet)
+        assert selections == expected

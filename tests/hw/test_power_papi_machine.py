@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.benchsuite.registry import get_region
 from repro.hw.machine import Machine
 from repro.hw.papi import COUNTER_NAMES, PapiInterface
-from repro.hw.power import ENERGY_UNIT_JOULES, RaplDomain, RaplInterface
+from repro.hw.power import ENERGY_UNIT_JOULES, RaplInterface
 from repro.hw.processor import HASWELL
 from repro.hw.variorum import Variorum
 

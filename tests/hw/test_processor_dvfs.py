@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hw.dvfs import DvfsModel
-from repro.hw.processor import HASWELL, SKYLAKE, ProcessorSpec, available_processors, get_processor
+from repro.hw.processor import HASWELL, SKYLAKE, available_processors, get_processor
 
 
 class TestProcessorSpecs:

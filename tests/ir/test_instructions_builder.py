@@ -8,10 +8,8 @@ from repro.ir.function import Function
 from repro.ir.instructions import (
     AtomicRMW,
     BinaryOp,
-    Branch,
     Call,
     CompareOp,
-    CondBranch,
     Load,
     Phi,
     Return,
@@ -19,7 +17,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Module
 from repro.ir.values import Argument, Constant
-from repro.ir.verifier import VerificationError, verify_function
+from repro.ir.verifier import verify_function
 
 
 def make_function():

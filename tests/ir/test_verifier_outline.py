@@ -5,7 +5,7 @@ import pytest
 from repro.ir import types as irt
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Function
-from repro.ir.instructions import Branch, Return
+from repro.ir.instructions import Branch
 from repro.ir.module import Module
 from repro.ir.outline import extract_function, extract_outlined_regions, outlined_function_names
 from repro.ir.verifier import VerificationError, verify_function, verify_module

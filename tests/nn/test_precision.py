@@ -12,7 +12,7 @@ import pytest
 from repro.nn import functional as F
 from repro.nn import precision
 from repro.nn.data import GraphSample, build_edge_plan, collate_graphs
-from repro.nn.layers import Linear, Module
+from repro.nn.layers import Linear
 from repro.nn.optim import AdamW, SGD
 from repro.nn.pooling import global_max_pool, global_mean_pool
 from repro.nn.rgcn import RGCNConv

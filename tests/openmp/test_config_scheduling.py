@@ -1,6 +1,5 @@
 """Tests for OpenMP configurations and the loop-scheduling simulator."""
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st

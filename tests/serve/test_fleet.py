@@ -1,0 +1,159 @@
+"""Multi-node TCP fleet serving: equivalence, rebalance and lifecycle.
+
+The fleet's contract extends the worker pool's: sweeps served over ≥2
+:class:`~repro.serve.node.NodeServer` TCP nodes are byte-identical to
+serial per-region ``predict_sweep`` on the parent tuner (at float64 *and*
+float32), the spec + ``.npz`` weight bytes ship exactly once at
+registration, and losing a node mid-sweep rebalances its regions onto the
+survivors instead of failing the sweep.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.model import ModelConfig
+from repro.core.training import TrainingConfig
+from repro.core.tuner import PnPTuner
+from repro.serve import FleetClient, LocalFleet, NodeServer
+from repro.serve.rpc import RemoteError
+
+CAPS = [40.0, 55.0, 70.0, 85.0]
+
+
+@pytest.fixture(scope="module")
+def fitted_tuner(small_database, small_builder):
+    config = ModelConfig(
+        vocabulary_size=len(small_builder.vocabulary),
+        num_classes=small_database.search_space.num_omp_configurations,
+        aux_dim=1,
+        seed=0,
+    )
+    tuner = PnPTuner(
+        system="haswell",
+        objective="time",
+        model_config=config,
+        training_config=TrainingConfig(epochs=2, seed=0),
+        database=small_database,
+        seed=0,
+    )
+    tuner.builder = small_builder
+    tuner.fit(tuner.build_training_samples())
+    return tuner
+
+
+@pytest.fixture(scope="module")
+def fleet(fitted_tuner):
+    with LocalFleet(fitted_tuner, num_nodes=2, dtypes=("float32",)) as local:
+        yield local
+
+
+def _serial_sweep(tuner, regions, dtype=None):
+    tuner._embedding_cache.clear()
+    return [tuner.predict_sweep(region, CAPS, dtype=dtype) for region in regions]
+
+
+class TestFleetEquivalence:
+    def test_byte_identical_to_serial_sweep(self, fleet, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        assert fleet.sweep(regions, CAPS) == _serial_sweep(fitted_tuner, regions)
+
+    def test_float32_byte_identical_to_serial(self, fleet, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        swept = fleet.sweep(regions, CAPS, dtype="float32")
+        assert swept == _serial_sweep(fitted_tuner, regions, dtype="float32")
+
+    def test_input_order_preserved(self, fleet, small_builder):
+        regions = small_builder.regions()
+        forward = fleet.sweep(regions, CAPS)
+        backward = fleet.sweep(list(reversed(regions)), CAPS)
+        assert backward == list(reversed(forward))
+
+    def test_duplicate_regions_serve_identically(self, fleet, small_builder):
+        region = small_builder.regions()[0]
+        first, second = fleet.sweep([region, region], CAPS)
+        assert first == second
+
+    def test_empty_regions(self, fleet):
+        assert fleet.sweep([], CAPS) == []
+
+    def test_regions_are_spread_over_both_nodes(self, fleet, small_builder):
+        regions = small_builder.regions()
+        fleet.clear_caches()
+        fleet.sweep(regions, CAPS)
+        stats = fleet.stats()
+        assert len(stats) == 2
+        sizes = [node_stats["size"] for node_stats in stats.values()]
+        assert sum(sizes) == len(regions)
+        assert all(size > 0 for size in sizes)
+
+    def test_remote_application_error_propagates(self, fleet, small_builder):
+        region = small_builder.regions()[0]
+        with pytest.raises(RemoteError, match="sweep"):
+            # Bad request (caps must be numbers): the node reports the
+            # error instead of being treated as dead...
+            fleet.sweep([region], ["not-a-cap"])
+        # ...and both nodes keep serving afterwards.
+        assert len(fleet.client.alive_nodes) == 2
+        assert fleet.sweep([region], CAPS)[0]
+
+
+class TestRebalance:
+    def test_killed_node_rebalances_onto_survivor(self, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        expected = _serial_sweep(fitted_tuner, regions)
+        with LocalFleet(fitted_tuner, num_nodes=2) as local:
+            before = local.sweep(regions, CAPS)
+            assert before == expected
+            local.kill_node(0)
+            after = local.sweep(regions, CAPS)
+            assert after == expected
+            assert local.client.alive_nodes == [1]
+
+    def test_all_nodes_dead_raises(self, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        with LocalFleet(fitted_tuner, num_nodes=1) as local:
+            local.kill_node(0)
+            with pytest.raises(RuntimeError, match="all fleet nodes failed"):
+                local.sweep(regions, CAPS)
+
+
+class TestLifecycle:
+    def test_closed_client_fails_cleanly(self, fitted_tuner):
+        local = LocalFleet(fitted_tuner, num_nodes=1)
+        local.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            local.client.sweep([], CAPS)
+        with pytest.raises(RuntimeError, match="closed"):
+            local.client.stats()
+
+    def test_unregistered_node_reports_clear_error(self, small_builder):
+        server = NodeServer()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with FleetClient([server.address], connect_timeout=10.0) as client:
+                with pytest.raises(RemoteError, match="no registered tuner"):
+                    client.sweep(small_builder.regions()[:1], CAPS)
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+
+    def test_client_requires_addresses(self):
+        with pytest.raises(ValueError):
+            FleetClient([])
+
+    def test_fleet_requires_positive_nodes(self, fitted_tuner):
+        with pytest.raises(ValueError):
+            LocalFleet(fitted_tuner, num_nodes=0)
+
+    def test_requires_fitted_tuner(self, small_database, small_builder):
+        tuner = PnPTuner(
+            system="haswell",
+            objective="time",
+            training_config=TrainingConfig(epochs=1, seed=0),
+            database=small_database,
+            seed=0,
+        )
+        with pytest.raises(RuntimeError):
+            LocalFleet(tuner, num_nodes=1)

@@ -1,0 +1,112 @@
+"""Wire-format tests for the fleet's length-prefixed TCP framing."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import rpc
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_roundtrip_python_objects(self, pair):
+        left, right = pair
+        payload = ("sweep", ["region.a", "region.b"], [40.0, 85.0], None)
+        rpc.send_message(left, payload)
+        assert rpc.recv_message(right) == payload
+
+    def test_roundtrip_large_binary_payload(self, pair):
+        left, right = pair
+        blob = np.arange(1_000_000, dtype=np.float64).tobytes()
+
+        # One side must drain while the other sends: a multi-megabyte
+        # message does not fit in the socket buffers.
+        received = {}
+        reader = threading.Thread(
+            target=lambda: received.setdefault("value", rpc.recv_message(right))
+        )
+        reader.start()
+        rpc.send_message(left, ("register", blob))
+        reader.join(timeout=30)
+        assert not reader.is_alive()
+        command, returned = received["value"]
+        assert command == "register"
+        assert returned == blob
+
+    def test_multiple_messages_stay_aligned(self, pair):
+        left, right = pair
+        for index in range(5):
+            rpc.send_message(left, {"index": index})
+        for index in range(5):
+            assert rpc.recv_message(right) == {"index": index}
+
+
+class TestFailureModes:
+    def test_recv_on_closed_peer_raises_connection_closed(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(rpc.ConnectionClosed):
+            rpc.recv_message(right)
+
+    def test_recv_of_truncated_message_raises_connection_closed(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">Q", 100) + b"only-a-few-bytes")
+        left.close()
+        with pytest.raises(rpc.ConnectionClosed, match="outstanding"):
+            rpc.recv_message(right)
+
+    def test_absurd_length_prefix_fails_fast(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">Q", rpc.MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(rpc.ConnectionClosed, match="corrupt"):
+            rpc.recv_message(right)
+
+    def test_send_on_closed_socket_raises_connection_closed(self, pair):
+        left, _right = pair
+        left.close()
+        with pytest.raises(rpc.ConnectionClosed):
+            rpc.send_message(left, "anything")
+
+
+class TestRequest:
+    def _serve_one(self, sock, reply):
+        def run():
+            rpc.recv_message(sock)
+            rpc.send_message(sock, reply)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return thread
+
+    def test_ok_reply_is_unwrapped(self, pair):
+        left, right = pair
+        self._serve_one(right, ("ok", {"answer": 42}))
+        assert rpc.request(left, ("stats",)) == {"answer": 42}
+
+    def test_error_reply_raises_remote_error_with_traceback(self, pair):
+        left, right = pair
+        self._serve_one(right, ("error", "Traceback: boom"))
+        with pytest.raises(rpc.RemoteError, match="boom"):
+            rpc.request(left, ("sweep",))
+
+    def test_malformed_reply_raises_remote_error(self, pair):
+        left, right = pair
+        self._serve_one(right, "not-a-tuple")
+        with pytest.raises(rpc.RemoteError, match="malformed"):
+            rpc.request(left, ("ping",))
+
+    def test_dead_peer_raises_connection_closed(self, pair):
+        left, right = pair
+        right.close()
+        with pytest.raises(rpc.ConnectionClosed):
+            rpc.request(left, ("ping",))

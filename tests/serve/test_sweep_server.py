@@ -7,7 +7,8 @@ one-time ``.npz`` weight round-trip, and per-worker embedding caches warm
 up across calls.
 """
 
-import numpy as np
+import threading
+
 import pytest
 
 from repro.core.model import ModelConfig
@@ -125,6 +126,14 @@ class TestLifecycle:
             server.sweep([region], ["not-a-cap"])
         assert server.sweep([region], CAPS)[0]
 
+    def test_stats_and_clear_after_close_fail_cleanly(self, fitted_tuner):
+        pool = SweepServer.from_tuner(fitted_tuner, num_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.cache_stats()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.clear_caches()
+
     def test_requires_fitted_tuner(self, small_database, small_builder):
         tuner = PnPTuner(
             system="haswell",
@@ -135,6 +144,48 @@ class TestLifecycle:
         )
         with pytest.raises(RuntimeError):
             SweepServer.from_tuner(tuner, num_workers=1)
+
+
+class TestWorkerDeath:
+    """A worker dying mid-request must raise clearly, never hang the pipe."""
+
+    def test_death_before_request_raises(self, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        with SweepServer.from_tuner(fitted_tuner, num_workers=1) as pool:
+            pool._processes[0].kill()
+            pool._processes[0].join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="died mid-request"):
+                pool.sweep(regions, CAPS)
+
+    def test_death_mid_request_raises(self, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        with SweepServer.from_tuner(fitted_tuner, num_workers=2) as pool:
+            # The request is dispatched to both shards; one worker is shot
+            # while (possibly) serving it.  The parent must surface the
+            # death instead of blocking forever on the dead worker's pipe.
+            victim = pool._processes[0]
+            killer = threading.Timer(0.05, victim.kill)
+            killer.start()
+            try:
+                with pytest.raises(RuntimeError, match="sweep worker"):
+                    for _ in range(50):  # long enough for the timer to fire
+                        pool.sweep(regions, CAPS)
+            finally:
+                killer.cancel()
+
+    def test_stats_after_worker_death_raise(self, fitted_tuner):
+        with SweepServer.from_tuner(fitted_tuner, num_workers=1) as pool:
+            pool._processes[0].kill()
+            pool._processes[0].join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="died mid-request"):
+                pool.cache_stats()
+
+    def test_close_after_worker_death_is_clean(self, fitted_tuner):
+        pool = SweepServer.from_tuner(fitted_tuner, num_workers=1)
+        pool._processes[0].kill()
+        pool._processes[0].join(timeout=5.0)
+        pool.close()  # must not raise or hang
+        assert pool._closed
 
 
 def _square(value: int) -> int:

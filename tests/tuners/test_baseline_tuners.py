@@ -73,7 +73,6 @@ class TestBudgetedTuners:
 
     def test_sampling_tuners_beat_or_match_default_usually(self, small_database):
         """With 20 samples out of 127 the tuners should find a decent config."""
-        space = small_database.search_space
         improvements = []
         for region_id in small_database.region_ids:
             default = small_database.default_result(region_id, 40.0)

@@ -1,0 +1,108 @@
+"""The CI coverage-floor checker (``tools/check_coverage.py``).
+
+The checker is exercised against hand-built Cobertura XML so the floor
+logic is tested in-tree without requiring coverage.py at test time (CI
+produces the real report with ``pytest --cov``).
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "tools",
+    "check_coverage.py",
+)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_coverage", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+COBERTURA = """<?xml version="1.0" ?>
+<coverage>
+  <packages>
+    <package name="repro.serve">
+      <classes>
+        <class filename="repro/serve/fleet.py" name="fleet.py">
+          <lines>
+            <line hits="1" number="1"/>
+            <line hits="1" number="2"/>
+            <line hits="0" number="3"/>
+            <line hits="4" number="4"/>
+          </lines>
+        </class>
+        <class filename="repro/serve/rpc.py" name="rpc.py">
+          <lines>
+            <line hits="1" number="1"/>
+            <line hits="1" number="2"/>
+          </lines>
+        </class>
+      </classes>
+    </package>
+    <package name="repro.nn">
+      <classes>
+        <class filename="repro/nn/tensor.py" name="tensor.py">
+          <lines>
+            <line hits="0" number="1"/>
+            <line hits="0" number="2"/>
+          </lines>
+        </class>
+      </classes>
+    </package>
+  </packages>
+</coverage>
+"""
+
+
+@pytest.fixture()
+def xml_path(tmp_path):
+    path = tmp_path / "coverage.xml"
+    path.write_text(COBERTURA, encoding="utf-8")
+    return str(path)
+
+
+class TestFileLineRates:
+    def test_selects_only_matching_files(self, checker, xml_path):
+        rates = checker.file_line_rates(xml_path, "repro/serve")
+        assert set(rates) == {"repro/serve/fleet.py", "repro/serve/rpc.py"}
+        assert rates["repro/serve/fleet.py"] == (3, 4)
+        assert rates["repro/serve/rpc.py"] == (2, 2)
+
+    def test_no_matches_is_empty(self, checker, xml_path):
+        assert checker.file_line_rates(xml_path, "no/such/package") == {}
+
+
+class TestAggregateRate:
+    def test_aggregates_across_files(self, checker, xml_path):
+        rates = checker.file_line_rates(xml_path, "repro/serve")
+        # 5 of 6 serve lines are covered.
+        assert checker.aggregate_rate(rates) == pytest.approx(100.0 * 5 / 6)
+
+    def test_empty_is_zero(self, checker):
+        assert checker.aggregate_rate({}) == 0.0
+
+
+class TestMain:
+    def test_passes_above_floor(self, checker, xml_path, capsys):
+        assert checker.main([xml_path, "--path", "repro/serve", "--min-percent", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate 83.3%" in out
+
+    def test_fails_below_floor(self, checker, xml_path, capsys):
+        assert checker.main([xml_path, "--path", "repro/serve", "--min-percent", "90"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_fails_when_nothing_matches(self, checker, xml_path):
+        # A moved/renamed package must fail the check loudly, not pass an
+        # empty selection.
+        assert checker.main([xml_path, "--path", "repro/gone", "--min-percent", "1"]) == 1
+
+    def test_uncovered_package_fails(self, checker, xml_path):
+        assert checker.main([xml_path, "--path", "repro/nn", "--min-percent", "10"]) == 1

@@ -1,7 +1,6 @@
 """Tests for deterministic RNG plumbing."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.rng import RngFactory, new_rng, spawn_seed

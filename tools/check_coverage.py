@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Assert a line-coverage floor for part of the tree from a Cobertura XML.
+
+CI runs ``pytest --cov=repro --cov-report=xml`` and then::
+
+    python tools/check_coverage.py coverage.xml --path repro/serve --min-percent 70
+
+The checker parses the Cobertura report with the stdlib only (no coverage.py
+dependency at check time), sums line hits over every file whose path
+contains ``--path``, and exits non-zero with a per-file breakdown when the
+aggregate drops below the floor — so a PR that adds untested serving code
+fails the coverage job, not just lowers a number in an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from typing import Dict, Tuple
+
+__all__ = ["file_line_rates", "aggregate_rate", "main"]
+
+
+def file_line_rates(xml_path: str, path_fragment: str) -> Dict[str, Tuple[int, int]]:
+    """``{filename: (covered_lines, total_lines)}`` for matching files.
+
+    A file matches when ``path_fragment`` occurs in its Cobertura
+    ``filename`` attribute (which is source-root relative, e.g.
+    ``repro/serve/fleet.py``).  Lines are deduplicated per file: Cobertura
+    repeats a line element per class in rare layouts.
+    """
+    root = ET.parse(xml_path).getroot()
+    per_file: Dict[str, Dict[int, int]] = {}
+    for klass in root.iter("class"):
+        filename = klass.get("filename", "")
+        if path_fragment not in filename:
+            continue
+        lines = per_file.setdefault(filename, {})
+        for line in klass.iter("line"):
+            number = int(line.get("number", "0"))
+            hits = int(line.get("hits", "0"))
+            lines[number] = max(lines.get(number, 0), hits)
+    return {
+        filename: (sum(1 for hits in lines.values() if hits > 0), len(lines))
+        for filename, lines in per_file.items()
+    }
+
+
+def aggregate_rate(rates: Dict[str, Tuple[int, int]]) -> float:
+    """Aggregate line-coverage percentage over the per-file counts."""
+    covered = sum(covered for covered, _ in rates.values())
+    total = sum(total for _, total in rates.values())
+    if total == 0:
+        return 0.0
+    return 100.0 * covered / total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("xml", help="Cobertura coverage.xml written by pytest --cov")
+    parser.add_argument(
+        "--path",
+        default="repro/serve",
+        help="path fragment selecting the files under the floor (default: repro/serve)",
+    )
+    parser.add_argument(
+        "--min-percent",
+        type=float,
+        default=70.0,
+        help="minimum aggregate line coverage for the selected files",
+    )
+    args = parser.parse_args(argv)
+
+    rates = file_line_rates(args.xml, args.path)
+    if not rates:
+        print(f"coverage check: no files matching {args.path!r} in {args.xml}")
+        return 1
+    for filename in sorted(rates):
+        covered, total = rates[filename]
+        percent = 100.0 * covered / total if total else 0.0
+        print(f"  {filename}: {covered}/{total} lines ({percent:.1f}%)")
+    aggregate = aggregate_rate(rates)
+    floor = args.min_percent
+    print(
+        f"coverage check: {args.path} aggregate {aggregate:.1f}% "
+        f"(floor {floor:.1f}%)"
+    )
+    if aggregate < floor:
+        print(f"coverage check FAILED: {aggregate:.1f}% < {floor:.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
