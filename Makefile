@@ -20,7 +20,7 @@ lint:
 # below the floor enforced by tools/check_coverage.py.
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=xml --cov-report=term
-	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 70
+	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 75
 
 # Fast perf-regression check for the message-passing engine and the serving
 # stack; fails when an engine path stops beating the retained seed reference

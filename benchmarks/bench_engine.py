@@ -39,7 +39,13 @@ A third axis covers **fleet serving**:
   ships the weights once, each node batch-encodes its shard) against the
   in-process serial loop, measuring what the wire costs; results are
   asserted byte-identical before timing, and ``cpu_count`` is recorded for
-  the same single-core caveat as ``serve_shards``.
+  the same single-core caveat as ``serve_shards``;
+* ``serve_fleet_churn`` — the self-healing cycle on a 3-node fleet: warm
+  steady-state sweeps, the failover sweep that absorbs a killed node, the
+  surviving 2-node fleet, the re-admitted fleet after a restart, and one
+  rolling weight update — plus the survivors' measured warm-cache hit rate
+  and the analytic consistent-hash vs. flat-modulo remap fractions (not
+  smoke-gated; recorded for the cross-PR trajectory).
 
 A fourth axis covers the **autograd-free inference runtime**
 (``inference_runtime``): the compiled
@@ -90,13 +96,13 @@ from repro.nn import _scatter, precision
 from repro.nn.data import GraphDataLoader, build_edge_plan, collate_graphs
 from repro.nn.rgcn import RGCNConv
 from repro.nn.tensor import Tensor, no_grad
-from repro.serve import LocalFleet, SweepServer
+from repro.serve import HashRing, LocalFleet, NodeState, SweepServer, shard_assignments
 
 #: The numbered perf-trajectory payload of this PR's bench run.  CI uploads
 #: the ``BENCH_latest.json`` copy under the stable artifact name
 #: ``perf-trajectory``, so only this constant moves per PR — never the
 #: artifact name or the workflow file.
-BENCH_NAME = "BENCH_5"
+BENCH_NAME = "BENCH_6"
 
 # Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
@@ -557,6 +563,127 @@ def bench_serve_fleet(
     return row
 
 
+def _timed_sweeps(fleet, regions, caps, rounds: int) -> List[float]:
+    times: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fleet.sweep(regions, caps)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def bench_serve_fleet_churn(
+    tuner, builder, rounds: int, num_caps: int, num_regions: int
+) -> Dict[str, float]:
+    """Sweep throughput through a full churn cycle on a 3-node fleet.
+
+    The axis measures what self-healing costs (and saves) end to end, warm
+    caches throughout:
+
+    * ``steady`` — the healthy 3-node fleet;
+    * ``failover`` — the single sweep that discovers a killed node and
+      rebalances its shard mid-flight;
+    * ``killed`` — the surviving 2-node fleet afterwards;
+    * ``recovered`` — after the node restarts and the heartbeat handshake
+      re-admits it (re-registration excluded; it happens once, off-path);
+    * ``update`` — one rolling :meth:`FleetClient.update_weights` pass plus
+      the first sweep on the new weights version.
+
+    Because the ring re-shards only the dead node's regions, the survivors'
+    embedding caches stay warm through the cycle — ``survivor_warm_hit_rate``
+    is measured from the nodes' cache-stats deltas across the failover, and
+    ``ring_keep_rate`` / ``flat_keep_rate`` record the analytic fraction of
+    surviving-node cache entries each scheme preserves (the flat modulo
+    hash reshuffles almost everything, which is exactly why the fleet moved
+    to consistent hashing).  Every sweep in the cycle is checked
+    byte-identical to the serial path before timing; not smoke-gated —
+    recorded for the cross-PR trajectory.
+    """
+    space = tuner.search_space
+    regions = _serving_regions(builder, num_regions)
+    ids = [region.region_id for region in regions]
+    caps = [
+        float(c)
+        for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)
+    ]
+    tuner._embedding_cache.clear()
+    expected = [tuner.predict_sweep(region, caps) for region in regions]
+
+    # Analytic remap comparison at N=3 -> N=2 (pure ring/hash math).
+    full_ring = HashRing(range(3))
+    before = full_ring.assignments(ids)
+    shrunk_ring = HashRing(range(3))
+    shrunk_ring.remove(0)
+    after = shrunk_ring.assignments(ids)
+    survivor_keys = [i for i, owner in enumerate(before) if owner != 0]
+    ring_keep = sum(after[i] == before[i] for i in survivor_keys)
+    flat_before = shard_assignments(ids, 3)
+    flat_after = shard_assignments(ids, 2)
+    flat_survivor_keys = [i for i, owner in enumerate(flat_before) if owner != 0]
+    flat_keep = sum(
+        flat_after[i] == flat_before[i] for i in flat_survivor_keys
+    )
+
+    row: Dict[str, float] = {
+        "num_regions": len(regions),
+        "num_caps": num_caps,
+        "num_nodes": 3.0,
+        "cpu_count": float(os.cpu_count() or 1),
+        "ring_remap_fraction": sum(a != b for a, b in zip(before, after)) / len(ids),
+        "flat_remap_fraction": sum(a != b for a, b in zip(flat_before, flat_after))
+        / len(ids),
+        "ring_keep_rate": ring_keep / max(1, len(survivor_keys)),
+        "flat_keep_rate": flat_keep / max(1, len(flat_survivor_keys)),
+    }
+
+    with LocalFleet(tuner, num_nodes=3, heartbeat_interval=None) as fleet:
+        if fleet.sweep(regions, caps) != expected:
+            raise AssertionError("fleet sweep disagrees with the serial path")
+        client = fleet.client
+        victim = client.assignments(ids)[0]
+        steady = _timed_sweeps(fleet, regions, caps, rounds)
+
+        stats_before = fleet.stats()
+        fleet.kill_node(victim)
+        start = time.perf_counter()
+        if fleet.sweep(regions, caps) != expected:
+            raise AssertionError("failover sweep disagrees with the serial path")
+        failover_s = time.perf_counter() - start
+        killed = _timed_sweeps(fleet, regions, caps, rounds)
+        stats_after = fleet.stats()
+        hits = sum(
+            stats_after[i]["hits"] - stats_before[i]["hits"] for i in stats_after
+        )
+        misses = sum(
+            stats_after[i]["misses"] - stats_before[i]["misses"] for i in stats_after
+        )
+        row["survivor_warm_hit_rate"] = hits / max(1, hits + misses)
+
+        fleet.restart_node(victim)
+        if not fleet.wait_for_state(victim, NodeState.LIVE, timeout=120.0):
+            raise AssertionError("restarted node was not re-admitted")
+        recovered = _timed_sweeps(fleet, regions, caps, rounds)
+        if fleet.sweep(regions, caps) != expected:
+            raise AssertionError("recovered sweep disagrees with the serial path")
+
+        start = time.perf_counter()
+        client.update_weights(tuner.state_dict())
+        if fleet.sweep(regions, caps) != expected:
+            raise AssertionError("post-update sweep disagrees with the serial path")
+        update_s = time.perf_counter() - start
+
+    row.update(
+        {
+            "steady_median_s": statistics.median(steady),
+            "failover_sweep_s": failover_s,
+            "killed_median_s": statistics.median(killed),
+            "recovered_median_s": statistics.median(recovered),
+            "update_cycle_s": update_s,
+        }
+    )
+    return row
+
+
 def bench_inference_runtime(
     tuner, builder, rounds: int, num_caps: int, num_regions: int = 16, with_f32: bool = True
 ) -> Dict[str, float]:
@@ -769,6 +896,13 @@ def _trajectory_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict
             "num_nodes",
             "cpu_count",
             "reduceat_default_on",
+            "ring_remap_fraction",
+            "flat_remap_fraction",
+            "ring_keep_rate",
+            "flat_keep_rate",
+            "survivor_warm_hit_rate",
+            "failover_sweep_s",
+            "update_cycle_s",
         )
         for context_key in context_keys:
             if context_key in row:
@@ -818,6 +952,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         tuner, builder, rounds, num_caps, serve_regions
     )
     print("  serve_fleet done")
+    results["serve_fleet_churn"] = bench_serve_fleet_churn(
+        tuner, builder, rounds, num_caps, serve_regions
+    )
+    print("  serve_fleet_churn done")
     if with_f32:
         results["scatter_mp"] = bench_scatter_mp(rounds)
         print("  scatter_mp done")
@@ -853,6 +991,8 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
                 f"{name:<14}{row['serial_s'] * 1e3:>10.1f}ms{row['fleet_s'] * 1e3:>10.1f}ms"
                 f"{row['fleet_speedup']:>9.2f}x"
             )
+        elif name == "serve_fleet_churn":
+            continue  # reported in its own summary line below
         else:  # scatter_mp: pure f32-vs-f64 microbenchmark
             cells = f"{name:<14}{'-':>12}{row['f64_s'] * 1e3:>10.1f}ms{'-':>10}"
         if "f32_speedup" in row:
@@ -876,6 +1016,16 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
     print(
         f"serve_fleet: {results['serve_fleet']['fleet_speedup']:.2f}x with 2 TCP nodes "
         f"vs the in-process serial loop on {os.cpu_count() or 1} core(s)"
+    )
+    churn = results["serve_fleet_churn"]
+    print(
+        f"serve_fleet_churn: steady {churn['steady_median_s'] * 1e3:.1f}ms, "
+        f"failover {churn['failover_sweep_s'] * 1e3:.1f}ms, "
+        f"killed {churn['killed_median_s'] * 1e3:.1f}ms, "
+        f"recovered {churn['recovered_median_s'] * 1e3:.1f}ms; "
+        f"survivor warm-hit {churn['survivor_warm_hit_rate'] * 100:.0f}% "
+        f"(ring keeps {churn['ring_keep_rate'] * 100:.0f}% of survivor keys "
+        f"vs {churn['flat_keep_rate'] * 100:.0f}% flat)"
     )
     runtime = results["inference_runtime"]
     f32_note = (

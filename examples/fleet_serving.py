@@ -17,6 +17,13 @@ power-cap sweep for the whole 68-region suite four ways —
 
 verifies that all four agree exactly, and prints the wall-clock of each.
 
+It then runs the **self-healing churn drill** on the fleet: kill a node
+mid-service (the sweep rebalances onto the survivors and still matches the
+serial path byte for byte), restart it (the heartbeat handshake re-admits
+it under the same member index, so it reclaims exactly its old
+consistent-hash shard), and roll a weight update across the fleet one node
+at a time — asserting byte-identity after every step.
+
 Every path runs the **compiled inference runtime**: the fitted weights are
 lowered once (``tuner.compile_inference()``) into a flat raw-ndarray kernel
 program — no ``Tensor`` wrappers, no autograd bookkeeping — and the server's
@@ -37,7 +44,7 @@ import time
 import numpy as np
 
 from repro.core import PnPTuner, TrainingConfig
-from repro.serve import LocalFleet, SweepServer
+from repro.serve import LocalFleet, NodeState, SweepServer
 
 
 def main() -> None:
@@ -149,6 +156,40 @@ def main() -> None:
         f"\nAll paths (incl. the Module reference) agree; e.g. {best.region_id} @ "
         f"{best.power_cap:.0f}W -> {best.config.label()}"
     )
+
+    # ------------------------------------------------- self-healing drill
+    # A fresh 2-node fleet with the heartbeat monitor disabled: every health
+    # transition below is driven explicitly, so the drill is deterministic.
+    print("\nChurn drill (kill -> rebalance -> restart -> re-admit -> update):")
+    with LocalFleet(tuner, num_nodes=2, heartbeat_interval=None) as drill:
+        client = drill.client
+        ids = [region.region_id for region in regions]
+        before = client.assignments(ids)
+
+        drill.kill_node(0)
+        start = time.perf_counter()
+        survived = drill.sweep(regions, caps)  # discovers the death mid-sweep
+        failover_s = time.perf_counter() - start
+        assert survived == serial, "post-kill sweep must match the serial path"
+        moved = sum(a != b for a, b in zip(before, client.assignments(ids)))
+        print(
+            f"  killed node 0: sweep rebalanced in {failover_s * 1e3:.1f} ms, "
+            f"{moved}/{len(ids)} regions moved (only the dead node's shard)"
+        )
+
+        drill.restart_node(0)
+        readmitted = drill.wait_for_state(0, NodeState.LIVE, timeout=120.0)
+        assert readmitted, "restarted node must be re-admitted"
+        assert client.assignments(ids) == before, "rejoin reclaims the old shard"
+        assert drill.sweep(regions, caps) == serial
+        print("  restarted node 0: re-admitted LIVE, original assignment restored")
+
+        report = client.update_weights(tuner.state_dict())
+        assert drill.sweep(regions, caps) == serial
+        print(
+            f"  rolling update: fleet at weights version {report['version']}, "
+            f"nodes {report['updated']} upgraded one at a time, bytes unchanged"
+        )
 
 
 if __name__ == "__main__":

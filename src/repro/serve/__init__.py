@@ -12,30 +12,43 @@ The serving stack has three layers:
 * **shard across machines** — :class:`NodeServer` wraps the same read-only
   serving tuner behind a TCP socket (length-prefixed RPC,
   :mod:`repro.serve.rpc`), and :class:`FleetClient` shards regions over the
-  nodes with the same content hash, ships the spec + ``.npz`` weight bytes
-  once at registration, multiplexes per-node batched requests concurrently,
-  and rebalances onto the surviving nodes when a node drops mid-sweep.
-  :class:`LocalFleet` spins N node subprocesses on localhost so the full
-  wire path is exercisable on one machine.
+  nodes with a virtual-node consistent-hash ring (:class:`HashRing`), ships
+  the spec + versioned ``.npz`` weight bytes at registration, multiplexes
+  per-node batched requests concurrently, and **self-heals**: a heartbeat
+  monitor walks nodes through ``LIVE → SUSPECT → DEAD`` and re-admits
+  recovered ones, membership grows/shrinks at runtime (moving only ~1/N of
+  the regions), and :meth:`FleetClient.update_weights` rolls new weights
+  across the fleet one node at a time.  :class:`LocalFleet` spins N node
+  subprocesses on localhost — with kill/restart/pause failure drills — so
+  the full wire path is exercisable on one machine.
 
 Every layer is byte-identical to the serial per-region
-``PnPTuner.predict_sweep`` path (asserted by ``tests/serve``), so sharded
-serving — local or multi-node — is purely a throughput decision.
+``PnPTuner.predict_sweep`` path (asserted by ``tests/serve``) through kills,
+recoveries, joins and rolling updates, so sharded serving — local or
+multi-node — is purely a throughput/availability decision.
 
 :func:`parallel_map` is the small deterministic process-pool primitive the
 experiment runners reuse to shard cross-validation folds and per-figure
 region loops.
 """
 
-from repro.serve.fleet import FleetClient, LocalFleet
+from repro.serve.fleet import FleetClient, FleetExhausted, LocalFleet, NodeState
 from repro.serve.node import NodeServer
 from repro.serve.server import SweepServer, parallel_map
-from repro.serve.sharding import shard_assignments, shard_for_region, shard_positions
+from repro.serve.sharding import (
+    HashRing,
+    shard_assignments,
+    shard_for_region,
+    shard_positions,
+)
 
 __all__ = [
     "FleetClient",
+    "FleetExhausted",
+    "HashRing",
     "LocalFleet",
     "NodeServer",
+    "NodeState",
     "SweepServer",
     "parallel_map",
     "shard_assignments",

@@ -4,19 +4,28 @@ A :class:`NodeServer` is the machine-boundary analogue of one
 :class:`~repro.serve.server.SweepServer` worker.  It listens on a TCP
 socket, and over :mod:`repro.serve.rpc`'s length-prefixed framing answers:
 
-``("register", spec, weights, dtypes)``
+``("register", spec, weights_update, dtypes)``
     Build the serving tuner from the picklable
-    :class:`~repro.serve.spec.TunerSpec` plus the ``.npz`` weight bytes
-    (shipped **once**), and eagerly compile the autograd-free
-    :class:`~repro.nn.inference.InferenceProgram` for every requested
-    serving dtype — after registration no request pays lowering cost.
+    :class:`~repro.serve.spec.TunerSpec` plus the **versioned**
+    :class:`~repro.serve.spec.WeightsUpdate` (``.npz`` weight bytes + a
+    monotonically increasing generation number), and eagerly compile the
+    autograd-free :class:`~repro.nn.inference.InferenceProgram` for every
+    requested serving dtype — after registration no request pays lowering
+    cost.  The replacement tuner is built *outside* the serving lock, so
+    in-flight sweeps finish on the old weights and the swap itself is one
+    pointer assignment under the lock; a stale version (older than the
+    node's current one) is rejected, so a delayed registration can never
+    roll the node back mid-rolling-update.
 ``("sweep", regions, power_caps, dtype)``
     One batched :meth:`~repro.core.tuner.PnPTuner.predict_sweep_many` call
     over the node's share of the fleet, byte-identical to serial
     ``predict_sweep`` on the parent tuner.
 ``("clear",)`` / ``("stats",)`` / ``("ping",)`` / ``("stop",)``
     Cache control, cache statistics, liveness, shutdown — the same verbs the
-    local worker pool speaks over its pipes.
+    local worker pool speaks over its pipes.  ``ping`` reports the node's
+    registration state and weights version, which is what the fleet's
+    heartbeat handshake uses to decide whether a recovered node needs a
+    re-registration before being re-admitted.
 
 The node accepts any number of sequential or concurrent client connections
 (registration is node-global, and a lock serializes tuner access), so a
@@ -32,10 +41,10 @@ import os
 import socket
 import threading
 import traceback
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.serve import rpc
-from repro.serve.spec import build_serving_tuner, state_from_blob
+from repro.serve.spec import WeightsUpdate, build_serving_tuner, state_from_blob
 
 __all__ = ["NodeServer", "node_subprocess_main"]
 
@@ -57,6 +66,7 @@ class NodeServer:
         self._sock.listen()
         self.address: Tuple[str, int] = self._sock.getsockname()
         self._tuner = None
+        self._version = 0
         self._lock = threading.Lock()
         self._stopped = threading.Event()
 
@@ -90,8 +100,8 @@ class NodeServer:
                     return  # client went away; keep serving others
                 try:
                     reply = ("ok", self._dispatch(message))
-                except Exception:  # noqa: BLE001 - report, keep serving
-                    reply = ("error", traceback.format_exc())
+                except Exception as error:  # noqa: BLE001 - report, keep serving
+                    reply = ("error", rpc.error_frame(error))
                 try:
                     rpc.send_message(connection, reply)
                 except rpc.ConnectionClosed:
@@ -103,10 +113,17 @@ class NodeServer:
     def _dispatch(self, message: Tuple):
         command = message[0]
         if command == "ping":
-            return {"registered": self._tuner is not None, "pid": os.getpid()}
+            # Deliberately lock-free: a node mid-sweep (or mid-registration
+            # build) must still answer heartbeats, or a busy node would be
+            # mistaken for a hung one.
+            return {
+                "registered": self._tuner is not None,
+                "version": self._version,
+                "pid": os.getpid(),
+            }
         if command == "register":
-            _, spec, weights, dtypes = message
-            return self._register(spec, weights, dtypes)
+            _, spec, update, dtypes = message
+            return self._register(spec, update, dtypes)
         if command == "stop":
             self.shutdown()
             return None
@@ -124,6 +141,7 @@ class NodeServer:
                     "size": len(cache),
                     "hits": cache.hits,
                     "misses": cache.misses,
+                    "version": self._version,
                     "pid": os.getpid(),
                 }
             # command == "clear"
@@ -131,18 +149,30 @@ class NodeServer:
             tuner._sweep_batch_memo.clear()
             return None
 
-    def _register(self, spec, weights: bytes, dtypes: Sequence[Optional[str]]):
+    def _register(self, spec, update: WeightsUpdate, dtypes: Sequence):
+        # Build the replacement tuner OUTSIDE the serving lock: registration
+        # (graph building, weight loading, program compilation) can take
+        # seconds, and in-flight sweeps must finish on the old weights.  The
+        # swap below is then a pointer assignment under the lock — atomic
+        # from every serving request's point of view.
+        tuner = build_serving_tuner(spec, state=state_from_blob(update.blob))
+        # build_serving_tuner compiled the tuner's own dtype; eagerly
+        # compile any additional serving dtypes (e.g. "float32" on a
+        # float64-trained tuner) so no sweep pays lowering cost either.
+        for dtype in dtypes:
+            tuner.compile_inference(dtype)
         with self._lock:
-            tuner = build_serving_tuner(spec, state=state_from_blob(weights))
-            # build_serving_tuner compiled the tuner's own dtype; eagerly
-            # compile any additional serving dtypes (e.g. "float32" on a
-            # float64-trained tuner) so no sweep pays lowering cost either.
-            for dtype in dtypes:
-                tuner.compile_inference(dtype)
+            if update.version < self._version:
+                raise ValueError(
+                    f"stale weights version {update.version} "
+                    f"(node is already at version {self._version})"
+                )
             self._tuner = tuner
+            self._version = update.version
             return {
                 "num_regions": len(tuner.builder.regions()),
                 "dtypes": sorted(tuner._programs),
+                "version": self._version,
                 "pid": os.getpid(),
             }
 

@@ -5,9 +5,10 @@ length prefix followed by a pickled Python object — because the protocol on
 top of it is the same four-verb request/reply scheme the local
 :class:`~repro.serve.server.SweepServer` pipes already speak (``register`` /
 ``sweep`` / ``clear`` / ``stats`` / ``stop``).  Replies are ``("ok",
-payload)`` or ``("error", traceback_text)``; :func:`request` sends one
-message, waits for the reply and raises :class:`RemoteError` carrying the
-remote traceback on an error reply.
+payload)`` or ``("error", frame)`` where the error frame (built by
+:func:`error_frame`) carries both a one-line exception summary and the full
+formatted node-side traceback; :func:`request` sends one message, waits for
+the reply and raises :class:`RemoteError` exposing both on an error reply.
 
 Like ``multiprocessing``'s pipes, the transport trusts its peers: messages
 are **pickle**, so a node must only ever be exposed to the cluster-internal
@@ -16,20 +17,29 @@ interface, never the open internet).
 
 :exc:`ConnectionClosed` is the one failure mode callers are expected to
 handle: it means the peer went away (process killed, machine lost), and the
-:class:`~repro.serve.fleet.FleetClient` reacts by rebalancing the dead
-node's regions onto the surviving nodes.
+:class:`~repro.serve.fleet.FleetClient` reacts by marking the node dead and
+rebalancing its regions onto the surviving nodes.  :func:`connect` is the
+client-side complement for the *opposite* transient: a node that is still
+booting refuses connections for a moment, so connection establishment
+retries with bounded, jittered exponential backoff instead of misreporting
+the node as a configuration error.
 """
 
 from __future__ import annotations
 
 import pickle
+import random
 import socket
 import struct
-from typing import Any, Tuple
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = [
     "ConnectionClosed",
     "RemoteError",
+    "connect",
+    "error_frame",
     "send_message",
     "recv_message",
     "request",
@@ -42,13 +52,77 @@ _HEADER = struct.Struct(">Q")
 #: fails fast instead of attempting an absurd allocation.
 MAX_MESSAGE_BYTES = 1 << 30
 
+#: Transient connection-establishment failures :func:`connect` retries: the
+#: peer's port is not (yet) listening or the handshake was torn down while
+#: the peer (re)starts.  Anything else — unreachable host, bad address — is
+#: a real configuration error and surfaces immediately.
+_TRANSIENT_CONNECT_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    TimeoutError,
+)
+
 
 class ConnectionClosed(ConnectionError):
     """The peer closed the connection (or died) mid-conversation."""
 
 
 class RemoteError(RuntimeError):
-    """The peer answered with an error reply; carries the remote traceback."""
+    """The peer answered with an error reply.
+
+    ``remote_exception`` is the node-side one-line summary (``"ValueError:
+    ..."``) and ``remote_traceback`` the full formatted node-side traceback
+    — both also appear in the exception message, so a fleet client failure
+    reads like the stack trace of the node that actually raised.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        remote_exception: Optional[str] = None,
+        remote_traceback: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.remote_exception = remote_exception
+        self.remote_traceback = remote_traceback
+
+
+def error_frame(error: BaseException) -> Dict[str, str]:
+    """The wire form of a node-side failure: summary + formatted traceback."""
+    return {
+        "exception": f"{type(error).__name__}: {error}",
+        "traceback": "".join(traceback.format_exception(error)),
+    }
+
+
+def connect(
+    address: Tuple[str, int],
+    timeout: Optional[float] = None,
+    attempts: int = 5,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+) -> socket.socket:
+    """Connect to a peer, retrying transient refusals with jittered backoff.
+
+    A node that is still booting (socket not yet bound, accept loop not yet
+    running) refuses connections for a moment; a bounded retry keeps that
+    from being misclassified as a configuration error during registration.
+    Delays double from ``base_delay`` up to ``max_delay`` with ±50 % jitter
+    so a whole fleet reconnecting does not stampede one node.  After
+    ``attempts`` failures the last error propagates unchanged.
+    """
+    attempts = max(1, int(attempts))
+    delay = base_delay
+    for attempt in range(attempts):
+        try:
+            return socket.create_connection(tuple(address), timeout=timeout)
+        except _TRANSIENT_CONNECT_ERRORS:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(min(delay, max_delay) * (0.5 + random.random() / 2.0))
+            delay *= 2
+    raise ConnectionError("unreachable")  # pragma: no cover - loop always exits
 
 
 def send_message(sock: socket.socket, payload: Any) -> None:
@@ -97,9 +171,9 @@ def recv_message(sock: socket.socket) -> Any:
 def request(sock: socket.socket, payload: Tuple) -> Any:
     """One request/reply round trip; unwraps ``("ok", ...)`` replies.
 
-    Raises :class:`RemoteError` (with the remote traceback) on an
-    ``("error", ...)`` reply and :class:`ConnectionClosed` when the peer
-    vanished before answering.
+    Raises :class:`RemoteError` (carrying the node-side exception summary
+    and formatted traceback) on an ``("error", ...)`` reply and
+    :class:`ConnectionClosed` when the peer vanished before answering.
     """
     send_message(sock, payload)
     reply = recv_message(sock)
@@ -107,5 +181,18 @@ def request(sock: socket.socket, payload: Tuple) -> Any:
         raise RemoteError(f"malformed reply: {reply!r}")
     status, body = reply
     if status != "ok":
-        raise RemoteError(f"remote {payload[0]!r} request failed:\n{body}")
+        if isinstance(body, dict):
+            summary = body.get("exception", "remote failure")
+            remote_traceback = body.get("traceback", "")
+            raise RemoteError(
+                f"remote {payload[0]!r} request failed: {summary}\n"
+                f"--- node-side traceback ---\n{remote_traceback}",
+                remote_exception=summary,
+                remote_traceback=remote_traceback,
+            )
+        # Pre-structured peers shipped the bare traceback text.
+        raise RemoteError(
+            f"remote {payload[0]!r} request failed:\n{body}",
+            remote_traceback=str(body),
+        )
     return body

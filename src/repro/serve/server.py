@@ -5,9 +5,12 @@ is a single cached encoder pass plus a dense-head batch, and regions are
 independent — embarrassingly parallel.  The server therefore:
 
 * assigns each region to a shard with the **deterministic content hash**
-  shared by every serving layer (:mod:`repro.serve.sharding`) — the same
-  region always lands on the same shard, so per-worker embedding caches
-  stay hot and a re-run reproduces the exact same batch compositions;
+  shared by every serving layer (:mod:`repro.serve.sharding`).  The pool's
+  worker count is fixed for its lifetime, so the cheap *flat modulo* scheme
+  is the right one here (the elastic multi-node fleet uses the
+  consistent-hash ring instead) — the same region always lands on the same
+  shard, per-worker embedding caches stay hot, and a re-run reproduces the
+  exact same batch compositions;
 * runs one **worker process per shard**.  A worker reconstructs the tuner
   from the picklable :class:`~repro.serve.spec.TunerSpec` (system,
   objective, model configuration, the benchmark-suite regions) and loads

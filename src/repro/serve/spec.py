@@ -15,7 +15,13 @@ weight *bytes* over a TCP socket.  This module owns the pieces both share:
   replica's first request pays no lowering cost;
 * :func:`weights_blob` / :func:`state_from_blob` — the ``.npz``
   serialization round-trip as in-memory bytes, for transports without a
-  shared filesystem.
+  shared filesystem;
+* :class:`WeightsUpdate` — the fleet's *versioned* weight payload: the
+  ``.npz`` bytes plus a monotonically increasing version number, so nodes
+  can reject stale registrations and a rolling update
+  (:meth:`~repro.serve.fleet.FleetClient.update_weights`) can upgrade a
+  live fleet one node at a time without ever serving mixed generations to
+  a single synchronous client.
 
 The weights always travel through the dtype-faithful ``.npz`` round-trip
 (:mod:`repro.nn.serialization`), so every replica serves from byte-identical
@@ -38,6 +44,7 @@ from repro.openmp.region import RegionCharacteristics
 
 __all__ = [
     "TunerSpec",
+    "WeightsUpdate",
     "tuner_spec",
     "build_serving_tuner",
     "weights_blob",
@@ -69,6 +76,21 @@ class TunerSpec:
     noise_fraction: float
     model_config: ModelConfig
     regions_by_app: Dict[str, List[RegionCharacteristics]]
+
+
+@dataclass(frozen=True)
+class WeightsUpdate:
+    """A versioned fleet weight payload: ``.npz`` bytes + generation number.
+
+    Versions are assigned by the :class:`~repro.serve.fleet.FleetClient`
+    (``register_tuner`` starts the counter, ``update_weights`` bumps it) and
+    increase monotonically; a node atomically swaps to the new weights only
+    when ``version`` is at least its current one, so a delayed or replayed
+    registration can never roll a node *back* mid-rolling-update.
+    """
+
+    version: int
+    blob: bytes
 
 
 def tuner_spec(tuner: PnPTuner) -> TunerSpec:

@@ -1,4 +1,4 @@
-"""Multi-node TCP fleet serving: equivalence, rebalance and lifecycle.
+"""Multi-node TCP fleet serving: equivalence, rebalance, health, lifecycle.
 
 The fleet's contract extends the worker pool's: sweeps served over ≥2
 :class:`~repro.serve.node.NodeServer` TCP nodes are byte-identical to
@@ -6,6 +6,13 @@ serial per-region ``predict_sweep`` on the parent tuner (at float64 *and*
 float32), the spec + ``.npz`` weight bytes ship exactly once at
 registration, and losing a node mid-sweep rebalances its regions onto the
 survivors instead of failing the sweep.
+
+The self-healing layer extends it further: the heartbeat walks failing
+nodes through ``LIVE → SUSPECT → DEAD`` (catching hung-but-connected nodes
+that EOF detection cannot see), re-admits recovered nodes via a ping +
+re-registration handshake, membership grows and shrinks at runtime, and
+rolling weight updates upgrade the fleet one node at a time — all without
+ever changing a sweep's bytes.
 """
 
 import threading
@@ -15,8 +22,10 @@ import pytest
 from repro.core.model import ModelConfig
 from repro.core.training import TrainingConfig
 from repro.core.tuner import PnPTuner
-from repro.serve import FleetClient, LocalFleet, NodeServer
+from repro.serve import FleetClient, FleetExhausted, LocalFleet, NodeServer, NodeState
+from repro.serve import rpc
 from repro.serve.rpc import RemoteError
+from repro.serve.spec import WeightsUpdate
 
 CAPS = [40.0, 55.0, 70.0, 85.0]
 
@@ -46,6 +55,28 @@ def fitted_tuner(small_database, small_builder):
 def fleet(fitted_tuner):
     with LocalFleet(fitted_tuner, num_nodes=2, dtypes=("float32",)) as local:
         yield local
+
+
+@pytest.fixture(scope="module")
+def retrained_tuner(small_database, small_builder):
+    """A second weight generation for the rolling-update drills."""
+    config = ModelConfig(
+        vocabulary_size=len(small_builder.vocabulary),
+        num_classes=small_database.search_space.num_omp_configurations,
+        aux_dim=1,
+        seed=0,
+    )
+    tuner = PnPTuner(
+        system="haswell",
+        objective="time",
+        model_config=config,
+        training_config=TrainingConfig(epochs=3, seed=0),
+        database=small_database,
+        seed=0,
+    )
+    tuner.builder = small_builder
+    tuner.fit(tuner.build_training_samples())
+    return tuner
 
 
 def _serial_sweep(tuner, regions, dtype=None):
@@ -157,3 +188,279 @@ class TestLifecycle:
         )
         with pytest.raises(RuntimeError):
             LocalFleet(tuner, num_nodes=1)
+
+
+class TestFleetExhausted:
+    def test_names_every_node_and_reason(self, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        with LocalFleet(fitted_tuner, num_nodes=2, heartbeat_interval=None) as local:
+            local.kill_node(0)
+            local.kill_node(1)
+            with pytest.raises(FleetExhausted) as excinfo:
+                local.sweep(regions, CAPS)
+        error = excinfo.value
+        assert "all fleet nodes failed" in str(error)
+        assert "regions unserved" in str(error)
+        assert sorted(error.reasons) == [0, 1]
+        assert "node 0" in str(error) and "node 1" in str(error)
+        assert error.unserved == len(regions)
+
+    def test_update_weights_with_no_survivors(self, fitted_tuner, retrained_tuner):
+        with LocalFleet(fitted_tuner, num_nodes=1, heartbeat_interval=None) as local:
+            local.kill_node(0)
+            local.probe_now(force=True)  # EOF was never seen; detect via probe
+            with pytest.raises(FleetExhausted, match="all fleet nodes failed"):
+                local.client.update_weights(retrained_tuner)
+
+    def test_update_weights_requires_registration(self):
+        server = NodeServer()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with FleetClient(
+                [server.address], connect_timeout=10.0, heartbeat_interval=None
+            ) as client:
+                with pytest.raises(RuntimeError, match="register_tuner"):
+                    client.update_weights({})
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+
+
+class TestHealth:
+    """LIVE → SUSPECT → DEAD → re-admitted, driven deterministically."""
+
+    def test_paused_node_is_detected_and_inflight_sweep_rebalances(
+        self, fitted_tuner, small_builder
+    ):
+        regions = small_builder.regions()
+        expected = _serial_sweep(fitted_tuner, regions)
+        with LocalFleet(
+            fitted_tuner,
+            num_nodes=2,
+            heartbeat_interval=None,
+            ping_timeout=1.0,
+            dead_after=1,
+        ) as local:
+            local.pause_node(0)
+            # The sweep blocks on the hung-but-connected node: its TCP
+            # connection is alive (the kernel answers), but the process
+            # never replies — the failure mode EOF detection cannot see.
+            outcome = {}
+
+            def run_sweep():
+                outcome["results"] = local.sweep(regions, CAPS)
+
+            sweeper = threading.Thread(target=run_sweep, daemon=True)
+            sweeper.start()
+            sweeper.join(timeout=0.5)
+            assert sweeper.is_alive()  # genuinely stuck on the paused node
+            # One forced heartbeat pass: the ping times out, the node goes
+            # DEAD, and tearing its socket down unblocks the stuck sweep.
+            states = local.probe_now(force=True)
+            assert states[0] is NodeState.DEAD
+            sweeper.join(timeout=30.0)
+            assert not sweeper.is_alive()
+            assert outcome["results"] == expected
+            # Recovery: SIGCONT + one probe re-admits the node.
+            local.resume_node(0)
+            assert local.probe_now(force=True)[0] is NodeState.LIVE
+            local.clear_caches()
+            assert local.sweep(regions, CAPS) == expected
+            sizes = [stats["size"] for stats in local.stats().values()]
+            assert len(sizes) == 2 and all(size > 0 for size in sizes)
+
+    def test_suspect_is_an_intermediate_state(self, fitted_tuner):
+        with LocalFleet(
+            fitted_tuner,
+            num_nodes=2,
+            heartbeat_interval=None,
+            ping_timeout=1.0,
+            dead_after=2,
+        ) as local:
+            local.pause_node(1)
+            assert local.probe_now(force=True)[1] is NodeState.SUSPECT
+            assert local.client.alive_nodes == [0]  # SUSPECT is not LIVE
+            assert local.probe_now(force=True)[1] is NodeState.DEAD
+            local.resume_node(1)
+            assert local.probe_now(force=True)[1] is NodeState.LIVE
+            assert local.client.alive_nodes == [0, 1]
+
+    def test_heartbeat_thread_readmits_restarted_node(
+        self, fitted_tuner, small_builder
+    ):
+        regions = small_builder.regions()
+        expected = _serial_sweep(fitted_tuner, regions)
+        with LocalFleet(
+            fitted_tuner,
+            num_nodes=2,
+            heartbeat_interval=0.1,
+            ping_timeout=2.0,
+            dead_after=1,
+        ) as local:
+            local.kill_node(0)
+            assert local.sweep(regions, CAPS) == expected  # rebalanced
+            assert local.wait_for_state(0, NodeState.DEAD, timeout=30.0)
+            local.restart_node(0)
+            # The monitor thread re-registers and re-admits on its own.
+            assert local.wait_for_state(0, NodeState.LIVE, timeout=60.0)
+            local.clear_caches()
+            assert local.sweep(regions, CAPS) == expected
+            stats = local.stats()
+            assert len(stats) == 2
+            assert all(s["size"] > 0 for s in stats.values())
+
+
+class TestElasticity:
+    def test_add_then_remove_node(self, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        expected = _serial_sweep(fitted_tuner, regions)
+        ids = [region.region_id for region in regions]
+        with LocalFleet(fitted_tuner, num_nodes=2, heartbeat_interval=None) as local:
+            baseline = local.client.assignments(ids)
+            index = local.add_node()
+            assert index == 2
+            grown = local.client.assignments(ids)
+            # The joiner only steals keys; survivors keep theirs.
+            assert all(b == a for b, a in zip(baseline, grown) if a != index)
+            local.clear_caches()
+            assert local.sweep(regions, CAPS) == expected
+            stats = local.stats()
+            assert len(stats) == 3
+            assert all(s["size"] > 0 for s in stats.values())
+            local.remove_node(index)
+            assert local.client.assignments(ids) == baseline
+            assert local.sweep(regions, CAPS) == expected
+            with pytest.raises(KeyError):
+                local.client.remove_node(index)
+
+    def test_added_node_is_registered_at_current_version(
+        self, fitted_tuner, retrained_tuner, small_builder
+    ):
+        regions = small_builder.regions()
+        with LocalFleet(fitted_tuner, num_nodes=1, heartbeat_interval=None) as local:
+            report = local.client.update_weights(retrained_tuner)
+            assert report == {"version": 2, "updated": [0]}
+            index = local.add_node()
+            stats = local.stats()
+            assert stats[index]["version"] == 2
+            expected = _serial_sweep(retrained_tuner, regions)
+            assert local.sweep(regions, CAPS) == expected
+
+
+class TestRollingUpdate:
+    def test_update_swaps_every_node_and_stays_byte_identical(
+        self, fitted_tuner, retrained_tuner, small_builder
+    ):
+        regions = small_builder.regions()
+        with LocalFleet(
+            fitted_tuner, num_nodes=2, dtypes=("float32",), heartbeat_interval=None
+        ) as local:
+            assert local.sweep(regions, CAPS) == _serial_sweep(fitted_tuner, regions)
+            report = local.client.update_weights(retrained_tuner)
+            assert report["version"] == 2
+            assert report["updated"] == [0, 1]
+            assert local.client.weights_version == 2
+            for dtype in (None, "float32"):
+                assert local.sweep(regions, CAPS, dtype=dtype) == _serial_sweep(
+                    retrained_tuner, regions, dtype=dtype
+                )
+            assert all(s["version"] == 2 for s in local.stats().values())
+
+    def test_stale_version_is_rejected_by_the_node(
+        self, fitted_tuner, retrained_tuner
+    ):
+        with LocalFleet(fitted_tuner, num_nodes=1, heartbeat_interval=None) as local:
+            local.client.update_weights(retrained_tuner)  # node now at version 2
+            client = local.client
+            sock = rpc.connect(local.addresses[0], timeout=10.0)
+            try:
+                stale = ("register", client._spec, WeightsUpdate(1, client._weights), ())
+                with pytest.raises(RemoteError, match="stale weights version 1"):
+                    rpc.request(sock, stale)
+            finally:
+                sock.close()
+            # The node still serves version 2 afterwards.
+            assert local.stats()[0]["version"] == 2
+
+    def test_state_dict_payload_is_accepted(
+        self, fitted_tuner, retrained_tuner, small_builder
+    ):
+        regions = small_builder.regions()
+        with LocalFleet(fitted_tuner, num_nodes=1, heartbeat_interval=None) as local:
+            local.client.update_weights(retrained_tuner.state_dict())
+            assert local.sweep(regions, CAPS) == _serial_sweep(
+                retrained_tuner, regions
+            )
+
+
+class TestChaosDrill:
+    """The full self-healing story in one deterministic scenario.
+
+    Kill a node mid-service, rebalance, restart it, re-admit it through the
+    heartbeat handshake (reclaiming exactly its old shard), roll the fleet
+    to a new weights version, then grow the fleet — asserting byte-identity
+    against the serial tuner at float64 *and* float32 after every step, and
+    that each topology change moved only the bounded ~1/N of regions.
+    """
+
+    def test_kill_restart_readmit_update_join(
+        self, fitted_tuner, retrained_tuner, small_builder
+    ):
+        regions = small_builder.regions()
+        ids = [region.region_id for region in regions]
+        expected_v1 = {
+            dtype: _serial_sweep(fitted_tuner, regions, dtype=dtype)
+            for dtype in (None, "float32")
+        }
+        expected_v2 = {
+            dtype: _serial_sweep(retrained_tuner, regions, dtype=dtype)
+            for dtype in (None, "float32")
+        }
+        with LocalFleet(
+            fitted_tuner, num_nodes=3, dtypes=("float32",), heartbeat_interval=None
+        ) as local:
+            client = local.client
+            baseline = client.assignments(ids)
+            assert len(set(baseline)) == 3  # all three nodes serve the suite
+            for dtype in (None, "float32"):
+                assert local.sweep(regions, CAPS, dtype=dtype) == expected_v1[dtype]
+
+            # --- kill: the client discovers the death mid-sweep and
+            # rebalances the dead node's share onto the survivors.
+            victim = baseline[0]
+            local.kill_node(victim)
+            for dtype in (None, "float32"):
+                assert local.sweep(regions, CAPS, dtype=dtype) == expected_v1[dtype]
+            assert client.node_states()[victim] is NodeState.DEAD
+            shrunk = client.assignments(ids)
+            moved = sum(a != b for a, b in zip(baseline, shrunk))
+            assert moved == baseline.count(victim)  # only the victim's keys
+            assert all(b == a for b, a in zip(baseline, shrunk) if b != victim)
+
+            # --- restart + re-admit: the node comes back under the same
+            # member index and reclaims exactly its old shard.
+            local.restart_node(victim)
+            assert local.wait_for_state(victim, NodeState.LIVE, timeout=60.0)
+            assert client.assignments(ids) == baseline
+            for dtype in (None, "float32"):
+                assert local.sweep(regions, CAPS, dtype=dtype) == expected_v1[dtype]
+
+            # --- rolling update: every node swaps to version 2 atomically.
+            report = client.update_weights(retrained_tuner)
+            assert report["version"] == 2
+            assert sorted(report["updated"]) == sorted(set(baseline))
+            for dtype in (None, "float32"):
+                assert local.sweep(regions, CAPS, dtype=dtype) == expected_v2[dtype]
+            assert all(s["version"] == 2 for s in local.stats().values())
+
+            # --- join: a fourth node steals a bounded share and serves the
+            # current weights version immediately.
+            joined = local.add_node()
+            grown = client.assignments(ids)
+            moved = sum(a != b for a, b in zip(baseline, grown))
+            assert moved / len(ids) <= 1 / 4 + 0.35  # 6 keys: coarse bound
+            assert all(b == a for b, a in zip(baseline, grown) if a != joined)
+            for dtype in (None, "float32"):
+                assert local.sweep(regions, CAPS, dtype=dtype) == expected_v2[dtype]
+            assert local.stats()[joined]["version"] == 2

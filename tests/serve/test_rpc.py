@@ -3,6 +3,7 @@
 import socket
 import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -110,3 +111,103 @@ class TestRequest:
         right.close()
         with pytest.raises(rpc.ConnectionClosed):
             rpc.request(left, ("ping",))
+
+
+class TestErrorFrames:
+    def _raise_and_frame(self):
+        try:
+            raise ValueError("boom at depth")
+        except ValueError as error:
+            return rpc.error_frame(error)
+
+    def test_frame_carries_summary_and_traceback(self):
+        frame = self._raise_and_frame()
+        assert frame["exception"] == "ValueError: boom at depth"
+        assert "Traceback (most recent call last)" in frame["traceback"]
+        assert "raise ValueError" in frame["traceback"]
+
+    def test_structured_frame_surfaces_node_traceback(self, pair):
+        left, right = pair
+        frame = self._raise_and_frame()
+
+        def run():
+            rpc.recv_message(right)
+            rpc.send_message(right, ("error", frame))
+
+        threading.Thread(target=run, daemon=True).start()
+        with pytest.raises(rpc.RemoteError) as excinfo:
+            rpc.request(left, ("sweep",))
+        error = excinfo.value
+        assert error.remote_exception == "ValueError: boom at depth"
+        assert "raise ValueError" in error.remote_traceback
+        # The client-side message itself reads like the node's stack trace.
+        assert "node-side traceback" in str(error)
+        assert "raise ValueError" in str(error)
+
+    def test_legacy_bare_string_frame_still_raises(self, pair):
+        left, right = pair
+
+        def run():
+            rpc.recv_message(right)
+            rpc.send_message(right, ("error", "Traceback: legacy boom"))
+
+        threading.Thread(target=run, daemon=True).start()
+        with pytest.raises(rpc.RemoteError, match="legacy boom") as excinfo:
+            rpc.request(left, ("sweep",))
+        assert excinfo.value.remote_traceback == "Traceback: legacy boom"
+
+
+class TestConnectRetry:
+    def test_connects_first_try_to_a_listener(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        try:
+            sock = rpc.connect(listener.getsockname(), timeout=5.0)
+            sock.close()
+        finally:
+            listener.close()
+
+    def test_retries_until_listener_appears(self):
+        """A node that is still booting must not read as a config error."""
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        address = placeholder.getsockname()
+        placeholder.close()  # port currently refuses connections
+
+        listener = socket.socket()
+
+        def bind_late():
+            time.sleep(0.3)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(address)
+            listener.listen()
+
+        opener = threading.Thread(target=bind_late, daemon=True)
+        opener.start()
+        try:
+            sock = rpc.connect(
+                address, timeout=5.0, attempts=20, base_delay=0.05, max_delay=0.2
+            )
+            sock.close()
+        finally:
+            opener.join()
+            listener.close()
+
+    def test_exhausted_attempts_raise_the_refusal(self):
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        address = placeholder.getsockname()
+        placeholder.close()
+        start = time.monotonic()
+        with pytest.raises(ConnectionRefusedError):
+            rpc.connect(address, attempts=3, base_delay=0.01, max_delay=0.02)
+        assert time.monotonic() - start < 5.0
+
+    def test_single_attempt_raises_immediately(self):
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        address = placeholder.getsockname()
+        placeholder.close()
+        with pytest.raises(ConnectionRefusedError):
+            rpc.connect(address, attempts=1)
