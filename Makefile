@@ -20,12 +20,15 @@ lint:
 # below the floor enforced by tools/check_coverage.py.
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=xml --cov-report=term
-	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 75
+	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 78
 
 # Fast perf-regression check for the message-passing engine and the serving
 # stack; fails when an engine path stops beating the retained seed reference
 # paths, the batched multi-region sweep stops beating serial sweeps, or the
 # compiled autograd-free inference program stops beating the Module forward.
+# Includes the serve_gateway churn drill (open-loop traffic through the
+# asyncio gateway with mid-load kill/pause/restart and a dead-fleet
+# fallback phase; byte-identity with the serial path is a hard failure).
 # Writes per-axis medians to benchmarks/results/BENCH_<n>.json and the
 # stable benchmarks/results/BENCH_latest.json copy CI uploads as the
 # `perf-trajectory` artifact.

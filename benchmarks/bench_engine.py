@@ -45,7 +45,15 @@ A third axis covers **fleet serving**:
   surviving 2-node fleet, the re-admitted fleet after a restart, and one
   rolling weight update — plus the survivors' measured warm-cache hit rate
   and the analytic consistent-hash vs. flat-modulo remap fractions (not
-  smoke-gated; recorded for the cross-PR trajectory).
+  smoke-gated; recorded for the cross-PR trajectory);
+* ``serve_gateway`` — synthetic open-loop single-region traffic through the
+  asyncio :class:`repro.serve.Gateway` over a 3-node fleet, driven through
+  a churn drill (kill one node mid-load, pause another, resume + restart,
+  then kill the whole fleet): per-phase p50/p99 latency and QPS plus the
+  gateway's shed/hedge/fallback/breaker counters, with every answered
+  request asserted byte-identical to the serial ``predict_sweep`` path (not
+  smoke-gated on speed; the byte-identity and liveness assertions are hard
+  failures).
 
 A fourth axis covers the **autograd-free inference runtime**
 (``inference_runtime``): the compiled
@@ -72,6 +80,7 @@ changes per PR, only the ``bench`` field inside the payload does.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import os
 import statistics
 import sys
@@ -96,13 +105,22 @@ from repro.nn import _scatter, precision
 from repro.nn.data import GraphDataLoader, build_edge_plan, collate_graphs
 from repro.nn.rgcn import RGCNConv
 from repro.nn.tensor import Tensor, no_grad
-from repro.serve import HashRing, LocalFleet, NodeState, SweepServer, shard_assignments
+from repro.serve import (
+    DeadlineExceeded,
+    Gateway,
+    GatewayOverloaded,
+    HashRing,
+    LocalFleet,
+    NodeState,
+    SweepServer,
+    shard_assignments,
+)
 
 #: The numbered perf-trajectory payload of this PR's bench run.  CI uploads
 #: the ``BENCH_latest.json`` copy under the stable artifact name
 #: ``perf-trajectory``, so only this constant moves per PR — never the
 #: artifact name or the workflow file.
-BENCH_NAME = "BENCH_6"
+BENCH_NAME = "BENCH_7"
 
 # Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
@@ -684,6 +702,174 @@ def bench_serve_fleet_churn(
     return row
 
 
+def _latency_percentile(latencies: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``latencies`` (NaN when empty)."""
+    if not latencies:
+        return float("nan")
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def bench_serve_gateway(
+    tuner, builder, rounds: int, num_caps: int, num_regions: int
+) -> Dict[str, float]:
+    """Open-loop request traffic through the asyncio Gateway under churn.
+
+    Where ``serve_fleet_churn`` measures closed-loop *sweep* throughput,
+    this axis measures the request-shaped front door: single-region
+    ``Gateway.predict_sweep`` calls fired on a fixed open-loop schedule
+    (arrivals do not wait for completions), coalesced into fleet batches,
+    while the fleet is deliberately wrecked underneath:
+
+    * ``healthy`` — the intact 3-node fleet;
+    * ``churn`` — one node hard-killed mid-load, a second SIGSTOPped
+      (hung-but-connected), then resumed and the killed node restarted —
+      hedges, breakers, requeues and the heartbeat all fire while requests
+      keep arriving;
+    * ``dead`` — the whole fleet killed: the rate-limited in-process
+      fallback answers what its token bucket admits and sheds the rest
+      with ``GatewayOverloaded``.
+
+    Per phase the row records p50/p99 latency and achieved QPS; overall it
+    records the shed / hedge / fallback / breaker counters from
+    :meth:`Gateway.stats`.  Every answered request is asserted
+    byte-identical to the serial ``predict_sweep`` path, and the healthy
+    and dead phases must both answer at least one request — those are hard
+    failures.  Latency numbers are not smoke-gated; they feed the cross-PR
+    trajectory.
+    """
+    space = tuner.search_space
+    regions = _serving_regions(builder, num_regions)
+    caps = [
+        float(c)
+        for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)
+    ]
+    tuner._embedding_cache.clear()
+    expected = {
+        region.region_id: tuner.predict_sweep(region, caps) for region in regions
+    }
+
+    phase_s = max(1.2, 0.6 * rounds)
+    rate_hz = 25.0
+    mismatches: List[str] = []
+
+    async def open_loop(gateway: Gateway, duration_s: float):
+        """Fire requests on a fixed schedule; collect latencies + outcomes."""
+        loop = asyncio.get_running_loop()
+        latencies: List[float] = []
+        outcomes = {"ok": 0.0, "shed": 0.0, "deadline": 0.0, "error": 0.0}
+
+        async def fire(region) -> None:
+            begin = loop.time()
+            try:
+                result = await gateway.predict_sweep(region, caps)
+            except GatewayOverloaded:
+                outcomes["shed"] += 1
+                return
+            except DeadlineExceeded:
+                outcomes["deadline"] += 1
+                return
+            except Exception:  # noqa: BLE001 - tallied, asserted on below
+                outcomes["error"] += 1
+                return
+            latencies.append(loop.time() - begin)
+            outcomes["ok"] += 1
+            if result != expected[region.region_id]:
+                mismatches.append(region.region_id)
+
+        tasks = []
+        interval = 1.0 / rate_hz
+        start = loop.time()
+        index = 0
+        while loop.time() - start < duration_s:
+            tasks.append(asyncio.ensure_future(fire(regions[index % len(regions)])))
+            index += 1
+            await asyncio.sleep(interval)
+        await asyncio.gather(*tasks)
+        return latencies, outcomes, loop.time() - start
+
+    phases: Dict[str, tuple] = {}
+    with LocalFleet(
+        tuner,
+        num_nodes=3,
+        heartbeat_interval=0.5,
+        ping_timeout=1.0,
+        dead_after=1,
+    ) as fleet:
+
+        async def drive() -> Dict[str, float]:
+            async with Gateway(
+                fleet.client,
+                window_s=0.005,
+                default_timeout=120.0,
+                hedge_delay_floor=0.05,
+                breaker_cooldown=1.0,
+            ) as gateway:
+                phases["healthy"] = await open_loop(gateway, phase_s)
+
+                serving = fleet.client.serving_nodes()
+                victim, paused = serving[0], serving[1]
+
+                async def churn() -> None:
+                    await asyncio.sleep(phase_s * 0.2)
+                    fleet.kill_node(victim)  # lose a machine mid-load
+                    await asyncio.sleep(phase_s * 0.2)
+                    fleet.pause_node(paused)  # hang another, still connected
+                    await asyncio.sleep(phase_s * 0.3)
+                    fleet.resume_node(paused)
+                    fleet.restart_node(victim)  # heartbeat re-admits both
+
+                churn_task = asyncio.ensure_future(churn())
+                phases["churn"] = await open_loop(gateway, phase_s)
+                await churn_task
+
+                for index in range(3):
+                    fleet.kill_node(index)  # total fleet loss -> fallback
+                phases["dead"] = await open_loop(gateway, phase_s)
+                return gateway.stats()
+
+        stats = asyncio.run(drive())
+
+    if mismatches:
+        raise AssertionError(
+            f"gateway answers diverged from serial for {sorted(set(mismatches))}"
+        )
+    if not phases["healthy"][1]["ok"]:
+        raise AssertionError("healthy phase answered no requests")
+    if not phases["dead"][1]["ok"]:
+        raise AssertionError("dead-fleet phase answered no fallback requests")
+
+    row: Dict[str, float] = {
+        "num_regions": float(len(regions)),
+        "num_caps": float(num_caps),
+        "num_nodes": 3.0,
+        "cpu_count": float(os.cpu_count() or 1),
+        "open_loop_hz": rate_hz,
+    }
+    fired = 0.0
+    shed = 0.0
+    for name, (latencies, outcomes, elapsed) in phases.items():
+        fired += sum(outcomes.values())
+        shed += outcomes["shed"]
+        row[f"{name}_p50_s"] = _latency_percentile(latencies, 50.0)
+        row[f"{name}_p99_s"] = _latency_percentile(latencies, 99.0)
+        row[f"{name}_qps"] = outcomes["ok"] / max(elapsed, 1e-9)
+    admitted = max(1.0, float(stats["admitted"]))
+    row.update(
+        {
+            "shed_rate": shed / max(1.0, fired),
+            "hedge_rate": stats["hedges"] / admitted,
+            "hedges": float(stats["hedges"]),
+            "hedge_wins": float(stats["hedge_wins"]),
+            "retries": float(stats["retries"]),
+            "fallbacks": float(stats["fallbacks"]),
+            "breaker_trips": float(stats["breaker_trips"]),
+        }
+    )
+    return row
+
+
 def bench_inference_runtime(
     tuner, builder, rounds: int, num_caps: int, num_regions: int = 16, with_f32: bool = True
 ) -> Dict[str, float]:
@@ -903,6 +1089,23 @@ def _trajectory_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict
             "survivor_warm_hit_rate",
             "failover_sweep_s",
             "update_cycle_s",
+            "open_loop_hz",
+            "healthy_p50_s",
+            "healthy_p99_s",
+            "healthy_qps",
+            "churn_p50_s",
+            "churn_p99_s",
+            "churn_qps",
+            "dead_p50_s",
+            "dead_p99_s",
+            "dead_qps",
+            "shed_rate",
+            "hedge_rate",
+            "hedges",
+            "hedge_wins",
+            "retries",
+            "fallbacks",
+            "breaker_trips",
         )
         for context_key in context_keys:
             if context_key in row:
@@ -956,6 +1159,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         tuner, builder, rounds, num_caps, serve_regions
     )
     print("  serve_fleet_churn done")
+    results["serve_gateway"] = bench_serve_gateway(
+        tuner, builder, rounds, num_caps, serve_regions
+    )
+    print("  serve_gateway done")
     if with_f32:
         results["scatter_mp"] = bench_scatter_mp(rounds)
         print("  scatter_mp done")
@@ -991,8 +1198,8 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
                 f"{name:<14}{row['serial_s'] * 1e3:>10.1f}ms{row['fleet_s'] * 1e3:>10.1f}ms"
                 f"{row['fleet_speedup']:>9.2f}x"
             )
-        elif name == "serve_fleet_churn":
-            continue  # reported in its own summary line below
+        elif name in ("serve_fleet_churn", "serve_gateway"):
+            continue  # reported in their own summary lines below
         else:  # scatter_mp: pure f32-vs-f64 microbenchmark
             cells = f"{name:<14}{'-':>12}{row['f64_s'] * 1e3:>10.1f}ms{'-':>10}"
         if "f32_speedup" in row:
@@ -1026,6 +1233,18 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         f"survivor warm-hit {churn['survivor_warm_hit_rate'] * 100:.0f}% "
         f"(ring keeps {churn['ring_keep_rate'] * 100:.0f}% of survivor keys "
         f"vs {churn['flat_keep_rate'] * 100:.0f}% flat)"
+    )
+    gateway = results["serve_gateway"]
+    print(
+        f"serve_gateway: healthy p50 {gateway['healthy_p50_s'] * 1e3:.1f}ms "
+        f"p99 {gateway['healthy_p99_s'] * 1e3:.1f}ms "
+        f"@ {gateway['healthy_qps']:.1f} qps; "
+        f"churn p99 {gateway['churn_p99_s'] * 1e3:.1f}ms "
+        f"({gateway['hedges']:.0f} hedges, {gateway['hedge_wins']:.0f} wins, "
+        f"{gateway['retries']:.0f} retries, {gateway['breaker_trips']:.0f} trips); "
+        f"dead-fleet p50 {gateway['dead_p50_s'] * 1e3:.1f}ms with "
+        f"{gateway['fallbacks']:.0f} fallback answers, "
+        f"shed rate {gateway['shed_rate'] * 100:.0f}%"
     )
     runtime = results["inference_runtime"]
     f32_note = (

@@ -22,10 +22,23 @@ The serving stack has three layers:
   subprocesses on localhost — with kill/restart/pause failure drills — so
   the full wire path is exercisable on one machine.
 
+Above all three sits the request-shaped front door:
+
+* **coalesce single requests into batches** — the asyncio :class:`Gateway`
+  admits independent single-region predict requests, coalesces them within
+  a ~5 ms deadline window into one batched sweep per node, and hardens the
+  path against overload: bounded-queue admission control
+  (:exc:`GatewayOverloaded`), end-to-end per-request deadlines
+  (:exc:`DeadlineExceeded`, backed by :func:`repro.serve.rpc.request`'s
+  per-call socket deadline and :exc:`~repro.serve.rpc.RpcTimeout`), hedged
+  retries with per-node circuit breakers, and a rate-limited in-process
+  fallback when the whole fleet is down.
+
 Every layer is byte-identical to the serial per-region
 ``PnPTuner.predict_sweep`` path (asserted by ``tests/serve``) through kills,
 recoveries, joins and rolling updates, so sharded serving — local or
-multi-node — is purely a throughput/availability decision.
+multi-node, direct or gatewayed — is purely a throughput/availability
+decision.
 
 :func:`parallel_map` is the small deterministic process-pool primitive the
 experiment runners reuse to shard cross-validation folds and per-figure
@@ -33,7 +46,9 @@ region loops.
 """
 
 from repro.serve.fleet import FleetClient, FleetExhausted, LocalFleet, NodeState
+from repro.serve.gateway import DeadlineExceeded, Gateway, GatewayOverloaded
 from repro.serve.node import NodeServer
+from repro.serve.rpc import RpcTimeout
 from repro.serve.server import SweepServer, parallel_map
 from repro.serve.sharding import (
     HashRing,
@@ -43,12 +58,16 @@ from repro.serve.sharding import (
 )
 
 __all__ = [
+    "DeadlineExceeded",
     "FleetClient",
     "FleetExhausted",
+    "Gateway",
+    "GatewayOverloaded",
     "HashRing",
     "LocalFleet",
     "NodeServer",
     "NodeState",
+    "RpcTimeout",
     "SweepServer",
     "parallel_map",
     "shard_assignments",

@@ -75,6 +75,7 @@ from repro.serve.node import node_subprocess_main
 from repro.serve.sharding import HashRing
 from repro.serve.spec import (
     WeightsUpdate,
+    build_from_update,
     default_start_method,
     tuner_spec,
     weights_blob,
@@ -130,12 +131,30 @@ class _Member:
         self.next_probe = 0.0
         self.probe_backoff = 0.0
 
-    def request(self, payload: Tuple):
-        with self.lock:
+    def request(self, payload: Tuple, timeout: Optional[float] = None):
+        """One request/reply on the member socket, optionally deadline-bound.
+
+        With a ``timeout`` the socket lock itself is acquired under the same
+        budget — a request stuck behind another caller's hung conversation
+        times out instead of queueing unboundedly — and the RPC round trip
+        runs under a per-call socket deadline (:exc:`~repro.serve.rpc.RpcTimeout`).
+        """
+        if timeout is None:
+            acquired = self.lock.acquire()
+        else:
+            acquired = self.lock.acquire(timeout=timeout)
+            if not acquired:
+                raise rpc.RpcTimeout(
+                    f"node {self.index} request lock not acquired within "
+                    f"{timeout:.3f}s (another request is stuck on the socket)"
+                )
+        try:
             sock = self.sock
             if sock is None:
                 raise rpc.ConnectionClosed("no open connection to the node")
-            return rpc.request(sock, payload)
+            return rpc.request(sock, payload, timeout=timeout)
+        finally:
+            self.lock.release()
 
     def disconnect(self) -> None:
         """Tear the request socket down; wakes any request blocked on it."""
@@ -181,6 +200,7 @@ class FleetClient:
         ping_timeout: float = 5.0,
         dead_after: int = 3,
         connect_attempts: int = 5,
+        request_timeout: Optional[float] = None,
     ) -> None:
         if not addresses:
             raise ValueError("a fleet needs at least one node address")
@@ -188,6 +208,14 @@ class FleetClient:
         self._ping_timeout = ping_timeout
         self._dead_after = max(1, int(dead_after))
         self._connect_attempts = max(1, int(connect_attempts))
+        #: Per-call deadline for sweep/clear/stats traffic (None = block).
+        #: A request that trips it raises RpcTimeout on the caller side and
+        #: marks the node DEAD (the timed-out socket is poisoned), so a
+        #: hung-but-connected node stalls a sweep for at most the deadline
+        #: instead of until the heartbeat monitor notices.  Registration
+        #: and rolling updates use connect_timeout instead: rebuilding a
+        #: tuner on the node legitimately takes seconds.
+        self._request_timeout = request_timeout
         self._members: Dict[int, _Member] = {}
         self._next_index = 0
         # _state_lock guards membership + health state + the registration
@@ -255,7 +283,9 @@ class FleetClient:
             member = self._add_member(tuple(address))
             if self._spec is not None:
                 try:
-                    member.request(self._register_payload())
+                    member.request(
+                        self._register_payload(), timeout=self._connect_timeout
+                    )
                 except (rpc.ConnectionClosed, OSError) as error:
                     self._mark_dead(member, f"registration failed: {error}")
                     raise
@@ -307,6 +337,16 @@ class FleetClient:
                 for index, member in sorted(self._members.items())
                 if member.state is not NodeState.DEAD and member.sock is not None
             ]
+
+    def serving_nodes(self) -> List[int]:
+        """Member indices a request may currently route to (not DEAD, connected).
+
+        Unlike :attr:`alive_nodes` this includes SUSPECT members — they are
+        degraded, not lost — matching what :meth:`sweep` itself routes over.
+        The gateway batches against exactly this set.
+        """
+        self._require_open()
+        return self._serving_indices()
 
     def _failure_reasons(self) -> Dict[int, str]:
         with self._state_lock:
@@ -542,7 +582,9 @@ class FleetClient:
                 payload = self._register_payload()
             indices = self._serving_indices()
             return self._request_concurrently(
-                {index: payload for index in indices}, rebalance=False
+                {index: payload for index in indices},
+                rebalance=False,
+                timeout=self._connect_timeout,
             )
 
     def update_weights(
@@ -584,7 +626,7 @@ class FleetClient:
                 if member is None:
                     continue
                 try:
-                    member.request(payload)
+                    member.request(payload, timeout=self._connect_timeout)
                 except (rpc.ConnectionClosed, OSError) as error:
                     self._mark_dead(member, f"lost during rolling update: {error}")
                     continue
@@ -641,7 +683,9 @@ class FleetClient:
                     membership[node_index] = [pending[offset] for offset in offsets]
                     shard = [regions[p] for p in membership[node_index]]
                     requests[node_index] = ("sweep", shard, caps, dtype)
-                replies = self._request_concurrently(requests, rebalance=True)
+                replies = self._request_concurrently(
+                    requests, rebalance=True, timeout=self._request_timeout
+                )
                 served = set()
                 for node_index, reply in zip(sorted(requests), replies):
                     if reply is None:
@@ -652,11 +696,69 @@ class FleetClient:
                 pending = [position for position in pending if position not in served]
             return results  # type: ignore[return-value]
 
+    def sweep_node(
+        self,
+        index: int,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        dtype: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List[List[TuningResult]]:
+        """One batched sweep on one *specific* node (the gateway's dispatch path).
+
+        Unlike :meth:`sweep` this neither shards nor rebalances — the caller
+        owns routing and retries.  A transport failure or per-call timeout
+        (``timeout`` defaults to the client's ``request_timeout``) marks the
+        node DEAD — its socket is poisoned/gone either way — and re-raises,
+        leaving re-admission to the heartbeat; :class:`~repro.serve.rpc.RemoteError`
+        propagates without a health event, exactly like :meth:`sweep`.
+        """
+        self._require_open()
+        with self._state_lock:
+            member = self._members.get(index)
+        if member is None:
+            raise KeyError(f"no fleet member with index {index}")
+        if timeout is None:
+            timeout = self._request_timeout
+        payload = ("sweep", list(regions), [float(cap) for cap in power_caps], dtype)
+        try:
+            return member.request(payload, timeout=timeout)
+        except rpc.RpcTimeout as error:
+            self._mark_dead(member, f"sweep timed out: {error}")
+            raise
+        except (rpc.ConnectionClosed, OSError) as error:
+            self._mark_dead(member, str(error))
+            raise
+
+    def local_fallback_tuner(self) -> PnPTuner:
+        """Rebuild the registered tuner in-process (the dead-fleet slow path).
+
+        Decodes the registered spec + current weights blob through the same
+        :func:`~repro.serve.spec.build_from_update` path the nodes use, so
+        the fallback serves byte-identical answers to the fleet it stands in
+        for.  Used by the gateway's graceful-degradation mode; requires a
+        prior :meth:`register_tuner`.
+        """
+        with self._state_lock:
+            spec = self._spec
+            update = WeightsUpdate(self._version, self._weights)
+            dtypes = self._dtypes
+        if spec is None:
+            raise RuntimeError(
+                "register_tuner() a fleet before building a local fallback"
+            )
+        tuner = build_from_update(spec, update)
+        for dtype in dtypes:
+            tuner.compile_inference(dtype)
+        return tuner
+
     def clear_caches(self) -> None:
         """Reset every serving node to the cold path (cold-path benches)."""
         self._require_open()
         self._request_concurrently(
-            {index: ("clear",) for index in self._serving_indices()}, rebalance=True
+            {index: ("clear",) for index in self._serving_indices()},
+            rebalance=True,
+            timeout=self._request_timeout,
         )
 
     def stats(self) -> Dict[int, Dict[str, int]]:
@@ -664,7 +766,9 @@ class FleetClient:
         self._require_open()
         indices = self._serving_indices()
         replies = self._request_concurrently(
-            {index: ("stats",) for index in indices}, rebalance=True
+            {index: ("stats",) for index in indices},
+            rebalance=True,
+            timeout=self._request_timeout,
         )
         return {
             index: reply
@@ -712,15 +816,19 @@ class FleetClient:
 
     # ------------------------------------------------------------ plumbing
     def _request_concurrently(
-        self, requests: Dict[int, Tuple], rebalance: bool
+        self,
+        requests: Dict[int, Tuple],
+        rebalance: bool,
+        timeout: Optional[float] = None,
     ) -> List[Optional[object]]:
         """Issue one request per member over its socket, concurrently.
 
         Returns the replies ordered by member index.  With ``rebalance=True``
-        a transport failure (the node died, or the monitor shut its socket
-        down) yields ``None`` for that node and marks it DEAD; application
-        errors (:class:`~repro.serve.rpc.RemoteError`) always propagate — a
-        bad request must not masquerade as a dead node.
+        a transport failure (the node died, the monitor shut its socket
+        down, or the per-call ``timeout`` elapsed — a timed-out socket is
+        poisoned either way) yields ``None`` for that node and marks it
+        DEAD; application errors (:class:`~repro.serve.rpc.RemoteError`)
+        always propagate — a bad request must not masquerade as a dead node.
         """
         indices = sorted(requests)
         with self._state_lock:
@@ -733,7 +841,7 @@ class FleetClient:
             try:
                 if member is None:
                     raise rpc.ConnectionClosed("node was removed from the fleet")
-                replies[index] = member.request(requests[index])
+                replies[index] = member.request(requests[index], timeout=timeout)
             except BaseException as error:  # noqa: BLE001 - re-raised below
                 errors[index] = error
 
@@ -749,7 +857,12 @@ class FleetClient:
             transport_failure = isinstance(error, (rpc.ConnectionClosed, OSError))
             if rebalance and transport_failure:
                 if members[index] is not None:
-                    self._mark_dead(members[index], str(error))
+                    reason = (
+                        f"request timed out: {error}"
+                        if isinstance(error, rpc.RpcTimeout)
+                        else str(error)
+                    )
+                    self._mark_dead(members[index], reason)
                 replies[index] = None
             else:
                 raise error
@@ -789,6 +902,7 @@ class LocalFleet:
         heartbeat_interval: Optional[float] = 2.0,
         ping_timeout: float = 5.0,
         dead_after: int = 3,
+        request_timeout: Optional[float] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -812,6 +926,7 @@ class LocalFleet:
                 heartbeat_interval=heartbeat_interval,
                 ping_timeout=ping_timeout,
                 dead_after=dead_after,
+                request_timeout=request_timeout,
             )
         except BaseException:
             self._terminate()

@@ -1,0 +1,684 @@
+"""Overload-hardened request gateway: micro-batching with graceful degradation.
+
+The ROADMAP's north star is serving millions of *independent single-region*
+predict requests, while everything below this layer speaks batches: one
+:meth:`~repro.core.tuner.PnPTuner.predict_sweep_many` call per fleet node is
+how the encoder amortises its GNN pass.  The asyncio :class:`Gateway` is the
+front door that turns one shape into the other — and hardens the whole path
+against the ways a front door melts:
+
+* **Deadline-window micro-batching** — an admitted request waits at most
+  ``window_s`` (default ~5 ms) for company; everything that arrived within
+  the window is grouped by ``(power_caps, dtype)``, routed over the serving
+  members with the same consistent-hash ring the fleet itself shards by
+  (warm per-node caches), and dispatched as one batched sweep per node.
+* **Admission control & backpressure** — the pending queue is bounded;
+  beyond ``max_pending`` the gateway sheds *immediately* with
+  :exc:`GatewayOverloaded`, which carries the queue depth and a
+  retry-after hint instead of growing memory without bound.
+* **Per-request deadlines, end to end** — every request carries an absolute
+  deadline.  The batcher never admits a request into a batch whose expected
+  completion (observed p50 node latency) exceeds its deadline, expired
+  requests fail fast with :exc:`DeadlineExceeded`, and the per-node RPC runs
+  under the remaining budget via ``rpc.request(..., timeout=)`` — a hung
+  node costs the deadline, never an unbounded hang.
+* **Hedged retries + per-node circuit breakers** — a batch stuck on a
+  slow node is hedged onto another serving node after a latency-percentile
+  delay; the first answer wins (every path is byte-identical, so duplicates
+  are harmless).  A node that fails consecutively trips its breaker and is
+  skipped by the router until the cooldown admits a half-open probe (the
+  fleet heartbeat re-admits the node itself underneath).
+* **Graceful degradation** — with *no* routable node (all DEAD or
+  breaker-open), the gateway answers from a rate-limited in-process
+  fallback tuner rebuilt from the registered spec + weights
+  (:meth:`~repro.serve.fleet.FleetClient.local_fallback_tuner` — the same
+  :func:`~repro.serve.spec.build_from_update` path the nodes use, so the
+  slow path is byte-identical too).  Beyond the token-bucket rate the
+  fallback sheds with :exc:`GatewayOverloaded` rather than sinking the
+  process, and :meth:`Gateway.stats` reports the degraded mode.
+
+Request lifecycle: **admit → coalesce → dispatch → hedge → degrade**::
+
+    async with Gateway(fleet.client) as gateway:
+        results = await gateway.predict_sweep(region, power_caps)
+        # == tuner.predict_sweep(region, power_caps), byte-identical
+
+The gateway talks to any client exposing ``serving_nodes()``,
+``sweep_node(index, regions, caps, dtype=, timeout=)`` and
+``local_fallback_tuner()`` — the real :class:`~repro.serve.fleet.FleetClient`
+or a deterministic fake (``tests/serve/test_gateway.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.tuner import TuningResult
+from repro.openmp.region import RegionCharacteristics
+from repro.serve import rpc
+from repro.serve.sharding import HashRing
+from repro.utils.logging import get_logger
+
+__all__ = ["DeadlineExceeded", "Gateway", "GatewayOverloaded"]
+
+_LOG = get_logger("serve.gateway")
+
+
+class GatewayOverloaded(RuntimeError):
+    """The gateway shed this request instead of queueing it unboundedly.
+
+    ``queue_depth`` is the pending-queue depth at shed time and
+    ``retry_after_s`` a hint for when capacity is expected back — clients
+    should back off at least that long before retrying.
+    """
+
+    def __init__(self, message: str, queue_depth: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"{message} (queue depth {queue_depth}, retry in ~{retry_after_s:.3f}s)"
+        )
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline elapsed (or cannot be met) — failed fast."""
+
+
+class _CircuitBreaker:
+    """Per-node closed → open → half-open breaker with an injectable clock.
+
+    ``failure_threshold`` *consecutive* failures open the breaker; after
+    ``cooldown`` seconds one probe request is let through (half-open) — its
+    success closes the breaker, its failure re-opens it for another
+    cooldown.  Any success resets the failure count.
+    """
+
+    def __init__(
+        self, failure_threshold: int, cooldown: float, clock=time.monotonic
+    ) -> None:
+        self._threshold = max(1, int(failure_threshold))
+        self._cooldown = float(cooldown)
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing or self._clock() - self._opened_at >= self._cooldown:
+            return "half_open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a request route to this node right now?"""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            return False  # one half-open probe at a time
+        if self._clock() - self._opened_at >= self._cooldown:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        if self._probing:
+            # The half-open probe failed: re-open for another cooldown.
+            self._probing = False
+            self._opened_at = self._clock()
+            self.trips += 1
+            return
+        self._failures += 1
+        if self._opened_at is None and self._failures >= self._threshold:
+            self._opened_at = self._clock()
+            self.trips += 1
+
+
+class _TokenBucket:
+    """Rate limiter for the degraded slow path (tokens/s with a burst cap)."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        self._rate = float(rate)
+        self._capacity = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self._capacity, self._tokens + (now - self._updated) * self._rate
+        )
+        self._updated = now
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        self._refill()
+        return max(0.0, (amount - self._tokens) / self._rate)
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in (or re-entering) the batcher."""
+
+    request_id: int
+    region: RegionCharacteristics
+    power_caps: Tuple[float, ...]
+    dtype: Optional[str]
+    deadline: float  # absolute event-loop time
+    future: asyncio.Future
+    attempts: int = 0
+    avoid: Set[int] = field(default_factory=set)  # nodes that already failed it
+
+
+class Gateway:
+    """Asyncio front door over a fleet client: admit → coalesce → dispatch →
+    hedge → degrade.
+
+    Construct over a :class:`~repro.serve.fleet.FleetClient` (or any object
+    with the same ``serving_nodes`` / ``sweep_node`` /
+    ``local_fallback_tuner`` surface), ``await start()`` (or use ``async
+    with``), then issue any number of concurrent
+    :meth:`predict_sweep` calls.  All tunables have load-tested defaults;
+    ``clock`` only feeds the circuit breakers and the fallback rate limiter
+    so tests can drive them deterministically.
+    """
+
+    def __init__(
+        self,
+        client,
+        window_s: float = 0.005,
+        max_pending: int = 1024,
+        default_timeout: float = 10.0,
+        max_attempts: int = 3,
+        hedge_after_percentile: float = 95.0,
+        hedge_delay_floor: float = 0.05,
+        breaker_failures: int = 3,
+        breaker_cooldown: float = 5.0,
+        fallback_rate: float = 8.0,
+        fallback_burst: float = 8.0,
+        clock=time.monotonic,
+    ) -> None:
+        self._client = client
+        self._window_s = float(window_s)
+        self._max_pending = max(1, int(max_pending))
+        self._default_timeout = float(default_timeout)
+        self._max_attempts = max(1, int(max_attempts))
+        self._hedge_percentile = float(hedge_after_percentile)
+        self._hedge_floor = float(hedge_delay_floor)
+        self._breaker_failures = int(breaker_failures)
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._clock = clock
+        self._breakers: Dict[int, _CircuitBreaker] = {}
+        self._fallback_bucket = _TokenBucket(fallback_rate, fallback_burst, clock)
+        self._fallback_tuner = None
+        self._fallback_lock = threading.Lock()
+        self._queue: List[_Pending] = []
+        self._rings: Dict[Tuple[int, ...], HashRing] = {}
+        self._latencies: List[float] = []  # recent node round trips (bounded)
+        self._request_ids = itertools.count()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._dispatches: Set[asyncio.Task] = set()
+        self._started = False
+        self._closed = False
+        self._stats = {
+            "admitted": 0,
+            "completed": 0,
+            "shed": 0,
+            "expired": 0,
+            "deadline_rejected": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "retries": 0,
+            "fallbacks": 0,
+            "fallback_shed": 0,
+            "failed": 0,
+        }
+        self._degraded = False
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> "Gateway":
+        """Bind to the running loop and start the batcher task."""
+        if self._started:
+            raise RuntimeError("Gateway is already started")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._batcher = self._loop.create_task(self._batch_loop())
+        self._started = True
+        _LOG.info(
+            "gateway up (window %.1f ms, max pending %d)",
+            self._window_s * 1e3,
+            self._max_pending,
+        )
+        return self
+
+    async def close(self) -> None:
+        """Stop the batcher; every still-queued request fails immediately."""
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        self._closed = True
+        self._wake.set()
+        await self._batcher
+        for task in list(self._dispatches):
+            task.cancel()
+        await asyncio.gather(*self._dispatches, return_exceptions=True)
+        for pending in self._queue:
+            self._fail(pending, RuntimeError("gateway closed"))
+        self._queue.clear()
+        _LOG.info("gateway closed (%d served)", self._stats["completed"])
+
+    async def __aenter__(self) -> "Gateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -------------------------------------------------------------- admission
+    async def predict_sweep(
+        self,
+        region: RegionCharacteristics,
+        power_caps: Sequence[float],
+        dtype: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List[TuningResult]:
+        """One single-region sweep through the batched fleet path.
+
+        Byte-identical to ``tuner.predict_sweep(region, power_caps,
+        dtype=dtype)`` on the registered tuner, whichever node (or the
+        degraded fallback) answers.  Raises :exc:`GatewayOverloaded` when
+        shed, :exc:`DeadlineExceeded` when ``timeout`` (default
+        ``default_timeout``) cannot be met.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("Gateway is not running (start() it first)")
+        if len(self._queue) >= self._max_pending:
+            self._stats["shed"] += 1
+            retry_after = self._window_s + self._expected_latency()
+            _LOG.warning(
+                "shed request for %s: queue full at %d",
+                region.region_id,
+                len(self._queue),
+            )
+            raise GatewayOverloaded(
+                "gateway pending queue is full", len(self._queue), retry_after
+            )
+        budget = self._default_timeout if timeout is None else float(timeout)
+        pending = _Pending(
+            request_id=next(self._request_ids),
+            region=region,
+            power_caps=tuple(float(cap) for cap in power_caps),
+            dtype=dtype,
+            deadline=self._loop.time() + budget,
+            future=self._loop.create_future(),
+        )
+        self._stats["admitted"] += 1
+        self._queue.append(pending)
+        self._wake.set()
+        return await pending.future
+
+    # --------------------------------------------------------------- batching
+    async def _batch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._closed:
+                return
+            if not self._queue:
+                continue
+            # The coalescing window: whoever arrives while we sleep joins
+            # the same per-node batches.
+            await asyncio.sleep(self._window_s)
+            batch, self._queue = self._queue, []
+            self._dispatch_batch(batch)
+
+    def _dispatch_batch(self, batch: List[_Pending]) -> None:
+        now = self._loop.time()
+        expected = self._expected_latency()
+        admitted: List[_Pending] = []
+        for pending in batch:
+            if pending.future.done():
+                continue  # caller went away (cancelled) while queued
+            if pending.deadline <= now:
+                self._stats["expired"] += 1
+                self._fail(
+                    pending,
+                    DeadlineExceeded(
+                        f"request {pending.request_id} expired while queued"
+                    ),
+                )
+            elif pending.deadline < now + expected:
+                # Expected completion exceeds the deadline: refuse to burn a
+                # node slot on an answer nobody will be around to read.
+                self._stats["deadline_rejected"] += 1
+                self._fail(
+                    pending,
+                    DeadlineExceeded(
+                        f"request {pending.request_id} deadline "
+                        f"{pending.deadline - now:.3f}s is shorter than the "
+                        f"expected batch completion {expected:.3f}s"
+                    ),
+                )
+            else:
+                admitted.append(pending)
+        if not admitted:
+            return
+        groups: Dict[Tuple[Optional[int], Tuple, Optional[str]], List[_Pending]] = {}
+        serving = self._routable_nodes()
+        for pending in admitted:
+            node = self._route(pending, serving)
+            key = (node, pending.power_caps, pending.dtype)
+            groups.setdefault(key, []).append(pending)
+        for (node, caps, dtype), items in groups.items():
+            if node is None:
+                task = self._loop.create_task(self._degrade(caps, dtype, items))
+            else:
+                task = self._loop.create_task(
+                    self._dispatch(node, caps, dtype, items)
+                )
+            self._dispatches.add(task)
+            task.add_done_callback(self._dispatches.discard)
+
+    def _routable_nodes(self) -> List[int]:
+        """Serving members whose circuit breaker admits traffic right now."""
+        try:
+            serving = self._client.serving_nodes()
+        except Exception:  # noqa: BLE001 - a closed/failed client serves nobody
+            return []
+        return [index for index in serving if self._breaker(index).allow()]
+
+    def _route(self, pending: _Pending, serving: List[int]) -> Optional[int]:
+        """Pick the node for one request: ring over non-avoided members."""
+        candidates = [index for index in serving if index not in pending.avoid]
+        if not candidates:
+            candidates = serving  # every node failed it once; retry anywhere
+        if not candidates:
+            return None
+        return self._ring_for(candidates).node_for(pending.region.region_id)
+
+    def _ring_for(self, indices: Sequence[int]) -> HashRing:
+        key = tuple(sorted(indices))
+        ring = self._rings.get(key)
+        if ring is None:
+            if len(self._rings) >= 64:
+                self._rings.clear()
+            ring = HashRing(key)
+            self._rings[key] = ring
+        return ring
+
+    def _breaker(self, index: int) -> _CircuitBreaker:
+        breaker = self._breakers.get(index)
+        if breaker is None:
+            breaker = _CircuitBreaker(
+                self._breaker_failures, self._breaker_cooldown, self._clock
+            )
+            self._breakers[index] = breaker
+        return breaker
+
+    # -------------------------------------------------------------- dispatch
+    async def _dispatch(
+        self,
+        node: int,
+        caps: Tuple[float, ...],
+        dtype: Optional[str],
+        items: List[_Pending],
+    ) -> None:
+        """One per-node batch: call, hedge on a slow answer, retry on failure."""
+        deadline = min(p.deadline for p in items)
+        regions = [p.region for p in items]
+        tried: Set[int] = set()
+        primary = self._call_node(node, regions, caps, dtype, deadline)
+        tasks: Dict[asyncio.Task, int] = {self._loop.create_task(primary): node}
+        tried.add(node)
+        hedged = False
+        winner: Optional[int] = None
+        results = None
+        try:
+            while tasks:
+                budget = deadline - self._loop.time()
+                if budget <= 0:
+                    break  # past the batch deadline: never hang on stragglers
+                wait_for = budget if hedged else min(self._hedge_delay(), budget)
+                done, _ = await asyncio.wait(
+                    set(tasks), timeout=wait_for, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not done:
+                    if hedged:
+                        continue  # budget re-checked at the top of the loop
+                    # Slow primary: hedge the batch onto another serving node.
+                    hedged = True
+                    avoid = tried.union(*(p.avoid for p in items))
+                    hedge_node = self._pick_hedge_node(avoid)
+                    if hedge_node is not None:
+                        self._stats["hedges"] += 1
+                        tried.add(hedge_node)
+                        _LOG.info(
+                            "hedging batch of %d (stuck on node %d) onto node %d",
+                            len(items),
+                            node,
+                            hedge_node,
+                        )
+                        hedge = self._call_node(
+                            hedge_node, regions, caps, dtype, deadline
+                        )
+                        tasks[self._loop.create_task(hedge)] = hedge_node
+                    continue
+                for task in done:
+                    task_node = tasks.pop(task)
+                    error = task.exception()
+                    if error is not None:
+                        self._breaker(task_node).record_failure()
+                        if self._breaker(task_node).state != "closed":
+                            _LOG.warning(
+                                "circuit breaker open for node %d: %s",
+                                task_node,
+                                error,
+                            )
+                        for pending in items:
+                            pending.avoid.add(task_node)
+                        continue
+                    self._breaker(task_node).record_success()
+                    if results is None:
+                        results = task.result()
+                        winner = task_node
+                if results is not None:
+                    break
+        except asyncio.CancelledError:
+            for pending in items:
+                self._fail(pending, RuntimeError("gateway closed mid-dispatch"))
+            raise
+        finally:
+            for task in tasks:  # a hedge loser (or an abandoned straggler)
+                task.cancel()
+        if results is not None:
+            if hedged and winner != node:
+                self._stats["hedge_wins"] += 1
+            self._degraded = False
+            for pending, result in zip(items, results):
+                self._resolve(pending, result)
+            return
+        self._requeue_or_fail(items, tried)
+
+    async def _call_node(
+        self,
+        node: int,
+        regions: List[RegionCharacteristics],
+        caps: Tuple[float, ...],
+        dtype: Optional[str],
+        deadline: float,
+    ) -> List[List[TuningResult]]:
+        """One blocking ``sweep_node`` round trip, off-loop, deadline-bound."""
+        budget = deadline - self._loop.time()
+        if budget <= 0:
+            raise rpc.RpcTimeout("no budget left before dispatch")
+        start = self._loop.time()
+        results = await self._loop.run_in_executor(
+            None,
+            lambda: self._client.sweep_node(
+                node, regions, caps, dtype=dtype, timeout=budget
+            ),
+        )
+        self._record_latency(self._loop.time() - start)
+        return results
+
+    def _pick_hedge_node(self, avoid: Set[int]) -> Optional[int]:
+        candidates = [n for n in self._routable_nodes() if n not in avoid]
+        return min(candidates) if candidates else None
+
+    def _requeue_or_fail(self, items: List[_Pending], tried: Set[int]) -> None:
+        """Every attempt on this batch failed; retry what still has budget."""
+        now = self._loop.time()
+        requeued = 0
+        for pending in items:
+            pending.attempts += 1
+            if pending.future.done():
+                continue
+            if pending.deadline <= now:
+                self._stats["expired"] += 1
+                self._fail(
+                    pending,
+                    DeadlineExceeded(
+                        f"request {pending.request_id} deadline elapsed after "
+                        f"{pending.attempts} failed attempt(s) on nodes "
+                        f"{sorted(tried)}"
+                    ),
+                )
+            elif pending.attempts >= self._max_attempts:
+                self._stats["failed"] += 1
+                self._fail(
+                    pending,
+                    RuntimeError(
+                        f"request {pending.request_id} failed on nodes "
+                        f"{sorted(pending.avoid)} after {pending.attempts} attempts"
+                    ),
+                )
+            else:
+                requeued += 1
+                self._queue.append(pending)
+        if requeued:
+            self._stats["retries"] += requeued
+            self._wake.set()
+
+    # ------------------------------------------------------------ degradation
+    async def _degrade(
+        self, caps: Tuple[float, ...], dtype: Optional[str], items: List[_Pending]
+    ) -> None:
+        """No routable node: answer in-process, rate-limited, or shed."""
+        if not self._fallback_bucket.try_acquire():
+            retry_after = self._fallback_bucket.retry_after()
+            self._stats["fallback_shed"] += len(items)
+            self._stats["shed"] += len(items)
+            _LOG.warning(
+                "degraded and rate-limited: shedding %d request(s)", len(items)
+            )
+            for pending in items:
+                self._fail(
+                    pending,
+                    GatewayOverloaded(
+                        "fleet unavailable and the fallback rate limit is spent",
+                        len(self._queue),
+                        retry_after,
+                    ),
+                )
+            return
+        self._degraded = True
+        regions = [p.region for p in items]
+        _LOG.warning(
+            "no routable fleet node: serving %d request(s) from the "
+            "in-process fallback",
+            len(items),
+        )
+        try:
+            results = await self._loop.run_in_executor(
+                None, lambda: self._fallback_sweep(regions, caps, dtype)
+            )
+        except asyncio.CancelledError:
+            for pending in items:
+                self._fail(pending, RuntimeError("gateway closed mid-fallback"))
+            raise
+        except Exception as error:  # noqa: BLE001 - surfaced per request
+            for pending in items:
+                self._fail(pending, error)
+            return
+        self._stats["fallbacks"] += len(items)
+        for pending, result in zip(items, results):
+            self._resolve(pending, result)
+
+    def _fallback_sweep(
+        self,
+        regions: List[RegionCharacteristics],
+        caps: Tuple[float, ...],
+        dtype: Optional[str],
+    ) -> List[List[TuningResult]]:
+        with self._fallback_lock:
+            if self._fallback_tuner is None:
+                _LOG.info("building the in-process fallback tuner")
+                self._fallback_tuner = self._client.local_fallback_tuner()
+            return self._fallback_tuner.predict_sweep_many(
+                regions, list(caps), dtype=dtype
+            )
+
+    # -------------------------------------------------------------- plumbing
+    def _resolve(self, pending: _Pending, result: List[TuningResult]) -> None:
+        if not pending.future.done():
+            self._stats["completed"] += 1
+            pending.future.set_result(result)
+
+    def _fail(self, pending: _Pending, error: BaseException) -> None:
+        if not pending.future.done():
+            pending.future.set_exception(error)
+
+    def _record_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+        if len(self._latencies) > 512:
+            del self._latencies[: len(self._latencies) - 256]
+
+    def _expected_latency(self) -> float:
+        """Observed median node round trip (0 until the first answer)."""
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        return ordered[len(ordered) // 2]
+
+    def _hedge_delay(self) -> float:
+        """How long to wait on a node before hedging: pXX with a floor."""
+        if not self._latencies:
+            return self._hedge_floor
+        ordered = sorted(self._latencies)
+        rank = min(
+            len(ordered) - 1, int(len(ordered) * self._hedge_percentile / 100.0)
+        )
+        return max(self._hedge_floor, ordered[rank])
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus live queue/breaker/degradation state."""
+        snapshot: Dict[str, object] = dict(self._stats)
+        snapshot["queue_depth"] = len(self._queue)
+        snapshot["degraded"] = self._degraded
+        snapshot["breaker_trips"] = sum(b.trips for b in self._breakers.values())
+        snapshot["open_breakers"] = sorted(
+            index
+            for index, breaker in self._breakers.items()
+            if breaker.state != "closed"
+        )
+        return snapshot

@@ -33,20 +33,30 @@ restarted client re-attaches to a warm, already-registered node.  Run one
 in-process via :meth:`serve_forever` or as a subprocess via
 :func:`node_subprocess_main` (what :class:`~repro.serve.fleet.LocalFleet`
 spawns).
+
+Shutdown is graceful: the subprocess entry point installs a ``SIGTERM``
+handler that stops the accept loop, lets every in-flight request finish its
+reply (:meth:`NodeServer.wait_idle`), and exits 0 — so rolling restarts and
+:meth:`~repro.serve.fleet.LocalFleet.close` terminate nodes without cutting
+a sweep off mid-reply or relying on hard kills.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import threading
 import traceback
 from typing import Sequence, Tuple
 
 from repro.serve import rpc
-from repro.serve.spec import WeightsUpdate, build_serving_tuner, state_from_blob
+from repro.serve.spec import WeightsUpdate, build_from_update
+from repro.utils.logging import get_logger
 
 __all__ = ["NodeServer", "node_subprocess_main"]
+
+_LOG = get_logger("serve.node")
 
 
 class NodeServer:
@@ -69,6 +79,10 @@ class NodeServer:
         self._version = 0
         self._lock = threading.Lock()
         self._stopped = threading.Event()
+        # In-flight request accounting for the graceful-drain path: the
+        # counter covers dispatch + reply of every request being served.
+        self._idle = threading.Condition()
+        self._inflight = 0
 
     # ----------------------------------------------------------------- loop
     def serve_forever(self) -> None:
@@ -91,6 +105,16 @@ class NodeServer:
         except OSError:  # pragma: no cover - defensive
             pass
 
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no request is in flight (the graceful-drain barrier).
+
+        Returns ``True`` when the node drained, ``False`` on timeout.  Only
+        requests already being dispatched count as in flight; connections
+        idling between requests do not hold the drain up.
+        """
+        with self._idle:
+            return self._idle.wait_for(lambda: self._inflight == 0, timeout=timeout)
+
     def _serve_connection(self, connection: socket.socket) -> None:
         with connection:
             while not self._stopped.is_set():
@@ -98,14 +122,21 @@ class NodeServer:
                     message = rpc.recv_message(connection)
                 except rpc.ConnectionClosed:
                     return  # client went away; keep serving others
+                with self._idle:
+                    self._inflight += 1
                 try:
-                    reply = ("ok", self._dispatch(message))
-                except Exception as error:  # noqa: BLE001 - report, keep serving
-                    reply = ("error", rpc.error_frame(error))
-                try:
-                    rpc.send_message(connection, reply)
-                except rpc.ConnectionClosed:
-                    return  # client vanished while we served its request
+                    try:
+                        reply = ("ok", self._dispatch(message))
+                    except Exception as error:  # noqa: BLE001 - report, keep serving
+                        reply = ("error", rpc.error_frame(error))
+                    try:
+                        rpc.send_message(connection, reply)
+                    except rpc.ConnectionClosed:
+                        return  # client vanished while we served its request
+                finally:
+                    with self._idle:
+                        self._inflight -= 1
+                        self._idle.notify_all()
                 if message[0] == "stop" and reply[0] == "ok":
                     return
 
@@ -155,7 +186,7 @@ class NodeServer:
         # seconds, and in-flight sweeps must finish on the old weights.  The
         # swap below is then a pointer assignment under the lock — atomic
         # from every serving request's point of view.
-        tuner = build_serving_tuner(spec, state=state_from_blob(update.blob))
+        tuner = build_from_update(spec, update)
         # build_serving_tuner compiled the tuner's own dtype; eagerly
         # compile any additional serving dtypes (e.g. "float32" on a
         # float64-trained tuner) so no sweep pays lowering cost either.
@@ -169,6 +200,15 @@ class NodeServer:
                 )
             self._tuner = tuner
             self._version = update.version
+            _LOG.info(
+                "node %s:%d (pid %d) registered weights version %d "
+                "(%d regions, dtypes %s)",
+                *self.address,
+                os.getpid(),
+                self._version,
+                len(tuner.builder.regions()),
+                sorted(tuner._programs),
+            )
             return {
                 "num_regions": len(tuner.builder.regions()),
                 "dtypes": sorted(tuner._programs),
@@ -182,13 +222,21 @@ class NodeServer:
         return self._tuner
 
 
-def node_subprocess_main(channel, host: str = "127.0.0.1", port: int = 0) -> None:
+def node_subprocess_main(
+    channel, host: str = "127.0.0.1", port: int = 0, drain_timeout: float = 30.0
+) -> None:
     """Subprocess entry point: bind, report the endpoint, serve forever.
 
     ``channel`` is one end of a ``multiprocessing.Pipe``; the node sends
     ``("ready", (host, port))`` once listening (or ``("error", traceback)``
     if binding failed) and then closes it — all further traffic is TCP.
     :class:`~repro.serve.fleet.LocalFleet` spawns one of these per node.
+
+    ``SIGTERM`` triggers a graceful shutdown: the handler stops the accept
+    loop (closing the listener wakes the blocked ``accept``), in-flight
+    requests drain for up to ``drain_timeout`` seconds, and the process
+    exits 0 — so a rolling restart or fleet teardown is a clean lifecycle
+    event, not a hard kill that can cut a reply off mid-frame.
     """
     try:
         server = NodeServer(host=host, port=port)
@@ -196,6 +244,24 @@ def node_subprocess_main(channel, host: str = "127.0.0.1", port: int = 0) -> Non
         channel.send(("error", traceback.format_exc()))
         channel.close()
         return
+
+    def _graceful_terminate(signum, frame) -> None:
+        _LOG.info(
+            "node %s:%d (pid %d): SIGTERM — draining in-flight requests",
+            *server.address,
+            os.getpid(),
+        )
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful_terminate)
     channel.send(("ready", server.address))
     channel.close()
+    _LOG.info("node %s:%d (pid %d) serving", *server.address, os.getpid())
     server.serve_forever()
+    drained = server.wait_idle(timeout=drain_timeout)
+    _LOG.info(
+        "node %s:%d (pid %d) stopped (%s)",
+        *server.address,
+        os.getpid(),
+        "drained" if drained else f"drain timed out after {drain_timeout:.0f}s",
+    )

@@ -23,6 +23,15 @@ client-side complement for the *opposite* transient: a node that is still
 booting refuses connections for a moment, so connection establishment
 retries with bounded, jittered exponential backoff instead of misreporting
 the node as a configuration error.
+
+:func:`request` additionally accepts a per-call ``timeout`` — a real socket
+deadline spanning the whole send + receive round trip — raising the distinct
+:exc:`RpcTimeout` when the peer is connected but not answering (a hung or
+overloaded node).  A timed-out conversation is *poisoned*: the reply may
+still arrive later and would be mis-framed as the answer to the next
+request, so callers must discard the socket after an :exc:`RpcTimeout`
+(the fleet client does — it marks the node DEAD, which tears the socket
+down, and lets the heartbeat re-admit the node on a fresh connection).
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from typing import Any, Dict, Optional, Tuple
 __all__ = [
     "ConnectionClosed",
     "RemoteError",
+    "RpcTimeout",
     "connect",
     "error_frame",
     "send_message",
@@ -66,6 +76,17 @@ _TRANSIENT_CONNECT_ERRORS = (
 
 class ConnectionClosed(ConnectionError):
     """The peer closed the connection (or died) mid-conversation."""
+
+
+class RpcTimeout(TimeoutError):
+    """A per-call deadline elapsed before the peer answered.
+
+    Distinct from :class:`ConnectionClosed`: the peer is still *connected*
+    (the kernel accepts our bytes) but not answering — a hung, paused or
+    overloaded node.  The conversation is poisoned after this (a late reply
+    would be mis-framed as the answer to the next request), so the socket
+    must be discarded and re-established before further use.
+    """
 
 
 class RemoteError(RuntimeError):
@@ -136,13 +157,28 @@ def send_message(sock: socket.socket, payload: Any) -> None:
         raise ConnectionClosed(f"peer closed while sending: {error}") from error
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
+def _recv_exact(
+    sock: socket.socket, count: int, deadline: Optional[float] = None
+) -> bytes:
     chunks = []
     remaining = count
     while remaining:
+        if deadline is not None:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise RpcTimeout(
+                    f"deadline elapsed with {remaining} of {count} bytes outstanding"
+                )
+            # Re-armed before every chunk, so a peer trickling bytes cannot
+            # stretch the overall deadline chunk by chunk.
+            sock.settimeout(budget)
         try:
             chunk = sock.recv(min(remaining, 1 << 20))
         except TimeoutError:
+            if deadline is not None:
+                raise RpcTimeout(
+                    f"deadline elapsed with {remaining} of {count} bytes outstanding"
+                ) from None
             # A timeout on a caller-configured socket means "slow", never
             # "dead" — surface it as-is so it is not mistaken for peer loss.
             raise
@@ -157,26 +193,60 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Any:
-    """Receive one length-prefixed pickled message (blocking)."""
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+def recv_message(sock: socket.socket, deadline: Optional[float] = None) -> Any:
+    """Receive one length-prefixed pickled message (blocking).
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant; when given,
+    the receive raises :class:`RpcTimeout` instead of blocking past it.
+    """
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size, deadline))
     if length > MAX_MESSAGE_BYTES:
         raise ConnectionClosed(
             f"refusing a {length}-byte message (corrupt stream? limit is "
             f"{MAX_MESSAGE_BYTES})"
         )
-    return pickle.loads(_recv_exact(sock, length))
+    return pickle.loads(_recv_exact(sock, length, deadline))
 
 
-def request(sock: socket.socket, payload: Tuple) -> Any:
+def request(
+    sock: socket.socket, payload: Tuple, timeout: Optional[float] = None
+) -> Any:
     """One request/reply round trip; unwraps ``("ok", ...)`` replies.
 
     Raises :class:`RemoteError` (carrying the node-side exception summary
     and formatted traceback) on an ``("error", ...)`` reply and
     :class:`ConnectionClosed` when the peer vanished before answering.
+
+    ``timeout`` is a per-call deadline in seconds spanning the whole send +
+    receive round trip; when it elapses the call raises :class:`RpcTimeout`
+    and the socket must be discarded (the late reply would desynchronise
+    the framing of the next request).  ``timeout=None`` preserves the
+    previous blocking behaviour and the socket's configured timeout.
     """
+    if timeout is not None:
+        deadline = time.monotonic() + float(timeout)
+        previous = sock.gettimeout()
+        try:
+            sock.settimeout(max(deadline - time.monotonic(), 1e-6))
+            try:
+                send_message(sock, payload)
+            except TimeoutError as error:
+                raise RpcTimeout(
+                    f"{payload[0]!r} request not sent within {timeout:.3f}s"
+                ) from error
+            reply = recv_message(sock, deadline=deadline)
+        finally:
+            try:
+                sock.settimeout(previous)
+            except OSError:  # pragma: no cover - socket torn down mid-call
+                pass
+        return _unwrap(payload, reply)
     send_message(sock, payload)
     reply = recv_message(sock)
+    return _unwrap(payload, reply)
+
+
+def _unwrap(payload: Tuple, reply: Any) -> Any:
     if not (isinstance(reply, tuple) and len(reply) == 2):
         raise RemoteError(f"malformed reply: {reply!r}")
     status, body = reply

@@ -60,8 +60,11 @@ from repro.serve.spec import (
     default_start_method,
     tuner_spec,
 )
+from repro.utils.logging import get_logger
 
 __all__ = ["SweepServer", "parallel_map"]
+
+_LOG = get_logger("serve.server")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -155,6 +158,11 @@ class SweepServer:
             if status != "ready":
                 self.close()
                 raise RuntimeError(f"sweep worker failed to start:\n{payload}")
+        _LOG.info(
+            "sweep server up: %d worker(s), pids %s",
+            num_workers,
+            [process.pid for process in self._processes],
+        )
 
     # ------------------------------------------------------------- factory
     @classmethod
@@ -254,6 +262,12 @@ class SweepServer:
         process = self._processes[shard]
         process.join(timeout=0.5)
         exitcode = process.exitcode
+        _LOG.warning(
+            "sweep worker %d (pid %s) died mid-request with exitcode %s",
+            shard,
+            process.pid,
+            exitcode,
+        )
         return RuntimeError(
             f"sweep worker {shard} died mid-request "
             f"(exitcode {exitcode}); the pool is no longer consistent — "

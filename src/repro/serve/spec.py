@@ -47,6 +47,7 @@ __all__ = [
     "WeightsUpdate",
     "tuner_spec",
     "build_serving_tuner",
+    "build_from_update",
     "weights_blob",
     "state_from_blob",
     "default_start_method",
@@ -150,6 +151,17 @@ def build_serving_tuner(
     tuner.load_state_dict(dict(state))
     tuner.compile_inference()
     return tuner
+
+
+def build_from_update(spec: TunerSpec, update: WeightsUpdate) -> PnPTuner:
+    """Rebuild a serving tuner from a spec plus a versioned weight payload.
+
+    The one decode-and-rebuild path shared by the node's ``register``
+    handler and the gateway's dead-fleet in-process fallback, so both
+    always serve byte-identical parameter arrays for a given
+    :class:`WeightsUpdate`.
+    """
+    return build_serving_tuner(spec, state=state_from_blob(update.blob))
 
 
 def weights_blob(state: Mapping[str, np.ndarray]) -> bytes:

@@ -15,7 +15,10 @@ rolling weight updates upgrade the fleet one node at a time — all without
 ever changing a sweep's bytes.
 """
 
+import os
+import signal
 import threading
+import time
 
 import pytest
 
@@ -464,3 +467,85 @@ class TestChaosDrill:
             for dtype in (None, "float32"):
                 assert local.sweep(regions, CAPS, dtype=dtype) == expected_v2[dtype]
             assert local.stats()[joined]["version"] == 2
+
+
+class TestRequestDeadlines:
+    """Per-call deadlines threaded through the fleet's serving paths."""
+
+    def test_sweep_node_matches_serial(self, fleet, fitted_tuner, small_builder):
+        region = small_builder.regions()[0]
+        node = fleet.client.serving_nodes()[0]
+        [result] = fleet.client.sweep_node(node, [region], CAPS)
+        assert result == fitted_tuner.predict_sweep(region, CAPS)
+
+    def test_sweep_node_unknown_member_raises(self, fleet, small_builder):
+        with pytest.raises(KeyError, match="no fleet member"):
+            fleet.client.sweep_node(99, small_builder.regions()[:1], CAPS)
+
+    def test_sweep_node_timeout_marks_the_node_dead(
+        self, fitted_tuner, small_builder
+    ):
+        region = small_builder.regions()[0]
+        with LocalFleet(
+            fitted_tuner, num_nodes=2, heartbeat_interval=None
+        ) as local:
+            local.pause_node(0)
+            with pytest.raises(rpc.RpcTimeout):
+                local.client.sweep_node(0, [region], CAPS, timeout=0.5)
+            # The timed-out socket is poisoned: the node goes DEAD and the
+            # heartbeat owns its re-admission.
+            assert local.client.node_states()[0] is NodeState.DEAD
+            assert local.client.sweep_node(1, [region], CAPS, timeout=30.0)
+
+    def test_request_timeout_rebalances_a_hung_node_mid_sweep(
+        self, fitted_tuner, small_builder
+    ):
+        # With a client-wide request deadline, a sweep stuck on a
+        # hung-but-connected node rebalances within the deadline instead of
+        # waiting for a heartbeat verdict (the monitor is off here).
+        regions = small_builder.regions()
+        expected = _serial_sweep(fitted_tuner, regions)
+        with LocalFleet(
+            fitted_tuner,
+            num_nodes=2,
+            heartbeat_interval=None,
+            request_timeout=1.0,
+        ) as local:
+            local.pause_node(0)
+            assert local.sweep(regions, CAPS) == expected
+            assert local.client.node_states()[0] is NodeState.DEAD
+
+
+class TestGracefulShutdown:
+    """SIGTERM drains in-flight requests and exits 0 — no hard kills."""
+
+    def test_sigterm_exits_zero(self, fitted_tuner):
+        with LocalFleet(
+            fitted_tuner, num_nodes=1, heartbeat_interval=None
+        ) as local:
+            process = local._processes[0]
+            os.kill(process.pid, signal.SIGTERM)
+            process.join(timeout=30.0)
+            assert process.exitcode == 0
+
+    def test_sigterm_mid_sweep_finishes_the_reply(self, fitted_tuner, small_builder):
+        regions = small_builder.regions()
+        expected = _serial_sweep(fitted_tuner, regions)
+        with LocalFleet(
+            fitted_tuner, num_nodes=1, heartbeat_interval=None
+        ) as local:
+            process = local._processes[0]
+            outcome = {}
+
+            def run_sweep():
+                outcome["results"] = local.sweep(regions, CAPS)
+
+            sweeper = threading.Thread(target=run_sweep, daemon=True)
+            sweeper.start()
+            time.sleep(0.2)  # let the request land on the node first
+            os.kill(process.pid, signal.SIGTERM)  # drain the in-flight sweep
+            sweeper.join(timeout=60.0)
+            assert not sweeper.is_alive()
+            assert outcome["results"] == expected
+            process.join(timeout=30.0)
+            assert process.exitcode == 0

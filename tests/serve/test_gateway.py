@@ -1,0 +1,549 @@
+"""Gateway overload paths: coalescing, deadlines, shedding, hedging, breakers.
+
+The deterministic tests drive the asyncio :class:`~repro.serve.gateway.Gateway`
+against an in-memory fake client (no sockets, no subprocesses) so every
+overload path — batch-window coalescing, deadline expiry inside and outside
+the window, queue-full shedding, hedge-first-answer-wins, breaker
+open/half-open/close, dead-fleet fallback — runs in milliseconds and never
+flakes on machine load.  The chaos drill at the bottom runs the same gateway
+over a real :class:`~repro.serve.fleet.LocalFleet` through kill/kill-all
+churn and asserts byte-identity with serial ``predict_sweep`` throughout.
+"""
+
+import asyncio
+import dataclasses
+import time
+
+import pytest
+
+from repro.core.model import ModelConfig
+from repro.core.training import TrainingConfig
+from repro.core.tuner import PnPTuner
+from repro.serve import (
+    DeadlineExceeded,
+    Gateway,
+    GatewayOverloaded,
+    HashRing,
+    LocalFleet,
+)
+from repro.serve import rpc
+from repro.serve.gateway import _CircuitBreaker, _TokenBucket
+
+CAPS = (40.0, 55.0, 70.0, 85.0)
+
+
+@pytest.fixture(scope="module")
+def fitted_tuner(small_database, small_builder):
+    config = ModelConfig(
+        vocabulary_size=len(small_builder.vocabulary),
+        num_classes=small_database.search_space.num_omp_configurations,
+        aux_dim=1,
+        seed=0,
+    )
+    tuner = PnPTuner(
+        system="haswell",
+        objective="time",
+        model_config=config,
+        training_config=TrainingConfig(epochs=2, seed=0),
+        database=small_database,
+        seed=0,
+    )
+    tuner.builder = small_builder
+    tuner.fit(tuner.build_training_samples())
+    return tuner
+
+
+# --------------------------------------------------------------------- fakes
+@dataclasses.dataclass
+class FakeRegion:
+    """The only part of a region the gateway routes on."""
+
+    region_id: str
+
+
+class FakeNode:
+    def __init__(self):
+        self.latency = 0.0
+        self.fail = None  # exception to raise instead of answering
+        self.calls = []
+
+
+class FakeClient:
+    """Deterministic in-memory stand-in for the fleet client surface.
+
+    Answers are a pure function of ``(region_id, cap, dtype)`` — *not* of
+    the node index — mirroring the fleet's byte-identity contract, so a
+    hedged duplicate is indistinguishable from the primary answer.
+    """
+
+    def __init__(self, num_nodes=2, fallback_tuner=None):
+        self.nodes = {index: FakeNode() for index in range(num_nodes)}
+        self.fallback_tuner = fallback_tuner
+        self.fallback_builds = 0
+
+    def serving_nodes(self):
+        return sorted(self.nodes)
+
+    def sweep_node(self, index, regions, power_caps, dtype=None, timeout=None):
+        node = self.nodes[index]
+        node.calls.append(([r.region_id for r in regions], tuple(power_caps), dtype))
+        if node.latency:
+            time.sleep(node.latency)
+        if node.fail is not None:
+            raise node.fail
+        return [
+            [(region.region_id, cap, dtype) for cap in power_caps]
+            for region in regions
+        ]
+
+    def local_fallback_tuner(self):
+        self.fallback_builds += 1
+        return self.fallback_tuner
+
+
+class FakeTuner:
+    """An in-process fallback answering with the same pure function."""
+
+    def predict_sweep_many(self, regions, power_caps, dtype=None):
+        return [
+            [(region.region_id, cap, dtype) for cap in power_caps]
+            for region in regions
+        ]
+
+
+def expected_answer(region_id, dtype=None):
+    return [(region_id, cap, dtype) for cap in CAPS]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ---------------------------------------------------------------- coalescing
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.05) as gateway:
+                results = await asyncio.gather(
+                    *(
+                        gateway.predict_sweep(FakeRegion(f"r{i}"), CAPS)
+                        for i in range(5)
+                    )
+                )
+            assert results == [expected_answer(f"r{i}") for i in range(5)]
+            calls = client.nodes[0].calls
+            assert len(calls) == 1  # one predict_sweep_many batch, not five
+            assert calls[0][0] == [f"r{i}" for i in range(5)]
+            stats = gateway.stats()
+            assert stats["admitted"] == 5 and stats["completed"] == 5
+
+        run(scenario())
+
+    def test_different_caps_split_into_separate_batches(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.05) as gateway:
+                await asyncio.gather(
+                    gateway.predict_sweep(FakeRegion("a"), CAPS),
+                    gateway.predict_sweep(FakeRegion("b"), CAPS[:2]),
+                )
+            batches = [tuple(call[1]) for call in client.nodes[0].calls]
+            assert sorted(batches) == sorted([CAPS, CAPS[:2]])
+
+        run(scenario())
+
+    def test_sequential_requests_get_separate_windows(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.005) as gateway:
+                await gateway.predict_sweep(FakeRegion("a"), CAPS)
+                await gateway.predict_sweep(FakeRegion("b"), CAPS)
+            assert len(client.nodes[0].calls) == 2
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------- deadlines
+class TestDeadlines:
+    def test_deadline_shorter_than_window_expires_without_dispatch(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.2) as gateway:
+                with pytest.raises(DeadlineExceeded, match="expired"):
+                    await gateway.predict_sweep(FakeRegion("a"), CAPS, timeout=0.01)
+            assert client.nodes[0].calls == []
+            assert gateway.stats()["expired"] == 1
+
+        run(scenario())
+
+    def test_deadline_beyond_window_is_served(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.01) as gateway:
+                result = await gateway.predict_sweep(
+                    FakeRegion("a"), CAPS, timeout=5.0
+                )
+            assert result == expected_answer("a")
+
+        run(scenario())
+
+    def test_unmeetable_deadline_is_rejected_before_dispatch(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            client.nodes[0].latency = 0.15
+            async with Gateway(client, window_s=0.005) as gateway:
+                # Teach the gateway the node's latency...
+                await gateway.predict_sweep(FakeRegion("warm"), CAPS)
+                # ...then ask for an answer faster than it can ever come.
+                with pytest.raises(DeadlineExceeded, match="expected"):
+                    await gateway.predict_sweep(FakeRegion("a"), CAPS, timeout=0.05)
+            assert len(client.nodes[0].calls) == 1  # never dispatched
+            assert gateway.stats()["deadline_rejected"] == 1
+
+        run(scenario())
+
+    def test_hung_node_request_fails_by_deadline_not_hang(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            client.nodes[0].latency = 5.0  # hung well past any budget
+            async with Gateway(
+                client, window_s=0.005, hedge_delay_floor=10.0
+            ) as gateway:
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceeded):
+                    await gateway.predict_sweep(FakeRegion("a"), CAPS, timeout=0.2)
+                assert time.monotonic() - started < 2.0
+
+        run(scenario())
+
+
+# ------------------------------------------------------------------ shedding
+class TestShedding:
+    def test_queue_full_sheds_with_depth_and_retry_hint(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.2, max_pending=2) as gateway:
+                queued = [
+                    asyncio.ensure_future(
+                        gateway.predict_sweep(FakeRegion(f"r{i}"), CAPS)
+                    )
+                    for i in range(2)
+                ]
+                await asyncio.sleep(0)  # let both enqueue
+                with pytest.raises(GatewayOverloaded) as excinfo:
+                    await gateway.predict_sweep(FakeRegion("extra"), CAPS)
+                assert excinfo.value.queue_depth == 2
+                assert excinfo.value.retry_after_s >= 0.0
+                assert gateway.stats()["shed"] == 1
+                # The queued requests are unharmed by the shed.
+                assert await asyncio.gather(*queued) == [
+                    expected_answer("r0"),
+                    expected_answer("r1"),
+                ]
+
+        run(scenario())
+
+
+# ------------------------------------------------------------------- hedging
+class TestHedging:
+    def test_hedge_first_answer_wins_and_is_byte_identical(self):
+        async def scenario():
+            client = FakeClient(num_nodes=2)
+            region = FakeRegion("hedge-me")
+            primary = HashRing((0, 1)).node_for(region.region_id)
+            other = 1 - primary
+            client.nodes[primary].latency = 0.5  # slow, but not failing
+            async with Gateway(
+                client, window_s=0.005, hedge_delay_floor=0.05
+            ) as gateway:
+                result = await gateway.predict_sweep(region, CAPS, timeout=5.0)
+            # First answer (the hedge) wins and is byte-identical to what
+            # the slow primary would eventually have said.
+            assert result == expected_answer("hedge-me")
+            assert client.nodes[primary].calls and client.nodes[other].calls
+            stats = gateway.stats()
+            assert stats["hedges"] == 1 and stats["hedge_wins"] == 1
+
+        run(scenario())
+
+    def test_fast_primary_never_hedges(self):
+        async def scenario():
+            client = FakeClient(num_nodes=2)
+            async with Gateway(
+                client, window_s=0.005, hedge_delay_floor=0.5
+            ) as gateway:
+                await gateway.predict_sweep(FakeRegion("fast"), CAPS)
+            assert gateway.stats()["hedges"] == 0
+
+        run(scenario())
+
+
+# ------------------------------------------------------------------ breakers
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = _CircuitBreaker(3, 10.0, clock)
+        assert breaker.state == "closed" and breaker.allow()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"  # not yet at the threshold
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker = _CircuitBreaker(3, 10.0, FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = _CircuitBreaker(1, 10.0, clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(10.0)
+        assert breaker.allow()  # the one half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # no second probe while one is out
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = FakeClock()
+        breaker = _CircuitBreaker(1, 10.0, clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()
+
+    def test_gateway_skips_an_open_breaker(self):
+        async def scenario():
+            client = FakeClient(num_nodes=2)
+            region = FakeRegion("route-me")
+            primary = HashRing((0, 1)).node_for(region.region_id)
+            other = 1 - primary
+            client.nodes[primary].fail = rpc.ConnectionClosed("node lost")
+            async with Gateway(
+                client, window_s=0.005, breaker_failures=1, breaker_cooldown=1000.0
+            ) as gateway:
+                # First request fails on the primary, retries on the other.
+                assert await gateway.predict_sweep(
+                    region, CAPS
+                ) == expected_answer("route-me")
+                failures = len(client.nodes[primary].calls)
+                # The breaker is now open: later requests skip the primary.
+                assert await gateway.predict_sweep(
+                    region, CAPS
+                ) == expected_answer("route-me")
+                assert len(client.nodes[primary].calls) == failures
+                stats = gateway.stats()
+                assert stats["retries"] >= 1
+                assert stats["breaker_trips"] >= 1
+                assert primary in stats["open_breakers"]
+
+        run(scenario())
+
+    def test_every_node_failing_exhausts_attempts(self):
+        async def scenario():
+            client = FakeClient(num_nodes=2)
+            for node in client.nodes.values():
+                node.fail = rpc.ConnectionClosed("gone")
+            async with Gateway(
+                client,
+                window_s=0.005,
+                max_attempts=2,
+                breaker_failures=100,  # keep both nodes routable throughout
+            ) as gateway:
+                with pytest.raises(RuntimeError, match="failed on nodes"):
+                    await gateway.predict_sweep(FakeRegion("a"), CAPS, timeout=5.0)
+            assert gateway.stats()["failed"] == 1
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------- degradation
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = _TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.try_acquire()
+
+
+class TestDegradation:
+    def test_dead_fleet_answers_from_fallback(self):
+        async def scenario():
+            client = FakeClient(num_nodes=0, fallback_tuner=FakeTuner())
+            async with Gateway(client, window_s=0.005) as gateway:
+                result = await gateway.predict_sweep(FakeRegion("a"), CAPS)
+                assert result == expected_answer("a")
+                stats = gateway.stats()
+                assert stats["fallbacks"] == 1 and stats["degraded"] is True
+            assert client.fallback_builds == 1
+
+        run(scenario())
+
+    def test_fallback_tuner_is_built_once(self):
+        async def scenario():
+            client = FakeClient(num_nodes=0, fallback_tuner=FakeTuner())
+            async with Gateway(client, window_s=0.005) as gateway:
+                await gateway.predict_sweep(FakeRegion("a"), CAPS)
+                await gateway.predict_sweep(FakeRegion("b"), CAPS)
+            assert client.fallback_builds == 1
+
+        run(scenario())
+
+    def test_fallback_is_rate_limited(self):
+        async def scenario():
+            client = FakeClient(num_nodes=0, fallback_tuner=FakeTuner())
+            async with Gateway(
+                client, window_s=0.005, fallback_rate=0.001, fallback_burst=1.0
+            ) as gateway:
+                await gateway.predict_sweep(FakeRegion("a"), CAPS)
+                with pytest.raises(GatewayOverloaded, match="rate limit"):
+                    await gateway.predict_sweep(FakeRegion("b"), CAPS)
+                stats = gateway.stats()
+                assert stats["fallback_shed"] == 1
+
+        run(scenario())
+
+    def test_fallback_equals_serial_sweep_at_both_dtypes(
+        self, fitted_tuner, small_builder
+    ):
+        regions = small_builder.regions()[:3]
+        caps = list(CAPS)
+
+        async def scenario():
+            client = FakeClient(num_nodes=0, fallback_tuner=fitted_tuner)
+            async with Gateway(
+                client, window_s=0.005, default_timeout=120.0
+            ) as gateway:
+                for dtype in (None, "float32"):
+                    served = await asyncio.gather(
+                        *(
+                            gateway.predict_sweep(region, caps, dtype=dtype)
+                            for region in regions
+                        )
+                    )
+                    expected = [
+                        fitted_tuner.predict_sweep(region, caps, dtype=dtype)
+                        for region in regions
+                    ]
+                    assert served == expected
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------- lifecycle
+class TestLifecycle:
+    def test_predict_before_start_raises(self):
+        async def scenario():
+            gateway = Gateway(FakeClient(num_nodes=1))
+            with pytest.raises(RuntimeError, match="not running"):
+                await gateway.predict_sweep(FakeRegion("a"), CAPS)
+
+        run(scenario())
+
+    def test_double_start_raises(self):
+        async def scenario():
+            async with Gateway(FakeClient(num_nodes=1)) as gateway:
+                with pytest.raises(RuntimeError, match="already started"):
+                    await gateway.start()
+
+        run(scenario())
+
+    def test_close_fails_queued_requests(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            gateway = await Gateway(client, window_s=5.0).start()
+            queued = asyncio.ensure_future(
+                gateway.predict_sweep(FakeRegion("a"), CAPS)
+            )
+            await asyncio.sleep(0)
+            await gateway.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await queued
+
+        run(scenario())
+
+
+# -------------------------------------------------------------- chaos drill
+class TestGatewayChaosDrill:
+    """The acceptance drill: churn under load, byte-identity throughout."""
+
+    def test_kill_and_total_loss_stay_byte_identical(
+        self, fitted_tuner, small_builder
+    ):
+        regions = small_builder.regions()
+        caps = list(CAPS)
+        expected = {
+            dtype: [
+                fitted_tuner.predict_sweep(region, caps, dtype=dtype)
+                for region in regions
+            ]
+            for dtype in (None, "float32")
+        }
+
+        async def scenario(local):
+            async with Gateway(
+                local.client,
+                window_s=0.01,
+                default_timeout=120.0,
+                breaker_cooldown=0.5,
+            ) as gateway:
+                for dtype in (None, "float32"):
+                    served = await asyncio.gather(
+                        *(
+                            gateway.predict_sweep(region, caps, dtype=dtype)
+                            for region in regions
+                        )
+                    )
+                    assert served == expected[dtype]
+                # Kill one node mid-traffic: requests reroute, same bytes.
+                local.kill_node(0)
+                served = await asyncio.gather(
+                    *(gateway.predict_sweep(region, caps) for region in regions)
+                )
+                assert served == expected[None]
+                # Kill the survivor: the in-process fallback answers, same
+                # bytes at both precisions.
+                local.kill_node(1)
+                for dtype in (None, "float32"):
+                    answer = await gateway.predict_sweep(
+                        regions[0], caps, dtype=dtype
+                    )
+                    assert answer == expected[dtype][0]
+                stats = gateway.stats()
+                assert stats["degraded"] is True
+                assert stats["fallbacks"] >= 2
+
+        with LocalFleet(
+            fitted_tuner,
+            num_nodes=2,
+            dtypes=("float32",),
+            heartbeat_interval=None,
+        ) as local:
+            asyncio.run(scenario(local))

@@ -211,3 +211,72 @@ class TestConnectRetry:
         placeholder.close()
         with pytest.raises(ConnectionRefusedError):
             rpc.connect(address, attempts=1)
+
+
+class TestPerCallDeadline:
+    """`request(timeout=)`: a real socket deadline over send + receive."""
+
+    def test_silent_peer_raises_rpc_timeout_fast(self, pair):
+        left, _right = pair
+        start = time.monotonic()
+        with pytest.raises(rpc.RpcTimeout):
+            rpc.request(left, ("ping",), timeout=0.2)
+        assert time.monotonic() - start < 2.0
+
+    def test_rpc_timeout_is_distinct_from_connection_closed(self):
+        assert issubclass(rpc.RpcTimeout, TimeoutError)
+        assert not issubclass(rpc.RpcTimeout, rpc.ConnectionClosed)
+
+    def test_answer_within_deadline_is_served(self, pair):
+        left, right = pair
+
+        def serve():
+            rpc.recv_message(right)
+            time.sleep(0.05)
+            rpc.send_message(right, ("ok", "pong"))
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        assert rpc.request(left, ("ping",), timeout=5.0) == "pong"
+        server.join(timeout=5.0)
+
+    def test_trickling_peer_cannot_stretch_the_deadline(self, pair):
+        # The deadline is absolute: a peer dripping one byte per re-armed
+        # socket timeout must still fail at the original deadline.
+        left, right = pair
+
+        def trickle():
+            rpc.recv_message(right)
+            right.sendall(struct.pack(">Q", 100))
+            for _ in range(10):
+                time.sleep(0.1)
+                try:
+                    right.sendall(b"x")
+                except OSError:
+                    return
+
+        dripper = threading.Thread(target=trickle, daemon=True)
+        dripper.start()
+        start = time.monotonic()
+        with pytest.raises(rpc.RpcTimeout, match="outstanding"):
+            rpc.request(left, ("ping",), timeout=0.3)
+        assert time.monotonic() - start < 1.5
+
+    def test_socket_timeout_is_restored_after_the_call(self, pair):
+        left, _right = pair
+        left.settimeout(None)
+        with pytest.raises(rpc.RpcTimeout):
+            rpc.request(left, ("ping",), timeout=0.1)
+        assert left.gettimeout() is None
+
+    def test_no_timeout_preserves_blocking_behaviour(self, pair):
+        left, right = pair
+
+        def serve():
+            rpc.recv_message(right)
+            rpc.send_message(right, ("ok", 7))
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        assert rpc.request(left, ("stats",)) == 7
+        server.join(timeout=5.0)
