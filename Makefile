@@ -2,11 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: test lint coverage bench-smoke bench-engine shuffle-study bench
+.PHONY: test lint coverage chaos bench-smoke bench-engine shuffle-study bench
 
 # Tier-1 verification: the full unit test suite.
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Chaos smoke (CI `chaos` step): the deterministic byte-level fault drills —
+# FaultPlan/ChaosProxy unit tests plus the seeded fleet+gateway drill matrix
+# (bit flips, truncation, stalls, resets, duplicated bytes on sweep and
+# heartbeat connections; byte-identity or a typed error, and recovery to
+# all-LIVE, asserted under every schedule).
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/serve/test_faults.py tests/serve/test_chaos.py -q
 
 # Static checks (CI `lint` job): ruff check over the whole tree (pyflakes +
 # pycodestyle subsets, config in pyproject.toml) plus ruff's formatter in
@@ -20,7 +28,7 @@ lint:
 # below the floor enforced by tools/check_coverage.py.
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=xml --cov-report=term
-	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 78
+	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 80
 
 # Fast perf-regression check for the message-passing engine and the serving
 # stack; fails when an engine path stops beating the retained seed reference
@@ -28,7 +36,10 @@ coverage:
 # compiled autograd-free inference program stops beating the Module forward.
 # Includes the serve_gateway churn drill (open-loop traffic through the
 # asyncio gateway with mid-load kill/pause/restart and a dead-fleet
-# fallback phase; byte-identity with the serial path is a hard failure).
+# fallback phase; byte-identity with the serial path is a hard failure) and
+# the serve_chaos axis (sweep latency through a fixed byte-level fault
+# schedule; byte-identity, detected corruption and all-LIVE recovery are
+# hard failures).
 # Writes per-axis medians to benchmarks/results/BENCH_<n>.json and the
 # stable benchmarks/results/BENCH_latest.json copy CI uploads as the
 # `perf-trajectory` artifact.

@@ -53,7 +53,16 @@ A third axis covers **fleet serving**:
   gateway's shed/hedge/fallback/breaker counters, with every answered
   request asserted byte-identical to the serial ``predict_sweep`` path (not
   smoke-gated on speed; the byte-identity and liveness assertions are hard
-  failures).
+  failures);
+* ``serve_chaos`` — sweep latency through a **fixed byte-level fault
+  schedule**: a deterministic :class:`repro.serve.FaultPlan` (delay,
+  reply/request bit flips, truncation, a hard reset) interposed on one
+  node of a 2-node fleet by the :class:`repro.serve.ChaosProxy` MITM.
+  Records p50/p99 sweep latency while faults fire and after the fleet
+  self-heals, plus the corruption / teardown / re-admission counters from
+  both ends of the wire.  Byte-identity of every answered sweep, at least
+  one detected corruption, and recovery to all-LIVE are hard failures;
+  the latencies are not smoke-gated — they feed the cross-PR trajectory.
 
 A fourth axis covers the **autograd-free inference runtime**
 (``inference_runtime``): the compiled
@@ -107,6 +116,8 @@ from repro.nn.rgcn import RGCNConv
 from repro.nn.tensor import Tensor, no_grad
 from repro.serve import (
     DeadlineExceeded,
+    FaultEvent,
+    FaultPlan,
     Gateway,
     GatewayOverloaded,
     HashRing,
@@ -120,7 +131,7 @@ from repro.serve import (
 #: the ``BENCH_latest.json`` copy under the stable artifact name
 #: ``perf-trajectory``, so only this constant moves per PR — never the
 #: artifact name or the workflow file.
-BENCH_NAME = "BENCH_7"
+BENCH_NAME = "BENCH_8"
 
 # Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
@@ -870,6 +881,129 @@ def bench_serve_gateway(
     return row
 
 
+def bench_serve_chaos(
+    tuner, builder, rounds: int, num_caps: int, num_regions: int
+) -> Dict[str, float]:
+    """Sweep latency through a fixed byte-level fault schedule.
+
+    A deterministic :class:`~repro.serve.faults.FaultPlan` is interposed on
+    node 0 of a 2-node fleet via the :class:`~repro.serve.faults.ChaosProxy`
+    MITM: a small reply delay, then a reply bit flip (digest-detected
+    mid-sweep), and on the connections the heartbeat opens to re-admit the
+    torn-down node a reply truncation, a request-direction bit flip and a
+    hard TCP reset — so the measured cycle exercises detection, teardown,
+    rebalance and re-admission end to end, with every byte on the wire
+    checked by the self-verifying v2 framing.
+
+    The row records p50/p99 sweep latency during the fault schedule
+    (``faulted``) and after the fleet self-heals (``recovered``), plus the
+    corruption / teardown / re-admission counters from both ends of the
+    wire and the proxy's injected-fault total.  Three hard failures, all
+    independent of machine speed: any sweep that is not byte-identical to
+    serial ``predict_sweep``, a schedule that fires without a single
+    detected corruption (nothing may unpickle a corrupt payload), and a
+    fleet that fails to return to all-LIVE.  Latency numbers are not
+    smoke-gated; they feed the cross-PR trajectory.
+    """
+    space = tuner.search_space
+    regions = _serving_regions(builder, num_regions)
+    caps = [
+        float(c)
+        for c in np.linspace(min(space.power_caps), max(space.power_caps), num_caps)
+    ]
+    tuner._embedding_cache.clear()
+    expected = [tuner.predict_sweep(region, caps) for region in regions]
+
+    # Connection 0 is the fleet client's request socket; its frame 0 is the
+    # registration round trip, so sweep traffic starts at frame 1.  Each
+    # corrupting fault tears its connection down, and the probe/re-register
+    # connections the client opens afterwards (1, 2, 3, ...) are faulted in
+    # turn — connection 4 onward is clean, which bounds the schedule and
+    # guarantees recovery.
+    plan = FaultPlan(
+        [
+            FaultEvent("delay", connection=0, frame=1, direction="reply", seconds=0.02),
+            FaultEvent("bitflip", connection=0, frame=2, direction="reply", offset=40),
+            FaultEvent("truncate", connection=1, frame=1, direction="reply", offset=25),
+            FaultEvent("bitflip", connection=2, frame=1, direction="request", offset=64),
+            FaultEvent("reset", connection=3, frame=1, direction="reply"),
+        ]
+    )
+
+    def timed_identical_sweeps(fleet, count: int) -> List[float]:
+        times: List[float] = []
+        for _ in range(count):
+            start = time.perf_counter()
+            served = fleet.sweep(regions, caps)
+            times.append(time.perf_counter() - start)
+            if served != expected:
+                raise AssertionError("chaos sweep disagrees with the serial path")
+        return times
+
+    with LocalFleet(
+        tuner,
+        num_nodes=2,
+        heartbeat_interval=None,
+        request_timeout=30.0,
+        chaos={0: plan},
+    ) as fleet:
+        faulted = timed_identical_sweeps(fleet, max(3, rounds))
+        client = fleet.client
+        proxy = fleet.proxies[0]
+        # Drain the rest of the schedule: the remaining faults are bound to
+        # the probe/re-adoption connections (1-3), which the heal+sweep
+        # cycle below opens one by one.  Once a full cycle fires nothing new
+        # and every node is LIVE, the schedule is exhausted and the
+        # ``recovered`` phase below measures a clean wire.
+        for _ in range(12):
+            for index in sorted(client.node_states()):
+                client.wait_for_state(index, NodeState.LIVE, timeout=120.0)
+            fired_before = proxy.stats()["faults_total"]
+            timed_identical_sweeps(fleet, 1)
+            states = client.node_states()
+            if proxy.stats()["faults_total"] == fired_before and all(
+                state is NodeState.LIVE for state in states.values()
+            ):
+                break
+        else:
+            raise AssertionError(
+                f"fault schedule did not drain: {proxy.stats()['applied']}, "
+                f"states {client.node_states()}"
+            )
+        recovered = timed_identical_sweeps(fleet, max(2, rounds))
+        transport = client.transport_stats()
+        node_corrupt = sum(
+            reply.get("corrupt_frames", 0) for reply in client.stats().values()
+        )
+        injected = float(fleet.proxies[0].stats()["faults_total"])
+
+    detected = float(transport["corruption"]) + float(node_corrupt)
+    if not detected:
+        raise AssertionError(
+            "the fault schedule fired but no corruption was detected on "
+            "either end of the wire"
+        )
+
+    return {
+        "num_regions": float(len(regions)),
+        "num_caps": float(num_caps),
+        "num_nodes": 2.0,
+        "cpu_count": float(os.cpu_count() or 1),
+        "faulted_median_s": statistics.median(faulted),
+        "faulted_p50_s": _latency_percentile(faulted, 50.0),
+        "faulted_p99_s": _latency_percentile(faulted, 99.0),
+        "recovered_median_s": statistics.median(recovered),
+        "recovered_p50_s": _latency_percentile(recovered, 50.0),
+        "recovered_p99_s": _latency_percentile(recovered, 99.0),
+        "faults_injected": injected,
+        "corruption_detected": detected,
+        "client_corruption": float(transport["corruption"]),
+        "node_corrupt_frames": float(node_corrupt),
+        "teardowns": float(transport["teardowns"]),
+        "readmissions": float(transport["readmissions"]),
+    }
+
+
 def bench_inference_runtime(
     tuner, builder, rounds: int, num_caps: int, num_regions: int = 16, with_f32: bool = True
 ) -> Dict[str, float]:
@@ -1106,6 +1240,16 @@ def _trajectory_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict
             "retries",
             "fallbacks",
             "breaker_trips",
+            "faulted_p50_s",
+            "faulted_p99_s",
+            "recovered_p50_s",
+            "recovered_p99_s",
+            "faults_injected",
+            "corruption_detected",
+            "client_corruption",
+            "node_corrupt_frames",
+            "teardowns",
+            "readmissions",
         )
         for context_key in context_keys:
             if context_key in row:
@@ -1163,6 +1307,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         tuner, builder, rounds, num_caps, serve_regions
     )
     print("  serve_gateway done")
+    results["serve_chaos"] = bench_serve_chaos(
+        tuner, builder, rounds, num_caps, serve_regions
+    )
+    print("  serve_chaos done")
     if with_f32:
         results["scatter_mp"] = bench_scatter_mp(rounds)
         print("  scatter_mp done")
@@ -1198,7 +1346,7 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
                 f"{name:<14}{row['serial_s'] * 1e3:>10.1f}ms{row['fleet_s'] * 1e3:>10.1f}ms"
                 f"{row['fleet_speedup']:>9.2f}x"
             )
-        elif name in ("serve_fleet_churn", "serve_gateway"):
+        elif name in ("serve_fleet_churn", "serve_gateway", "serve_chaos"):
             continue  # reported in their own summary lines below
         else:  # scatter_mp: pure f32-vs-f64 microbenchmark
             cells = f"{name:<14}{'-':>12}{row['f64_s'] * 1e3:>10.1f}ms{'-':>10}"
@@ -1245,6 +1393,16 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         f"dead-fleet p50 {gateway['dead_p50_s'] * 1e3:.1f}ms with "
         f"{gateway['fallbacks']:.0f} fallback answers, "
         f"shed rate {gateway['shed_rate'] * 100:.0f}%"
+    )
+    chaos = results["serve_chaos"]
+    print(
+        f"serve_chaos: faulted p50 {chaos['faulted_p50_s'] * 1e3:.1f}ms "
+        f"p99 {chaos['faulted_p99_s'] * 1e3:.1f}ms, "
+        f"recovered p50 {chaos['recovered_p50_s'] * 1e3:.1f}ms; "
+        f"{chaos['faults_injected']:.0f} faults injected, "
+        f"{chaos['corruption_detected']:.0f} corruptions detected, "
+        f"{chaos['teardowns']:.0f} teardowns, "
+        f"{chaos['readmissions']:.0f} re-admissions"
     )
     runtime = results["inference_runtime"]
     f32_note = (

@@ -10,8 +10,11 @@ The serving stack has three layers:
   worker holds a read-only copy of the fitted weights (serialized once via
   the ``.npz`` round-trip) and its own pooled-embedding LRU cache;
 * **shard across machines** — :class:`NodeServer` wraps the same read-only
-  serving tuner behind a TCP socket (length-prefixed RPC,
-  :mod:`repro.serve.rpc`), and :class:`FleetClient` shards regions over the
+  serving tuner behind a TCP socket (self-verifying framed RPC — magic,
+  protocol version, length and blake2s payload digest per frame, corrupt
+  streams rejected as :exc:`~repro.serve.rpc.RpcCorruption` before any
+  unpickling; :mod:`repro.serve.rpc`), and :class:`FleetClient` shards
+  regions over the
   nodes with a virtual-node consistent-hash ring (:class:`HashRing`), ships
   the spec + versioned ``.npz`` weight bytes at registration, multiplexes
   per-node batched requests concurrently, and **self-heals**: a heartbeat
@@ -40,15 +43,24 @@ recoveries, joins and rolling updates, so sharded serving — local or
 multi-node, direct or gatewayed — is purely a throughput/availability
 decision.
 
+The transport is drillable at the byte level: :mod:`repro.serve.faults`
+provides a seeded, fully deterministic :class:`FaultPlan` (delay / stall /
+truncate / bit-flip / duplicate / reset events addressed by connection,
+frame and byte offset) and a :class:`ChaosProxy` TCP man-in-the-middle
+that ``LocalFleet(chaos=...)`` interposes on any node — the chaos drills
+in ``tests/serve/test_chaos.py`` and the ``serve_chaos`` bench axis replay
+identical corruption histories from a seed alone.
+
 :func:`parallel_map` is the small deterministic process-pool primitive the
 experiment runners reuse to shard cross-validation folds and per-figure
 region loops.
 """
 
+from repro.serve.faults import ChaosProxy, FaultEvent, FaultPlan
 from repro.serve.fleet import FleetClient, FleetExhausted, LocalFleet, NodeState
 from repro.serve.gateway import DeadlineExceeded, Gateway, GatewayOverloaded
 from repro.serve.node import NodeServer
-from repro.serve.rpc import RpcTimeout
+from repro.serve.rpc import RpcCorruption, RpcTimeout
 from repro.serve.server import SweepServer, parallel_map
 from repro.serve.sharding import (
     HashRing,
@@ -58,7 +70,10 @@ from repro.serve.sharding import (
 )
 
 __all__ = [
+    "ChaosProxy",
     "DeadlineExceeded",
+    "FaultEvent",
+    "FaultPlan",
     "FleetClient",
     "FleetExhausted",
     "Gateway",
@@ -67,6 +82,7 @@ __all__ = [
     "LocalFleet",
     "NodeServer",
     "NodeState",
+    "RpcCorruption",
     "RpcTimeout",
     "SweepServer",
     "parallel_map",

@@ -71,6 +71,7 @@ import numpy as np
 from repro.core.tuner import PnPTuner, TuningResult
 from repro.openmp.region import RegionCharacteristics
 from repro.serve import rpc
+from repro.serve.faults import ChaosProxy
 from repro.serve.node import node_subprocess_main
 from repro.serve.sharding import HashRing
 from repro.serve.spec import (
@@ -116,10 +117,14 @@ class FleetExhausted(RuntimeError):
 class _Member:
     """One fleet member: endpoint, request socket, health + probe bookkeeping."""
 
-    def __init__(self, index: int, address: Tuple[str, int]) -> None:
+    def __init__(
+        self, index: int, address: Tuple[str, int], legacy: bool = False
+    ) -> None:
         self.index = index
         self.address: Tuple[str, int] = tuple(address)
         self.sock: Optional[socket.socket] = None
+        #: Speak the v1 bare-prefix framing to this node (compat mode).
+        self.legacy = legacy
         # Serializes request/reply traffic on the socket.  Health transitions
         # deliberately do NOT take this lock: disconnect() must be able to
         # shut the socket down underneath a request that is blocked on a
@@ -130,6 +135,12 @@ class _Member:
         self.failures = 0
         self.next_probe = 0.0
         self.probe_backoff = 0.0
+        # Transport accounting (plain GIL-guarded increments, read by
+        # FleetClient.transport_stats): frames from this node that failed
+        # verification, DEAD transitions, and successful re-admissions.
+        self.corruption = 0
+        self.teardowns = 0
+        self.readmissions = 0
 
     def request(self, payload: Tuple, timeout: Optional[float] = None):
         """One request/reply on the member socket, optionally deadline-bound.
@@ -152,7 +163,11 @@ class _Member:
             sock = self.sock
             if sock is None:
                 raise rpc.ConnectionClosed("no open connection to the node")
-            return rpc.request(sock, payload, timeout=timeout)
+            try:
+                return rpc.request(sock, payload, timeout=timeout, legacy=self.legacy)
+            except rpc.RpcCorruption:
+                self.corruption += 1
+                raise
         finally:
             self.lock.release()
 
@@ -201,6 +216,7 @@ class FleetClient:
         dead_after: int = 3,
         connect_attempts: int = 5,
         request_timeout: Optional[float] = None,
+        legacy_nodes: bool = False,
     ) -> None:
         if not addresses:
             raise ValueError("a fleet needs at least one node address")
@@ -208,6 +224,11 @@ class FleetClient:
         self._ping_timeout = ping_timeout
         self._dead_after = max(1, int(dead_after))
         self._connect_attempts = max(1, int(connect_attempts))
+        #: Compat mode: speak the v1 bare-prefix framing and skip the
+        #: protocol-version handshake (for nodes predating the hardened
+        #: frames).  Off by default — a peer that does not advertise the
+        #: hardened protocol is refused at the handshake.
+        self._legacy_nodes = bool(legacy_nodes)
         #: Per-call deadline for sweep/clear/stats traffic (None = block).
         #: A request that trips it raises RpcTimeout on the caller side and
         #: marks the node DEAD (the timed-out socket is poisoned), so a
@@ -283,12 +304,13 @@ class FleetClient:
             member = self._add_member(tuple(address))
             if self._spec is not None:
                 try:
-                    member.request(
+                    reply = member.request(
                         self._register_payload(), timeout=self._connect_timeout
                     )
                 except (rpc.ConnectionClosed, OSError) as error:
                     self._mark_dead(member, f"registration failed: {error}")
                     raise
+                self._check_protocol(member.index, reply)
             _LOG.info("fleet node %d (%s:%d) joined", member.index, *member.address)
             return member.index
 
@@ -317,7 +339,7 @@ class FleetClient:
         with self._state_lock:
             index = self._next_index
             self._next_index += 1
-            member = _Member(index, address)
+            member = _Member(index, address, legacy=self._legacy_nodes)
             self._members[index] = member
         sock = rpc.connect(
             address, timeout=self._connect_timeout, attempts=self._connect_attempts
@@ -386,6 +408,7 @@ class FleetClient:
     ) -> None:
         with self._state_lock:
             if member.state is not NodeState.DEAD:
+                member.teardowns += 1
                 _LOG.warning(
                     "fleet node %d (%s:%d) marked DEAD: %s",
                     member.index,
@@ -484,13 +507,39 @@ class FleetClient:
             return
         try:
             sock.settimeout(self._ping_timeout)
-            info = rpc.request(sock, ("ping",))
+            info = rpc.request(sock, ("ping",), legacy=member.legacy)
+        except rpc.RpcCorruption as error:
+            member.corruption += 1
+            self._close_quietly(sock)
+            self._note_probe_failure(member, f"ping reply corrupt: {error}")
+            return
         except (rpc.RemoteError, rpc.ConnectionClosed, OSError) as error:
             self._close_quietly(sock)
             self._note_probe_failure(member, f"ping failed: {error}")
             return
+        # Protocol-version handshake: the node advertises its frame protocol
+        # in every ping reply; a peer that does not speak the hardened
+        # framing is only acceptable in explicit legacy mode.
+        protocol = (
+            info.get("protocol", rpc.LEGACY_PROTOCOL_VERSION)
+            if isinstance(info, dict)
+            else rpc.LEGACY_PROTOCOL_VERSION
+        )
+        if protocol != rpc.PROTOCOL_VERSION and not self._legacy_nodes:
+            self._close_quietly(sock)
+            self._note_probe_failure(
+                member,
+                f"peer speaks frame protocol v{protocol}, not "
+                f"v{rpc.PROTOCOL_VERSION} (pass legacy_nodes=True to accept "
+                f"bare-prefix peers)",
+            )
+            return
         try:
             self._readmit(member, sock, info)
+        except rpc.RpcCorruption as error:
+            member.corruption += 1
+            self._close_quietly(sock)
+            self._note_probe_failure(member, f"re-admission handshake failed: {error}")
         except (rpc.RemoteError, rpc.ConnectionClosed, OSError) as error:
             self._close_quietly(sock)
             self._note_probe_failure(member, f"re-admission handshake failed: {error}")
@@ -506,7 +555,7 @@ class FleetClient:
         if needs_register:
             # Registration rebuilds a tuner on the node — allow real time.
             sock.settimeout(self._connect_timeout)
-            rpc.request(sock, payload)
+            rpc.request(sock, payload, legacy=member.legacy)
         sock.settimeout(None)
         with self._state_lock:
             if self._closed or member.index not in self._members:
@@ -518,6 +567,7 @@ class FleetClient:
                 adopt = False  # existing request socket still healthy; keep it
             if member.index in self._members and not self._closed:
                 if member.state is not NodeState.LIVE:
+                    member.readmissions += 1
                     _LOG.info(
                         "fleet node %d (%s:%d) re-admitted at weights version %d",
                         member.index,
@@ -550,6 +600,27 @@ class FleetClient:
                 _LOG.exception("heartbeat pass failed")
 
     # --------------------------------------------------------- registration
+    def _check_protocol(self, index: int, reply: object) -> None:
+        """Refuse a peer that does not speak the hardened frame protocol.
+
+        Nodes advertise ``"protocol"`` in ping/register/stats replies; a
+        missing field means a pre-hardening (v1) peer.  Only enforced
+        outside explicit ``legacy_nodes`` mode.
+        """
+        if self._legacy_nodes:
+            return
+        protocol = (
+            reply.get("protocol", rpc.LEGACY_PROTOCOL_VERSION)
+            if isinstance(reply, dict)
+            else rpc.LEGACY_PROTOCOL_VERSION
+        )
+        if protocol != rpc.PROTOCOL_VERSION:
+            raise RuntimeError(
+                f"fleet node {index} speaks frame protocol v{protocol}, not "
+                f"v{rpc.PROTOCOL_VERSION}; pass legacy_nodes=True to accept "
+                f"bare-prefix peers"
+            )
+
     def _register_payload(self, version: Optional[int] = None) -> Tuple:
         return (
             "register",
@@ -581,11 +652,18 @@ class FleetClient:
                 self._version += 1
                 payload = self._register_payload()
             indices = self._serving_indices()
-            return self._request_concurrently(
+            replies = self._request_concurrently(
                 {index: payload for index in indices},
                 rebalance=False,
                 timeout=self._connect_timeout,
             )
+            # Protocol-version handshake at registration: every node
+            # advertises its frame protocol in the register reply, and a
+            # peer that does not speak the hardened framing is a
+            # configuration error unless legacy mode was requested.
+            for index, reply in zip(indices, replies):
+                self._check_protocol(index, reply)
+            return replies
 
     def update_weights(
         self,
@@ -762,7 +840,14 @@ class FleetClient:
         )
 
     def stats(self) -> Dict[int, Dict[str, int]]:
-        """Per-serving-node embedding cache statistics, keyed by member index."""
+        """Per-serving-node statistics, keyed by member index.
+
+        Each reply combines the node's own view (cache size/hits/misses,
+        weights version, ``corrupt_frames`` it tore down) with the client's
+        transport accounting for that member (``client_corruption`` /
+        ``client_teardowns`` / ``client_readmissions``) — so one call shows
+        both ends of every wire.
+        """
         self._require_open()
         indices = self._serving_indices()
         replies = self._request_concurrently(
@@ -770,11 +855,43 @@ class FleetClient:
             rebalance=True,
             timeout=self._request_timeout,
         )
-        return {
-            index: reply
-            for index, reply in zip(indices, replies)
-            if reply is not None
+        transport = self.transport_stats()["nodes"]
+        merged: Dict[int, Dict[str, int]] = {}
+        for index, reply in zip(indices, replies):
+            if reply is None:
+                continue
+            combined = dict(reply)
+            for key, value in transport.get(index, {}).items():
+                combined[f"client_{key}"] = value
+            merged[index] = combined
+        return merged
+
+    def transport_stats(self) -> Dict[str, object]:
+        """Client-side transport accounting, per member and in total.
+
+        ``corruption`` counts frames from the node that failed verification
+        on this client (request sockets and heartbeat probes alike);
+        ``teardowns`` counts DEAD transitions; ``readmissions`` counts
+        recoveries back to LIVE.  Shape::
+
+            {"nodes": {index: {"corruption": c, "teardowns": t,
+                               "readmissions": r}, ...},
+             "corruption": C, "teardowns": T, "readmissions": R}
+        """
+        with self._state_lock:
+            nodes = {
+                index: {
+                    "corruption": member.corruption,
+                    "teardowns": member.teardowns,
+                    "readmissions": member.readmissions,
+                }
+                for index, member in sorted(self._members.items())
+            }
+        totals = {
+            key: sum(counts[key] for counts in nodes.values())
+            for key in ("corruption", "teardowns", "readmissions")
         }
+        return {"nodes": nodes, **totals}
 
     # ------------------------------------------------------------ lifecycle
     def stop(self) -> None:
@@ -890,6 +1007,15 @@ class LocalFleet:
       see, only the bounded-timeout heartbeat can;
     * :meth:`add_node` / :meth:`remove_node` — grow/shrink the fleet at
       runtime.
+
+    Byte-level chaos: pass ``chaos=`` a :class:`~repro.serve.faults.FaultPlan`
+    (interposed on node 0) or a mapping ``{node_index: FaultPlan}`` and the
+    fleet places a :class:`~repro.serve.faults.ChaosProxy` between the
+    client and each selected node — *all* of that node's traffic (sweeps,
+    registrations, heartbeat probes) then flows through the proxy's fault
+    schedule.  The proxy endpoint is stable across :meth:`restart_node`
+    (it retargets to the replacement process), and :attr:`proxies` exposes
+    the live proxies for counter inspection.
     """
 
     def __init__(
@@ -903,6 +1029,7 @@ class LocalFleet:
         ping_timeout: float = 5.0,
         dead_after: int = 3,
         request_timeout: Optional[float] = None,
+        chaos: Optional[object] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -911,10 +1038,22 @@ class LocalFleet:
         )
         self._processes: List[Optional[multiprocessing.process.BaseProcess]] = []
         self.addresses: List[Tuple[str, int]] = []
+        #: Real node endpoints (``addresses`` holds the proxy endpoint for
+        #: chaos-interposed members).
+        self.node_addresses: List[Tuple[str, int]] = []
+        #: ``{node_index: ChaosProxy}`` for every interposed member.
+        self.proxies: Dict[int, "ChaosProxy"] = {}
+        plans = self._chaos_plans(chaos, num_nodes)
         try:
-            for _ in range(num_nodes):
+            for index in range(num_nodes):
                 process, address = self._spawn_node()
                 self._processes.append(process)
+                self.node_addresses.append(address)
+                plan = plans.get(index)
+                if plan is not None:
+                    proxy = ChaosProxy(address, plan)
+                    self.proxies[index] = proxy
+                    address = proxy.address
                 self.addresses.append(address)
         except BaseException:
             self._terminate()
@@ -937,6 +1076,27 @@ class LocalFleet:
             self.client.close()
             self._terminate()
             raise
+
+    @staticmethod
+    def _chaos_plans(chaos: Optional[object], num_nodes: int) -> Dict[int, object]:
+        """Normalise the ``chaos=`` argument to ``{node_index: FaultPlan}``."""
+        if chaos is None:
+            return {}
+        if isinstance(chaos, Mapping):
+            plans = {int(index): plan for index, plan in chaos.items()}
+        else:
+            plans = {0: chaos}  # one plan → interpose on node 0
+        for index in plans:
+            if not 0 <= index < num_nodes:
+                raise ValueError(
+                    f"chaos plan for node {index}, but the fleet has "
+                    f"{num_nodes} nodes"
+                )
+        return plans
+
+    def chaos_stats(self) -> Dict[int, Dict[str, object]]:
+        """Per-interposed-node proxy counters (connections, frames, faults)."""
+        return {index: proxy.stats() for index, proxy in sorted(self.proxies.items())}
 
     def _spawn_node(self):
         parent_end, child_end = self._context.Pipe()
@@ -1011,6 +1171,15 @@ class LocalFleet:
                 old.join(timeout=5.0)
         process, address = self._spawn_node()
         self._processes[index] = process
+        self.node_addresses[index] = address
+        proxy = self.proxies.get(index)
+        if proxy is not None:
+            # The proxy endpoint is the member's stable address (a VIP in
+            # front of a replaced backend): repoint it at the new process
+            # and re-announce the *unchanged* address, which still schedules
+            # the immediate probe that re-admits the node.
+            proxy.retarget(address)
+            address = proxy.address
         self.addresses[index] = address
         self.client.update_address(index, address)
         return address
@@ -1024,9 +1193,14 @@ class LocalFleet:
         os.kill(self._processes[index].pid, signal.SIGCONT)
 
     def add_node(self) -> int:
-        """Spawn + join one more node at runtime; returns its member index."""
+        """Spawn + join one more node at runtime; returns its member index.
+
+        Joined nodes are never chaos-interposed — fault plans bind to the
+        initial membership, keeping schedules deterministic.
+        """
         process, address = self._spawn_node()
         self._processes.append(process)
+        self.node_addresses.append(address)
         self.addresses.append(address)
         try:
             return self.client.add_node(address)
@@ -1038,6 +1212,9 @@ class LocalFleet:
     def remove_node(self, index: int) -> None:
         """Decommission one node: remove it from the client, stop its process."""
         self.client.remove_node(index)
+        proxy = self.proxies.pop(index, None)
+        if proxy is not None:
+            proxy.close()
         process = self._processes[index]
         if process is not None:
             if process.is_alive():
@@ -1058,6 +1235,12 @@ class LocalFleet:
         self._terminate()
 
     def _terminate(self) -> None:
+        for proxy in self.proxies.values():
+            try:
+                proxy.close()
+            except Exception:  # noqa: BLE001 - teardown is best effort
+                pass
+        self.proxies.clear()
         for process in self._processes:
             if process is None:
                 continue

@@ -671,7 +671,13 @@ class Gateway:
         return max(self._hedge_floor, ordered[rank])
 
     def stats(self) -> Dict[str, object]:
-        """Counters plus live queue/breaker/degradation state."""
+        """Counters plus live queue/breaker/degradation state.
+
+        When the client exposes transport accounting (``transport_stats``,
+        as :class:`~repro.serve.fleet.FleetClient` does), the fleet-wide
+        corruption/teardown/re-admission totals are folded in — so the
+        front door's dashboard view includes wire-level health.
+        """
         snapshot: Dict[str, object] = dict(self._stats)
         snapshot["queue_depth"] = len(self._queue)
         snapshot["degraded"] = self._degraded
@@ -681,4 +687,13 @@ class Gateway:
             for index, breaker in self._breakers.items()
             if breaker.state != "closed"
         )
+        transport_stats = getattr(self._client, "transport_stats", None)
+        if callable(transport_stats):
+            try:
+                transport = transport_stats()
+            except Exception:  # noqa: BLE001 - stats must never raise
+                transport = None
+            if isinstance(transport, dict):
+                for key in ("corruption", "teardowns", "readmissions"):
+                    snapshot[key] = transport.get(key, 0)
         return snapshot

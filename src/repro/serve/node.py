@@ -23,9 +23,19 @@ socket, and over :mod:`repro.serve.rpc`'s length-prefixed framing answers:
 ``("clear",)`` / ``("stats",)`` / ``("ping",)`` / ``("stop",)``
     Cache control, cache statistics, liveness, shutdown — the same verbs the
     local worker pool speaks over its pipes.  ``ping`` reports the node's
-    registration state and weights version, which is what the fleet's
-    heartbeat handshake uses to decide whether a recovered node needs a
-    re-registration before being re-admitted.
+    registration state, weights version and frame-protocol version, which
+    is what the fleet's heartbeat handshake uses to decide whether a
+    recovered node needs a re-registration before being re-admitted (and
+    whether the peer speaks the hardened framing at all).
+
+Frames are the self-verifying v2 format from :mod:`repro.serve.rpc`; a
+connection whose stream fails verification (:class:`~repro.serve.rpc.
+RpcCorruption`) is counted in the node's ``corrupt_frames`` statistic and
+torn down — corruption is unrecoverable mid-stream, so the client must
+reconnect, exactly as if the node had dropped the socket.  Legacy
+bare-prefix (v1) clients are refused unless the node was constructed with
+``legacy_clients=True``, in which case the framing is sniffed per
+connection and replies go out in whatever framing the request arrived in.
 
 The node accepts any number of sequential or concurrent client connections
 (registration is node-global, and a lock serializes tuner access), so a
@@ -69,7 +79,9 @@ class NodeServer:
     accepting.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, legacy_clients: bool = False
+    ) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -77,6 +89,12 @@ class NodeServer:
         self.address: Tuple[str, int] = self._sock.getsockname()
         self._tuner = None
         self._version = 0
+        self._legacy_clients = bool(legacy_clients)
+        # Connections torn down because their stream failed frame
+        # verification (bad magic/version/length/digest).  Surfaced in the
+        # stats reply so the fleet client and gateway can account for
+        # corruption fleet-wide.
+        self._corrupt_frames = 0
         self._lock = threading.Lock()
         self._stopped = threading.Event()
         # In-flight request accounting for the graceful-drain path: the
@@ -100,6 +118,16 @@ class NodeServer:
     def shutdown(self) -> None:
         """Stop accepting; in-flight connections finish their current reply."""
         self._stopped.set()
+        # A blocked accept() is not reliably interrupted by closing the
+        # listener on Linux; a throwaway connection wakes it so the loop
+        # observes the stop event (needed when shutdown() comes from
+        # another thread — the subprocess SIGTERM path interrupts accept
+        # on its own, but takes the same exit).
+        try:
+            waker = socket.create_connection(self.address, timeout=1.0)
+            waker.close()
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - defensive
@@ -119,9 +147,26 @@ class NodeServer:
         with connection:
             while not self._stopped.is_set():
                 try:
-                    message = rpc.recv_message(connection)
+                    message, protocol = rpc.recv_frame(
+                        connection, allow_legacy=self._legacy_clients
+                    )
+                except rpc.RpcCorruption as error:
+                    # Verification failed before any unpickling.  The stream
+                    # is unrecoverable past this point: count it and tear
+                    # the connection down so the client reconnects clean.
+                    with self._lock:
+                        self._corrupt_frames += 1
+                    _LOG.warning(
+                        "node %s:%d (pid %d): corrupt frame, closing "
+                        "connection: %s",
+                        *self.address,
+                        os.getpid(),
+                        error,
+                    )
+                    return
                 except rpc.ConnectionClosed:
                     return  # client went away; keep serving others
+                legacy_reply = protocol == rpc.LEGACY_PROTOCOL_VERSION
                 with self._idle:
                     self._inflight += 1
                 try:
@@ -130,14 +175,19 @@ class NodeServer:
                     except Exception as error:  # noqa: BLE001 - report, keep serving
                         reply = ("error", rpc.error_frame(error))
                     try:
-                        rpc.send_message(connection, reply)
+                        rpc.send_message(connection, reply, legacy=legacy_reply)
                     except rpc.ConnectionClosed:
                         return  # client vanished while we served its request
                 finally:
                     with self._idle:
                         self._inflight -= 1
                         self._idle.notify_all()
-                if message[0] == "stop" and reply[0] == "ok":
+                if (
+                    reply[0] == "ok"
+                    and isinstance(message, tuple)
+                    and message
+                    and message[0] == "stop"
+                ):
                     return
 
     # ------------------------------------------------------------- dispatch
@@ -150,6 +200,7 @@ class NodeServer:
             return {
                 "registered": self._tuner is not None,
                 "version": self._version,
+                "protocol": rpc.PROTOCOL_VERSION,
                 "pid": os.getpid(),
             }
         if command == "register":
@@ -173,6 +224,8 @@ class NodeServer:
                     "hits": cache.hits,
                     "misses": cache.misses,
                     "version": self._version,
+                    "protocol": rpc.PROTOCOL_VERSION,
+                    "corrupt_frames": self._corrupt_frames,
                     "pid": os.getpid(),
                 }
             # command == "clear"
@@ -213,6 +266,7 @@ class NodeServer:
                 "num_regions": len(tuner.builder.regions()),
                 "dtypes": sorted(tuner._programs),
                 "version": self._version,
+                "protocol": rpc.PROTOCOL_VERSION,
                 "pid": os.getpid(),
             }
 

@@ -1,28 +1,63 @@
-"""Length-prefixed message framing for the fleet's TCP RPC.
+"""Self-verifying message framing for the fleet's TCP RPC.
 
-The wire format is deliberately thin — one message is an 8-byte big-endian
-length prefix followed by a pickled Python object — because the protocol on
-top of it is the same four-verb request/reply scheme the local
-:class:`~repro.serve.server.SweepServer` pipes already speak (``register`` /
-``sweep`` / ``clear`` / ``stats`` / ``stop``).  Replies are ``("ok",
-payload)`` or ``("error", frame)`` where the error frame (built by
+One message on the wire is a fixed 32-byte header followed by a pickled
+Python object.  The header makes every frame *self-verifying* — a corrupt,
+truncated, duplicated or misaligned byte stream is detected and rejected
+**before** a single payload byte reaches ``pickle.loads``::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+    0       4     magic  0xAB 'R' 'P' 'C'   (first byte non-zero, so a
+                  legacy bare length prefix — which always starts with
+                  four zero bytes for any sane message — can never be
+                  mistaken for a hardened frame)
+    4       1     protocol version (PROTOCOL_VERSION == 2)
+    5       1     flags (reserved; must be zero)
+    6       2     reserved (must be zero)
+    8       8     payload length, big-endian (<= MAX_MESSAGE_BYTES)
+    16      16    blake2s-128 digest of the payload bytes
+
+Any header or digest violation raises :exc:`RpcCorruption` — a subclass of
+:exc:`ConnectionClosed`, because the only safe reaction to a corrupt stream
+is the same as to a dead peer: discard the socket (the framing is
+unrecoverable) and let the fleet's health machinery tear the member down
+and re-admit it on a fresh connection.  Callers that want to *count*
+corruption separately (the node's accept loop, the fleet client) catch
+:exc:`RpcCorruption` before :exc:`ConnectionClosed`.
+
+The protocol on top is the same four-verb request/reply scheme the local
+:class:`~repro.serve.server.SweepServer` pipes speak (``register`` /
+``sweep`` / ``clear`` / ``stats`` / ``ping`` / ``stop``).  Replies are
+``("ok", payload)`` or ``("error", frame)`` where the error frame (built by
 :func:`error_frame`) carries both a one-line exception summary and the full
 formatted node-side traceback; :func:`request` sends one message, waits for
 the reply and raises :class:`RemoteError` exposing both on an error reply.
 
+**Legacy compat.** Protocol v1 was a bare 8-byte big-endian length prefix
+with no verification.  v1 peers are still accepted, but only behind an
+explicit flag: ``recv_message(..., allow_legacy=True)`` falls back to
+bare-prefix parsing when the magic is absent, and ``send_message(...,
+legacy=True)`` emits v1 frames.  :class:`~repro.serve.node.NodeServer`
+exposes this as ``legacy_clients=True`` and
+:class:`~repro.serve.fleet.FleetClient` as ``legacy_nodes=True``; by
+default both ends refuse v1 framing, so a corrupt stream can never be
+silently re-interpreted as a legacy peer.
+
 Like ``multiprocessing``'s pipes, the transport trusts its peers: messages
 are **pickle**, so a node must only ever be exposed to the cluster-internal
 network that also ships the model weights (bind to localhost or a private
-interface, never the open internet).
+interface, never the open internet).  The digest detects *accidents* —
+bit rot, kernel bugs, mis-framed streams, chaos-proxy drills — it is not an
+authentication mechanism.
 
 :exc:`ConnectionClosed` is the one failure mode callers are expected to
-handle: it means the peer went away (process killed, machine lost), and the
-:class:`~repro.serve.fleet.FleetClient` reacts by marking the node dead and
-rebalancing its regions onto the surviving nodes.  :func:`connect` is the
-client-side complement for the *opposite* transient: a node that is still
-booting refuses connections for a moment, so connection establishment
-retries with bounded, jittered exponential backoff instead of misreporting
-the node as a configuration error.
+handle: it means the peer went away (process killed, machine lost, stream
+corrupt), and the :class:`~repro.serve.fleet.FleetClient` reacts by marking
+the node dead and rebalancing its regions onto the surviving nodes.
+:func:`connect` is the client-side complement for the *opposite* transient:
+a node that is still booting refuses connections for a moment, so
+connection establishment retries with bounded, jittered exponential backoff
+instead of misreporting the node as a configuration error.
 
 :func:`request` additionally accepts a per-call ``timeout`` — a real socket
 deadline spanning the whole send + receive round trip — raising the distinct
@@ -36,6 +71,7 @@ down, and lets the heartbeat re-admit the node on a fresh connection).
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import random
 import socket
@@ -47,16 +83,44 @@ from typing import Any, Dict, Optional, Tuple
 __all__ = [
     "ConnectionClosed",
     "RemoteError",
+    "RpcCorruption",
     "RpcTimeout",
+    "PROTOCOL_VERSION",
+    "LEGACY_PROTOCOL_VERSION",
     "connect",
     "error_frame",
     "send_message",
+    "recv_frame",
     "recv_message",
     "request",
 ]
 
-#: 8-byte big-endian payload length prefix.
-_HEADER = struct.Struct(">Q")
+#: The hardened frame protocol shipped by default.
+PROTOCOL_VERSION = 2
+
+#: The original bare-length-prefix framing (no magic, no digest).
+LEGACY_PROTOCOL_VERSION = 1
+
+#: Frame magic.  The first byte is deliberately non-zero: a legacy v1
+#: length prefix below :data:`MAX_MESSAGE_BYTES` always starts with four
+#: zero bytes, so the two framings can never be confused.
+_MAGIC = b"\xabRPC"
+
+#: blake2s digest width — 16 bytes is plenty for accident detection.
+DIGEST_BYTES = 16
+
+#: magic(4s) + version(B) + flags(B) + reserved(H); 8 bytes, same width as
+#: the legacy prefix so the receiver can sniff the framing from one read.
+_PREAMBLE = struct.Struct(">4sBBH")
+
+#: payload length (Q) + blake2s-128 payload digest (16s).
+_EXTENT = struct.Struct(">Q16s")
+
+#: Total v2 header size (documented in the module docstring diagram).
+HEADER_BYTES = _PREAMBLE.size + _EXTENT.size
+
+#: Legacy v1 framing: a bare 8-byte big-endian payload length prefix.
+_LEGACY_HEADER = struct.Struct(">Q")
 
 #: Upper bound on a single message (1 GiB) — a corrupt or misaligned stream
 #: fails fast instead of attempting an absurd allocation.
@@ -76,6 +140,19 @@ _TRANSIENT_CONNECT_ERRORS = (
 
 class ConnectionClosed(ConnectionError):
     """The peer closed the connection (or died) mid-conversation."""
+
+
+class RpcCorruption(ConnectionClosed):
+    """The byte stream failed frame verification *before* unpickling.
+
+    Bad magic, an unsupported protocol version, non-zero reserved bits, an
+    absurd length, or a payload whose blake2s digest does not match the
+    header — all raised without handing a single payload byte to
+    ``pickle.loads``.  Subclasses :class:`ConnectionClosed` because the
+    framing is unrecoverable past this point: the socket must be discarded,
+    exactly as if the peer had died.  Catch it *before*
+    :class:`ConnectionClosed` to count corruption separately.
+    """
 
 
 class RpcTimeout(TimeoutError):
@@ -146,11 +223,29 @@ def connect(
     raise ConnectionError("unreachable")  # pragma: no cover - loop always exits
 
 
-def send_message(sock: socket.socket, payload: Any) -> None:
-    """Pickle ``payload`` and send it with a length prefix (blocking)."""
+def _digest(data: bytes) -> bytes:
+    return hashlib.blake2s(data, digest_size=DIGEST_BYTES).digest()
+
+
+def send_message(sock: socket.socket, payload: Any, legacy: bool = False) -> None:
+    """Pickle ``payload`` and send it as one verified frame (blocking).
+
+    ``legacy=True`` emits a v1 bare-length-prefix frame instead (for peers
+    that predate the hardened protocol).  Header and payload go out as two
+    ``sendall`` calls over a ``memoryview`` — the payload (which can be a
+    ~1 GiB weights blob at registration) is never copied into a
+    concatenated buffer.
+    """
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if legacy:
+        header = _LEGACY_HEADER.pack(len(data))
+    else:
+        header = _PREAMBLE.pack(_MAGIC, PROTOCOL_VERSION, 0, 0) + _EXTENT.pack(
+            len(data), _digest(data)
+        )
     try:
-        sock.sendall(_HEADER.pack(len(data)) + data)
+        sock.sendall(header)
+        sock.sendall(memoryview(data))
     except TimeoutError:
         raise  # slow peer, not a dead one — see _recv_exact
     except (BrokenPipeError, ConnectionResetError, OSError) as error:
@@ -193,76 +288,165 @@ def _recv_exact(
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket, deadline: Optional[float] = None) -> Any:
-    """Receive one length-prefixed pickled message (blocking).
+def recv_frame(
+    sock: socket.socket,
+    deadline: Optional[float] = None,
+    allow_legacy: bool = False,
+) -> Tuple[Any, int]:
+    """Receive one frame; returns ``(payload, protocol_version)``.
+
+    The hardened path verifies magic, version, flags, length and the
+    payload digest before unpickling — any violation raises
+    :class:`RpcCorruption` with no payload byte ever reaching
+    ``pickle.loads``.  With ``allow_legacy=True`` a frame that does not
+    start with the magic is parsed as a v1 bare length prefix instead
+    (the explicit compat path for pre-hardening peers); without it, a
+    magic mismatch is corruption, full stop.
 
     ``deadline`` is an absolute ``time.monotonic()`` instant; when given,
     the receive raises :class:`RpcTimeout` instead of blocking past it.
     """
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size, deadline))
-    if length > MAX_MESSAGE_BYTES:
-        raise ConnectionClosed(
-            f"refusing a {length}-byte message (corrupt stream? limit is "
-            f"{MAX_MESSAGE_BYTES})"
+    head = _recv_exact(sock, _PREAMBLE.size, deadline)
+    if head[: len(_MAGIC)] == _MAGIC:
+        _magic, version, flags, reserved = _PREAMBLE.unpack(head)
+        if version != PROTOCOL_VERSION:
+            raise RpcCorruption(
+                f"unsupported frame protocol version {version} "
+                f"(this peer speaks v{PROTOCOL_VERSION}) — corrupt stream or "
+                f"incompatible peer"
+            )
+        if flags or reserved:
+            raise RpcCorruption(
+                f"non-zero reserved header bits (flags={flags:#x}, "
+                f"reserved={reserved:#x}): corrupt stream"
+            )
+        length, digest = _EXTENT.unpack(_recv_exact(sock, _EXTENT.size, deadline))
+        if length > MAX_MESSAGE_BYTES:
+            raise RpcCorruption(
+                f"refusing a {length}-byte frame (corrupt stream? limit is "
+                f"{MAX_MESSAGE_BYTES})"
+            )
+        data = _recv_exact(sock, length, deadline)
+        if _digest(data) != digest:
+            raise RpcCorruption(
+                f"payload digest mismatch over {length} bytes: corrupt frame "
+                f"(refusing to unpickle)"
+            )
+        return pickle.loads(data), version
+    if not allow_legacy:
+        raise RpcCorruption(
+            f"bad frame magic {head[: len(_MAGIC)]!r}: corrupt or misaligned "
+            f"stream (or a legacy bare-prefix peer — those are only accepted "
+            f"behind an explicit allow_legacy/compat flag)"
         )
-    return pickle.loads(_recv_exact(sock, length, deadline))
+    (length,) = _LEGACY_HEADER.unpack(head)
+    if length > MAX_MESSAGE_BYTES:
+        raise RpcCorruption(
+            f"refusing a {length}-byte legacy message (corrupt stream? limit "
+            f"is {MAX_MESSAGE_BYTES})"
+        )
+    return pickle.loads(_recv_exact(sock, length, deadline)), LEGACY_PROTOCOL_VERSION
+
+
+def recv_message(
+    sock: socket.socket,
+    deadline: Optional[float] = None,
+    allow_legacy: bool = False,
+) -> Any:
+    """Receive one verified frame and return its unpickled payload.
+
+    See :func:`recv_frame` for the verification and compat semantics.
+    """
+    payload, _version = recv_frame(sock, deadline=deadline, allow_legacy=allow_legacy)
+    return payload
+
+
+def _command(payload: Any) -> str:
+    """The request verb for error messages, tolerant of malformed payloads."""
+    if isinstance(payload, (tuple, list)) and payload:
+        return repr(payload[0])
+    return repr(payload)
 
 
 def request(
-    sock: socket.socket, payload: Tuple, timeout: Optional[float] = None
+    sock: socket.socket,
+    payload: Tuple,
+    timeout: Optional[float] = None,
+    legacy: bool = False,
 ) -> Any:
     """One request/reply round trip; unwraps ``("ok", ...)`` replies.
 
     Raises :class:`RemoteError` (carrying the node-side exception summary
     and formatted traceback) on an ``("error", ...)`` reply and
     :class:`ConnectionClosed` when the peer vanished before answering.
+    Requests must be non-empty tuples (the first element is the verb);
+    anything else is rejected client-side with :class:`ValueError` before
+    touching the socket.
 
     ``timeout`` is a per-call deadline in seconds spanning the whole send +
     receive round trip; when it elapses the call raises :class:`RpcTimeout`
     and the socket must be discarded (the late reply would desynchronise
     the framing of the next request).  ``timeout=None`` preserves the
     previous blocking behaviour and the socket's configured timeout.
+
+    ``legacy=True`` speaks the v1 bare-prefix framing for the whole round
+    trip (request *and* reply) — the explicit compat path for pre-hardening
+    peers.
     """
+    if not (isinstance(payload, (tuple, list)) and len(payload) >= 1):
+        raise ValueError(
+            f"request payload must be a non-empty tuple (verb, ...), got "
+            f"{payload!r}"
+        )
     if timeout is not None:
         deadline = time.monotonic() + float(timeout)
         previous = sock.gettimeout()
         try:
             sock.settimeout(max(deadline - time.monotonic(), 1e-6))
             try:
-                send_message(sock, payload)
+                send_message(sock, payload, legacy=legacy)
             except TimeoutError as error:
                 raise RpcTimeout(
-                    f"{payload[0]!r} request not sent within {timeout:.3f}s"
+                    f"{_command(payload)} request not sent within {timeout:.3f}s"
                 ) from error
-            reply = recv_message(sock, deadline=deadline)
+            reply = recv_message(sock, deadline=deadline, allow_legacy=legacy)
         finally:
             try:
                 sock.settimeout(previous)
             except OSError:  # pragma: no cover - socket torn down mid-call
                 pass
         return _unwrap(payload, reply)
-    send_message(sock, payload)
-    reply = recv_message(sock)
+    send_message(sock, payload, legacy=legacy)
+    reply = recv_message(sock, allow_legacy=legacy)
     return _unwrap(payload, reply)
 
 
 def _unwrap(payload: Tuple, reply: Any) -> Any:
+    """Unwrap a ``("ok"/"error", body)`` reply; malformed shapes are typed.
+
+    Every malformed reply — not a tuple, wrong arity, unknown status shape —
+    raises :class:`RemoteError` naming the offending value, never a bare
+    ``IndexError``/``TypeError`` from blind destructuring.
+    """
     if not (isinstance(reply, tuple) and len(reply) == 2):
-        raise RemoteError(f"malformed reply: {reply!r}")
+        raise RemoteError(
+            f"malformed reply to {_command(payload)} request: expected a "
+            f"('ok'|'error', body) pair, got {reply!r}"
+        )
     status, body = reply
     if status != "ok":
         if isinstance(body, dict):
             summary = body.get("exception", "remote failure")
             remote_traceback = body.get("traceback", "")
             raise RemoteError(
-                f"remote {payload[0]!r} request failed: {summary}\n"
+                f"remote {_command(payload)} request failed: {summary}\n"
                 f"--- node-side traceback ---\n{remote_traceback}",
                 remote_exception=summary,
                 remote_traceback=remote_traceback,
             )
         # Pre-structured peers shipped the bare traceback text.
         raise RemoteError(
-            f"remote {payload[0]!r} request failed:\n{body}",
+            f"remote {_command(payload)} request failed:\n{body}",
             remote_traceback=str(body),
         )
     return body

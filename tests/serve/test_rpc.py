@@ -1,5 +1,7 @@
-"""Wire-format tests for the fleet's length-prefixed TCP framing."""
+"""Wire-format tests for the fleet's self-verifying TCP framing."""
 
+import pickle
+import random
 import socket
 import struct
 import threading
@@ -19,12 +21,34 @@ def pair():
     right.close()
 
 
+def _v2_frame(payload) -> bytes:
+    """Hand-craft a hardened frame the way send_message does."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        rpc._PREAMBLE.pack(rpc._MAGIC, rpc.PROTOCOL_VERSION, 0, 0)
+        + rpc._EXTENT.pack(len(data), rpc._digest(data))
+        + data
+    )
+
+
 class TestFraming:
     def test_roundtrip_python_objects(self, pair):
         left, right = pair
         payload = ("sweep", ["region.a", "region.b"], [40.0, 85.0], None)
         rpc.send_message(left, payload)
         assert rpc.recv_message(right) == payload
+
+    def test_recv_frame_reports_protocol_version(self, pair):
+        left, right = pair
+        rpc.send_message(left, "hello")
+        payload, version = rpc.recv_frame(right)
+        assert payload == "hello"
+        assert version == rpc.PROTOCOL_VERSION == 2
+
+    def test_header_layout_is_32_bytes(self):
+        assert rpc.HEADER_BYTES == 32
+        assert rpc._PREAMBLE.size == 8  # same width as the legacy prefix
+        assert rpc._EXTENT.size == 24
 
     def test_roundtrip_large_binary_payload(self, pair):
         left, right = pair
@@ -59,17 +83,21 @@ class TestFailureModes:
         with pytest.raises(rpc.ConnectionClosed):
             rpc.recv_message(right)
 
-    def test_recv_of_truncated_message_raises_connection_closed(self, pair):
+    def test_recv_of_truncated_frame_raises_connection_closed(self, pair):
         left, right = pair
-        left.sendall(struct.pack(">Q", 100) + b"only-a-few-bytes")
+        frame = _v2_frame("truncate-me")
+        left.sendall(frame[: rpc.HEADER_BYTES + 4])
         left.close()
         with pytest.raises(rpc.ConnectionClosed, match="outstanding"):
             rpc.recv_message(right)
 
-    def test_absurd_length_prefix_fails_fast(self, pair):
+    def test_absurd_length_fails_fast_before_allocation(self, pair):
         left, right = pair
-        left.sendall(struct.pack(">Q", rpc.MAX_MESSAGE_BYTES + 1))
-        with pytest.raises(rpc.ConnectionClosed, match="corrupt"):
+        left.sendall(
+            rpc._PREAMBLE.pack(rpc._MAGIC, rpc.PROTOCOL_VERSION, 0, 0)
+            + rpc._EXTENT.pack(rpc.MAX_MESSAGE_BYTES + 1, b"\x00" * rpc.DIGEST_BYTES)
+        )
+        with pytest.raises(rpc.RpcCorruption, match="corrupt"):
             rpc.recv_message(right)
 
     def test_send_on_closed_socket_raises_connection_closed(self, pair):
@@ -77,6 +105,174 @@ class TestFailureModes:
         left.close()
         with pytest.raises(rpc.ConnectionClosed):
             rpc.send_message(left, "anything")
+
+
+class TestHardenedFrames:
+    """Header and digest verification happen *before* any unpickling."""
+
+    def test_corruption_is_a_connection_closed_subclass(self):
+        # The fleet's transport-failure handling (mark DEAD, rebalance,
+        # re-admit on a fresh socket) applies unchanged to corrupt streams.
+        assert issubclass(rpc.RpcCorruption, rpc.ConnectionClosed)
+
+    def test_bad_magic_raises_corruption(self, pair):
+        left, right = pair
+        left.sendall(b"XXXXYYYY" + b"\x00" * 24)
+        with pytest.raises(rpc.RpcCorruption, match="magic"):
+            rpc.recv_message(right)
+
+    def test_unsupported_version_raises_corruption(self, pair):
+        left, right = pair
+        left.sendall(rpc._PREAMBLE.pack(rpc._MAGIC, 99, 0, 0))
+        with pytest.raises(rpc.RpcCorruption, match="version"):
+            rpc.recv_message(right)
+
+    def test_nonzero_reserved_bits_raise_corruption(self, pair):
+        left, right = pair
+        left.sendall(rpc._PREAMBLE.pack(rpc._MAGIC, rpc.PROTOCOL_VERSION, 0x40, 0))
+        with pytest.raises(rpc.RpcCorruption, match="reserved"):
+            rpc.recv_message(right)
+
+    def test_payload_digest_mismatch_raises_corruption(self, pair):
+        left, right = pair
+        frame = bytearray(_v2_frame({"verb": "sweep", "regions": ["a", "b"]}))
+        frame[rpc.HEADER_BYTES + 3] ^= 0x10  # flip one payload bit
+        left.sendall(frame)
+        with pytest.raises(rpc.RpcCorruption, match="digest"):
+            rpc.recv_message(right)
+
+    def test_corrupt_payload_is_never_unpickled(self, pair, monkeypatch):
+        left, right = pair
+        frame = bytearray(_v2_frame(["payload"]))
+        frame[-1] ^= 0x01
+        left.sendall(frame)
+
+        def forbidden(*_args, **_kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pickle.loads reached with a corrupt payload")
+
+        monkeypatch.setattr(rpc.pickle, "loads", forbidden)
+        with pytest.raises(rpc.RpcCorruption):
+            rpc.recv_message(right)
+
+    def test_legacy_prefix_without_compat_flag_is_corruption(self, pair):
+        # A v1 peer's bare length prefix must not be silently accepted:
+        # compat is opt-in, otherwise mis-framed streams could masquerade
+        # as legacy traffic.
+        left, right = pair
+        data = pickle.dumps("legacy", protocol=pickle.HIGHEST_PROTOCOL)
+        left.sendall(struct.pack(">Q", len(data)) + data)
+        with pytest.raises(rpc.RpcCorruption, match="magic"):
+            rpc.recv_message(right)
+
+
+class TestLegacyCompat:
+    def test_legacy_roundtrip_behind_flag(self, pair):
+        left, right = pair
+        rpc.send_message(left, {"verb": "ping"}, legacy=True)
+        payload, version = rpc.recv_frame(right, allow_legacy=True)
+        assert payload == {"verb": "ping"}
+        assert version == rpc.LEGACY_PROTOCOL_VERSION == 1
+
+    def test_hardened_frames_still_pass_with_compat_enabled(self, pair):
+        left, right = pair
+        rpc.send_message(left, "modern")
+        payload, version = rpc.recv_frame(right, allow_legacy=True)
+        assert payload == "modern"
+        assert version == rpc.PROTOCOL_VERSION
+
+    def test_legacy_absurd_length_still_fails_fast(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">Q", rpc.MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(rpc.RpcCorruption, match="corrupt"):
+            rpc.recv_message(right, allow_legacy=True)
+
+    def test_request_speaks_legacy_end_to_end(self, pair):
+        left, right = pair
+
+        def serve():
+            payload, version = rpc.recv_frame(right, allow_legacy=True)
+            assert version == rpc.LEGACY_PROTOCOL_VERSION
+            rpc.send_message(right, ("ok", {"echo": payload}), legacy=True)
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert rpc.request(left, ("ping",), legacy=True) == {"echo": ("ping",)}
+        thread.join(timeout=5.0)
+
+
+class TestReceiveFuzz:
+    """Seeded garbage never unpickles, never hangs — it raises, typed.
+
+    The property the hardened framing guarantees: whatever bytes arrive,
+    ``recv_message`` either returns a frame that verified end-to-end or
+    raises ``ConnectionClosed``/``RpcCorruption``/``RpcTimeout``.  Payload
+    bytes only reach ``pickle.loads`` after the digest matched.
+    """
+
+    def _recv_must_raise(self, stream: bytes, monkeypatch) -> None:
+        left, right = socket.socketpair()
+        try:
+            unpickled = []
+            real_loads = pickle.loads
+            monkeypatch.setattr(
+                rpc.pickle,
+                "loads",
+                lambda data: (unpickled.append(data), real_loads(data))[1],
+            )
+            left.sendall(stream)
+            left.close()
+            deadline = time.monotonic() + 10.0  # never hang: bounded receive
+            with pytest.raises((rpc.ConnectionClosed, rpc.RpcTimeout)):
+                rpc.recv_message(right, deadline=deadline)
+            assert not unpickled, "corrupt stream reached pickle.loads"
+        finally:
+            left.close()
+            right.close()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams_always_raise(self, seed, monkeypatch):
+        rng = random.Random(1000 + seed)
+        stream = rng.randbytes(rng.randint(1, 4096))
+        # Random bytes matching the 4-byte magic are a ~2**-32 accident per
+        # stream; with fixed seeds this is fully deterministic anyway.
+        self._recv_must_raise(stream, monkeypatch)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_truncations_of_a_valid_frame_always_raise(self, seed, monkeypatch):
+        frame = _v2_frame({"verb": "sweep", "regions": list(range(64))})
+        rng = random.Random(2000 + seed)
+        cut = rng.randint(1, len(frame) - 1)
+        self._recv_must_raise(frame[:cut], monkeypatch)
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_single_bit_flips_always_raise(self, seed, monkeypatch):
+        # A flip anywhere — magic, version, flags, length, digest, payload —
+        # must surface as corruption (or as a short read when the length
+        # field shrank/grew), never as silently different data.
+        frame = bytearray(_v2_frame({"verb": "sweep", "caps": [40.0, 85.0]}))
+        rng = random.Random(3000 + seed)
+        position = rng.randrange(len(frame))
+        frame[position] ^= 1 << rng.randrange(8)
+        self._recv_must_raise(bytes(frame), monkeypatch)
+
+    def test_duplicated_frame_bytes_desynchronise_loudly(self, monkeypatch):
+        frame = _v2_frame("once")
+        middle = len(frame) // 2
+        doubled = frame[:middle] + frame[:middle] + frame[middle:]
+        left, right = socket.socketpair()
+        try:
+            left.sendall(doubled)
+            left.close()
+            deadline = time.monotonic() + 10.0
+            with pytest.raises((rpc.ConnectionClosed, rpc.RpcTimeout)):
+                # First frame may still parse if the duplication landed
+                # after its end; the stream must fail loudly within the
+                # first two receives either way.
+                rpc.recv_message(right, deadline=deadline)
+                rpc.recv_message(right, deadline=deadline)
+        finally:
+            left.close()
+            right.close()
 
 
 class TestRequest:
@@ -105,6 +301,28 @@ class TestRequest:
         self._serve_one(right, "not-a-tuple")
         with pytest.raises(rpc.RemoteError, match="malformed"):
             rpc.request(left, ("ping",))
+
+    def test_wrong_arity_reply_raises_remote_error(self, pair):
+        left, right = pair
+        self._serve_one(right, ("ok", "extra", "elements"))
+        with pytest.raises(rpc.RemoteError, match="malformed"):
+            rpc.request(left, ("ping",))
+
+    def test_single_element_reply_raises_remote_error(self, pair):
+        left, right = pair
+        self._serve_one(right, ("ok",))
+        with pytest.raises(rpc.RemoteError, match="malformed"):
+            rpc.request(left, ("ping",))
+
+    def test_empty_request_payload_is_rejected_client_side(self, pair):
+        left, _right = pair
+        with pytest.raises(ValueError, match="non-empty tuple"):
+            rpc.request(left, ())
+
+    def test_non_tuple_request_payload_is_rejected_client_side(self, pair):
+        left, _right = pair
+        with pytest.raises(ValueError, match="non-empty tuple"):
+            rpc.request(left, "ping")
 
     def test_dead_peer_raises_connection_closed(self, pair):
         left, right = pair
@@ -247,7 +465,10 @@ class TestPerCallDeadline:
 
         def trickle():
             rpc.recv_message(right)
-            right.sendall(struct.pack(">Q", 100))
+            right.sendall(
+                rpc._PREAMBLE.pack(rpc._MAGIC, rpc.PROTOCOL_VERSION, 0, 0)
+                + rpc._EXTENT.pack(100, b"\x00" * rpc.DIGEST_BYTES)
+            )
             for _ in range(10):
                 time.sleep(0.1)
                 try:
