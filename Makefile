@@ -23,12 +23,13 @@ lint:
 	$(PYTHON) -m ruff check .
 	$(PYTHON) -m ruff format --check src/repro/serve tools
 
-# Coverage with an asserted floor for the serving subsystem (CI `coverage`
-# job): writes coverage.xml (Cobertura) and fails if src/repro/serve drops
-# below the floor enforced by tools/check_coverage.py.
+# Coverage with asserted floors for the serving subsystem and the nn engine
+# (CI `coverage` job): writes coverage.xml (Cobertura) and fails if
+# src/repro/serve or src/repro/nn drops below its floor enforced by
+# tools/check_coverage.py.
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=xml --cov-report=term
-	$(PYTHON) tools/check_coverage.py coverage.xml --path repro/serve --min-percent 80
+	$(PYTHON) tools/check_coverage.py coverage.xml --floor repro/serve=80 --floor repro/nn=70
 
 # Fast perf-regression check for the message-passing engine and the serving
 # stack; fails when an engine path stops beating the retained seed reference

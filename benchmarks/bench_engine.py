@@ -90,10 +90,12 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import gc
 import os
 import statistics
 import sys
 import time
+import tracemalloc
 from dataclasses import replace
 from typing import Callable, Dict, List
 
@@ -131,7 +133,7 @@ from repro.serve import (
 #: the ``BENCH_latest.json`` copy under the stable artifact name
 #: ``perf-trajectory``, so only this constant moves per PR — never the
 #: artifact name or the workflow file.
-BENCH_NAME = "BENCH_8"
+BENCH_NAME = "BENCH_9"
 
 # Engine-vs-reference floors asserted in --smoke mode.  Deliberately looser
 # than the measured speedups (≈1.4x forward, ≥1.5x epoch, ≥3x sweep on an
@@ -159,6 +161,23 @@ SMOKE_FLOORS = {
 #: (measured ≈1.3-1.5x on an idle machine; the floor flags the float32 path
 #: losing its edge, e.g. a kernel change re-introducing a float64 round trip).
 F32_SMOKE_FLOORS = {"scatter_mp": 1.15}
+
+#: Preallocated-backend floor on the same microbenchmark: the out-parameter
+#: ``scatter_rows_sum_into`` kernel (rounds/reduce sub-kernels, zero
+#: allocations) against the **best** of the allocating backends at float32
+#: (measured ≈2x on an idle machine at the 200k-edge bench scale, where the
+#: per-edge bincount casts and temporaries dominate).  Guards the zero-alloc
+#: backend from regressing below the backends it exists to replace.
+PREALLOC_SMOKE_FLOORS = {"scatter_mp": 1.0}
+
+#: Ceiling on the tracemalloc peak of one warm single-region ``predict``
+#: under the ``prealloc`` backend (``single_region_alloc`` axis).  The warm
+#: path's residual transient is a few hundred bytes of Python view objects
+#: per kernel step (≈5 KB total); the smallest whole-array temporary a numpy
+#: fallback path would buffer at serving scale is tens of KB (the allocating
+#: backends measure 30-130 KB here), so one reintroduced array allocation
+#: clears this ceiling by an order of magnitude.
+PREALLOC_PEAK_BYTES_CEILING = 16_384
 
 
 def _interleaved_times(
@@ -1195,6 +1214,142 @@ def bench_scatter_mp(rounds: int) -> Dict[str, float]:
         reduceat_stats["first_median_s"] / reduceat_stats["second_median_s"]
     )
     row["reduceat_default_on"] = float(_scatter.reduceat_scatter_enabled())
+
+    # Three-way comparison: the preallocated out-parameter backend
+    # (``scatter_rows_sum_into`` accumulating into caller-owned buffers via
+    # the rounds/reduce sub-kernels) against both allocating backends, at
+    # both precisions.  ``prealloc_vs_best_speedup`` is the smoke-gated
+    # number: the best allocating float32 time over the prealloc float32
+    # time, so the zero-alloc path has to beat whichever existing backend
+    # is fastest here, not just the slowest.
+    def run_prealloc32() -> None:
+        with _scatter.scatter_backend("prealloc"):
+            runners["float32"]()
+
+    def run_prealloc64() -> None:
+        with _scatter.scatter_backend("prealloc"):
+            runners["float64"]()
+
+    run_prealloc32()  # warm the plan's segment schedules + flat-bin caches
+    run_prealloc64()
+    prealloc32_stats = _pair_stats(runners["float32"], run_prealloc32, max(rounds, 4))
+    prealloc64_stats = _pair_stats(runners["float64"], run_prealloc64, max(rounds, 4))
+    row["f32_prealloc_s"] = prealloc32_stats["second_s"]
+    row["f32_prealloc_median_s"] = prealloc32_stats["second_median_s"]
+    row["f64_prealloc_s"] = prealloc64_stats["second_s"]
+    row["f64_prealloc_median_s"] = prealloc64_stats["second_median_s"]
+    row["prealloc_speedup"] = prealloc32_stats["first_s"] / prealloc32_stats["second_s"]
+    row["prealloc_median_speedup"] = (
+        prealloc32_stats["first_median_s"] / prealloc32_stats["second_median_s"]
+    )
+    row["prealloc_f64_speedup"] = (
+        prealloc64_stats["first_s"] / prealloc64_stats["second_s"]
+    )
+    best_f32 = min(row["f32_s"], row["f32_reduceat_s"])
+    best_f32_median = min(row["f32_median_s"], row["f32_reduceat_median_s"])
+    row["prealloc_vs_best_speedup"] = best_f32 / row["f32_prealloc_s"]
+    row["prealloc_vs_best_median_speedup"] = (
+        best_f32_median / row["f32_prealloc_median_s"]
+    )
+    row["prealloc_default_on"] = float(_scatter.scatter_backend_name() == "prealloc")
+    return row
+
+
+def bench_single_region_alloc(
+    tuner, builder, rounds: int, with_f32: bool = True
+) -> Dict[str, float]:
+    """Warm single-region ``predict`` under each scatter backend.
+
+    The serving hot path: one region, plan and arena already bound, point
+    ``predict`` calls through the compiled :class:`InferenceProgram`.  Times
+    the p50 under each of the three scatter backends and measures the
+    allocation transient of one warm call two ways:
+
+    * ``*_peak_bytes`` — the tracemalloc *peak* over a single warm predict
+      (transient buffers are freed before any snapshot could see them, so
+      the peak is the only sound external probe).  Under ``prealloc`` the
+      arena slabs and head workspaces absorb every ndarray intermediate and
+      only a few hundred bytes of transient Python view objects remain;
+      ``--smoke`` fails if the peak reaches ``PREALLOC_PEAK_BYTES_CEILING``
+      — below the smallest whole-array temporary any numpy fallback path
+      would buffer at serving scale, so a single reintroduced allocation
+      trips it.  The allocating backends' peaks (tens of KB) are recorded
+      for contrast.
+    * ``*_alloc_blocks`` — net numpy data-domain blocks retained across
+      ``reps`` warm calls (``np.lib.tracemalloc_domain``): the leak
+      detector.  Must be zero under every backend.
+    """
+    space = tuner.search_space
+    region = _serving_regions(builder, 1)[0]
+    cap = float(min(space.power_caps))
+    batch = collate_graphs([tuner.builder.inference_sample(region, power_cap=cap).sample])
+    backends = ("bincount", "reduceat", "prealloc")
+    dtypes = ("float64", "float32") if with_f32 else ("float64",)
+    reps = 50
+    rounds = max(rounds, 4)
+
+    row: Dict[str, float] = {"num_nodes": float(batch.node_types.shape[0])}
+    for dtype in dtypes:
+        program = tuner.compile_inference(dtype)
+        short = "f64" if dtype == "float64" else "f32"
+        # Warm every backend's schedules and the program's arena/workspaces
+        # before timing, then round-robin the backends so load drift hits
+        # all three equally.
+        for backend in backends:
+            with _scatter.scatter_backend(backend):
+                program.predict(batch)
+        times: Dict[str, List[float]] = {backend: [] for backend in backends}
+        for _ in range(rounds):
+            for backend in backends:
+                with _scatter.scatter_backend(backend):
+                    start = time.perf_counter()
+                    for _ in range(reps):
+                        program.predict(batch)
+                    times[backend].append((time.perf_counter() - start) / reps)
+        medians = {
+            backend: statistics.median(values) for backend, values in times.items()
+        }
+        for backend in backends:
+            row[f"{short}_{backend}_median_s"] = medians[backend]
+        row[f"{short}_prealloc_vs_best_median_speedup"] = (
+            min(medians["bincount"], medians["reduceat"]) / medians["prealloc"]
+        )
+
+        # Allocation transient (peak) and numpy data-domain leak check.
+        for backend in ("bincount", "prealloc"):
+            with _scatter.scatter_backend(backend):
+                gc.collect()
+                tracemalloc.start()
+                program.predict(batch)  # warm under tracing
+                gc.collect()
+                tracemalloc.reset_peak()
+                before, _ = tracemalloc.get_traced_memory()
+                program.predict(batch)
+                _, peak_traced = tracemalloc.get_traced_memory()
+                base = tracemalloc.take_snapshot()
+                for _ in range(reps):
+                    program.predict(batch)
+                snapshot = tracemalloc.take_snapshot()
+                tracemalloc.stop()
+            row[f"{short}_{backend}_peak_bytes"] = float(peak_traced - before)
+            domain = (tracemalloc.DomainFilter(True, np.lib.tracemalloc_domain),)
+            stats = snapshot.filter_traces(domain).compare_to(
+                base.filter_traces(domain), "lineno"
+            )
+            blocks = sum(max(stat.count_diff, 0) for stat in stats)
+            row[f"{short}_{backend}_alloc_blocks"] = float(blocks)
+    row["prealloc_peak_bytes"] = max(
+        row.get(f"{short}_prealloc_peak_bytes", 0.0) for short in ("f64", "f32")
+    )
+    row["bincount_peak_bytes"] = max(
+        row.get(f"{short}_bincount_peak_bytes", 0.0) for short in ("f64", "f32")
+    )
+    row["prealloc_alloc_blocks"] = sum(
+        row.get(f"{short}_prealloc_alloc_blocks", 0.0) for short in ("f64", "f32")
+    )
+    row["bincount_alloc_blocks"] = sum(
+        row.get(f"{short}_bincount_alloc_blocks", 0.0) for short in ("f64", "f32")
+    )
     return row
 
 
@@ -1216,6 +1371,20 @@ def _trajectory_payload(mode: str, results: Dict[str, Dict[str, float]]) -> Dict
             "num_nodes",
             "cpu_count",
             "reduceat_default_on",
+            "prealloc_default_on",
+            "prealloc_vs_best_speedup",
+            "prealloc_alloc_blocks",
+            "bincount_alloc_blocks",
+            "prealloc_peak_bytes",
+            "bincount_peak_bytes",
+            "f64_prealloc_alloc_blocks",
+            "f32_prealloc_alloc_blocks",
+            "f64_bincount_alloc_blocks",
+            "f32_bincount_alloc_blocks",
+            "f64_prealloc_peak_bytes",
+            "f32_prealloc_peak_bytes",
+            "f64_bincount_peak_bytes",
+            "f32_bincount_peak_bytes",
             "ring_remap_fraction",
             "flat_remap_fraction",
             "ring_keep_rate",
@@ -1291,6 +1460,10 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         tuner, builder, rounds, num_caps, with_f32=with_f32
     )
     print("  inference_runtime done")
+    results["single_region_alloc"] = bench_single_region_alloc(
+        tuner, builder, rounds, with_f32
+    )
+    print("  single_region_alloc done")
     results["serve_shards"] = bench_serve_shards(
         tuner, builder, rounds, num_caps, serve_regions
     )
@@ -1346,7 +1519,12 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
                 f"{name:<14}{row['serial_s'] * 1e3:>10.1f}ms{row['fleet_s'] * 1e3:>10.1f}ms"
                 f"{row['fleet_speedup']:>9.2f}x"
             )
-        elif name in ("serve_fleet_churn", "serve_gateway", "serve_chaos"):
+        elif name in (
+            "serve_fleet_churn",
+            "serve_gateway",
+            "serve_chaos",
+            "single_region_alloc",
+        ):
             continue  # reported in their own summary lines below
         else:  # scatter_mp: pure f32-vs-f64 microbenchmark
             cells = f"{name:<14}{'-':>12}{row['f64_s'] * 1e3:>10.1f}ms{'-':>10}"
@@ -1364,6 +1542,28 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
             f"scatter_mp reduceat schedule: {reduceat:.2f}x vs bincount round trip "
             f"(default {state})"
         )
+        print(
+            f"scatter_mp prealloc backend: "
+            f"{results['scatter_mp']['prealloc_vs_best_speedup']:.2f}x vs best "
+            f"allocating backend at float32, "
+            f"{results['scatter_mp']['prealloc_f64_speedup']:.2f}x vs bincount at "
+            f"float64"
+        )
+    alloc = results["single_region_alloc"]
+    alloc_note = (
+        f", f32 prealloc p50 {alloc['f32_prealloc_median_s'] * 1e6:.0f}us "
+        f"({alloc['f32_prealloc_vs_best_median_speedup']:.2f}x vs best)"
+        if "f32_prealloc_median_s" in alloc
+        else ""
+    )
+    print(
+        f"single_region_alloc: warm predict peak {alloc['prealloc_peak_bytes']:.0f}B "
+        f"under prealloc (vs {alloc['bincount_peak_bytes']:.0f}B under bincount), "
+        f"{alloc['prealloc_alloc_blocks']:.0f} numpy data blocks retained, "
+        f"f64 prealloc p50 {alloc['f64_prealloc_median_s'] * 1e6:.0f}us "
+        f"({alloc['f64_prealloc_vs_best_median_speedup']:.2f}x vs best)"
+        f"{alloc_note}"
+    )
     print(
         f"serve_shards: {results['serve_shards']['shard_speedup']:.2f}x with 2 workers "
         f"on {os.cpu_count() or 1} core(s)"
@@ -1421,6 +1621,7 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
         "results": results,
         "smoke_floors": SMOKE_FLOORS,
         "f32_smoke_floors": F32_SMOKE_FLOORS,
+        "prealloc_smoke_floors": PREALLOC_SMOKE_FLOORS,
     }
     path = figure_cache.save_json("bench_engine", payload)
     print(f"\nJSON written to {path}")
@@ -1441,6 +1642,28 @@ def run(smoke: bool, dtype_axis: str = "both") -> int:
                 for name, floor in F32_SMOKE_FLOORS.items()
                 if results[name]["f32_speedup"] < floor
             ]
+            failures += [
+                f"{name}: {results[name]['prealloc_vs_best_speedup']:.2f}x < "
+                f"{floor:.2f}x (prealloc vs best allocating backend)"
+                for name, floor in PREALLOC_SMOKE_FLOORS.items()
+                if results[name]["prealloc_vs_best_speedup"] < floor
+            ]
+        # The zero-allocation contract is deterministic, not a timing floor:
+        # a warm predict under the prealloc backend must stay under the
+        # transient-peak ceiling (one reintroduced array temporary clears it
+        # by an order of magnitude) and retain no numpy data blocks.
+        if results["single_region_alloc"]["prealloc_peak_bytes"] >= PREALLOC_PEAK_BYTES_CEILING:
+            failures.append(
+                "single_region_alloc: warm prealloc predict peaked at "
+                f"{results['single_region_alloc']['prealloc_peak_bytes']:.0f} bytes "
+                f"(ceiling {PREALLOC_PEAK_BYTES_CEILING})"
+            )
+        if results["single_region_alloc"]["prealloc_alloc_blocks"] != 0:
+            failures.append(
+                "single_region_alloc: "
+                f"{results['single_region_alloc']['prealloc_alloc_blocks']:.0f} "
+                "numpy data blocks retained on the warm prealloc predict path (want 0)"
+            )
         if failures:
             print("SMOKE FAILURE — a fast path lost its edge:")
             for failure in failures:

@@ -124,9 +124,7 @@ class _GnnEncoder(Module):
             )
         if plan is None:
             return global_mean_pool(x, batch.batch, batch.num_graphs)
-        use_segments = (
-            x.data.dtype == np.float32 and _scatter.reduceat_scatter_enabled()
-        )
+        use_segments = _scatter.segments_active(x.data.dtype)
         return global_mean_pool(
             x,
             batch.batch,

@@ -588,6 +588,48 @@ class PnPTuner:
         self._programs.clear()
         self._served_arrays = [param.data for param in self.model.parameters()]
 
+    # ----------------------------------------------------- inference buffers
+    def inference_cache_stats(self) -> Dict[str, int]:
+        """Sizes of the compiled-inference buffer caches, entries and bytes.
+
+        Aggregates :meth:`InferenceProgram.buffer_stats` across the tuner's
+        compiled programs (one per served dtype) — bound plans, arena
+        slabs/bytes, head workspaces — plus the entry counts of the tuner's
+        own plan-pinning memos.  Arenas are keyed by weakly-referenced
+        ``EdgePlan``s, so whatever keeps plans alive (the sweep batch memo
+        foremost) is what keeps arena bytes on the books.
+        """
+        stats = {
+            "programs": len(self._programs),
+            "bound_plans": 0,
+            "arena_slabs": 0,
+            "arena_buffers": 0,
+            "arena_bytes": 0,
+            "head_workspaces": 0,
+            "head_bytes": 0,
+            "embedding_cache_entries": len(self._embedding_cache),
+            "sweep_batch_memo_entries": len(self._sweep_batch_memo),
+        }
+        for program in self._programs.values():
+            for key, value in program.buffer_stats().items():
+                stats[key] += value
+        return stats
+
+    def clear_inference_buffers(self) -> None:
+        """Shed every compiled-inference buffer (arenas, head workspaces).
+
+        Keeps the compiled programs themselves (lowering is cheap to reuse,
+        holds only parameter references) but drops their per-plan arenas and
+        per-row-count head workspaces, and clears the sweep batch memo whose
+        cached ``GraphBatch``es pin plans — and therefore arenas — alive.
+        Long-lived :class:`repro.serve.NodeServer`s call this after rolling
+        weight updates so superseded buffers are reclaimed immediately;
+        everything is rebuilt lazily on the next query.
+        """
+        for program in self._programs.values():
+            program.clear_buffers()
+        self._sweep_batch_memo.clear()
+
 
 # ------------------------------------------------------- label → selection
 def labels_to_performance_selections(

@@ -1,56 +1,81 @@
 """Fast, bit-identical scatter/segment kernels for the message-passing engine.
 
 ``np.add.at`` is the natural NumPy spelling of "sum rows into buckets" but its
-unbuffered fancy-indexing loop is several times slower than a per-channel
-``np.bincount`` sweep.  Both process the input strictly in index order, so for
-any duplicate destination the partial sums are accumulated in exactly the same
-sequence — the two spellings are **bit-identical**, which the equivalence
-tests in ``tests/nn/test_edge_plan.py`` assert.
+unbuffered fancy-indexing loop is several times slower than the vectorised
+schedules below.  Three interchangeable backends ship, selected process-wide
+with :func:`set_scatter_backend` (or scoped with :func:`scatter_backend`):
+
+``"bincount"`` (default)
+    One flat ``np.bincount`` over (bucket, channel) bins.  ``data.ravel()``
+    walks rows in index order and channels in order within a row, so
+    duplicates of any bin accumulate in exactly ``np.add.at``'s order — the
+    ``float64`` results are **bit-identical** to the seed kernels.
+    ``float32`` data is accumulated through bincount's internal ``float64``
+    and cast back once.  Allocates its output (and, for ``float32``, a
+    weights cast) on every call.
+
+``"reduceat"``
+    The PR-3 pure single-precision schedule: a :class:`SegmentSchedule`
+    (stable sort of the destination indices + segment boundaries) lets
+    ``np.add.reduceat`` sum every bucket natively in ``float32`` — no
+    ``float64`` round trip.  ``np.add.reduceat`` reduces each segment in a
+    pairwise (not index) order, so this backend is *within tolerance* of the
+    others at ``float32`` and is never applied to ``float64`` data, which
+    silently keeps the bit-identical bincount path.
+
+``"prealloc"``
+    The allocation-free backend: :func:`scatter_rows_sum_into` accumulates
+    into a **caller-owned** output buffer through a :class:`RoundSchedule` —
+    segments sorted by descending length, one rounds-ordered gather, then
+    one contiguous ``np.add`` slice per round, and a strided copy-out into
+    ``out``.  Round ``r`` adds the ``(r+1)``-th element of every still-live
+    segment, so each bucket accumulates strictly in original index order:
+    **bit-identical to ``np.add.at`` (and bincount) at float64**, and at
+    ``float32`` it matches native single-precision sequential accumulation
+    (within tolerance of bincount's double round trip).  Degenerate indices
+    (one bucket receiving more than ``_ROUNDS_CAP`` rows) fall back to a
+    zeroed ``np.add.at`` — still allocation-free, still bit-identical.
+    With a :class:`ScatterWorkspace` supplied, the kernel performs **zero**
+    array allocations; the compiled inference runtime
+    (:mod:`repro.nn.inference`) plans those workspaces into its arena.
+
+``set_scatter_backend("auto")`` runs a one-shot cached microcalibration of
+all three backends on a message-passing-shaped workload and adopts whichever
+wins on the running build, so no build's answer needs hardcoding.  The older
+two-way API (:func:`set_reduceat_scatter`, :func:`reduceat_scatter`,
+``set_reduceat_scatter("auto")``) is kept and maps onto the backend switch.
 
 ``reference_kernels()`` switches the module back to the ``np.add.at`` path;
 ``benchmarks/bench_engine.py`` uses it to time the seed implementation
-without keeping a second copy of the code.
-
-Precision: the kernels accept ``float32`` as well as ``float64`` input and
-always return the input dtype.  ``np.bincount`` accumulates in double
-precision internally, so the default ``float32`` path is summed in
-``float64`` and cast back once — at least as accurate as native
-single-precision accumulation, and it never leaks ``float64`` arrays into a
-``float32`` forward/backward step (see :mod:`repro.nn.precision`).
-
-For bandwidth-bound ``float32`` scatters there is a second, pure
-single-precision schedule: a :class:`SegmentSchedule` (stable sort of the
-destination indices + segment boundaries) lets ``np.add.reduceat``
-accumulate each bucket natively in ``float32`` — no ``float64`` round trip,
-half the accumulator traffic.  The schedule is precomputed once per index
-array (an :class:`~repro.nn.data.EdgePlan` memoises one per relation) and
-the path is toggled with :func:`set_reduceat_scatter` /
-:func:`reduceat_scatter`; ``float64`` data always keeps the bit-identical
-bincount path regardless of the toggle.  On this NumPy build the reduceat
-schedule does **not** beat the bincount round trip (see the module switch
-below), so it ships disabled by default and ``bench_engine`` keeps
-measuring both.  ``set_reduceat_scatter("auto")`` runs a one-shot cached
-microcalibration and flips to whichever schedule wins on the running
-build, so no build's answer needs hardcoding.
+without keeping a second copy of the code (and its ``scatter_mp`` axis
+times all three backends against each other).
 """
 
 from __future__ import annotations
 
 import contextlib
 import time
-from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Union
 
 import numpy as np
 
 __all__ = [
     "scatter_rows_sum",
+    "scatter_rows_sum_into",
     "count_index",
     "flat_scatter_index",
     "SegmentSchedule",
+    "RoundSchedule",
+    "ScatterWorkspace",
     "build_segment_schedule",
+    "build_round_schedule",
     "reference_kernels",
     "fast_kernels_enabled",
+    "scatter_backend",
+    "set_scatter_backend",
+    "scatter_backend_name",
+    "segments_active",
     "reduceat_scatter",
     "set_reduceat_scatter",
     "reduceat_scatter_enabled",
@@ -58,19 +83,30 @@ __all__ = [
 
 _USE_FAST = True
 
-#: Use the sorted-segment ``np.add.reduceat`` schedule for float32 scatters
-#: when the caller supplies a :class:`SegmentSchedule`.  Default **off**:
-#: profiled on this NumPy/OpenBLAS build (``bench_engine``'s ``scatter_mp``
-#: reduceat axis), the pure single-precision accumulation only ties the
-#: bincount float64 round trip at 32 channels and loses at 64 — bincount's
-#: fused one-pass double accumulation is cheaper than reduceat's strided
-#: per-segment loop plus the stable-sort permutation gather.  The schedule
-#: is kept behind this switch for genuinely bandwidth-starved builds.
-_USE_REDUCEAT = False
+#: The registered scatter backends (see the module docstring).
+SCATTER_BACKENDS = ("bincount", "reduceat", "prealloc")
 
-#: Cached verdict of the one-shot reduceat-vs-bincount microcalibration
+#: Active backend.  Default ``"bincount"``: profiled on this NumPy/OpenBLAS
+#: build (``bench_engine``'s ``scatter_mp`` axis), the fused one-pass double
+#: accumulation is the strongest allocating schedule at small/medium sizes,
+#: and it is the seed-history bit-exact reference.  ``"prealloc"`` wins once
+#: callers own the buffers (the compiled runtime) or at large float32 sizes;
+#: ``set_scatter_backend("auto")`` measures and picks per build.
+_BACKEND = "bincount"
+
+#: Cached verdict of the one-shot three-way microcalibration
+#: (``set_scatter_backend("auto")``): ``None`` until first measured.
+_AUTO_BACKEND: Optional[str] = None
+
+#: Cached verdict of the legacy two-way reduceat-vs-bincount calibration
 #: (``set_reduceat_scatter("auto")``): ``None`` until first measured.
 _AUTO_REDUCEAT: Optional[bool] = None
+
+#: Above this many rounds (= max rows landing in one bucket) the rounds
+#: kernel's per-round dispatch overhead loses to ``np.add.at``;
+#: :func:`scatter_rows_sum_into` falls back (still allocation-free and
+#: bit-identical, just slower).
+_ROUNDS_CAP = 4096
 
 _FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
@@ -91,64 +127,72 @@ def fast_kernels_enabled() -> bool:
     return _USE_FAST
 
 
+# --------------------------------------------------------------------------
+# Backend selection
+# --------------------------------------------------------------------------
+def set_scatter_backend(backend: str) -> str:
+    """Select the process-wide scatter backend; returns the previous name.
+
+    ``backend`` is one of ``SCATTER_BACKENDS`` or ``"auto"``, which runs the
+    one-shot cached three-way microcalibration (:func:`_calibrate_backend`)
+    and adopts the winner on *this* NumPy build.  ``float64`` data keeps
+    bit-identical results under every backend (``"reduceat"`` simply does
+    not apply to it); ``float32`` results differ across backends within
+    accumulation-order tolerance.
+    """
+    global _BACKEND
+    previous = _BACKEND
+    if backend == "auto":
+        backend = _calibrate_backend()
+    if backend not in SCATTER_BACKENDS:
+        raise ValueError(
+            f"set_scatter_backend accepts {SCATTER_BACKENDS} or 'auto', "
+            f"got {backend!r}"
+        )
+    _BACKEND = backend
+    return previous
+
+
+def scatter_backend_name() -> str:
+    """The currently active scatter backend name."""
+    return _BACKEND
+
+
 @contextlib.contextmanager
-def reduceat_scatter(enabled: bool = True) -> Iterator[None]:
-    """Scope the float32 sorted-segment reduceat scatter path on or off."""
-    global _USE_REDUCEAT
-    previous = _USE_REDUCEAT
-    _USE_REDUCEAT = enabled
+def scatter_backend(backend: str) -> Iterator[None]:
+    """Scope the scatter backend (``SCATTER_BACKENDS`` or ``"auto"``)."""
+    previous = set_scatter_backend(backend)
     try:
         yield
     finally:
-        _USE_REDUCEAT = previous
+        set_scatter_backend(previous)
 
 
-def _calibrate_reduceat(
-    num_rows: int = 80_000,
-    num_buckets: int = 16_000,
-    channels: int = 32,
-    repeats: int = 3,
-) -> bool:
-    """One-shot microcalibration: does reduceat beat bincount *here*?
+def segments_active(dtype) -> bool:
+    """Whether callers should pass sorted-segment schedules for ``dtype``.
 
-    Times the two float32 scatter schedules on a synthetic workload shaped
-    like the message-passing hot loop (many rows, moderate channel count,
-    ~5 rows per bucket) and returns whether the pure single-precision
-    sorted-segment ``np.add.reduceat`` path wins over the flat-bincount
-    float64 round trip on this NumPy build.  Best-of-``repeats`` so
-    scheduler noise cannot flip the verdict; the result is cached for the
-    process (ROADMAP: "flip the default where it wins" without hardcoding
-    any particular build's answer).
+    True under ``"prealloc"`` for either float dtype (the rounds kernel is
+    bit-identical at float64) and under ``"reduceat"`` for ``float32`` only
+    (its pairwise segment sums would break float64 bit-identity).
     """
-    global _AUTO_REDUCEAT
-    if _AUTO_REDUCEAT is not None:
-        return _AUTO_REDUCEAT
-    rng = np.random.default_rng(0)
-    index = rng.integers(0, num_buckets, size=num_rows)
-    data = rng.standard_normal((num_rows, channels)).astype(np.float32)
-    flat = flat_scatter_index(index, channels)
-    segments = build_segment_schedule(index)
+    if _BACKEND == "prealloc":
+        return np.dtype(dtype) in _FLOAT_DTYPES
+    return _BACKEND == "reduceat" and np.dtype(dtype) == np.float32
 
-    # Time the *shipped* kernel under each toggle state (not inline copies
-    # of its branches), so the calibration cannot drift from the code it
-    # chooses between.
-    def bincount_path() -> np.ndarray:
-        with reduceat_scatter(False):
-            return scatter_rows_sum(data, index, num_buckets, flat=flat)
 
-    def reduceat_path() -> np.ndarray:
-        with reduceat_scatter(True):
-            return scatter_rows_sum(data, index, num_buckets, segments=segments)
+@contextlib.contextmanager
+def reduceat_scatter(enabled: bool = True) -> Iterator[None]:
+    """Scope the float32 sorted-segment reduceat scatter path on or off.
 
-    bincount_path(), reduceat_path()  # warm allocator/caches before timing
-    best = {"bincount": float("inf"), "reduceat": float("inf")}
-    for _ in range(repeats):
-        for name, path in (("bincount", bincount_path), ("reduceat", reduceat_path)):
-            start = time.perf_counter()
-            path()
-            best[name] = min(best[name], time.perf_counter() - start)
-    _AUTO_REDUCEAT = best["reduceat"] < best["bincount"]
-    return _AUTO_REDUCEAT
+    Legacy two-way switch kept from PR 3: ``True`` selects the
+    ``"reduceat"`` backend, ``False`` the ``"bincount"`` backend; the
+    previously active backend (whichever of the three) is restored on exit.
+    """
+    previous = set_scatter_backend("reduceat" if enabled else "bincount")
+    try:
+        yield
+    finally:
+        set_scatter_backend(previous)
 
 
 def set_reduceat_scatter(enabled: Union[bool, str]) -> bool:
@@ -158,22 +202,80 @@ def set_reduceat_scatter(enabled: Union[bool, str]) -> bool:
     measured once per process (:func:`_calibrate_reduceat`, cached) and the
     winner on *this* NumPy build becomes the default — bincount keeps the
     float64 accuracy edge either way, since float64 data never takes the
-    reduceat path.
+    reduceat path.  This legacy API predates the three-way
+    :func:`set_scatter_backend` and collapses onto it: the returned
+    "previous value" is whether the ``"reduceat"`` backend was active.
     """
-    global _USE_REDUCEAT
-    previous = _USE_REDUCEAT
     if isinstance(enabled, str):
         if enabled != "auto":
             raise ValueError(
                 f"set_reduceat_scatter accepts True, False or 'auto', got {enabled!r}"
             )
         enabled = _calibrate_reduceat()
-    _USE_REDUCEAT = bool(enabled)
-    return previous
+    previous = set_scatter_backend("reduceat" if enabled else "bincount")
+    return previous == "reduceat"
 
 
 def reduceat_scatter_enabled() -> bool:
-    return _USE_REDUCEAT
+    return _BACKEND == "reduceat"
+
+
+# --------------------------------------------------------------------------
+# Schedules
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundSchedule:
+    """Round-major schedule for the allocation-free sequential segment sum.
+
+    Derived from a :class:`SegmentSchedule` by sorting segments by
+    descending length (stable, so equal-length segments keep their bucket
+    order).  Round ``r`` processes the ``(r+1)``-th row of every segment
+    still longer than ``r`` — because segments are length-sorted, those
+    form the contiguous prefix ``[0, counts[r])`` of the segment list.
+
+    ``src`` concatenates, round by round, the *original data row* feeding
+    each (round, segment) slot, so one ``np.take`` materialises every
+    round's rows contiguously; ``offsets[r] : offsets[r] + counts[r]``
+    slices round ``r``.  ``buckets`` maps segment slots back to output rows
+    for the final strided copy-out.  Each bucket therefore accumulates its
+    rows strictly in original index order — the ``np.add.at`` order.
+    """
+
+    src: np.ndarray
+    counts: np.ndarray
+    offsets: np.ndarray
+    buckets: np.ndarray
+    _take: Dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def num_rounds(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def num_segments(self) -> int:
+        return self.buckets.shape[0]
+
+    @property
+    def num_rows(self) -> int:
+        return self.src.shape[0]
+
+    def take_index(self, dim_size: int) -> np.ndarray:
+        """Memoised copy-out gather: output row → segment slot (or the pad).
+
+        Maps every output row to its segment's position in the length-sorted
+        segment list, and rows with no incoming segment to ``num_segments``
+        — the zeroed pad row of the workspace's ``seg`` buffer — so the
+        whole copy-out is one ``np.take`` instead of a zero-fill plus a
+        fancy-index assignment.
+        """
+        cached = self._take.get(dim_size)
+        if cached is None:
+            cached = np.full(dim_size, self.num_segments, dtype=np.intp)
+            cached[self.buckets] = np.arange(self.num_segments, dtype=np.intp)
+            self._take[dim_size] = cached
+        return cached
 
 
 @dataclass(frozen=True)
@@ -184,13 +286,31 @@ class SegmentSchedule:
     the first permuted position of each occupied bucket and ``buckets`` the
     bucket id of each segment.  ``np.add.reduceat(data[perm], starts)`` then
     sums every bucket natively in the data dtype; stability means rows of a
-    bucket are accumulated in their original index order (the same order as
-    ``np.add.at``).
+    bucket are accumulated in their original index order, though
+    ``np.add.reduceat`` itself reassociates each segment's partial sums
+    (pairwise), which is why the reduceat backend is float32-only.  The
+    strictly index-ordered :class:`RoundSchedule` derived by
+    :meth:`rounds` (memoised here, so every
+    :class:`~repro.nn.data.EdgePlan` relation builds it at most once) is
+    what the bit-identical ``"prealloc"`` backend consumes.
     """
 
     perm: np.ndarray
     starts: np.ndarray
     buckets: np.ndarray
+    #: True when the index array was already segment-sorted (``perm`` is the
+    #: identity) — e.g. single-graph pooling — so ordered kernels can read
+    #: ``data`` directly instead of gathering through ``perm``.
+    presorted: bool = False
+    _rounds: Optional[RoundSchedule] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def rounds(self) -> RoundSchedule:
+        """The memoised :class:`RoundSchedule` of this segment schedule."""
+        if self._rounds is None:
+            object.__setattr__(self, "_rounds", build_round_schedule(self))
+        return self._rounds
 
 
 def build_segment_schedule(index: np.ndarray) -> SegmentSchedule:
@@ -201,10 +321,73 @@ def build_segment_schedule(index: np.ndarray) -> SegmentSchedule:
     if sorted_index.size:
         starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_index)) + 1))
         buckets = sorted_index[starts]
+        # A strictly increasing permutation is the identity permutation.
+        presorted = bool(np.all(perm[1:] > perm[:-1]))
     else:
         starts = np.zeros(0, dtype=np.int64)
         buckets = np.zeros(0, dtype=np.int64)
-    return SegmentSchedule(perm=perm, starts=starts, buckets=buckets)
+        presorted = True
+    return SegmentSchedule(
+        perm=perm, starts=starts, buckets=buckets, presorted=presorted
+    )
+
+
+def build_round_schedule(segments: SegmentSchedule) -> RoundSchedule:
+    """Derive the round-major :class:`RoundSchedule` from a segment schedule."""
+    perm, starts, buckets = segments.perm, segments.starts, segments.buckets
+    num_rows = perm.shape[0]
+    num_segments = starts.shape[0]
+    empty = np.zeros(0, dtype=np.int64)
+    if num_segments == 0:
+        return RoundSchedule(
+            src=empty, counts=empty, offsets=np.zeros(1, dtype=np.int64), buckets=empty
+        )
+    lengths = np.diff(np.append(starts, num_rows))
+    order = np.argsort(-lengths, kind="stable")
+    sorted_starts = starts[order]
+    num_rounds = int(lengths[order[0]])
+    # counts[r] = segments longer than r rows = the live prefix of round r.
+    histogram = np.bincount(lengths, minlength=num_rounds + 1)
+    counts = (num_segments - np.cumsum(histogram)[:num_rounds]).astype(np.int64)
+    src = np.concatenate(
+        [perm[sorted_starts[: counts[r]] + r] for r in range(num_rounds)]
+    )
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return RoundSchedule(
+        src=src, counts=counts, offsets=offsets, buckets=buckets[order]
+    )
+
+
+class ScatterWorkspace:
+    """Caller-owned scratch for the allocation-free ``"prealloc"`` backend.
+
+    ``gathered`` holds the schedule-ordered gather of the input rows plus
+    one trailing pad row (``(num_rows + 1) × channels``).  The rounds
+    kernel accumulates segment sums *in place* in the leading
+    ``num_segments`` rows (round 0's gather already lands every segment's
+    first row there; later rounds' source rows all sit past that prefix,
+    so the in-place adds never alias), and the pad row — zeroed per call,
+    the buffer may be arena-shared — feeds bucket-less output rows of the
+    copy-out ``np.take``.  The compiled runtime carves the buffer out of
+    its arena (sized to the largest relation) and hands per-relation
+    slices here; :func:`scatter_rows_sum_into` allocates a private one
+    only when the caller does not supply it.
+    """
+
+    __slots__ = ("gathered",)
+
+    def __init__(self, gathered: np.ndarray) -> None:
+        self.gathered = gathered
+
+    @classmethod
+    def for_rounds(
+        cls, rounds: RoundSchedule, channels: int, dtype
+    ) -> "ScatterWorkspace":
+        return cls(gathered=np.empty((rounds.num_rows + 1, channels), dtype=dtype))
+
+    @property
+    def nbytes(self) -> int:
+        return self.gathered.nbytes
 
 
 def flat_scatter_index(index: np.ndarray, channels: int) -> np.ndarray:
@@ -217,6 +400,92 @@ def flat_scatter_index(index: np.ndarray, channels: int) -> np.ndarray:
     return (index[:, None] * channels + np.arange(channels)).ravel()
 
 
+# --------------------------------------------------------------------------
+# Kernels
+# --------------------------------------------------------------------------
+def scatter_rows_sum_into(
+    out: np.ndarray,
+    data: np.ndarray,
+    index: np.ndarray,
+    segments: Optional[SegmentSchedule] = None,
+    workspace: Optional[ScatterWorkspace] = None,
+) -> np.ndarray:
+    """``out[j] = sum_{i : index[i] == j} data[i]`` into a caller-owned buffer.
+
+    The ``"prealloc"`` backend kernel: ``out`` (shape ``(dim_size,
+    channels)``, ``data``'s dtype) is overwritten, never allocated.  With a
+    ``segments`` schedule it picks, per call, whichever of two strictly
+    index-ordered sub-kernels has the shorter Python loop:
+
+    * **rounds** (many short segments — relation scatters): one fused
+      schedule-ordered gather plus one contiguous ``np.add`` per round,
+      then a single padded ``np.take`` copy-out.
+    * **segment reduce** (few long segments — pooling, where the rounds
+      loop would degenerate to one tiny add per row): one sorted gather,
+      then ``np.add.reduce`` per segment straight into its output row.
+      (``np.add.reduce`` along axis 0 accumulates rows in order — unlike
+      ``np.add.reduceat``, which pairwise-reassociates.)
+
+    Both accumulate every bucket strictly in original index order:
+    bit-identical to ``np.add.at`` at **both** dtypes (hence to bincount at
+    float64).  Without ``segments`` (or for degenerate indices, non-2-D
+    data, or under :func:`reference_kernels`) it falls back to a zeroed
+    ``np.add.at`` — slower, still allocation-free, same bits.
+
+    Supplying a :class:`ScatterWorkspace` makes the call perform **zero**
+    array allocations; otherwise a private workspace is allocated.
+    """
+    if (
+        _USE_FAST
+        and segments is not None
+        and data.ndim == 2
+        and data.dtype in _FLOAT_DTYPES
+        and segments.starts.size
+    ):
+        rounds = segments.rounds()
+        num_segments = rounds.num_segments
+        num_rounds = rounds.num_rounds
+        channels = data.shape[1]
+        if workspace is None:
+            workspace = ScatterWorkspace.for_rounds(rounds, channels, data.dtype)
+        # Schedule indices are in-bounds by construction, so every take may
+        # use mode="clip" and skip NumPy's bounds pre-pass.
+        if num_segments < num_rounds or num_rounds > _ROUNDS_CAP:
+            # Few long segments: sorted gather, one ordered reduce each.
+            starts, buckets = segments.starts, segments.buckets
+            num_rows = segments.perm.shape[0]
+            if segments.presorted:
+                gathered = data
+            else:
+                gathered = workspace.gathered[:num_rows]
+                data.take(segments.perm, axis=0, out=gathered, mode="clip")
+            out.fill(0)
+            for i in range(num_segments):
+                begin = starts[i]
+                end = starts[i + 1] if i + 1 < num_segments else num_rows
+                np.add.reduce(gathered[begin:end], axis=0, out=out[buckets[i]])
+            return out
+        buffer = workspace.gathered
+        gathered = buffer[: rounds.num_rows]
+        data.take(rounds.src, axis=0, out=gathered, mode="clip")
+        counts, offsets = rounds.counts, rounds.offsets
+        # Round 0's gather already placed every segment's first row in the
+        # leading prefix; later rounds' source rows all sit past it
+        # (offsets[r] >= counts[0] >= live), so these adds never alias.
+        for r in range(1, num_rounds):
+            live = counts[r]
+            start = offsets[r]
+            np.add(gathered[:live], gathered[start : start + live], out=gathered[:live])
+        # Pad row feeds bucket-less output rows; the buffer may be shared
+        # (arena slab), so it cannot be assumed still zero from last call.
+        buffer[num_segments].fill(0)
+        np.take(buffer, rounds.take_index(out.shape[0]), axis=0, out=out, mode="clip")
+        return out
+    out.fill(0)
+    np.add.at(out, index, data)
+    return out
+
+
 def scatter_rows_sum(
     data: np.ndarray,
     index: np.ndarray,
@@ -227,18 +496,21 @@ def scatter_rows_sum(
     """``out[j] = sum_{i : index[i] == j} data[i]`` for 2-D float ``data``.
 
     Falls back to ``np.add.at`` for non-2-D inputs (and under
-    :func:`reference_kernels`); the fast path runs one flat ``np.bincount``
-    over (bucket, channel) bins: ``data.ravel()`` walks rows in index order
-    and channels in order within a row, so duplicates of any bin accumulate
-    in exactly ``np.add.at``'s order — the ``float64`` results are
-    bit-identical.  The output always carries ``data``'s dtype.
+    :func:`reference_kernels`); otherwise dispatches on the active backend
+    (see the module docstring).  The default flat-bincount path runs one
+    ``np.bincount`` over (bucket, channel) bins: ``data.ravel()`` walks rows
+    in index order and channels in order within a row, so duplicates of any
+    bin accumulate in exactly ``np.add.at``'s order — the ``float64``
+    results are bit-identical.  The output always carries ``data``'s dtype.
 
-    ``float32`` data with a precomputed ``segments`` schedule additionally
-    selects the pure single-precision ``np.add.reduceat`` path (when enabled
-    — see :func:`reduceat_scatter`): no float64 accumulator round trip, at
-    the cost of ``float32``-native rounding per partial sum.  ``float64``
-    data ignores ``segments`` so the default precision stays bit-identical
-    to the seed kernels.
+    A precomputed ``segments`` schedule additionally enables the
+    ``"reduceat"`` backend for ``float32`` data (pure single-precision
+    ``np.add.reduceat``, no float64 round trip, pairwise-order tolerance)
+    and the ``"prealloc"`` backend for either dtype (the index-ordered
+    rounds kernel of :func:`scatter_rows_sum_into`, bit-identical at
+    float64).  ``float64`` data under ``"bincount"``/``"reduceat"`` ignores
+    ``segments`` so the default precision stays bit-identical to the seed
+    kernels.
     """
     if not _USE_FAST or data.ndim != 2 or data.dtype not in _FLOAT_DTYPES:
         out_dtype = data.dtype if data.dtype in _FLOAT_DTYPES else np.float64
@@ -248,8 +520,11 @@ def scatter_rows_sum(
     channels = data.shape[1]
     if channels == 0 or index.size == 0:
         return np.zeros((dim_size, channels), dtype=data.dtype)
+    if _BACKEND == "prealloc" and segments is not None and segments.starts.size:
+        out = np.empty((dim_size, channels), dtype=data.dtype)
+        return scatter_rows_sum_into(out, data, index, segments=segments)
     if (
-        _USE_REDUCEAT
+        _BACKEND == "reduceat"
         and segments is not None
         and data.dtype == np.float32
         and segments.starts.size
@@ -279,3 +554,88 @@ def count_index(
         np.add.at(counts, index, 1.0)
         return counts
     return np.bincount(index, minlength=dim_size).astype(dtype)
+
+
+# --------------------------------------------------------------------------
+# Calibration
+# --------------------------------------------------------------------------
+def _calibration_workload(num_rows: int, num_buckets: int, channels: int):
+    rng = np.random.default_rng(0)
+    index = rng.integers(0, num_buckets, size=num_rows)
+    data = rng.standard_normal((num_rows, channels)).astype(np.float32)
+    flat = flat_scatter_index(index, channels)
+    segments = build_segment_schedule(index)
+    return index, data, flat, segments
+
+
+def _time_backends(
+    backends,
+    num_rows: int = 80_000,
+    num_buckets: int = 16_000,
+    channels: int = 32,
+    repeats: int = 3,
+):
+    """Best-of-``repeats`` seconds per backend on the synthetic workload.
+
+    Times the *shipped* :func:`scatter_rows_sum` under each backend (not
+    inline copies of its branches), so calibration cannot drift from the
+    code it chooses between.  The workload is shaped like the
+    message-passing hot loop: many rows, moderate channel count, ~5 rows
+    per bucket, ``float32`` (the serving precision where the backends
+    genuinely diverge — at ``float64`` all selectable paths are
+    bit-identical anyway).
+    """
+    index, data, flat, segments = _calibration_workload(
+        num_rows, num_buckets, channels
+    )
+
+    def run(name: str) -> np.ndarray:
+        with scatter_backend(name):
+            return scatter_rows_sum(
+                data, index, num_buckets, flat=flat, segments=segments
+            )
+
+    best = {}
+    for name in backends:
+        run(name)  # warm allocator/schedule caches before timing
+        best[name] = float("inf")
+    for _ in range(repeats):
+        for name in backends:
+            start = time.perf_counter()
+            run(name)
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best
+
+
+def _calibrate_backend() -> str:
+    """One-shot three-way microcalibration: which backend wins *here*?
+
+    Best-of-repeats over the shipped kernel under each backend; the verdict
+    is cached for the process (ROADMAP: "flip the default where it wins"
+    without hardcoding any particular build's answer).
+    """
+    global _AUTO_BACKEND
+    if _AUTO_BACKEND is None:
+        best = _time_backends(SCATTER_BACKENDS)
+        _AUTO_BACKEND = min(best, key=best.get)
+    return _AUTO_BACKEND
+
+
+def _calibrate_reduceat(
+    num_rows: int = 80_000,
+    num_buckets: int = 16_000,
+    channels: int = 32,
+    repeats: int = 3,
+) -> bool:
+    """Legacy two-way microcalibration: does reduceat beat bincount *here*?
+
+    Kept for ``set_reduceat_scatter("auto")`` compatibility; the three-way
+    :func:`_calibrate_backend` supersedes it.  Cached per process.
+    """
+    global _AUTO_REDUCEAT
+    if _AUTO_REDUCEAT is None:
+        best = _time_backends(
+            ("bincount", "reduceat"), num_rows, num_buckets, channels, repeats
+        )
+        _AUTO_REDUCEAT = best["reduceat"] < best["bincount"]
+    return _AUTO_REDUCEAT

@@ -43,16 +43,34 @@ def relu(x: Tensor) -> Tensor:
     return x.relu()
 
 
-def relu_(x: np.ndarray) -> np.ndarray:
+def relu_(
+    x: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """In-place ReLU on a raw ndarray.
 
     Bit-identical to :meth:`Tensor.relu`'s forward values (the masked
     multiply ``x * (x > 0)``, including its signed zeros for negative
     inputs); used by the compiled inference runtime where no gradient is
-    ever needed.
+    ever needed.  ``mask`` optionally receives the boolean ``x > 0``
+    intermediate (a preallocated ``bool`` buffer of ``x``'s shape);
+    ``scratch`` (a float buffer of ``x``'s shape and dtype) additionally
+    absorbs the mask's float copy, making the call allocation-free: the
+    mixed bool×float multiply buffers its cast through a fresh temporary
+    even with ``out=``, while ``np.copyto``'s cast and the same-dtype
+    multiply run in place.  Multiplying by the boolean mask rounds
+    identically to the float mask, signed zeros included.
     """
-    mask = (x > 0).astype(x.dtype)
-    np.multiply(x, mask, out=x)
+    if mask is None:
+        mask = x > 0
+    else:
+        np.greater(x, 0, out=mask)
+    if scratch is not None:
+        np.copyto(scratch, mask)
+        np.multiply(x, scratch, out=x)
+    else:
+        np.multiply(x, mask, out=x)
     return x
 
 

@@ -154,10 +154,11 @@ class RGCNConv(Module):
     def _forward_planned(self, x: Tensor, plan: EdgePlan) -> Tensor:
         """Plan-driven execution: same operations, precomputed schedules."""
         in_channels = x.shape[1]
-        # float32 features can take the pure single-precision sorted-segment
-        # reduceat scatters (when enabled); float64 always keeps the
-        # bit-identical flat-bincount path.
-        use_segments = x.data.dtype == np.float32 and _scatter.reduceat_scatter_enabled()
+        # Segment schedules follow the active scatter backend: float32 can
+        # take the single-precision sorted-segment reduceat scatters, and
+        # the prealloc rounds kernel applies at either dtype (it accumulates
+        # in strict index order, so float64 bit-identity is preserved).
+        use_segments = _scatter.segments_active(x.data.dtype)
         parts = [x @ self.root]
         for relation in range(self.num_relations):
             src = plan.relation_src[relation]

@@ -227,10 +227,11 @@ class NodeServer:
                     "protocol": rpc.PROTOCOL_VERSION,
                     "corrupt_frames": self._corrupt_frames,
                     "pid": os.getpid(),
+                    "buffers": tuner.inference_cache_stats(),
                 }
             # command == "clear"
             tuner._embedding_cache.clear()
-            tuner._sweep_batch_memo.clear()
+            tuner.clear_inference_buffers()
             return None
 
     def _register(self, spec, update: WeightsUpdate, dtypes: Sequence):
@@ -251,8 +252,14 @@ class NodeServer:
                     f"stale weights version {update.version} "
                     f"(node is already at version {self._version})"
                 )
+            previous = self._tuner
             self._tuner = tuner
             self._version = update.version
+            if previous is not None:
+                # Shed the superseded tuner's arenas and plan-pinning memos
+                # eagerly — rolling weight updates must not let two
+                # generations of inference buffers coexist until GC runs.
+                previous.clear_inference_buffers()
             _LOG.info(
                 "node %s:%d (pid %d) registered weights version %d "
                 "(%d regions, dtypes %s)",

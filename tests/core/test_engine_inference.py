@@ -532,3 +532,36 @@ class TestPrecisionKnobs:
         region = small_regions_by_app["atax"][0]
         fitted_time_tuner.predict_sweep(region, [40.0], dtype="float64")
         assert "float64" not in fitted_time_tuner._cast_models
+
+
+class TestInferenceBufferAccounting:
+    def test_stats_populate_after_sweeps(self, fitted_time_tuner, small_regions_by_app):
+        regions = [rs[0] for rs in small_regions_by_app.values()]
+        fitted_time_tuner.predict_sweep_many(regions, [40.0, 60.0])
+        stats = fitted_time_tuner.inference_cache_stats()
+        assert stats["programs"] >= 1
+        assert stats["sweep_batch_memo_entries"] >= 1
+        # The memoised sweep batches pin their plans, so arenas stay live.
+        assert stats["bound_plans"] >= 1
+        assert 0 < stats["arena_slabs"] <= stats["arena_buffers"]
+        assert stats["arena_bytes"] > 0
+        assert stats["head_workspaces"] >= 1
+        assert stats["head_bytes"] > 0
+
+    def test_clear_sheds_buffers_and_keeps_predictions(
+        self, fitted_time_tuner, small_regions_by_app
+    ):
+        region = small_regions_by_app["gemm"][0]
+        caps = [40.0, 60.0]
+        before = [p.label for p in fitted_time_tuner.predict_sweep(region, caps)]
+        program = fitted_time_tuner.compile_inference()
+        fitted_time_tuner.clear_inference_buffers()
+        stats = fitted_time_tuner.inference_cache_stats()
+        assert stats["programs"] >= 1  # compiled programs survive the clear
+        assert fitted_time_tuner.compile_inference() is program
+        assert stats["arena_bytes"] == 0
+        assert stats["head_workspaces"] == 0
+        assert stats["sweep_batch_memo_entries"] == 0
+        fitted_time_tuner._embedding_cache.clear()
+        after = [p.label for p in fitted_time_tuner.predict_sweep(region, caps)]
+        assert after == before

@@ -132,6 +132,30 @@ class TestFleetEquivalence:
         assert fleet.sweep([region], CAPS)[0]
 
 
+class TestBufferRetention:
+    def test_stats_expose_inference_buffer_sizes(self, fleet, small_builder):
+        fleet.sweep(small_builder.regions(), CAPS)
+        for node_stats in fleet.stats().values():
+            buffers = node_stats["buffers"]
+            assert buffers["programs"] >= 1
+            assert buffers["arena_slabs"] <= buffers["arena_buffers"]
+            assert buffers["arena_bytes"] > 0
+            assert buffers["head_workspaces"] >= 1
+
+    def test_clear_sheds_arena_bytes_fleet_wide(self, fleet, small_builder):
+        regions = small_builder.regions()
+        before = fleet.sweep(regions, CAPS)
+        fleet.clear_caches()
+        for node_stats in fleet.stats().values():
+            buffers = node_stats["buffers"]
+            assert buffers["arena_bytes"] == 0
+            assert buffers["head_workspaces"] == 0
+            assert buffers["sweep_batch_memo_entries"] == 0
+            assert buffers["programs"] >= 1  # compiled programs survive
+        # Buffers rebuild lazily; served bytes are unchanged.
+        assert fleet.sweep(regions, CAPS) == before
+
+
 class TestRebalance:
     def test_killed_node_rebalances_onto_survivor(self, fitted_tuner, small_builder):
         regions = small_builder.regions()

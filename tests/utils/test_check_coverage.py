@@ -106,3 +106,25 @@ class TestMain:
 
     def test_uncovered_package_fails(self, checker, xml_path):
         assert checker.main([xml_path, "--path", "repro/nn", "--min-percent", "10"]) == 1
+
+class TestMultipleFloors:
+    def test_all_floors_hold(self, checker, xml_path):
+        assert checker.main([xml_path, "--floor", "repro/serve=80"]) == 0
+
+    def test_reports_every_floor_before_failing(self, checker, xml_path, capsys):
+        # serve holds (83.3% >= 80), nn does not (0% < 70): exit 1, but both
+        # breakdowns are printed so one failure never hides another.
+        code = checker.main(
+            [xml_path, "--floor", "repro/serve=80", "--floor", "repro/nn=70"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "repro/serve aggregate 83.3%" in out
+        assert "repro/nn aggregate 0.0%" in out
+        assert "FAILED" in out
+
+    def test_floor_spec_validation(self, checker, xml_path):
+        with pytest.raises(SystemExit):
+            checker.main([xml_path, "--floor", "repro/serve"])
+        with pytest.raises(SystemExit):
+            checker.main([xml_path, "--floor", "repro/serve=lots"])

@@ -3,13 +3,16 @@
 
 CI runs ``pytest --cov=repro --cov-report=xml`` and then::
 
-    python tools/check_coverage.py coverage.xml --path repro/serve --min-percent 80
+    python tools/check_coverage.py coverage.xml \
+        --floor repro/serve=80 --floor repro/nn=70
 
 The checker parses the Cobertura report with the stdlib only (no coverage.py
 dependency at check time), sums line hits over every file whose path
-contains ``--path``, and exits non-zero with a per-file breakdown when the
-aggregate drops below the floor — so a PR that adds untested serving code
-fails the coverage job, not just lowers a number in an artifact.
+contains each floor's path fragment, and exits non-zero with a per-file
+breakdown when any aggregate drops below its floor — so a PR that adds
+untested serving or engine code fails the coverage job, not just lowers a
+number in an artifact.  The single-floor spelling
+(``--path repro/serve --min-percent 80``) is kept for compatibility.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import sys
 import xml.etree.ElementTree as ET
 from typing import Dict, Tuple
 
-__all__ = ["file_line_rates", "aggregate_rate", "main"]
+__all__ = ["file_line_rates", "aggregate_rate", "parse_floor", "check_floor", "main"]
 
 
 def file_line_rates(xml_path: str, path_fragment: str) -> Dict[str, Tuple[int, int]]:
@@ -56,40 +59,70 @@ def aggregate_rate(rates: Dict[str, Tuple[int, int]]) -> float:
     return 100.0 * covered / total
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("xml", help="Cobertura coverage.xml written by pytest --cov")
-    parser.add_argument(
-        "--path",
-        default="repro/serve",
-        help="path fragment selecting the files under the floor (default: repro/serve)",
-    )
-    parser.add_argument(
-        "--min-percent",
-        type=float,
-        default=80.0,
-        help="minimum aggregate line coverage for the selected files",
-    )
-    args = parser.parse_args(argv)
+def parse_floor(spec: str) -> Tuple[str, float]:
+    """Parse a ``path=percent`` floor spec (e.g. ``repro/nn=70``)."""
+    path, sep, percent = spec.partition("=")
+    if not sep or not path:
+        raise argparse.ArgumentTypeError(
+            f"floor must look like 'repro/serve=80', got {spec!r}"
+        )
+    try:
+        return path, float(percent)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"floor percent must be a number, got {percent!r}"
+        ) from error
 
-    rates = file_line_rates(args.xml, args.path)
+
+def check_floor(xml_path: str, path_fragment: str, floor: float) -> bool:
+    """Print the per-file breakdown for one floor; True when it holds."""
+    rates = file_line_rates(xml_path, path_fragment)
     if not rates:
-        print(f"coverage check: no files matching {args.path!r} in {args.xml}")
-        return 1
+        print(f"coverage check: no files matching {path_fragment!r} in {xml_path}")
+        return False
     for filename in sorted(rates):
         covered, total = rates[filename]
         percent = 100.0 * covered / total if total else 0.0
         print(f"  {filename}: {covered}/{total} lines ({percent:.1f}%)")
     aggregate = aggregate_rate(rates)
-    floor = args.min_percent
     print(
-        f"coverage check: {args.path} aggregate {aggregate:.1f}% "
+        f"coverage check: {path_fragment} aggregate {aggregate:.1f}% "
         f"(floor {floor:.1f}%)"
     )
     if aggregate < floor:
         print(f"coverage check FAILED: {aggregate:.1f}% < {floor:.1f}%")
-        return 1
-    return 0
+        return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("xml", help="Cobertura coverage.xml written by pytest --cov")
+    parser.add_argument(
+        "--floor",
+        action="append",
+        type=parse_floor,
+        metavar="PATH=PERCENT",
+        help="a floor to assert (repeatable), e.g. --floor repro/nn=70",
+    )
+    parser.add_argument(
+        "--path",
+        default="repro/serve",
+        help="legacy single-floor path fragment (default: repro/serve)",
+    )
+    parser.add_argument(
+        "--min-percent",
+        type=float,
+        default=80.0,
+        help="legacy single-floor minimum aggregate line coverage",
+    )
+    args = parser.parse_args(argv)
+
+    floors = args.floor or [(args.path, args.min_percent)]
+    ok = True
+    for path_fragment, floor in floors:
+        ok = check_floor(args.xml, path_fragment, floor) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
