@@ -23,13 +23,14 @@ lint:
 	$(PYTHON) -m ruff check .
 	$(PYTHON) -m ruff format --check src/repro/serve tools
 
-# Coverage with asserted floors for the serving subsystem and the nn engine
-# (CI `coverage` job): writes coverage.xml (Cobertura) and fails if
-# src/repro/serve or src/repro/nn drops below its floor enforced by
+# Coverage with asserted floors for the serving subsystem, the nn engine
+# and the distillation tier (CI `coverage` job): writes coverage.xml
+# (Cobertura) and fails if src/repro/serve, src/repro/nn or
+# src/repro/distill drops below its floor enforced by
 # tools/check_coverage.py.
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --cov=repro --cov-report=xml --cov-report=term
-	$(PYTHON) tools/check_coverage.py coverage.xml --floor repro/serve=80 --floor repro/nn=70
+	$(PYTHON) tools/check_coverage.py coverage.xml --floor repro/serve=80 --floor repro/nn=70 --floor repro/distill=70
 
 # Fast perf-regression check for the message-passing engine and the serving
 # stack; fails when an engine path stops beating the retained seed reference

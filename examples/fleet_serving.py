@@ -24,12 +24,20 @@ it under the same member index, so it reclaims exactly its old
 consistent-hash shard), and roll a weight update across the fleet one node
 at a time — asserting byte-identity after every step.
 
-Finally it opens the **asyncio Gateway** — the request-shaped front door
+It then opens the **asyncio Gateway** — the request-shaped front door
 (admit -> coalesce -> dispatch -> hedge -> degrade): a burst of concurrent
 single-region requests is coalesced within a ~5 ms window into one batched
 sweep per fleet node and answered byte-identically to the serial path, and
 after the whole fleet is killed the gateway keeps answering from its
 rate-limited in-process fallback.
+
+Finally it distils the GNN into the **micro tier** (``repro.distill``):
+one tiny dense model per pattern family, served allocation-free behind the
+unified ``Predictor`` API.  A ``TieredPredictor`` routes in-family regions
+to the micro tier (microsecond single-region predicts) and everything its
+trust gate rejects to the GNN fallback — byte-identical to the plain
+tuner — and registering the distilled blob with a ``LocalFleet`` upgrades
+every TCP node to the same two-tier stack.
 
 Every path runs the **compiled inference runtime**: the fitted weights are
 lowered once (``tuner.compile_inference()``) into a flat raw-ndarray kernel
@@ -62,6 +70,7 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--nodes", type=int, default=2)
     parser.add_argument("--num-caps", type=int, default=16)
+    parser.add_argument("--distill-epochs", type=int, default=120)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
@@ -242,6 +251,77 @@ def main() -> None:
                 )
 
     asyncio.run(gateway_demo())
+
+    # ------------------------------------------------- distilled micro tier
+    # Teacher–student distillation: one tiny dense model per pattern family,
+    # trained on perturbed regions labelled with the GNN's pooled embeddings,
+    # then served allocation-free behind the unified Predictor API.  The
+    # TieredPredictor routes in-family regions to the micro tier and
+    # everything its trust gate rejects to the GNN fallback — which is the
+    # tuner path itself, so fallback answers are byte-identical by
+    # construction.
+    print("\nDistilled micro tier (unified Predictor API):")
+    from repro.distill import StudentConfig, distill, perturb_out_of_family
+    from repro.serve import tiered_predictor
+
+    start = time.perf_counter()
+    model = distill(
+        tuner,
+        config=StudentConfig(per_region=2, epochs=args.distill_epochs, seed=args.seed),
+    )
+    distill_s = time.perf_counter() - start
+    tiered = tiered_predictor(tuner, model)
+    print(
+        f"  distilled {len(model.families)} families in {distill_s:.1f} s "
+        f"({args.distill_epochs} epochs/family)"
+    )
+
+    # Warm both tiers, then time the dense single-region path against the
+    # GNN on a region it has never embedded (the cache-miss serving case).
+    region = regions[0]
+    tiered.predict(region, caps[0])
+    reps = 200
+    start = time.perf_counter()
+    for _ in range(reps):
+        micro_answer = tiered.predict(region, caps[0])
+    micro_s = (time.perf_counter() - start) / reps
+    gnn_reps = 10
+    start = time.perf_counter()
+    for _ in range(gnn_reps):
+        tuner._embedding_cache.clear()
+        gnn_answer = tuner.predict(region, caps[0])
+    gnn_s = (time.perf_counter() - start) / gnn_reps
+    print(
+        f"  warm micro predict: {micro_s * 1e6:.0f} us vs novel-region GNN "
+        f"{gnn_s * 1e6:.0f} us ({gnn_s / micro_s:.1f}x); both pick "
+        f"{micro_answer.config.label()} @ {caps[0]:.0f}W"
+        + ("" if micro_answer.config == gnn_answer.config else " (differs!)")
+    )
+
+    # Out-of-family inputs fail the trust gate and take the GNN fallback.
+    outside = perturb_out_of_family(region)
+    tuner._embedding_cache.clear()
+    assert tiered.predict_sweep(outside, caps) == tuner.predict_sweep(outside, caps), (
+        "fallback answers must be byte-identical to the tuner"
+    )
+    stats = tiered.tier_stats()
+    print(
+        f"  trust gate: out-of-family region routed to the GNN byte-identically "
+        f"(micro_hits={stats['micro_hits']}, fallbacks={stats['fallbacks']})"
+    )
+
+    # Registering the blob with the fleet upgrades every TCP node to the
+    # same two-tier stack; node stats surface the tier counters.
+    with LocalFleet(tuner, num_nodes=args.nodes, distilled=model.to_blob()) as fleet:
+        fleet_tiered = fleet.sweep(regions, caps)
+        assert fleet_tiered == tiered.predict_sweep_many(regions, caps), (
+            "fleet answers must match the in-process tiered predictor"
+        )
+        hits = sum(node["tier"]["micro_hits"] for node in fleet.stats().values())
+        print(
+            f"  fleet: {args.nodes} TCP nodes serving the tiered path, "
+            f"{hits}/{len(regions)} regions answered by the micro tier"
+        )
 
 
 if __name__ == "__main__":

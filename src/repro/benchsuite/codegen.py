@@ -15,7 +15,7 @@ operations — which is the signal the model needs.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
@@ -26,13 +26,18 @@ from repro.ir.verifier import verify_module
 from repro.openmp.region import ImbalancePattern, RegionCharacteristics
 from repro.utils.rng import new_rng
 
-__all__ = ["generate_region_function", "generate_application_module", "region_function_name"]
+__all__ = [
+    "generate_region_function",
+    "generate_application_module",
+    "region_function_name",
+    "scaled_region_counts",
+]
 
 
 def region_function_name(region: RegionCharacteristics) -> str:
     """Symbol name of the outlined function for ``region``."""
     kernel = region.region_id.split("/", 1)[1]
-    safe = kernel.replace("/", "_").replace("-", "_")
+    safe = kernel.replace("/", "_").replace("-", "_").replace("~", "_")
     return f"{region.application}.{safe}.omp_outlined"
 
 
@@ -40,7 +45,33 @@ def _scaled_count(value: float, scale: float = 2.0, maximum: int = 20) -> int:
     """Log-compress a per-iteration operation count into an IR statement count."""
     if value <= 0:
         return 0
-    return int(np.clip(round(math.log2(1.0 + value) * scale), 1, maximum))
+    # Pure-Python clamp: this also runs per-query in the distillation
+    # feature extractor's hot path, where numpy scalar ops would allocate.
+    return min(max(int(round(math.log2(1.0 + value) * scale)), 1), maximum)
+
+
+def scaled_region_counts(region: RegionCharacteristics) -> Dict[str, int]:
+    """The log-compressed structural counts the generator lowers for ``region``.
+
+    These are exactly the quantities :func:`generate_region_function` turns
+    into IR statements — the structural signal the GNN's graphs encode.
+    Exposed so the distillation feature extractor
+    (:mod:`repro.distill.features`) can present its students with the same
+    view of a region the teacher's graphs are built from.
+    """
+    return {
+        "flop_insts": _scaled_count(region.flops_per_iteration),
+        "int_insts": _scaled_count(region.int_ops_per_iteration),
+        "mem_insts": max(1, _scaled_count(region.memory_bytes_per_iteration / 8.0)),
+        "cond_blocks": min(max(int(round(region.condition_density * 4)), 0), 4),
+        "atomic_insts": 1 if region.atomics_per_iteration > 0 else 0,
+        "math_calls": 1 if region.calls_external_math else 0,
+        "triangular": 1 if region.imbalance_pattern == ImbalancePattern.LINEAR else 0,
+        "per_dim_trip": max(
+            2, int(round(region.iterations ** (1.0 / region.nest_depth)))
+        ),
+        "nest_depth": int(region.nest_depth),
+    }
 
 
 def generate_region_function(
@@ -71,7 +102,8 @@ def generate_region_function(
     # IR compares the induction variable against a literal trip count.  The
     # per-dimension bound is the nest-depth'th root of the region's total
     # iteration count.
-    per_dim_trip = max(2, int(round(region.iterations ** (1.0 / region.nest_depth))))
+    counts = scaled_region_counts(region)
+    per_dim_trip = counts["per_dim_trip"]
 
     builder = IRBuilder(function)
     entry = function.add_block("entry")
@@ -84,12 +116,12 @@ def generate_region_function(
     accumulator = builder.alloca(irt.f64(), hint="acc")
     builder.store(builder.const_float(0.0), accumulator)
 
-    flop_insts = _scaled_count(region.flops_per_iteration)
-    int_insts = _scaled_count(region.int_ops_per_iteration)
-    mem_insts = max(1, _scaled_count(region.memory_bytes_per_iteration / 8.0))
-    cond_blocks = int(np.clip(round(region.condition_density * 4), 0, 4))
-    atomic_insts = 1 if region.atomics_per_iteration > 0 else 0
-    triangular = region.imbalance_pattern == ImbalancePattern.LINEAR
+    flop_insts = counts["flop_insts"]
+    int_insts = counts["int_insts"]
+    mem_insts = counts["mem_insts"]
+    cond_blocks = counts["cond_blocks"]
+    atomic_insts = counts["atomic_insts"]
+    triangular = bool(counts["triangular"])
 
     def innermost_body(b: IRBuilder, induction) -> None:
         """The computational statements of the innermost loop."""
@@ -180,7 +212,7 @@ def generate_application_module(
             )
         outlined = generate_region_function(module, region, seed=seed)
 
-        kernel = region.region_id.split("/", 1)[1].replace("-", "_")
+        kernel = region.region_id.split("/", 1)[1].replace("-", "_").replace("~", "_")
         wrapper = module.add_function(
             Function(
                 f"{application_name}.{kernel}",

@@ -39,6 +39,7 @@ scored through one dense-head product — the batched layer under
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -48,7 +49,7 @@ from repro.core.dataset import DatasetBuilder, LabeledSample, TuningScenario
 from repro.core.measurements import MeasurementDatabase, get_measurement_database
 from repro.core.model import ModelConfig, PnPModel
 from repro.core.search_space import SearchSpace
-from repro.core.training import TrainingConfig, predict_labels, train_model
+from repro.core.training import TrainingConfig, _predict_labels, train_model
 from repro.nn import precision
 from repro.nn.data import GraphSample, collate_graphs
 from repro.nn.inference import InferenceProgram
@@ -192,6 +193,11 @@ class PnPTuner:
         # graphs don't depend on the weights — and never serves stale
         # structure.
         self._sweep_batch_memo: LRUCache = LRUCache(maxsize=self.SWEEP_BATCH_MEMO_SIZE)
+        # Micro-model runtimes (repro.distill.runtime.MicroRuntime) serving
+        # through this tuner's head.  Weak: the tuner accounts for and sheds
+        # their buffers (inference_cache_stats / clear_inference_buffers)
+        # but never keeps a retired tier alive.
+        self._micro_runtimes: "weakref.WeakSet" = weakref.WeakSet()
 
     # ------------------------------------------------------------------ fit
     def build_training_samples(
@@ -530,12 +536,13 @@ class PnPTuner:
     def predict_samples(self, samples: Sequence[LabeledSample]) -> List[TuningResult]:
         """Batch prediction for pre-built samples (used by the experiments).
 
-        Shares the compiled inference runtime with the serving entry points
-        (the program is passed into :func:`predict_labels`), so experiment
-        sweeps pay no autograd overhead either.
+        Shares the compiled inference runtime with the serving entry points,
+        so experiment sweeps pay no autograd overhead either.  (The public
+        ``predict_labels(program=...)`` plumbing this used to ride on is
+        deprecated — serving routes through :mod:`repro.serve.predictor`.)
         """
         self._require_fitted()
-        labels = predict_labels(
+        labels = _predict_labels(
             self.model, list(samples), program=self._program_for(self.model)
         )
         return [
@@ -589,13 +596,26 @@ class PnPTuner:
         self._served_arrays = [param.data for param in self.model.parameters()]
 
     # ----------------------------------------------------- inference buffers
+    def attach_micro_runtime(self, runtime) -> None:
+        """Register a micro-model runtime serving through this tuner.
+
+        :class:`repro.distill.runtime.MicroRuntime` calls this on
+        construction; the tuner then folds the runtime's buffers into
+        :meth:`inference_cache_stats` and sheds them in
+        :meth:`clear_inference_buffers` — so a serving node's ``"clear"``
+        (and the buffer shedding after rolling weight updates) covers both
+        tiers.  The registry holds weak references only.
+        """
+        self._micro_runtimes.add(runtime)
+
     def inference_cache_stats(self) -> Dict[str, int]:
         """Sizes of the compiled-inference buffer caches, entries and bytes.
 
         Aggregates :meth:`InferenceProgram.buffer_stats` across the tuner's
         compiled programs (one per served dtype) — bound plans, arena
         slabs/bytes, head workspaces — plus the entry counts of the tuner's
-        own plan-pinning memos.  Arenas are keyed by weakly-referenced
+        own plan-pinning memos and the buffers of every attached micro-model
+        runtime (``micro_*`` keys).  Arenas are keyed by weakly-referenced
         ``EdgePlan``s, so whatever keeps plans alive (the sweep batch memo
         foremost) is what keeps arena bytes on the books.
         """
@@ -609,9 +629,17 @@ class PnPTuner:
             "head_bytes": 0,
             "embedding_cache_entries": len(self._embedding_cache),
             "sweep_batch_memo_entries": len(self._sweep_batch_memo),
+            "micro_runtimes": 0,
+            "micro_programs": 0,
+            "micro_workspaces": 0,
+            "micro_bytes": 0,
         }
         for program in self._programs.values():
             for key, value in program.buffer_stats().items():
+                stats[key] += value
+        for runtime in list(self._micro_runtimes):
+            stats["micro_runtimes"] += 1
+            for key, value in runtime.buffer_stats().items():
                 stats[key] += value
         return stats
 
@@ -622,13 +650,17 @@ class PnPTuner:
         holds only parameter references) but drops their per-plan arenas and
         per-row-count head workspaces, and clears the sweep batch memo whose
         cached ``GraphBatch``es pin plans — and therefore arenas — alive.
-        Long-lived :class:`repro.serve.NodeServer`s call this after rolling
-        weight updates so superseded buffers are reclaimed immediately;
-        everything is rebuilt lazily on the next query.
+        Attached micro-model runtimes are shed too, so both serving tiers
+        drop to their weight-only footprint.  Long-lived
+        :class:`repro.serve.NodeServer`s call this after rolling weight
+        updates so superseded buffers are reclaimed immediately; everything
+        is rebuilt lazily on the next query.
         """
         for program in self._programs.values():
             program.clear_buffers()
         self._sweep_batch_memo.clear()
+        for runtime in list(self._micro_runtimes):
+            runtime.clear_buffers()
 
 
 # ------------------------------------------------------- label → selection

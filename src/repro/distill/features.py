@@ -1,0 +1,96 @@
+"""``RegionCharacteristics`` → dense feature vectors for the distilled students.
+
+The micro-models never see a graph: they predict the teacher's pooled
+embedding straight from a fixed-width feature vector derived from the
+region's characteristics.  The vector leads with the *structural* counts the
+IR generator lowers for the region (via
+:func:`repro.benchsuite.codegen.scaled_region_counts`) — the exact signal the
+teacher's graphs encode — followed by the raw workload descriptors on
+log/linear scales chosen so every feature varies smoothly under the
+population perturbations of :mod:`repro.distill.generate`.
+
+Everything here is plain Python float arithmetic: :func:`feature_values`
+performs no numpy allocations, which keeps the serving runtime's warm path
+(:mod:`repro.distill.runtime`) allocation-free when it writes the values
+into its preallocated input buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.benchsuite.codegen import scaled_region_counts
+from repro.openmp.region import ImbalancePattern, RegionCharacteristics
+
+__all__ = ["FEATURE_NAMES", "FEATURE_DIM", "feature_values", "feature_matrix"]
+
+#: Order and meaning of the student input features (one name per column).
+FEATURE_NAMES: Tuple[str, ...] = (
+    # Structural counts the generated IR is built from (codegen-scaled).
+    "flop_insts",
+    "int_insts",
+    "mem_insts",
+    "cond_blocks",
+    "atomic_insts",
+    "math_calls",
+    "triangular",
+    "log2_per_dim_trip",
+    "nest_depth",
+    # Raw workload descriptors (log-compressed where heavy-tailed).
+    "log1p_iterations",
+    "log1p_flops_per_iteration",
+    "log1p_int_ops_per_iteration",
+    "log1p_memory_bytes_per_iteration",
+    "log1p_working_set_bytes",
+    "reuse_factor",
+    "serial_fraction",
+    "log1p_parallel_loop_count",
+    "iteration_cost_cv",
+    "branch_misprediction_rate",
+    "condition_density",
+    "log1p_atomics_per_iteration",
+    "log1p_branches_per_iteration",
+    "imbalance_random",
+    "imbalance_linear",
+)
+
+FEATURE_DIM = len(FEATURE_NAMES)
+
+
+def feature_values(region: RegionCharacteristics) -> List[float]:
+    """The student input features of ``region`` as plain Python floats."""
+    counts = scaled_region_counts(region)
+    return [
+        float(counts["flop_insts"]),
+        float(counts["int_insts"]),
+        float(counts["mem_insts"]),
+        float(counts["cond_blocks"]),
+        float(counts["atomic_insts"]),
+        float(counts["math_calls"]),
+        float(counts["triangular"]),
+        math.log2(counts["per_dim_trip"]),
+        float(region.nest_depth),
+        math.log1p(region.iterations),
+        math.log1p(region.flops_per_iteration),
+        math.log1p(region.int_ops_per_iteration),
+        math.log1p(region.memory_bytes_per_iteration),
+        math.log1p(region.working_set_bytes),
+        float(region.reuse_factor),
+        float(region.serial_fraction),
+        math.log1p(region.parallel_loop_count),
+        float(region.iteration_cost_cv),
+        float(region.branch_misprediction_rate),
+        float(region.condition_density),
+        math.log1p(region.atomics_per_iteration),
+        math.log1p(region.branches_per_iteration),
+        1.0 if region.imbalance_pattern == ImbalancePattern.RANDOM else 0.0,
+        1.0 if region.imbalance_pattern == ImbalancePattern.LINEAR else 0.0,
+    ]
+
+
+def feature_matrix(regions: Sequence[RegionCharacteristics]) -> np.ndarray:
+    """``(len(regions), FEATURE_DIM)`` float64 feature matrix."""
+    return np.array([feature_values(region) for region in regions], dtype=np.float64)

@@ -1,0 +1,350 @@
+"""Per-family micro-model students and their trust calibration.
+
+One tiny dense MLP per *family* (application) learns the teacher GNN's
+region→pooled-embedding map over that family's synthetic population
+(:mod:`repro.distill.generate`).  Training reuses the engine's own layers
+and optimisers (:class:`repro.nn.Linear`, :class:`repro.nn.Adam`,
+:class:`repro.nn.MSELoss`) at float64; the result is a plain weight stack
+that :mod:`repro.distill.runtime` lowers into the allocation-free serving
+form.
+
+Every student carries a :class:`FamilyCalibration`: the feature ranges it
+was trained on (with margin) and the teacher–student embedding error
+distribution over its population.  The serving trust gate is *conservative
+by construction* — a region is served by the student only when its family
+is known, its every feature lies inside the calibrated range, and the
+family's error quantile is within the configured budget; anything else
+routes to the full GNN.
+
+:class:`DistilledModel` is the shippable artifact: a pure-ndarray blob
+(``npz`` + JSON manifest, no pickle) that serving nodes rebuild students
+from, exactly like the tuner weights travel in
+:mod:`repro.serve.spec`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distill import generate
+from repro.distill.features import FEATURE_DIM, feature_matrix, feature_values
+from repro.nn import Adam, Linear, Module, ModuleList, MSELoss, Tensor
+from repro.openmp.region import RegionCharacteristics
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "StudentConfig",
+    "FamilyCalibration",
+    "FamilyStudent",
+    "DistilledModel",
+    "distill",
+]
+
+_LOG = get_logger("distill.student")
+
+#: Floor under per-feature standard deviations: features constant across a
+#: family standardise to zero instead of exploding.
+_STD_FLOOR = 1e-8
+
+
+@dataclass(frozen=True)
+class StudentConfig:
+    """Hyperparameters of the distillation pipeline (one config, all families)."""
+
+    #: Hidden widths of the student MLP (input: FEATURE_DIM, output: pooled).
+    hidden_dims: Tuple[int, ...] = (64, 48)
+    #: Full-batch Adam epochs per family.
+    epochs: int = 400
+    learning_rate: float = 5e-3
+    #: Synthetic variants per benchsuite region in the training population.
+    per_region: int = 6
+    #: Lognormal jitter scale of the population perturbations.
+    perturb_scale: float = 0.2
+    #: Fractional widening of the calibrated per-feature [lo, hi] ranges.
+    range_margin: float = 0.25
+    #: Quantile of the teacher–student embedding error recorded per family.
+    error_quantile: float = 0.95
+    #: Slack multiplier on the max observed error giving the family tolerance.
+    tolerance_slack: float = 1.5
+    #: Optional hard budget on the family error quantile: families whose
+    #: students miss it are never trusted (every query falls back to the GNN).
+    max_error: Optional[float] = None
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class FamilyCalibration:
+    """What the trust gate knows about one family's student."""
+
+    #: Margined per-feature bounds observed over the training population.
+    feature_lo: np.ndarray
+    feature_hi: np.ndarray
+    #: Teacher–student L2 embedding error over the population.
+    error_quantile: float
+    error_max: float
+    #: Parity budget: calibrated max error with slack (tests assert within it).
+    tolerance: float
+
+
+@dataclass(frozen=True)
+class FamilyStudent:
+    """One family's trained student: weight stack + feature normalisation."""
+
+    family: str
+    weights: Tuple[np.ndarray, ...]
+    biases: Tuple[np.ndarray, ...]
+    feature_mean: np.ndarray
+    feature_scale: np.ndarray  # inverse std (0 for constant features)
+    calibration: FamilyCalibration
+
+    def pooled(self, region: RegionCharacteristics) -> np.ndarray:
+        """Reference (allocating) student forward at float64, ``(1, H)``."""
+        x = (feature_matrix([region]) - self.feature_mean) * self.feature_scale
+        last = len(self.weights) - 1
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            x = x @ weight + bias
+            if index != last:
+                x *= x > 0
+        return x
+
+
+class _StudentNet(Module):
+    """The trainable student MLP (ReLU between affine layers)."""
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator) -> None:
+        super().__init__()
+        self.layers = ModuleList(
+            [Linear(d_in, d_out, rng=rng) for d_in, d_out in zip(dims[:-1], dims[1:])]
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index != last:
+                x = x.relu()
+        return x
+
+
+@dataclass(frozen=True)
+class DistilledModel:
+    """Every family's student, plus enough metadata to rebuild and route."""
+
+    config: StudentConfig
+    pooled_dim: int
+    teacher_dtype: str
+    families: Dict[str, FamilyStudent] = field(default_factory=dict)
+
+    def lookup(self, application: str) -> Optional[FamilyStudent]:
+        return self.families.get(application)
+
+    def family_names(self) -> List[str]:
+        return sorted(self.families)
+
+    def trusted(self, region: RegionCharacteristics) -> bool:
+        """Reference trust gate (the runtime mirrors this without allocating)."""
+        student = self.families.get(region.application)
+        if student is None:
+            return False
+        calibration = student.calibration
+        if (
+            self.config.max_error is not None
+            and calibration.error_quantile > self.config.max_error
+        ):
+            return False
+        lo, hi = calibration.feature_lo, calibration.feature_hi
+        return all(
+            lo[index] <= value <= hi[index]
+            for index, value in enumerate(feature_values(region))
+        )
+
+    # ------------------------------------------------------------- wire form
+    def to_blob(self) -> bytes:
+        """Serialise to a pure-ndarray ``npz`` blob (no pickle on the wire)."""
+        manifest: Dict[str, object] = {
+            "config": asdict(self.config),
+            "pooled_dim": self.pooled_dim,
+            "teacher_dtype": self.teacher_dtype,
+            "families": [],
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for index, name in enumerate(self.family_names()):
+            student = self.families[name]
+            calibration = student.calibration
+            manifest["families"].append(
+                {
+                    "name": name,
+                    "layers": len(student.weights),
+                    "error_quantile": calibration.error_quantile,
+                    "error_max": calibration.error_max,
+                    "tolerance": calibration.tolerance,
+                }
+            )
+            prefix = f"f{index}"
+            arrays[f"{prefix}_mean"] = student.feature_mean
+            arrays[f"{prefix}_scale"] = student.feature_scale
+            arrays[f"{prefix}_lo"] = calibration.feature_lo
+            arrays[f"{prefix}_hi"] = calibration.feature_hi
+            for layer, (weight, bias) in enumerate(
+                zip(student.weights, student.biases)
+            ):
+                arrays[f"{prefix}_w{layer}"] = weight
+                arrays[f"{prefix}_b{layer}"] = bias
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            manifest=np.frombuffer(
+                json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+            ),
+            **arrays,
+        )
+        return buffer.getvalue()
+
+    @staticmethod
+    def from_blob(blob: bytes) -> "DistilledModel":
+        with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+            manifest = json.loads(bytes(data["manifest"].tobytes()).decode("utf-8"))
+            config_dict = dict(manifest["config"])
+            config_dict["hidden_dims"] = tuple(config_dict["hidden_dims"])
+            config = StudentConfig(**config_dict)
+            families: Dict[str, FamilyStudent] = {}
+            for index, entry in enumerate(manifest["families"]):
+                prefix = f"f{index}"
+                weights = tuple(
+                    data[f"{prefix}_w{layer}"] for layer in range(entry["layers"])
+                )
+                biases = tuple(
+                    data[f"{prefix}_b{layer}"] for layer in range(entry["layers"])
+                )
+                families[entry["name"]] = FamilyStudent(
+                    family=entry["name"],
+                    weights=weights,
+                    biases=biases,
+                    feature_mean=data[f"{prefix}_mean"],
+                    feature_scale=data[f"{prefix}_scale"],
+                    calibration=FamilyCalibration(
+                        feature_lo=data[f"{prefix}_lo"],
+                        feature_hi=data[f"{prefix}_hi"],
+                        error_quantile=float(entry["error_quantile"]),
+                        error_max=float(entry["error_max"]),
+                        tolerance=float(entry["tolerance"]),
+                    ),
+                )
+        return DistilledModel(
+            config=config,
+            pooled_dim=int(manifest["pooled_dim"]),
+            teacher_dtype=str(manifest["teacher_dtype"]),
+            families=families,
+        )
+
+
+# ---------------------------------------------------------------- training
+def _train_family(
+    family: str,
+    features: np.ndarray,
+    targets: np.ndarray,
+    config: StudentConfig,
+) -> FamilyStudent:
+    """Train and calibrate one family's student (float64 throughout)."""
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    scale = np.where(std > _STD_FLOOR, 1.0 / np.maximum(std, _STD_FLOOR), 0.0)
+    standardized = (features - mean) * scale
+
+    span = features.max(axis=0) - features.min(axis=0)
+    margin = config.range_margin * span
+    lo = features.min(axis=0) - margin
+    hi = features.max(axis=0) + margin
+
+    dims = [FEATURE_DIM, *config.hidden_dims, targets.shape[1]]
+    net = _StudentNet(dims, new_rng(config.seed, f"distill/{family}"))
+    optimizer = Adam(net.parameters(), lr=config.learning_rate)
+    loss_fn = MSELoss()
+    inputs = Tensor(standardized, dtype=np.float64)
+    target_tensor = Tensor(targets, dtype=np.float64)
+    for _ in range(config.epochs):
+        optimizer.zero_grad()
+        loss = loss_fn(net(inputs), target_tensor)
+        loss.backward()
+        optimizer.step()
+    net.eval()
+
+    predictions = net(inputs).data
+    errors = np.sqrt(np.sum((predictions - targets) ** 2, axis=1))
+    error_max = float(errors.max()) if errors.size else 0.0
+    error_q = (
+        float(np.quantile(errors, config.error_quantile)) if errors.size else 0.0
+    )
+    calibration = FamilyCalibration(
+        feature_lo=lo,
+        feature_hi=hi,
+        error_quantile=error_q,
+        error_max=error_max,
+        tolerance=error_max * config.tolerance_slack + 1e-12,
+    )
+    return FamilyStudent(
+        family=family,
+        weights=tuple(layer.weight.data.copy() for layer in net.layers),
+        biases=tuple(layer.bias.data.copy() for layer in net.layers),
+        feature_mean=mean,
+        feature_scale=scale,
+        calibration=calibration,
+    )
+
+
+def distill(
+    tuner,
+    regions_by_app: Optional[Dict[str, Sequence[RegionCharacteristics]]] = None,
+    config: Optional[StudentConfig] = None,
+) -> DistilledModel:
+    """Distill the fitted ``tuner``'s encoder into per-family students.
+
+    ``regions_by_app`` defaults to the full benchmark suite; serving
+    deployments distill exactly the families they serve.  The teacher runs
+    at the tuner's native precision; students always train at float64 and
+    are cast per serving dtype by the runtime (mirroring the tuner's own
+    ``dtype=`` handling).
+    """
+    if tuner.include_counters:
+        raise ValueError(
+            "micro-model distillation needs static features; the dynamic "
+            "(include_counters=True) variant profiles each region and cannot "
+            "be served from characteristics alone"
+        )
+    config = config if config is not None else StudentConfig()
+    if regions_by_app is None:
+        from repro.benchsuite.registry import regions_by_application
+
+        regions_by_app = regions_by_application()
+    families: Dict[str, FamilyStudent] = {}
+    for family, regions in sorted(regions_by_app.items()):
+        population = generate.synthesize_family_population(
+            regions,
+            per_region=config.per_region,
+            seed=config.seed,
+            scale=config.perturb_scale,
+        )
+        features = feature_matrix(population)
+        targets = np.asarray(
+            generate.teacher_embeddings(tuner, population), dtype=np.float64
+        )
+        families[family] = _train_family(family, features, targets, config)
+        _LOG.info(
+            "distilled %s: %d regions -> population %d, error max %.4g",
+            family,
+            len(regions),
+            len(population),
+            families[family].calibration.error_max,
+        )
+    return DistilledModel(
+        config=config,
+        pooled_dim=int(tuner.model_config.hidden_dim),
+        teacher_dtype=tuner.model.dtype.name,
+        families=families,
+    )

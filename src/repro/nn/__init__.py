@@ -33,6 +33,14 @@ Serving additionally has an autograd-free compiled runtime:
 — a flat list of raw-ndarray kernel steps with buffers preallocated per
 ``(EdgePlan, dtype)``, no ``Tensor`` wrappers and no graph recording —
 bit-identical to the ``Module`` forward at either precision.
+
+The scatter kernels behind message passing have **one** canonical knob
+surface, exported here: :func:`set_scatter_backend` (process-wide,
+``SCATTER_BACKENDS`` or ``"auto"``), the :func:`scatter_backend` scope and
+:func:`scatter_backend_name`.  The legacy two-way
+:func:`set_reduceat_scatter` / :func:`reduceat_scatter` toggle from PR 3 is
+a deprecated alias (it emits :class:`DeprecationWarning` and maps ``True``
+→ ``"reduceat"``, ``False`` → ``"bincount"``).
 """
 
 from repro.nn import precision
@@ -69,6 +77,14 @@ from repro.nn.data import (
 )
 from repro.nn.serialization import save_state_dict, load_state_dict
 from repro.nn.inference import InferenceProgram
+from repro.nn._scatter import (
+    SCATTER_BACKENDS,
+    scatter_backend,
+    scatter_backend_name,
+    set_scatter_backend,
+    reduceat_scatter,  # deprecated alias (DeprecationWarning on use)
+    set_reduceat_scatter,  # deprecated alias (DeprecationWarning on use)
+)
 
 __all__ = [
     "Tensor",
@@ -107,4 +123,10 @@ __all__ = [
     "save_state_dict",
     "load_state_dict",
     "InferenceProgram",
+    "SCATTER_BACKENDS",
+    "scatter_backend",
+    "scatter_backend_name",
+    "set_scatter_backend",
+    "reduceat_scatter",
+    "set_reduceat_scatter",
 ]

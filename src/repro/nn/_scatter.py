@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import contextlib
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Union
 
@@ -180,14 +181,28 @@ def segments_active(dtype) -> bool:
     return _BACKEND == "reduceat" and np.dtype(dtype) == np.float32
 
 
+def _warn_reduceat_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use set_scatter_backend / scatter_backend / "
+        "scatter_backend_name (exported from repro.nn) — the two-way reduceat "
+        "toggle collapsed onto the three-way backend switch in PR 9",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 @contextlib.contextmanager
 def reduceat_scatter(enabled: bool = True) -> Iterator[None]:
     """Scope the float32 sorted-segment reduceat scatter path on or off.
 
-    Legacy two-way switch kept from PR 3: ``True`` selects the
-    ``"reduceat"`` backend, ``False`` the ``"bincount"`` backend; the
-    previously active backend (whichever of the three) is restored on exit.
+    .. deprecated:: PR 10
+        Legacy two-way switch kept from PR 3; use
+        ``scatter_backend("reduceat")`` / ``scatter_backend("bincount")``.
+        ``True`` selects the ``"reduceat"`` backend, ``False`` the
+        ``"bincount"`` backend; the previously active backend (whichever of
+        the three) is restored on exit.
     """
+    _warn_reduceat_deprecated("reduceat_scatter")
     previous = set_scatter_backend("reduceat" if enabled else "bincount")
     try:
         yield
@@ -198,14 +213,18 @@ def reduceat_scatter(enabled: bool = True) -> Iterator[None]:
 def set_reduceat_scatter(enabled: Union[bool, str]) -> bool:
     """Process-wide toggle for the reduceat path; returns the previous value.
 
+    .. deprecated:: PR 10
+        Use :func:`set_scatter_backend` — this API predates the three-way
+        backend switch and collapses onto it (the returned "previous value"
+        is whether the ``"reduceat"`` backend was active).
+
     ``enabled`` may be the string ``"auto"``: the schedule choice is then
     measured once per process (:func:`_calibrate_reduceat`, cached) and the
     winner on *this* NumPy build becomes the default — bincount keeps the
     float64 accuracy edge either way, since float64 data never takes the
-    reduceat path.  This legacy API predates the three-way
-    :func:`set_scatter_backend` and collapses onto it: the returned
-    "previous value" is whether the ``"reduceat"`` backend was active.
+    reduceat path.
     """
+    _warn_reduceat_deprecated("set_reduceat_scatter")
     if isinstance(enabled, str):
         if enabled != "auto":
             raise ValueError(
@@ -217,6 +236,11 @@ def set_reduceat_scatter(enabled: Union[bool, str]) -> bool:
 
 
 def reduceat_scatter_enabled() -> bool:
+    """Whether the ``"reduceat"`` backend is active.
+
+    .. deprecated:: PR 10
+        Use ``scatter_backend_name() == "reduceat"``.
+    """
     return _BACKEND == "reduceat"
 
 

@@ -635,18 +635,52 @@ class _HeadWorkspace:
     copies exist because numpy's broadcasting (and dtype-mixing) ufuncs
     buffer through fresh temporaries even with ``out=``; the same-shape
     same-dtype forms run truly in place with identical bits.
+
+    With ``standardize=(mean, scale)`` the workspace additionally carries
+    the input-standardization buffers (``std`` plus the mean/scale rows
+    tiled to batch shape) used by the distilled micro-model programs,
+    whose raw feature inputs are normalised before the first affine layer.
     """
 
-    __slots__ = ("concat", "outs", "masks", "scratches", "biases", "labels")
+    __slots__ = (
+        "concat",
+        "outs",
+        "masks",
+        "scratches",
+        "biases",
+        "labels",
+        "std",
+        "std_mean",
+        "std_scale",
+    )
 
     def __init__(
-        self, steps: Sequence[DenseStep], aux_dim: int, rows: int, dtype: np.dtype
+        self,
+        steps: Sequence[DenseStep],
+        aux_dim: int,
+        rows: int,
+        dtype: np.dtype,
+        standardize: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         self.concat = (
             np.empty((rows, steps[0].weight.shape[0]), dtype=dtype)
             if aux_dim > 0
             else None
         )
+        if standardize is not None:
+            mean, scale = standardize
+            in_features = steps[0].weight.shape[0]
+            self.std = np.empty((rows, in_features), dtype=dtype)
+            self.std_mean = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(mean, dtype=dtype), (rows, in_features))
+            )
+            self.std_scale = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(scale, dtype=dtype), (rows, in_features))
+            )
+        else:
+            self.std = None
+            self.std_mean = None
+            self.std_scale = None
         self.outs = [
             np.empty((rows, step.weight.shape[1]), dtype=dtype) for step in steps
         ]
@@ -675,6 +709,8 @@ class _HeadWorkspace:
         total += self.labels.nbytes
         if self.concat is not None:
             total += self.concat.nbytes
+        if self.std is not None:
+            total += self.std.nbytes + self.std_mean.nbytes + self.std_scale.nbytes
         return total
 
 
@@ -689,10 +725,19 @@ class DenseHeadProgram:
     — consume or copy them before the next call with the same row count.
     """
 
-    def __init__(self, steps: Sequence[DenseStep], aux_dim: int, dtype: np.dtype) -> None:
+    def __init__(
+        self,
+        steps: Sequence[DenseStep],
+        aux_dim: int,
+        dtype: np.dtype,
+        standardize: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        if standardize is not None and aux_dim > 0:
+            raise ValueError("input standardization requires aux_dim == 0")
         self.steps = list(steps)
         self.aux_dim = aux_dim
         self.dtype = dtype
+        self.standardize = standardize
         self._workspaces: Dict[int, _HeadWorkspace] = {}
 
     def _workspace(self, rows: int) -> _HeadWorkspace:
@@ -700,13 +745,21 @@ class DenseHeadProgram:
         if workspace is None:
             if len(self._workspaces) >= _MAX_HEAD_WORKSPACES:
                 self._workspaces.clear()
-            workspace = _HeadWorkspace(self.steps, self.aux_dim, rows, self.dtype)
+            workspace = _HeadWorkspace(
+                self.steps, self.aux_dim, rows, self.dtype, self.standardize
+            )
             self._workspaces[rows] = workspace
         return workspace
 
     def logits(self, pooled: np.ndarray, aux: Optional[np.ndarray]) -> np.ndarray:
         x = np.asarray(pooled, dtype=self.dtype)
         workspace = self._workspace(x.shape[0])
+        if self.standardize is not None:
+            # (x - mean) * scale through same-shape same-dtype ufuncs: the
+            # tiled mean/scale rows keep the warm path temporary-free.
+            np.subtract(x, workspace.std_mean, out=workspace.std)
+            np.multiply(workspace.std, workspace.std_scale, out=workspace.std)
+            x = workspace.std
         if self.aux_dim > 0:
             if aux is None:
                 raise ValueError(

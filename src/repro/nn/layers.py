@@ -146,7 +146,10 @@ class Module:
     @property
     def dtype(self) -> np.dtype:
         """The parameters' dtype (modules are never mixed-precision)."""
-        for param in self.parameters():
+        # named_parameters is a generator, so this inspects only the first
+        # parameter instead of materialising the whole recursive list (the
+        # property sits on serving hot paths).
+        for _, param in self.named_parameters():
             return param.data.dtype
         from repro.nn import precision
 

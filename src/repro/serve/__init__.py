@@ -51,6 +51,17 @@ that ``LocalFleet(chaos=...)`` interposes on any node — the chaos drills
 in ``tests/serve/test_chaos.py`` and the ``serve_chaos`` bench axis replay
 identical corruption histories from a seed alone.
 
+Every tier speaks the **unified Predictor API** (:mod:`repro.serve.predictor`):
+``predict(region, power_cap, *, dtype=, deadline=)`` and its sweep variants.
+:class:`GNNPredictor` wraps the full tuner path, :class:`MicroPredictor`
+serves distilled micro-models (:mod:`repro.distill`) with a calibrated trust
+gate (:exc:`UntrustedRegion`), and :class:`TieredPredictor` routes between
+them — trusted regions hit the dense-only micro tier, everything else falls
+back to the GNN path byte-identically.  Replicas pick their predictor
+through :func:`~repro.serve.spec.build_predictor_from_update`, so shipping a
+distilled blob in a :class:`~repro.serve.spec.WeightsUpdate` upgrades nodes,
+workers and the gateway fallback to tiered serving uniformly.
+
 :func:`parallel_map` is the small deterministic process-pool primitive the
 experiment runners reuse to shard cross-validation folds and per-figure
 region loops.
@@ -58,8 +69,17 @@ region loops.
 
 from repro.serve.faults import ChaosProxy, FaultEvent, FaultPlan
 from repro.serve.fleet import FleetClient, FleetExhausted, LocalFleet, NodeState
-from repro.serve.gateway import DeadlineExceeded, Gateway, GatewayOverloaded
+from repro.serve.gateway import Gateway, GatewayOverloaded
 from repro.serve.node import NodeServer
+from repro.serve.predictor import (
+    DeadlineExceeded,
+    GNNPredictor,
+    MicroPredictor,
+    Predictor,
+    TieredPredictor,
+    UntrustedRegion,
+    tiered_predictor,
+)
 from repro.serve.rpc import RpcCorruption, RpcTimeout
 from repro.serve.server import SweepServer, parallel_map
 from repro.serve.sharding import (
@@ -68,6 +88,7 @@ from repro.serve.sharding import (
     shard_for_region,
     shard_positions,
 )
+from repro.serve.spec import build_predictor_from_update
 
 __all__ = [
     "ChaosProxy",
@@ -76,17 +97,24 @@ __all__ = [
     "FaultPlan",
     "FleetClient",
     "FleetExhausted",
+    "GNNPredictor",
     "Gateway",
     "GatewayOverloaded",
     "HashRing",
     "LocalFleet",
+    "MicroPredictor",
     "NodeServer",
     "NodeState",
+    "Predictor",
     "RpcCorruption",
     "RpcTimeout",
     "SweepServer",
+    "TieredPredictor",
+    "UntrustedRegion",
+    "build_predictor_from_update",
     "parallel_map",
     "shard_assignments",
     "shard_for_region",
     "shard_positions",
+    "tiered_predictor",
 ]

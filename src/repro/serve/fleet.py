@@ -77,6 +77,7 @@ from repro.serve.sharding import HashRing
 from repro.serve.spec import (
     WeightsUpdate,
     build_from_update,
+    build_predictor_from_update,
     default_start_method,
     tuner_spec,
     weights_blob,
@@ -86,6 +87,10 @@ from repro.utils.logging import get_logger
 __all__ = ["FleetClient", "FleetExhausted", "LocalFleet", "NodeState"]
 
 _LOG = get_logger("serve.fleet")
+
+#: Sentinel: ``update_weights`` keeps the registered distilled blob unless
+#: the caller explicitly passes bytes (roll a new tier) or None (drop it).
+_KEEP_DISTILLED = object()
 
 
 class NodeState(enum.Enum):
@@ -248,6 +253,7 @@ class FleetClient:
         self._ring_cache: Dict[Tuple[int, ...], HashRing] = {}
         self._spec = None
         self._weights: Optional[bytes] = None
+        self._distilled: Optional[bytes] = None
         self._dtypes: Tuple = ()
         self._version = 0
         self._closed = False
@@ -625,21 +631,31 @@ class FleetClient:
         return (
             "register",
             self._spec,
-            WeightsUpdate(version=version or self._version, blob=self._weights),
+            WeightsUpdate(
+                version=version or self._version,
+                blob=self._weights,
+                distilled=self._distilled,
+            ),
             self._dtypes,
         )
 
     def register_tuner(
-        self, tuner: PnPTuner, dtypes: Sequence[str] = ()
+        self,
+        tuner: PnPTuner,
+        dtypes: Sequence[str] = (),
+        distilled: Optional[bytes] = None,
     ) -> List[Dict[str, object]]:
         """Ship the tuner spec + versioned ``.npz`` weight bytes to every node.
 
         ``dtypes`` lists additional serving precisions every node compiles
         eagerly (e.g. ``("float32",)`` on a float64-trained tuner); the
-        tuner's own dtype is always compiled.  Starts the monotonic weights
-        version counter; later generations ship via :meth:`update_weights`.
-        Registration must reach every currently-connected node — a node
-        that cannot register is a configuration error, not a health event.
+        tuner's own dtype is always compiled.  ``distilled`` optionally
+        ships a :meth:`~repro.distill.student.DistilledModel.to_blob`
+        payload alongside the weights, turning every node into a tiered
+        micro/GNN server.  Starts the monotonic weights version counter;
+        later generations ship via :meth:`update_weights`.  Registration
+        must reach every currently-connected node — a node that cannot
+        register is a configuration error, not a health event.
         """
         self._require_open()
         with self._serving_lock:
@@ -648,6 +664,7 @@ class FleetClient:
             with self._state_lock:
                 self._spec = spec
                 self._weights = blob
+                self._distilled = distilled
                 self._dtypes = tuple(dtypes)
                 self._version += 1
                 payload = self._register_payload()
@@ -669,6 +686,7 @@ class FleetClient:
         self,
         weights: Union[PnPTuner, Mapping[str, "np.ndarray"]],
         dtypes: Optional[Sequence[str]] = None,
+        distilled: Union[bytes, None, object] = _KEEP_DISTILLED,
     ) -> Dict[str, object]:
         """Roll new weights across the fleet one node at a time (no gap).
 
@@ -678,7 +696,10 @@ class FleetClient:
         swaps tuners atomically while its in-flight sweeps finish on the old
         one; because nodes upgrade sequentially, the fleet always has
         registered servers mid-roll.  A node lost during the roll is marked
-        DEAD and picks the new version up at re-admission.  Returns
+        DEAD and picks the new version up at re-admission.  ``distilled``
+        defaults to keeping the registered micro-model blob; pass new blob
+        bytes to roll a re-distilled tier with the weights, or ``None`` to
+        drop the micro tier fleet-wide.  Returns
         ``{"version": v, "updated": [indices...]}``.
         """
         self._require_open()
@@ -691,10 +712,13 @@ class FleetClient:
             with self._state_lock:
                 version = self._version + 1
                 new_dtypes = tuple(dtypes) if dtypes is not None else self._dtypes
+                new_distilled = (
+                    self._distilled if distilled is _KEEP_DISTILLED else distilled
+                )
                 payload = (
                     "register",
                     self._spec,
-                    WeightsUpdate(version, blob),
+                    WeightsUpdate(version, blob, distilled=new_distilled),
                     new_dtypes,
                 )
             updated: List[int] = []
@@ -714,6 +738,7 @@ class FleetClient:
             with self._state_lock:
                 self._version = version
                 self._weights = blob
+                self._distilled = new_distilled
                 self._dtypes = new_dtypes
             _LOG.info(
                 "rolling update to weights version %d reached nodes %s",
@@ -829,6 +854,30 @@ class FleetClient:
         for dtype in dtypes:
             tuner.compile_inference(dtype)
         return tuner
+
+    def local_fallback_predictor(self):
+        """The in-process canonical :class:`~repro.serve.predictor.Predictor`.
+
+        Same rebuild path as :meth:`local_fallback_tuner` but returns the
+        predictor the *nodes* serve through — tiered micro/GNN when the
+        registration shipped a distilled blob, plain GNN otherwise — so
+        gateway degradation keeps the fleet's serving semantics, tier
+        routing included.
+        """
+        with self._state_lock:
+            spec = self._spec
+            update = WeightsUpdate(
+                self._version, self._weights, distilled=self._distilled
+            )
+            dtypes = self._dtypes
+        if spec is None:
+            raise RuntimeError(
+                "register_tuner() a fleet before building a local fallback"
+            )
+        tuner, predictor = build_predictor_from_update(spec, update)
+        for dtype in dtypes:
+            tuner.compile_inference(dtype)
+        return predictor
 
     def clear_caches(self) -> None:
         """Reset every serving node to the cold path (cold-path benches)."""
@@ -1030,6 +1079,7 @@ class LocalFleet:
         dead_after: int = 3,
         request_timeout: Optional[float] = None,
         chaos: Optional[object] = None,
+        distilled: Optional[bytes] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
@@ -1071,7 +1121,7 @@ class LocalFleet:
             self._terminate()
             raise
         try:
-            self.client.register_tuner(tuner, dtypes=dtypes)
+            self.client.register_tuner(tuner, dtypes=dtypes, distilled=distilled)
         except BaseException:
             self.client.close()
             self._terminate()

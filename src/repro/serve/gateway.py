@@ -30,12 +30,14 @@ against the ways a front door melts:
   fleet heartbeat re-admits the node itself underneath).
 * **Graceful degradation** — with *no* routable node (all DEAD or
   breaker-open), the gateway answers from a rate-limited in-process
-  fallback tuner rebuilt from the registered spec + weights
-  (:meth:`~repro.serve.fleet.FleetClient.local_fallback_tuner` — the same
-  :func:`~repro.serve.spec.build_from_update` path the nodes use, so the
-  slow path is byte-identical too).  Beyond the token-bucket rate the
-  fallback sheds with :exc:`GatewayOverloaded` rather than sinking the
-  process, and :meth:`Gateway.stats` reports the degraded mode.
+  fallback predictor rebuilt from the registered spec + weights
+  (:meth:`~repro.serve.fleet.FleetClient.local_fallback_predictor` — the
+  same :func:`~repro.serve.spec.build_predictor_from_update` path the
+  nodes use, tiered micro/GNN when a distilled blob is registered, so the
+  slow path keeps the fleet's serving semantics byte for byte).  Beyond
+  the token-bucket rate the fallback sheds with :exc:`GatewayOverloaded`
+  rather than sinking the process, and :meth:`Gateway.stats` reports the
+  degraded mode plus the fallback's tier counters.
 
 Request lifecycle: **admit → coalesce → dispatch → hedge → degrade**::
 
@@ -45,8 +47,10 @@ Request lifecycle: **admit → coalesce → dispatch → hedge → degrade**::
 
 The gateway talks to any client exposing ``serving_nodes()``,
 ``sweep_node(index, regions, caps, dtype=, timeout=)`` and
-``local_fallback_tuner()`` — the real :class:`~repro.serve.fleet.FleetClient`
-or a deterministic fake (``tests/serve/test_gateway.py``).
+``local_fallback_predictor()`` (or the pre-Predictor
+``local_fallback_tuner()``) — the real
+:class:`~repro.serve.fleet.FleetClient` or a deterministic fake
+(``tests/serve/test_gateway.py``).
 """
 
 from __future__ import annotations
@@ -61,6 +65,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.tuner import TuningResult
 from repro.openmp.region import RegionCharacteristics
 from repro.serve import rpc
+from repro.serve.predictor import DeadlineExceeded
 from repro.serve.sharding import HashRing
 from repro.utils.logging import get_logger
 
@@ -83,10 +88,6 @@ class GatewayOverloaded(RuntimeError):
         )
         self.queue_depth = queue_depth
         self.retry_after_s = retry_after_s
-
-
-class DeadlineExceeded(TimeoutError):
-    """The request's deadline elapsed (or cannot be met) — failed fast."""
 
 
 class _CircuitBreaker:
@@ -195,9 +196,9 @@ class Gateway:
 
     Construct over a :class:`~repro.serve.fleet.FleetClient` (or any object
     with the same ``serving_nodes`` / ``sweep_node`` /
-    ``local_fallback_tuner`` surface), ``await start()`` (or use ``async
+    ``local_fallback_predictor`` surface), ``await start()`` (or use ``async
     with``), then issue any number of concurrent
-    :meth:`predict_sweep` calls.  All tunables have load-tested defaults;
+    :meth:`predict` / :meth:`predict_sweep` calls.  All tunables have load-tested defaults;
     ``clock`` only feeds the circuit breakers and the fallback rate limiter
     so tests can drive them deterministically.
     """
@@ -229,7 +230,7 @@ class Gateway:
         self._clock = clock
         self._breakers: Dict[int, _CircuitBreaker] = {}
         self._fallback_bucket = _TokenBucket(fallback_rate, fallback_burst, clock)
-        self._fallback_tuner = None
+        self._fallback_predictor = None
         self._fallback_lock = threading.Lock()
         self._queue: List[_Pending] = []
         self._rings: Dict[Tuple[int, ...], HashRing] = {}
@@ -295,21 +296,51 @@ class Gateway:
         await self.close()
 
     # -------------------------------------------------------------- admission
+    async def predict(
+        self,
+        region: RegionCharacteristics,
+        power_cap: Optional[float] = None,
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> TuningResult:
+        """One single-region, single-cap prediction — the canonical
+        :class:`~repro.serve.predictor.Predictor` entry point, async.
+
+        Same signature family as every serving tier (``dtype=`` /
+        ``deadline=``); internally a one-cap :meth:`predict_sweep` so the
+        request still coalesces with its contemporaries.
+        """
+        if power_cap is None:
+            raise ValueError("power_cap is required for the performance scenario")
+        results = await self.predict_sweep(
+            region, [power_cap], dtype=dtype, deadline=deadline
+        )
+        return results[0]
+
     async def predict_sweep(
         self,
         region: RegionCharacteristics,
         power_caps: Sequence[float],
         dtype: Optional[str] = None,
         timeout: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
     ) -> List[TuningResult]:
         """One single-region sweep through the batched fleet path.
 
         Byte-identical to ``tuner.predict_sweep(region, power_caps,
         dtype=dtype)`` on the registered tuner, whichever node (or the
         degraded fallback) answers.  Raises :exc:`GatewayOverloaded` when
-        shed, :exc:`DeadlineExceeded` when ``timeout`` (default
-        ``default_timeout``) cannot be met.
+        shed, :exc:`DeadlineExceeded` when the time budget (default
+        ``default_timeout``) cannot be met.  ``deadline=`` is the canonical
+        Predictor-API spelling of the budget; ``timeout=`` is the historical
+        gateway spelling — they are the same knob and cannot both be given.
         """
+        if timeout is not None and deadline is not None:
+            raise ValueError("pass either deadline= or timeout=, not both")
+        if deadline is not None:
+            timeout = float(deadline)
         if not self._started or self._closed:
             raise RuntimeError("Gateway is not running (start() it first)")
         if len(self._queue) >= self._max_pending:
@@ -631,10 +662,16 @@ class Gateway:
         dtype: Optional[str],
     ) -> List[List[TuningResult]]:
         with self._fallback_lock:
-            if self._fallback_tuner is None:
-                _LOG.info("building the in-process fallback tuner")
-                self._fallback_tuner = self._client.local_fallback_tuner()
-            return self._fallback_tuner.predict_sweep_many(
+            if self._fallback_predictor is None:
+                _LOG.info("building the in-process fallback predictor")
+                build = getattr(self._client, "local_fallback_predictor", None)
+                if callable(build):
+                    self._fallback_predictor = build()
+                else:
+                    # Pre-Predictor clients (and test fakes) expose only the
+                    # tuner; its sweep surface is signature-compatible.
+                    self._fallback_predictor = self._client.local_fallback_tuner()
+            return self._fallback_predictor.predict_sweep_many(
                 regions, list(caps), dtype=dtype
             )
 
@@ -687,6 +724,9 @@ class Gateway:
             for index, breaker in self._breakers.items()
             if breaker.state != "closed"
         )
+        tier_stats = getattr(self._fallback_predictor, "tier_stats", None)
+        if callable(tier_stats):
+            snapshot["fallback_tier"] = tier_stats()
         transport_stats = getattr(self._client, "transport_stats", None)
         if callable(transport_stats):
             try:

@@ -61,7 +61,7 @@ import traceback
 from typing import Sequence, Tuple
 
 from repro.serve import rpc
-from repro.serve.spec import WeightsUpdate, build_from_update
+from repro.serve.spec import WeightsUpdate, build_predictor_from_update
 from repro.utils.logging import get_logger
 
 __all__ = ["NodeServer", "node_subprocess_main"]
@@ -88,6 +88,11 @@ class NodeServer:
         self._sock.listen()
         self.address: Tuple[str, int] = self._sock.getsockname()
         self._tuner = None
+        # The canonical serving entry point (repro.serve.predictor): a
+        # TieredPredictor when the registration shipped a distilled blob,
+        # a GNNPredictor otherwise.  Sweeps route through it; the tuner is
+        # kept alongside for cache control.
+        self._predictor = None
         self._version = 0
         self._legacy_clients = bool(legacy_clients)
         # Connections torn down because their stream failed frame
@@ -216,9 +221,12 @@ class NodeServer:
             tuner = self._require_registered()
             if command == "sweep":
                 _, regions, power_caps, dtype = message
-                return tuner.predict_sweep_many(regions, power_caps, dtype=dtype)
+                return self._predictor.predict_sweep_many(
+                    regions, power_caps, dtype=dtype
+                )
             if command == "stats":
                 cache = tuner._embedding_cache
+                tier_stats = getattr(self._predictor, "tier_stats", None)
                 return {
                     "size": len(cache),
                     "hits": cache.hits,
@@ -228,8 +236,14 @@ class NodeServer:
                     "corrupt_frames": self._corrupt_frames,
                     "pid": os.getpid(),
                     "buffers": tuner.inference_cache_stats(),
+                    # Micro/GNN routing counters; a GNN-only node reports
+                    # zeros so fleet-wide aggregation never needs a guard.
+                    "tier": tier_stats()
+                    if tier_stats is not None
+                    else {"micro_hits": 0, "fallbacks": 0, "micro_families": 0},
                 }
-            # command == "clear"
+            # command == "clear" — sheds both tiers: clear_inference_buffers
+            # walks the tuner's attached micro runtimes too.
             tuner._embedding_cache.clear()
             tuner.clear_inference_buffers()
             return None
@@ -240,7 +254,7 @@ class NodeServer:
         # seconds, and in-flight sweeps must finish on the old weights.  The
         # swap below is then a pointer assignment under the lock — atomic
         # from every serving request's point of view.
-        tuner = build_from_update(spec, update)
+        tuner, predictor = build_predictor_from_update(spec, update)
         # build_serving_tuner compiled the tuner's own dtype; eagerly
         # compile any additional serving dtypes (e.g. "float32" on a
         # float64-trained tuner) so no sweep pays lowering cost either.
@@ -254,6 +268,7 @@ class NodeServer:
                 )
             previous = self._tuner
             self._tuner = tuner
+            self._predictor = predictor
             self._version = update.version
             if previous is not None:
                 # Shed the superseded tuner's arenas and plan-pinning memos

@@ -1,0 +1,328 @@
+"""The unified ``Predictor`` protocol and its three implementations.
+
+Before this module, prediction entry points had grown organically:
+``PnPTuner.predict`` (no ``dtype=``), ``predict_sweep`` /
+``predict_sweep_many`` (``dtype=`` but no deadline), ``predict_samples``
+(its own ``program=`` plumbing), and the gateway's async ``predict_sweep``
+(``timeout=``).  The serving stack now speaks **one canonical signature
+family**:
+
+.. code-block:: python
+
+    predict(region, power_cap=None, *, dtype=None, deadline=None)
+    predict_sweep(region, power_caps, *, dtype=None, deadline=None)
+    predict_sweep_many(regions, power_caps, *, dtype=None, deadline=None)
+
+``dtype`` overrides the serving precision (cast-once, exactly as in the
+tuner); ``deadline`` is a time budget in seconds — implementations check it
+on entry and refuse to *return* past it (:class:`DeadlineExceeded`), they do
+not preempt a running kernel.
+
+Three implementations:
+
+:class:`GNNPredictor`
+    The full tuner path (graph → RGCN → pooled → head).  A thin conformance
+    wrapper over :class:`~repro.core.tuner.PnPTuner`.
+:class:`MicroPredictor`
+    The distilled micro-model tier (:class:`~repro.distill.runtime.MicroRuntime`):
+    dense-only, no message passing.  Raises :class:`UntrustedRegion` for
+    inputs its trust gate rejects.
+:class:`TieredPredictor`
+    The router: trusted regions → micro tier, everything else → fallback
+    (byte-identical to the tuner, since the fallback *is* the tuner path).
+    Tier counters (``micro_hits`` / ``fallbacks``) feed node and gateway
+    stats.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.tuner import PnPTuner, TuningResult
+from repro.distill.runtime import MicroRuntime
+from repro.distill.student import DistilledModel
+from repro.openmp.region import RegionCharacteristics
+
+__all__ = [
+    "DeadlineExceeded",
+    "UntrustedRegion",
+    "Predictor",
+    "GNNPredictor",
+    "MicroPredictor",
+    "TieredPredictor",
+    "tiered_predictor",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline elapsed (or cannot be met) — failed fast."""
+
+
+class UntrustedRegion(LookupError):
+    """The micro tier's trust gate rejected the region (use the GNN path)."""
+
+
+def _deadline_at(deadline: Optional[float]) -> Optional[float]:
+    """Absolute expiry for a relative ``deadline`` budget; checks it is open."""
+    if deadline is None:
+        return None
+    if deadline <= 0:
+        raise DeadlineExceeded(f"deadline budget {deadline:.6f}s is not positive")
+    return time.monotonic() + float(deadline)
+
+
+def _check_deadline(expires_at: Optional[float]) -> None:
+    if expires_at is not None and time.monotonic() > expires_at:
+        raise DeadlineExceeded("prediction exceeded its deadline")
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """What every serving tier implements — the one signature family."""
+
+    def predict(
+        self,
+        region: RegionCharacteristics,
+        power_cap: Optional[float] = None,
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> TuningResult: ...
+
+    def predict_sweep(
+        self,
+        region: RegionCharacteristics,
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[TuningResult]: ...
+
+    def predict_sweep_many(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[List[TuningResult]]: ...
+
+
+class GNNPredictor:
+    """The full GNN tuner path behind the canonical signatures."""
+
+    def __init__(self, tuner: PnPTuner) -> None:
+        self.tuner = tuner
+
+    def predict(
+        self,
+        region: RegionCharacteristics,
+        power_cap: Optional[float] = None,
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> TuningResult:
+        expires_at = _deadline_at(deadline)
+        if self.tuner.objective == "time":
+            if power_cap is None:
+                raise ValueError("power_cap is required for the performance scenario")
+            result = self.tuner.predict_sweep(region, [power_cap], dtype=dtype)[0]
+        else:
+            if dtype is not None:
+                raise ValueError(
+                    "dtype overrides are supported for the 'time' objective only"
+                )
+            result = self.tuner.predict(region, power_cap)
+        _check_deadline(expires_at)
+        return result
+
+    def predict_sweep(
+        self,
+        region: RegionCharacteristics,
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[TuningResult]:
+        expires_at = _deadline_at(deadline)
+        results = self.tuner.predict_sweep(region, power_caps, dtype=dtype)
+        _check_deadline(expires_at)
+        return results
+
+    def predict_sweep_many(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[List[TuningResult]]:
+        expires_at = _deadline_at(deadline)
+        results = self.tuner.predict_sweep_many(regions, power_caps, dtype=dtype)
+        _check_deadline(expires_at)
+        return results
+
+
+class MicroPredictor:
+    """The distilled micro tier behind the canonical signatures.
+
+    Every entry point enforces the trust gate — callers that want automatic
+    fallback route through :class:`TieredPredictor` instead.
+    """
+
+    def __init__(self, runtime: MicroRuntime) -> None:
+        self.runtime = runtime
+
+    def trusted(self, region: RegionCharacteristics) -> bool:
+        return self.runtime.trusted(region)
+
+    def _require_trusted(self, region: RegionCharacteristics) -> None:
+        if not self.runtime.trusted(region):
+            raise UntrustedRegion(
+                f"region {region.region_id!r} is outside the calibrated "
+                "micro-model ranges"
+            )
+
+    def predict(
+        self,
+        region: RegionCharacteristics,
+        power_cap: Optional[float] = None,
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> TuningResult:
+        expires_at = _deadline_at(deadline)
+        self._require_trusted(region)
+        result = self.runtime.predict(region, power_cap, dtype=dtype)
+        _check_deadline(expires_at)
+        return result
+
+    def predict_sweep(
+        self,
+        region: RegionCharacteristics,
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[TuningResult]:
+        expires_at = _deadline_at(deadline)
+        self._require_trusted(region)
+        results = self.runtime.predict_sweep(region, power_caps, dtype=dtype)
+        _check_deadline(expires_at)
+        return results
+
+    def predict_sweep_many(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[List[TuningResult]]:
+        expires_at = _deadline_at(deadline)
+        for region in regions:
+            self._require_trusted(region)
+        results = self.runtime.predict_sweep_many(regions, power_caps, dtype=dtype)
+        _check_deadline(expires_at)
+        return results
+
+
+class TieredPredictor:
+    """Route trusted regions to the micro tier, the rest to the fallback.
+
+    The fallback path is the plain tuner path — results for untrusted
+    regions are byte-identical to calling the tuner directly.  Counters
+    tally *regions served* per tier and surface in node/gateway stats.
+    """
+
+    def __init__(self, micro: MicroPredictor, fallback: Predictor) -> None:
+        self.micro = micro
+        self.fallback = fallback
+        self._micro_hits = 0
+        self._fallbacks = 0
+
+    # ---------------------------------------------------------------- stats
+    def tier_stats(self) -> Dict[str, int]:
+        return {
+            "micro_hits": self._micro_hits,
+            "fallbacks": self._fallbacks,
+            "micro_families": len(self.micro.runtime.families()),
+        }
+
+    def reset_tier_stats(self) -> None:
+        self._micro_hits = 0
+        self._fallbacks = 0
+
+    # -------------------------------------------------------------- serving
+    def predict(
+        self,
+        region: RegionCharacteristics,
+        power_cap: Optional[float] = None,
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> TuningResult:
+        if self.micro.trusted(region):
+            self._micro_hits += 1
+            return self.micro.predict(region, power_cap, dtype=dtype, deadline=deadline)
+        self._fallbacks += 1
+        return self.fallback.predict(region, power_cap, dtype=dtype, deadline=deadline)
+
+    def predict_sweep(
+        self,
+        region: RegionCharacteristics,
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[TuningResult]:
+        if self.micro.trusted(region):
+            self._micro_hits += 1
+            return self.micro.predict_sweep(
+                region, power_caps, dtype=dtype, deadline=deadline
+            )
+        self._fallbacks += 1
+        return self.fallback.predict_sweep(
+            region, power_caps, dtype=dtype, deadline=deadline
+        )
+
+    def predict_sweep_many(
+        self,
+        regions: Sequence[RegionCharacteristics],
+        power_caps: Sequence[float],
+        *,
+        dtype: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> List[List[TuningResult]]:
+        expires_at = _deadline_at(deadline)
+        regions = list(regions)
+        trusted_flags = [self.micro.trusted(region) for region in regions]
+        untrusted = [
+            region for region, flag in zip(regions, trusted_flags) if not flag
+        ]
+        # One batched GNN pass over every untrusted region — identical to
+        # handing the whole set to the tuner, region for region.
+        fallback_results = (
+            iter(self.fallback.predict_sweep_many(untrusted, power_caps, dtype=dtype))
+            if untrusted
+            else iter(())
+        )
+        results: List[List[TuningResult]] = []
+        for region, flag in zip(regions, trusted_flags):
+            if flag:
+                self._micro_hits += 1
+                results.append(
+                    self.micro.predict_sweep(region, power_caps, dtype=dtype)
+                )
+            else:
+                self._fallbacks += 1
+                results.append(next(fallback_results))
+        _check_deadline(expires_at)
+        return results
+
+
+def tiered_predictor(tuner: PnPTuner, distilled: DistilledModel) -> TieredPredictor:
+    """Wire the standard two-tier stack over one tuner + distilled model."""
+    runtime = MicroRuntime(distilled, tuner)
+    return TieredPredictor(MicroPredictor(runtime), GNNPredictor(tuner))

@@ -72,16 +72,35 @@ R = TypeVar("R")
 
 @dataclass(frozen=True)
 class _WorkerSpec:
-    """A shared :class:`TunerSpec` plus where this pool parked the weights."""
+    """A shared :class:`TunerSpec` plus where this pool parked the weights.
+
+    ``distilled`` optionally carries a
+    :meth:`~repro.distill.student.DistilledModel.to_blob` payload; workers
+    then serve through the tiered micro/GNN
+    :class:`~repro.serve.predictor.TieredPredictor` instead of the plain
+    GNN path.
+    """
 
     tuner: TunerSpec
     weights_path: str
+    distilled: Optional[bytes] = None
 
 
 def _worker_main(connection, spec: _WorkerSpec) -> None:
-    """Worker loop: build the tuner once, then serve sweep requests."""
+    """Worker loop: build the tuner and predictor once, then serve sweeps."""
+    from repro.serve.predictor import GNNPredictor
+
     try:
         tuner = build_serving_tuner(spec.tuner, weights_path=spec.weights_path)
+        if spec.distilled is not None:
+            from repro.distill.student import DistilledModel
+            from repro.serve.predictor import tiered_predictor
+
+            predictor = tiered_predictor(
+                tuner, DistilledModel.from_blob(spec.distilled)
+            )
+        else:
+            predictor = GNNPredictor(tuner)
         connection.send(("ready", None))
     except Exception:  # noqa: BLE001 - report startup failures to the parent
         connection.send(("error", traceback.format_exc()))
@@ -97,15 +116,24 @@ def _worker_main(connection, spec: _WorkerSpec) -> None:
                 return
             if command == "sweep":
                 _, regions, caps, dtype = message
-                results = tuner.predict_sweep_many(regions, caps, dtype=dtype)
+                results = predictor.predict_sweep_many(regions, caps, dtype=dtype)
                 connection.send(("ok", results))
             elif command == "clear":
                 tuner._embedding_cache.clear()
                 tuner._sweep_batch_memo.clear()
+                tuner.clear_inference_buffers()
                 connection.send(("ok", None))
             elif command == "stats":
                 cache = tuner._embedding_cache
-                stats = {"size": len(cache), "hits": cache.hits, "misses": cache.misses}
+                tier_stats = getattr(predictor, "tier_stats", None)
+                stats = {
+                    "size": len(cache),
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "tier": tier_stats()
+                    if tier_stats is not None
+                    else {"micro_hits": 0, "fallbacks": 0, "micro_families": 0},
+                }
                 connection.send(("ok", stats))
             else:
                 connection.send(("error", f"unknown command {command!r}"))
@@ -172,11 +200,14 @@ class SweepServer:
         num_workers: int = 2,
         start_method: Optional[str] = None,
         weights_path: Optional[str] = None,
+        distilled: Optional[bytes] = None,
     ) -> "SweepServer":
         """Serve a fitted tuner: weights are serialized once for the pool.
 
         ``weights_path`` overrides where the ``.npz`` archive is written
-        (default: a temporary file removed on :meth:`close`).
+        (default: a temporary file removed on :meth:`close`).  ``distilled``
+        optionally ships a :meth:`~repro.distill.student.DistilledModel.
+        to_blob` payload so the workers serve the tiered micro/GNN stack.
         """
         tuner._require_fitted()
         owns = weights_path is None
@@ -187,7 +218,9 @@ class SweepServer:
             handle.close()
             weights_path = handle.name
         serialization.save_state_dict(tuner.state_dict(), weights_path)
-        spec = _WorkerSpec(tuner=tuner_spec(tuner), weights_path=weights_path)
+        spec = _WorkerSpec(
+            tuner=tuner_spec(tuner), weights_path=weights_path, distilled=distilled
+        )
         return cls(
             spec,
             num_workers=num_workers,

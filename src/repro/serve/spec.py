@@ -48,6 +48,7 @@ __all__ = [
     "tuner_spec",
     "build_serving_tuner",
     "build_from_update",
+    "build_predictor_from_update",
     "weights_blob",
     "state_from_blob",
     "default_start_method",
@@ -92,6 +93,12 @@ class WeightsUpdate:
 
     version: int
     blob: bytes
+    #: Optional :meth:`~repro.distill.student.DistilledModel.to_blob` bytes.
+    #: When present, replicas serve through a
+    #: :class:`~repro.serve.predictor.TieredPredictor` (micro tier + GNN
+    #: fallback); when absent they serve the plain GNN path.  Defaulted so
+    #: pre-distillation payloads keep decoding unchanged.
+    distilled: Optional[bytes] = None
 
 
 def tuner_spec(tuner: PnPTuner) -> TunerSpec:
@@ -162,6 +169,25 @@ def build_from_update(spec: TunerSpec, update: WeightsUpdate) -> PnPTuner:
     :class:`WeightsUpdate`.
     """
     return build_serving_tuner(spec, state=state_from_blob(update.blob))
+
+
+def build_predictor_from_update(spec: TunerSpec, update: WeightsUpdate):
+    """Rebuild ``(tuner, predictor)`` from a spec plus a versioned payload.
+
+    The canonical serving entry point for replicas: a
+    :class:`~repro.serve.predictor.TieredPredictor` (micro tier routed over
+    the GNN fallback) when the update carries a distilled micro-model blob,
+    a plain :class:`~repro.serve.predictor.GNNPredictor` otherwise.  The
+    tuner is returned too because cache control ("clear", "stats") still
+    addresses it directly.
+    """
+    from repro.distill.student import DistilledModel
+    from repro.serve.predictor import GNNPredictor, tiered_predictor
+
+    tuner = build_from_update(spec, update)
+    if update.distilled is None:
+        return tuner, GNNPredictor(tuner)
+    return tuner, tiered_predictor(tuner, DistilledModel.from_blob(update.distilled))
 
 
 def weights_blob(state: Mapping[str, np.ndarray]) -> bytes:

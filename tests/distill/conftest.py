@@ -1,0 +1,65 @@
+"""Fixtures for the distillation tier: one full-suite teacher, one student set.
+
+Unlike the core tests' 4-application workload, parity is asserted over the
+**entire** benchmark suite (all 68 regions, 30 families) — the distilled
+model must stand in for the teacher across everything the suite serves, so
+the fixture fits the teacher on the full region set once per session and
+distills every family from it.
+"""
+
+import pytest
+
+from repro.benchsuite.registry import regions_by_application
+from repro.core.dataset import DatasetBuilder
+from repro.core.measurements import MeasurementDatabase
+from repro.core.model import ModelConfig
+from repro.core.search_space import SearchSpace
+from repro.core.training import TrainingConfig
+from repro.core.tuner import PnPTuner
+from repro.distill.student import StudentConfig, distill
+from repro.hw.machine import Machine
+
+
+@pytest.fixture(scope="session")
+def full_regions_by_app():
+    return regions_by_application()
+
+
+@pytest.fixture(scope="session")
+def teacher_tuner(full_regions_by_app):
+    """A fitted full-suite teacher (weak training — parity is self-calibrated)."""
+    regions = [r for rs in full_regions_by_app.values() for r in rs]
+    machine = Machine.named("haswell", seed=0)
+    database = MeasurementDatabase(machine, SearchSpace("haswell"), regions)
+    builder = DatasetBuilder(database, regions_by_app=full_regions_by_app, seed=0)
+    config = ModelConfig(
+        vocabulary_size=len(builder.vocabulary),
+        num_classes=database.search_space.num_omp_configurations,
+        aux_dim=1,
+        seed=0,
+    )
+    tuner = PnPTuner(
+        system="haswell",
+        objective="time",
+        model_config=config,
+        training_config=TrainingConfig(epochs=2, seed=0),
+        database=database,
+        seed=0,
+    )
+    tuner.builder = builder
+    tuner.fit(tuner.build_training_samples())
+    return tuner
+
+
+@pytest.fixture(scope="session")
+def distilled_model(teacher_tuner):
+    """Every family distilled with a deliberately small training budget.
+
+    The trust calibration is *relative* to the student's own training error,
+    so the parity contract must hold at this budget exactly as it would at a
+    production one — a cheap config keeps the session fixture fast without
+    weakening what the tests assert.
+    """
+    return distill(
+        teacher_tuner, config=StudentConfig(per_region=2, epochs=60, seed=0)
+    )

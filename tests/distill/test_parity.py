@@ -1,0 +1,103 @@
+"""Teacher–student parity across the full benchmark suite, both dtypes.
+
+The contract is the *calibrated* one: for every benchsuite region, the
+student's pooled embedding lies within its family's
+:attr:`~repro.distill.student.FamilyCalibration.tolerance` of the teacher's
+— at float64 (the reference student forward) and float32 (the lowered
+serving program).  Label agreement is deliberately **not** asserted here:
+it is a property of the head's decision boundaries, not of the distillation
+contract, and the tiered router's trust gate is what keeps mispredictions
+bounded in serving.
+"""
+
+import numpy as np
+
+from repro.distill.features import FEATURE_DIM, feature_matrix
+from repro.distill.generate import teacher_embeddings
+from repro.distill.runtime import _FamilyProgram
+from repro.distill.student import DistilledModel
+
+
+def _family_errors(student, regions, teacher, dtype):
+    """Per-region teacher–student L2 embedding error at one serving dtype."""
+    if dtype == "float64":
+        predicted = np.vstack([student.pooled(region) for region in regions])
+    else:
+        program = _FamilyProgram(student, np.dtype(dtype)).program
+        features = feature_matrix(regions).astype(dtype)
+        predicted = program.logits(features, None).astype(np.float64)
+    return np.linalg.norm(predicted - teacher, axis=1)
+
+
+class TestFullSuiteParity:
+    def test_every_family_is_distilled(self, full_regions_by_app, distilled_model):
+        assert sorted(distilled_model.families) == sorted(full_regions_by_app)
+        total = sum(len(rs) for rs in full_regions_by_app.values())
+        assert total == 68
+
+    def test_parity_within_tolerance_float64(
+        self, teacher_tuner, full_regions_by_app, distilled_model
+    ):
+        for family, regions in full_regions_by_app.items():
+            student = distilled_model.families[family]
+            teacher = np.asarray(
+                teacher_embeddings(teacher_tuner, regions), dtype=np.float64
+            )
+            errors = _family_errors(student, regions, teacher, "float64")
+            assert (errors <= student.calibration.tolerance).all(), (
+                f"{family}: max f64 embedding error {errors.max():.4g} exceeds "
+                f"calibrated tolerance {student.calibration.tolerance:.4g}"
+            )
+
+    def test_parity_within_tolerance_float32(
+        self, teacher_tuner, full_regions_by_app, distilled_model
+    ):
+        for family, regions in full_regions_by_app.items():
+            student = distilled_model.families[family]
+            teacher = np.asarray(
+                teacher_embeddings(teacher_tuner, regions), dtype=np.float64
+            )
+            errors = _family_errors(student, regions, teacher, "float32")
+            assert (errors <= student.calibration.tolerance).all(), (
+                f"{family}: max f32 embedding error {errors.max():.4g} exceeds "
+                f"calibrated tolerance {student.calibration.tolerance:.4g}"
+            )
+
+    def test_pooled_dim_matches_teacher(self, teacher_tuner, distilled_model):
+        assert distilled_model.pooled_dim == teacher_tuner.model_config.hidden_dim
+
+
+class TestBlobRoundTrip:
+    def test_roundtrip_is_byte_identical(self, distilled_model):
+        rebuilt = DistilledModel.from_blob(distilled_model.to_blob())
+        assert rebuilt.config == distilled_model.config
+        assert rebuilt.pooled_dim == distilled_model.pooled_dim
+        assert rebuilt.teacher_dtype == distilled_model.teacher_dtype
+        assert sorted(rebuilt.families) == sorted(distilled_model.families)
+        for name, student in distilled_model.families.items():
+            twin = rebuilt.families[name]
+            for ours, theirs in zip(student.weights, twin.weights):
+                assert ours.dtype == theirs.dtype
+                assert (ours == theirs).all()
+            for ours, theirs in zip(student.biases, twin.biases):
+                assert (ours == theirs).all()
+            assert (student.feature_mean == twin.feature_mean).all()
+            assert (student.feature_scale == twin.feature_scale).all()
+            ours_cal, theirs_cal = student.calibration, twin.calibration
+            assert (ours_cal.feature_lo == theirs_cal.feature_lo).all()
+            assert (ours_cal.feature_hi == theirs_cal.feature_hi).all()
+            assert ours_cal.tolerance == theirs_cal.tolerance
+
+    def test_roundtrip_preserves_predictions(
+        self, full_regions_by_app, distilled_model
+    ):
+        rebuilt = DistilledModel.from_blob(distilled_model.to_blob())
+        for family, regions in full_regions_by_app.items():
+            original = distilled_model.families[family]
+            twin = rebuilt.families[family]
+            for region in regions:
+                assert (original.pooled(region) == twin.pooled(region)).all()
+
+    def test_feature_dim_is_stable(self, distilled_model):
+        for student in distilled_model.families.values():
+            assert student.weights[0].shape[0] == FEATURE_DIM

@@ -1,0 +1,102 @@
+"""Predictor-protocol conformance, run against all three implementations.
+
+One canonical signature family — ``predict(region, cap, *, dtype=,
+deadline=)`` and the sweep variants — implemented by the GNN path, the
+micro tier and the tiered router.  These tests drive each implementation
+through the same battery: structural protocol membership, deadline
+semantics, dtype overrides, and single-cap/sweep consistency.
+"""
+
+import pytest
+
+from repro.serve.predictor import (
+    DeadlineExceeded,
+    GNNPredictor,
+    MicroPredictor,
+    Predictor,
+    TieredPredictor,
+    tiered_predictor,
+)
+
+CAPS = [60.0, 95.0]
+
+
+@pytest.fixture(scope="module")
+def predictors(teacher_tuner, distilled_model):
+    tiered = tiered_predictor(teacher_tuner, distilled_model)
+    return {
+        "gnn": GNNPredictor(teacher_tuner),
+        "micro": tiered.micro,
+        "tiered": tiered,
+    }
+
+
+@pytest.fixture(scope="module")
+def region(full_regions_by_app):
+    return next(iter(full_regions_by_app.values()))[0]
+
+
+NAMES = ["gnn", "micro", "tiered"]
+
+
+class TestProtocolMembership:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_runtime_checkable_instance(self, predictors, name):
+        assert isinstance(predictors[name], Predictor)
+
+    def test_classes_cover_the_three_tiers(self, predictors):
+        assert isinstance(predictors["gnn"], GNNPredictor)
+        assert isinstance(predictors["micro"], MicroPredictor)
+        assert isinstance(predictors["tiered"], TieredPredictor)
+
+
+class TestSignatures:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_predict_matches_single_cap_sweep(self, predictors, region, name):
+        predictor = predictors[name]
+        assert predictor.predict(region, CAPS[0]) == (
+            predictor.predict_sweep(region, [CAPS[0]])[0]
+        )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_sweep_many_matches_per_region_sweeps(self, predictors, region, name):
+        predictor = predictors[name]
+        assert predictor.predict_sweep_many([region, region], CAPS) == [
+            predictor.predict_sweep(region, CAPS),
+            predictor.predict_sweep(region, CAPS),
+        ]
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_dtype_override_is_accepted(self, predictors, region, name):
+        results = predictors[name].predict_sweep(region, CAPS, dtype="float32")
+        assert len(results) == len(CAPS)
+
+    def test_gnn_predictor_is_the_tuner_path(self, predictors, teacher_tuner, region):
+        assert predictors["gnn"].predict_sweep(region, CAPS) == (
+            teacher_tuner.predict_sweep(region, CAPS)
+        )
+        assert predictors["gnn"].predict_sweep(region, CAPS, dtype="float32") == (
+            teacher_tuner.predict_sweep(region, CAPS, dtype="float32")
+        )
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("name", NAMES)
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_non_positive_deadline_fails_fast(self, predictors, region, name, budget):
+        predictor = predictors[name]
+        with pytest.raises(DeadlineExceeded):
+            predictor.predict(region, CAPS[0], deadline=budget)
+        with pytest.raises(DeadlineExceeded):
+            predictor.predict_sweep(region, CAPS, deadline=budget)
+        with pytest.raises(DeadlineExceeded):
+            predictor.predict_sweep_many([region], CAPS, deadline=budget)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_generous_deadline_succeeds(self, predictors, region, name):
+        results = predictors[name].predict_sweep(region, CAPS, deadline=60.0)
+        assert len(results) == len(CAPS)
+
+    def test_deadline_is_keyword_only(self, predictors, region):
+        with pytest.raises(TypeError):
+            predictors["gnn"].predict_sweep(region, CAPS, None, 60.0)

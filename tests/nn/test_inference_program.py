@@ -107,11 +107,11 @@ class TestBitIdenticalToModule:
         assert module_logits.tobytes() == program.head_logits(rows, aux).tobytes()
 
     def test_float32_reduceat_schedule_parity(self, vocabulary, suite_samples):
-        """The program follows the reduceat toggle exactly like the Module."""
+        """The program follows the backend switch exactly like the Module."""
         model = _model(vocabulary, "float32")
         program = model.compile_inference()
         batch = collate_graphs(suite_samples[:6])
-        with _scatter.reduceat_scatter(True):
+        with _scatter.scatter_backend("reduceat"):
             module_pooled = model.encode_pooled(batch)
             program_pooled = program.encode_pooled(batch)
         assert module_pooled.tobytes() == program_pooled.tobytes()

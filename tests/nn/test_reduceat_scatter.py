@@ -5,7 +5,9 @@ opt-in alternative to the flat-bincount float32 path: it accumulates natively
 in single precision instead of taking ``np.bincount``'s float64 round trip.
 It ships disabled by default (profiling showed the bincount round trip is at
 least as fast on this NumPy build — see ``repro/nn/_scatter.py``), so these
-tests exercise it through the explicit toggle.
+tests select it through the canonical ``scatter_backend("reduceat")`` scope.
+The legacy two-way toggle (``reduceat_scatter`` / ``set_reduceat_scatter``)
+is covered as a *deprecated alias*: it must still work, and it must warn.
 """
 
 import numpy as np
@@ -52,7 +54,7 @@ class TestReduceatKernel:
         reference = np.zeros((50, 8), dtype=np.float32)
         np.add.at(reference, index, data)
         schedule = _scatter.build_segment_schedule(index)
-        with _scatter.reduceat_scatter(True):
+        with _scatter.scatter_backend("reduceat"):
             out = _scatter.scatter_rows_sum(data, index, 50, segments=schedule)
         assert out.dtype == np.float32
         np.testing.assert_allclose(out, reference, rtol=2e-5, atol=2e-5)
@@ -60,45 +62,72 @@ class TestReduceatKernel:
     def test_disabled_by_default(self, random_scatter):
         index, data = random_scatter
         schedule = _scatter.build_segment_schedule(index)
-        assert not _scatter.reduceat_scatter_enabled()
+        assert _scatter.scatter_backend_name() == "bincount"
         via_segments = _scatter.scatter_rows_sum(data, index, 50, segments=schedule)
         via_bincount = _scatter.scatter_rows_sum(data, index, 50)
-        # With the toggle off the segments argument must be ignored entirely.
+        # Under bincount the segments argument must be ignored entirely.
         assert (via_segments == via_bincount).all()
 
     def test_float64_ignores_segments(self, random_scatter):
         index, data = random_scatter
         data64 = data.astype(np.float64)
         schedule = _scatter.build_segment_schedule(index)
-        with _scatter.reduceat_scatter(True):
+        with _scatter.scatter_backend("reduceat"):
             out = _scatter.scatter_rows_sum(data64, index, 50, segments=schedule)
         reference = np.zeros((50, 8), dtype=np.float64)
         np.add.at(reference, index, data64)
-        # float64 keeps the bit-identical bincount path regardless of toggle.
+        # float64 keeps the bit-identical bincount path regardless of backend.
         assert (out == reference).all()
 
     def test_empty_bucket_rows_are_zero(self):
         index = np.array([3, 3, 7], dtype=np.int64)
         data = np.ones((3, 2), dtype=np.float32)
         schedule = _scatter.build_segment_schedule(index)
-        with _scatter.reduceat_scatter(True):
+        with _scatter.scatter_backend("reduceat"):
             out = _scatter.scatter_rows_sum(data, index, 10, segments=schedule)
         assert out[3].tolist() == [2.0, 2.0]
         assert out[7].tolist() == [1.0, 1.0]
         untouched = np.delete(out, [3, 7], axis=0)
         assert (untouched == 0).all()
 
-    def test_toggle_scoping(self):
-        assert not _scatter.reduceat_scatter_enabled()
-        with _scatter.reduceat_scatter(True):
-            assert _scatter.reduceat_scatter_enabled()
-            with _scatter.reduceat_scatter(False):
-                assert not _scatter.reduceat_scatter_enabled()
-            assert _scatter.reduceat_scatter_enabled()
-        assert not _scatter.reduceat_scatter_enabled()
-        previous = _scatter.set_reduceat_scatter(True)
-        assert previous is False and _scatter.reduceat_scatter_enabled()
-        _scatter.set_reduceat_scatter(previous)
+
+class TestDeprecatedToggleAlias:
+    """The PR-3 two-way toggle still works — and warns — as an alias."""
+
+    def test_scope_warns_and_maps_onto_backend(self):
+        assert _scatter.scatter_backend_name() == "bincount"
+        with pytest.deprecated_call(match="set_scatter_backend"):
+            with _scatter.reduceat_scatter(True):
+                assert _scatter.scatter_backend_name() == "reduceat"
+                with pytest.deprecated_call():
+                    with _scatter.reduceat_scatter(False):
+                        assert _scatter.scatter_backend_name() == "bincount"
+                assert _scatter.scatter_backend_name() == "reduceat"
+        assert _scatter.scatter_backend_name() == "bincount"
+
+    def test_setter_warns_and_returns_previous(self):
+        with pytest.deprecated_call(match="set_reduceat_scatter"):
+            previous = _scatter.set_reduceat_scatter(True)
+        assert previous is False and _scatter.scatter_backend_name() == "reduceat"
+        with pytest.deprecated_call():
+            _scatter.set_reduceat_scatter(previous)
+        assert _scatter.scatter_backend_name() == "bincount"
+
+    def test_enabled_probe_tracks_backend(self):
+        # The read-only probe is deprecated in docs but warning-free: it is
+        # called from hot paths and merely reflects the backend switch.
+        assert _scatter.reduceat_scatter_enabled() is False
+        with _scatter.scatter_backend("reduceat"):
+            assert _scatter.reduceat_scatter_enabled() is True
+
+    def test_scope_restores_third_backend(self):
+        # The alias restores whichever backend was active — including one the
+        # two-way API cannot even name.
+        with _scatter.scatter_backend("prealloc"):
+            with pytest.deprecated_call():
+                with _scatter.reduceat_scatter(True):
+                    assert _scatter.scatter_backend_name() == "reduceat"
+            assert _scatter.scatter_backend_name() == "prealloc"
 
 
 class TestAutoCalibration:
@@ -108,17 +137,21 @@ class TestAutoCalibration:
         # Seed the cache with a known verdict: "auto" must apply it without
         # re-measuring.
         monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", True)
-        previous = _scatter.set_reduceat_scatter("auto")
+        with pytest.deprecated_call():
+            previous = _scatter.set_reduceat_scatter("auto")
         try:
-            assert _scatter.reduceat_scatter_enabled() is True
+            assert _scatter.scatter_backend_name() == "reduceat"
         finally:
-            _scatter.set_reduceat_scatter(previous)
+            with pytest.deprecated_call():
+                _scatter.set_reduceat_scatter(previous)
         monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", False)
-        previous = _scatter.set_reduceat_scatter("auto")
+        with pytest.deprecated_call():
+            previous = _scatter.set_reduceat_scatter("auto")
         try:
-            assert _scatter.reduceat_scatter_enabled() is False
+            assert _scatter.scatter_backend_name() == "bincount"
         finally:
-            _scatter.set_reduceat_scatter(previous)
+            with pytest.deprecated_call():
+                _scatter.set_reduceat_scatter(previous)
 
     def test_calibration_returns_bool_and_is_cached(self, monkeypatch):
         monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", None)
@@ -134,17 +167,21 @@ class TestAutoCalibration:
 
     def test_auto_sets_global_and_returns_previous(self, monkeypatch):
         monkeypatch.setattr(_scatter, "_AUTO_REDUCEAT", None)
-        assert not _scatter.reduceat_scatter_enabled()
-        previous = _scatter.set_reduceat_scatter("auto")
+        assert _scatter.scatter_backend_name() == "bincount"
+        with pytest.deprecated_call():
+            previous = _scatter.set_reduceat_scatter("auto")
         try:
             assert previous is False
-            assert _scatter.reduceat_scatter_enabled() == _scatter._AUTO_REDUCEAT
+            expected = "reduceat" if _scatter._AUTO_REDUCEAT else "bincount"
+            assert _scatter.scatter_backend_name() == expected
         finally:
-            _scatter.set_reduceat_scatter(previous)
+            with pytest.deprecated_call():
+                _scatter.set_reduceat_scatter(previous)
 
     def test_rejects_unknown_strings(self):
-        with pytest.raises(ValueError):
-            _scatter.set_reduceat_scatter("always")
+        with pytest.deprecated_call():
+            with pytest.raises(ValueError):
+                _scatter.set_reduceat_scatter("always")
 
 
 class TestPlannedLayerWithReduceat:
@@ -164,9 +201,9 @@ class TestPlannedLayerWithReduceat:
         layer, plan, x, edge_index, edge_type = self._layer_and_plan()
         layer.eval()
         with no_grad():
-            with _scatter.reduceat_scatter(False):
+            with _scatter.scatter_backend("bincount"):
                 bincount_out = layer(x, edge_index, edge_type, plan=plan).data
-            with _scatter.reduceat_scatter(True):
+            with _scatter.scatter_backend("reduceat"):
                 reduceat_out = layer(x, edge_index, edge_type, plan=plan).data
         assert reduceat_out.dtype == np.float32
         np.testing.assert_allclose(reduceat_out, bincount_out, rtol=2e-4, atol=2e-4)
@@ -174,16 +211,19 @@ class TestPlannedLayerWithReduceat:
     def test_backward_close_to_bincount_path(self):
         layer, plan, x, edge_index, edge_type = self._layer_and_plan()
         grads = {}
-        for enabled in (False, True):
+        for backend in ("bincount", "reduceat"):
             x.grad = None
             for parameter in layer.parameters():
                 parameter.grad = None
-            with _scatter.reduceat_scatter(enabled):
+            with _scatter.scatter_backend(backend):
                 out = layer(x, edge_index, edge_type, plan=plan)
                 out.sum().backward()
-            grads[enabled] = (x.grad.copy(), [p.grad.copy() for p in layer.parameters()])
-        x_binc, params_binc = grads[False]
-        x_red, params_red = grads[True]
+            grads[backend] = (
+                x.grad.copy(),
+                [p.grad.copy() for p in layer.parameters()],
+            )
+        x_binc, params_binc = grads["bincount"]
+        x_red, params_red = grads["reduceat"]
         assert x_red.dtype == np.float32
         np.testing.assert_allclose(x_red, x_binc, rtol=2e-3, atol=2e-3)
         for got, expected in zip(params_red, params_binc):

@@ -343,10 +343,13 @@ class TestBackendSelection:
         original = _scatter.scatter_backend_name()
         try:
             _scatter.set_scatter_backend("bincount")
-            assert not _scatter.set_reduceat_scatter(True)
+            with pytest.deprecated_call(match="set_scatter_backend"):
+                assert not _scatter.set_reduceat_scatter(True)
             assert _scatter.scatter_backend_name() == "reduceat"
             assert _scatter.reduceat_scatter_enabled()
-            assert _scatter.set_reduceat_scatter(False)  # previous was reduceat
+            with pytest.deprecated_call():
+                # previous was reduceat
+                assert _scatter.set_reduceat_scatter(False)
             assert _scatter.scatter_backend_name() == "bincount"
             assert not _scatter.reduceat_scatter_enabled()
         finally:

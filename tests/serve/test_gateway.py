@@ -164,6 +164,47 @@ class TestCoalescing:
         run(scenario())
 
 
+# ------------------------------------------------------------- predictor API
+class TestPredictorSurface:
+    def test_predict_is_a_single_cap_sweep(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.01) as gateway:
+                result = await gateway.predict(FakeRegion("a"), CAPS[0])
+            assert result == ("a", CAPS[0], None)
+
+        run(scenario())
+
+    def test_predict_requires_a_cap(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.01) as gateway:
+                with pytest.raises(ValueError, match="power_cap"):
+                    await gateway.predict(FakeRegion("a"))
+
+        run(scenario())
+
+    def test_deadline_keyword_is_the_timeout(self):
+        async def scenario():
+            client = FakeClient(num_nodes=1)
+            async with Gateway(client, window_s=0.2) as gateway:
+                with pytest.raises(DeadlineExceeded):
+                    await gateway.predict_sweep(
+                        FakeRegion("a"), CAPS, deadline=0.01
+                    )
+                with pytest.raises(ValueError, match="not both"):
+                    await gateway.predict_sweep(
+                        FakeRegion("a"), CAPS, timeout=1.0, deadline=1.0
+                    )
+
+        run(scenario())
+
+    def test_gateway_deadline_error_is_the_predictor_one(self):
+        from repro.serve.predictor import DeadlineExceeded as canonical
+
+        assert DeadlineExceeded is canonical
+
+
 # ----------------------------------------------------------------- deadlines
 class TestDeadlines:
     def test_deadline_shorter_than_window_expires_without_dispatch(self):
